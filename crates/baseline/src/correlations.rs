@@ -1,0 +1,57 @@
+//! The "Correlations" section: three coefficient matrices, each doing its
+//! own pass over every pair (PP computes them independently).
+
+use eda_dataframe::DataFrame;
+use eda_stats::corr::{CorrMatrix, CorrMethod};
+
+/// The three matrices Pandas-profiling shows (PhiK/Cramér's V disabled,
+/// matching the paper's experimental setup).
+#[derive(Debug, Clone)]
+pub struct CorrelationSection {
+    /// Pearson matrix.
+    pub pearson: CorrMatrix,
+    /// Spearman matrix.
+    pub spearman: CorrMatrix,
+    /// Kendall tau matrix.
+    pub kendall: CorrMatrix,
+}
+
+/// Compute all three matrices. Each method re-extracts the columns — no
+/// sharing between methods, like the baseline tool.
+pub fn compute(df: &DataFrame) -> CorrelationSection {
+    CorrelationSection {
+        pearson: one_matrix(df, CorrMethod::Pearson),
+        spearman: one_matrix(df, CorrMethod::Spearman),
+        kendall: one_matrix(df, CorrMethod::KendallTau),
+    }
+}
+
+fn one_matrix(df: &DataFrame, method: CorrMethod) -> CorrMatrix {
+    let columns: Vec<(String, Vec<f64>)> = df
+        .iter()
+        .filter(|(_, c)| c.dtype().is_numeric())
+        .map(|(n, c)| (n.to_string(), c.to_f64_nan().expect("numeric")))
+        .collect();
+    CorrMatrix::compute(&columns, method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    #[test]
+    fn three_matrices_over_numeric_columns() {
+        let df = DataFrame::new(vec![
+            ("a".into(), Column::from_f64((0..50).map(|i| i as f64).collect())),
+            ("b".into(), Column::from_f64((0..50).map(|i| (i * 3) as f64).collect())),
+            ("s".into(), Column::from_string((0..50).map(|i| format!("v{i}")).collect())),
+        ])
+        .unwrap();
+        let section = compute(&df);
+        assert_eq!(section.pearson.labels, vec!["a", "b"]);
+        assert!((section.pearson.get(0, 1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((section.spearman.get(0, 1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((section.kendall.get(0, 1).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

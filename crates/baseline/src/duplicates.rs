@@ -1,0 +1,62 @@
+//! Duplicate-row detection (a cost Pandas-profiling always pays).
+
+use std::collections::HashMap;
+
+use eda_dataframe::DataFrame;
+
+/// Number of rows that duplicate an earlier row (full-content equality).
+pub fn count(df: &DataFrame) -> usize {
+    if df.ncols() == 0 {
+        return 0;
+    }
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut duplicates = 0;
+    // Row-wise rendering is deliberately naive — the baseline models an
+    // eager profiler, not an optimized one.
+    for row in 0..df.nrows() {
+        let mut key = String::new();
+        for name in df.names() {
+            let v = df.get(row, name).expect("in-bounds");
+            key.push_str(&v.to_string());
+            key.push('\u{1}');
+        }
+        let entry = seen.entry(key).or_insert(0);
+        *entry += 1;
+        if *entry > 1 {
+            duplicates += 1;
+        }
+    }
+    duplicates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    #[test]
+    fn counts_duplicates() {
+        let df = DataFrame::new(vec![
+            ("a".into(), Column::from_i64(vec![1, 2, 1, 1])),
+            ("b".into(), Column::from_strs(&["x", "y", "x", "z"])),
+        ])
+        .unwrap();
+        // Rows: (1,x), (2,y), (1,x) dup, (1,z) unique.
+        assert_eq!(count(&df), 1);
+    }
+
+    #[test]
+    fn nulls_compare_equal() {
+        let df = DataFrame::new(vec![(
+            "a".into(),
+            Column::from_opt_i64(vec![None, None, Some(1)]),
+        )])
+        .unwrap();
+        assert_eq!(count(&df), 1);
+    }
+
+    #[test]
+    fn empty_frame() {
+        assert_eq!(count(&DataFrame::empty()), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The "Interactions" section: scatter data for every numeric pair.
+//!
+//! This is one of Pandas-profiling's biggest cost centers — O(m²) passes
+//! over the rows — and a major reason the paper's fine-grained tasks beat
+//! full-report generation.
+
+use eda_dataframe::DataFrame;
+
+/// Scatter data for one numeric column pair.
+#[derive(Debug, Clone)]
+pub struct Interaction {
+    /// X column.
+    pub x: String,
+    /// Y column.
+    pub y: String,
+    /// Complete pairs, thinned to at most [`MAX_POINTS`].
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Maximum points retained per interaction plot.
+pub const MAX_POINTS: usize = 1000;
+
+/// Compute every pairwise interaction (both orders collapse to one).
+pub fn compute(df: &DataFrame) -> Vec<Interaction> {
+    let numeric: Vec<&str> = df
+        .iter()
+        .filter(|(_, c)| c.dtype().is_numeric())
+        .map(|(n, _)| n)
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..numeric.len() {
+        for j in (i + 1)..numeric.len() {
+            // A fresh pass per pair — the PP cost structure.
+            let xs = df
+                .column(numeric[i])
+                .expect("exists")
+                .to_f64_nan()
+                .expect("numeric");
+            let ys = df
+                .column(numeric[j])
+                .expect("exists")
+                .to_f64_nan()
+                .expect("numeric");
+            let pairs: Vec<(f64, f64)> = xs
+                .iter()
+                .zip(&ys)
+                .filter(|(a, b)| !a.is_nan() && !b.is_nan())
+                .map(|(&a, &b)| (a, b))
+                .collect();
+            let points = if pairs.len() > MAX_POINTS {
+                let stride = pairs.len() / MAX_POINTS;
+                pairs.iter().copied().step_by(stride.max(1)).take(MAX_POINTS).collect()
+            } else {
+                pairs
+            };
+            out.push(Interaction {
+                x: numeric[i].to_string(),
+                y: numeric[j].to_string(),
+                points,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    #[test]
+    fn all_pairs_computed() {
+        let df = DataFrame::new(vec![
+            ("a".into(), Column::from_f64(vec![1.0, 2.0])),
+            ("b".into(), Column::from_f64(vec![3.0, 4.0])),
+            ("c".into(), Column::from_f64(vec![5.0, 6.0])),
+            ("s".into(), Column::from_strs(&["x", "y"])),
+        ])
+        .unwrap();
+        let ints = compute(&df);
+        assert_eq!(ints.len(), 3); // ab, ac, bc
+        assert!(ints.iter().all(|i| i.points.len() == 2));
+    }
+
+    #[test]
+    fn thinning_caps_points() {
+        let n = 5000;
+        let df = DataFrame::new(vec![
+            ("a".into(), Column::from_f64((0..n).map(|i| i as f64).collect())),
+            ("b".into(), Column::from_f64((0..n).map(|i| (i * 2) as f64).collect())),
+        ])
+        .unwrap();
+        let ints = compute(&df);
+        assert!(ints[0].points.len() <= MAX_POINTS);
+    }
+
+    #[test]
+    fn nan_pairs_dropped() {
+        let df = DataFrame::new(vec![
+            ("a".into(), Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)])),
+            ("b".into(), Column::from_f64(vec![1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        let ints = compute(&df);
+        assert_eq!(ints[0].points.len(), 2);
+    }
+}

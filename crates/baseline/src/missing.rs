@@ -1,0 +1,70 @@
+//! The "Missing values" section (missingno-style, eager).
+
+use eda_dataframe::DataFrame;
+use eda_stats::missing::{
+    missing_spectrum, nullity_correlation, nullity_dendrogram, DendrogramMerge,
+    MissingSpectrum, MissingSummary,
+};
+
+/// The missing-value visualizations PP shows.
+#[derive(Debug, Clone)]
+pub struct MissingSection {
+    /// Per-column summaries (bar chart).
+    pub summaries: Vec<MissingSummary>,
+    /// The missing matrix/spectrum.
+    pub spectrum: MissingSpectrum,
+    /// Nullity correlation heatmap cells.
+    pub nullity_corr: Vec<Vec<Option<f64>>>,
+    /// Dendrogram merges.
+    pub dendrogram: Vec<DendrogramMerge>,
+}
+
+/// Compute the section. The null indicators are re-extracted for each
+/// visualization — eager and unshared, like the baseline.
+pub fn compute(df: &DataFrame) -> MissingSection {
+    let summaries: Vec<MissingSummary> = df
+        .iter()
+        .map(|(n, c)| MissingSummary {
+            label: n.to_string(),
+            nulls: c.null_count(),
+            total: c.len(),
+        })
+        .collect();
+    let spectrum = missing_spectrum(&indicators(df), 20);
+    let nullity_corr = nullity_correlation(&indicators(df));
+    let dendrogram = nullity_dendrogram(&indicators(df));
+    MissingSection { summaries, spectrum, nullity_corr, dendrogram }
+}
+
+fn indicators(df: &DataFrame) -> Vec<(String, Vec<bool>)> {
+    df.iter()
+        .map(|(n, c)| {
+            (
+                n.to_string(),
+                (0..c.len()).map(|i| !c.is_valid(i)).collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    #[test]
+    fn section_structure() {
+        let df = DataFrame::new(vec![
+            ("a".into(), Column::from_opt_i64(vec![Some(1), None, Some(3), None])),
+            ("b".into(), Column::from_opt_i64(vec![Some(1), None, Some(3), None])),
+            ("c".into(), Column::from_i64(vec![1, 2, 3, 4])),
+        ])
+        .unwrap();
+        let s = compute(&df);
+        assert_eq!(s.summaries.len(), 3);
+        assert_eq!(s.summaries[0].nulls, 2);
+        assert_eq!(s.nullity_corr[0][1], Some(1.0)); // identical patterns
+        assert_eq!(s.dendrogram.len(), 2);
+        assert_eq!(s.spectrum.labels.len(), 3);
+    }
+}

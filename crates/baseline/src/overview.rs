@@ -1,0 +1,76 @@
+//! Dataset-level overview section (eager).
+
+use eda_dataframe::{DataFrame, DataType};
+
+use crate::duplicates;
+
+/// Pandas-profiling's "Overview" block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetOverview {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub columns: usize,
+    /// Total missing cells.
+    pub missing_cells: usize,
+    /// Missing fraction.
+    pub missing_fraction: f64,
+    /// Duplicate rows (a full-frame pass PP always pays).
+    pub duplicate_rows: usize,
+    /// Approximate memory footprint in bytes.
+    pub memory_bytes: usize,
+    /// Column counts per storage type.
+    pub type_counts: Vec<(DataType, usize)>,
+}
+
+/// Compute the overview. Each statistic does its own pass — no sharing.
+pub fn compute(df: &DataFrame) -> DatasetOverview {
+    let rows = df.nrows();
+    let columns = df.ncols();
+    // Pass 1: missing cells.
+    let missing_cells: usize = df.iter().map(|(_, c)| c.null_count()).sum();
+    // Pass 2: memory.
+    let memory_bytes = df.memory_size();
+    // Pass 3: duplicates (whole-frame rehash).
+    let duplicate_rows = duplicates::count(df);
+    // Pass 4: types.
+    let mut type_counts: Vec<(DataType, usize)> = Vec::new();
+    for (_, c) in df.iter() {
+        match type_counts.iter_mut().find(|(t, _)| *t == c.dtype()) {
+            Some((_, n)) => *n += 1,
+            None => type_counts.push((c.dtype(), 1)),
+        }
+    }
+    DatasetOverview {
+        rows,
+        columns,
+        missing_cells,
+        missing_fraction: missing_cells as f64 / (rows * columns).max(1) as f64,
+        duplicate_rows,
+        memory_bytes,
+        type_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    #[test]
+    fn overview_counts() {
+        let df = DataFrame::new(vec![
+            ("a".into(), Column::from_opt_i64(vec![Some(1), None, Some(1), Some(1)])),
+            ("b".into(), Column::from_strs(&["x", "y", "x", "x"])),
+        ])
+        .unwrap();
+        let o = compute(&df);
+        assert_eq!(o.rows, 4);
+        assert_eq!(o.columns, 2);
+        assert_eq!(o.missing_cells, 1);
+        assert!((o.missing_fraction - 0.125).abs() < 1e-12);
+        assert_eq!(o.duplicate_rows, 2); // rows 2 & 3 both repeat (1, "x")
+        assert!(o.memory_bytes > 0);
+        assert_eq!(o.type_counts.len(), 2);
+    }
+}

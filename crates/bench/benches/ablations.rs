@@ -1,0 +1,96 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **sharing** — structural-key CSE on vs off (`engine.share_computations`),
+//!   the paper's "single Dask graph" optimization;
+//! * **lazy vs eager** — one shared graph vs per-output execution vs
+//!   heavy per-task scheduling (the Figure 6(a) engines, micro-scale);
+//! * **two-phase boundary** — correlation matrices finished eagerly vs
+//!   entirely in-graph (`engine.eager_finish`, paper §5.2);
+//! * **partitioning** — report cost vs partition count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_core::compute::overview::plan_overview;
+use eda_core::compute::ComputeContext;
+use eda_core::{create_report, plot_correlation, Config};
+use eda_datagen::{generate, kaggle_spec_by_name};
+use eda_dataframe::DataFrame;
+use eda_taskgraph::Engine;
+
+fn dataset() -> DataFrame {
+    let spec = kaggle_spec_by_name("adult").expect("table 2 spec").scaled(0.2);
+    generate(&spec, 42)
+}
+
+fn ablation_sharing(c: &mut Criterion) {
+    let df = dataset();
+    let mut group = c.benchmark_group("ablation_sharing");
+    for (label, share) in [("shared", "true"), ("unshared", "false")] {
+        let cfg = Config::from_pairs(vec![("engine.share_computations", share)]).unwrap();
+        group.bench_with_input(BenchmarkId::new("create_report", label), &cfg, |b, cfg| {
+            b.iter(|| create_report(&df, cfg).expect("report"))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_lazy(c: &mut Criterion) {
+    let df = dataset();
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("ablation_lazy");
+    let engines = [
+        ("lazy_parallel", Engine::LazyParallel { workers: cfg.engine.workers }),
+        ("eager_per_op", Engine::EagerPerOp { workers: cfg.engine.workers }),
+        (
+            "heavy_scheduler",
+            Engine::HeavyScheduler { workers: cfg.engine.workers, overhead_us: 500 },
+        ),
+        ("single_thread", Engine::SingleThread),
+    ];
+    for (label, engine) in engines {
+        group.bench_function(BenchmarkId::new("overview", label), |b| {
+            b.iter(|| {
+                let mut ctx = ComputeContext::new(&df, &cfg);
+                let plan = plan_overview(&mut ctx);
+                let outputs = plan.outputs();
+                ctx.execute_with(engine, &outputs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_twophase(c: &mut Criterion) {
+    let df = dataset();
+    let mut group = c.benchmark_group("ablation_twophase");
+    for (label, eager) in [("eager_finish", "true"), ("all_graph", "false")] {
+        let cfg = Config::from_pairs(vec![("engine.eager_finish", eager)]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("plot_correlation", label),
+            &cfg,
+            |b, cfg| b.iter(|| plot_correlation(&df, &[], cfg).expect("corr")),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_partitions(c: &mut Criterion) {
+    let df = dataset();
+    let mut group = c.benchmark_group("ablation_partitions");
+    for nparts in [1usize, 2, 4, 8, 16] {
+        let cfg =
+            Config::from_pairs(vec![("engine.npartitions", &nparts.to_string() as &str)]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("create_report", nparts),
+            &cfg,
+            |b, cfg| b.iter(|| create_report(&df, cfg).expect("report")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_sharing, ablation_lazy, ablation_twophase, ablation_partitions
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 6(a) reproduction: the time for different engines to compute
+//! the intermediates of `plot(df)` on the bitcoin-shaped dataset.
+//!
+//! Usage: `cargo run -p eda-bench --release --bin figure6a [--rows 1000000]`
+//!
+//! The paper compares Dask, Modin, Koalas and PySpark and finds
+//! Dask < Modin < Koalas/PySpark; the engine variants encode the same
+//! structural differences (shared lazy graph, eager per-op, per-task
+//! scheduling overhead — see `eda_taskgraph::engine`).
+
+use eda_bench::{arg_f64, fmt_secs, machine_context, measure, print_table};
+use eda_core::compute::overview::plan_overview;
+use eda_core::compute::ComputeContext;
+use eda_core::Config;
+use eda_datagen::bitcoin::bitcoin_spec;
+use eda_datagen::generate;
+use eda_taskgraph::Engine;
+
+fn main() {
+    let rows = arg_f64("--rows", 1_000_000.0) as usize;
+    println!("Figure 6(a): engine comparison, plot(df) intermediates on bitcoin[{rows} rows]");
+    println!("{}", machine_context());
+    println!();
+
+    let spec = bitcoin_spec(rows);
+    let df = generate(&spec, 42);
+    let cfg = Config::default();
+    let workers = cfg.engine.workers;
+
+    // Per-task scheduling latency for the heavy engine: modelled on the
+    // millisecond-scale per-task driver overhead JVM engines pay.
+    let engines = [
+        Engine::LazyParallel { workers },
+        Engine::EagerPerOp { workers },
+        Engine::HeavyScheduler { workers, overhead_us: 2_000 },
+        Engine::SingleThread,
+    ];
+
+    let mut rows_out = Vec::new();
+    for engine in engines {
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let plan = plan_overview(&mut ctx);
+        let outputs = plan.outputs();
+        let (_, d) = measure(|| ctx.execute_with(engine, &outputs));
+        let stats = ctx.last_stats.expect("executed");
+        rows_out.push(vec![
+            engine.name().to_string(),
+            fmt_secs(d),
+            stats.tasks_run.to_string(),
+        ]);
+    }
+    print_table(&["Engine", "Time", "Tasks run"], &rows_out);
+    println!();
+    println!("paper ordering: Dask fastest, then Modin (eager per-op), then Koalas/PySpark");
+    println!("(heavy per-task scheduling). EagerPerOp reruns shared work; HeavyScheduler");
+    println!("pays a fixed latency per task.");
+}

@@ -1,0 +1,57 @@
+//! Figure 6(b) reproduction: `create_report` wall time vs data size,
+//! DataPrep vs the Pandas-profiling baseline.
+//!
+//! Usage: `cargo run -p eda-bench --release --bin figure6b [--scale 0.02] [--points 5]`
+//!
+//! The paper duplicates the bitcoin dataset from 10M to 100M rows and
+//! finds both tools linear in rows with DataPrep ≈ 6× faster throughout.
+//! Default sizes are scaled (`--scale 0.02` → 200K..2M rows) so the sweep
+//! fits small machines; pass `--scale 1.0` for the paper's sizes.
+
+use eda_bench::{arg_f64, fmt_secs, machine_context, measure, print_table};
+use eda_core::{create_report, Config};
+use eda_datagen::bitcoin::bitcoin_spec;
+use eda_datagen::generate;
+
+fn main() {
+    let scale = arg_f64("--scale", 0.02);
+    let points = arg_f64("--points", 5.0) as usize;
+    println!("Figure 6(b): create_report vs data size  [scale {scale}]");
+    println!("{}", machine_context());
+    println!();
+
+    let cfg = Config::default();
+    let mut rows_out = Vec::new();
+    let mut ratios = Vec::new();
+    let mut series: Vec<(usize, f64, f64)> = Vec::new();
+    for i in 1..=points.max(2) {
+        // Paper: 10M..100M in steps; here scaled.
+        let rows = ((10_000_000.0 * i as f64 / points as f64 * 10.0 / 10.0) * scale) as usize;
+        let rows = rows.max(1000);
+        let df = generate(&bitcoin_spec(rows), 42);
+        let (_, pp) = measure(|| eda_baseline::profile(&df));
+        let (_, dp) = measure(|| create_report(&df, &cfg).expect("report"));
+        let ratio = pp.as_secs_f64() / dp.as_secs_f64();
+        ratios.push(ratio);
+        series.push((rows, pp.as_secs_f64(), dp.as_secs_f64()));
+        rows_out.push(vec![
+            format!("{rows}"),
+            fmt_secs(pp),
+            fmt_secs(dp),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    print_table(&["Rows", "PP", "DataPrep", "Faster"], &rows_out);
+
+    // Linearity check: time per row should be roughly constant.
+    let per_row_first = series.first().map(|(r, _, d)| d / *r as f64).unwrap_or(0.0);
+    let per_row_last = series.last().map(|(r, _, d)| d / *r as f64).unwrap_or(0.0);
+    println!();
+    println!(
+        "linearity: DataPrep ns/row first point {:.0}, last point {:.0} (paper: both tools linear)",
+        per_row_first * 1e9,
+        per_row_last * 1e9
+    );
+    let gmean = (ratios.iter().map(|s| s.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("mean speedup {gmean:.1}x (paper: ≈6x at these sizes)");
+}

@@ -1,0 +1,66 @@
+//! Figure 6(c) reproduction: `create_report` wall time vs number of
+//! cluster workers, on 100M rows stored in HDFS.
+//!
+//! Usage: `cargo run -p eda-bench --release --bin figure6c [--calib-rows 500000]`
+//!
+//! This host has one CPU core, so physical scale-out is impossible; per
+//! DESIGN.md the experiment runs on a **calibrated cost model**
+//! ([`eda_taskgraph::cluster::ClusterSim`]): the per-row compute cost is
+//! measured from a real `create_report` run on this machine, the per-node
+//! HDFS bandwidth and shuffle terms come from the model defaults, and the
+//! curve over 1..8 workers is simulated. The paper's two findings are
+//! checked: time falls as workers are added, and 1 HDFS worker is slower
+//! than the single-node local-disk setting of Figure 6(b).
+
+use eda_bench::{arg_f64, fmt_secs, machine_context, measure, print_table};
+use eda_core::{create_report, Config};
+use eda_datagen::bitcoin::bitcoin_spec;
+use eda_datagen::generate;
+use eda_taskgraph::cluster::ClusterSim;
+
+const PAPER_ROWS: u64 = 100_000_000;
+/// 8 numeric columns ≈ 64 bytes/row in CSV-ish storage.
+const BYTES_PER_ROW: u64 = 64;
+
+fn main() {
+    let calib_rows = arg_f64("--calib-rows", 500_000.0) as usize;
+    println!("Figure 6(c): create_report vs #workers (cost-model simulation)");
+    println!("{}", machine_context());
+    println!("calibrating per-row cost from a real create_report over {calib_rows} rows...");
+    println!();
+
+    let df = generate(&bitcoin_spec(calib_rows), 42);
+    let cfg = Config::default();
+    let (_, measured) = measure(|| create_report(&df, &cfg).expect("report"));
+    println!(
+        "measured: {} for {calib_rows} rows ({:.0} ns/row)",
+        fmt_secs(measured),
+        measured.as_secs_f64() / calib_rows as f64 * 1e9
+    );
+    println!();
+
+    let sim = ClusterSim::calibrated(measured, calib_rows as u64);
+    let curve = sim.curve(PAPER_ROWS, PAPER_ROWS * BYTES_PER_ROW, 8);
+    let t1 = curve[0].1;
+    let rows_out: Vec<Vec<String>> = curve
+        .iter()
+        .map(|(w, t)| {
+            vec![
+                w.to_string(),
+                fmt_secs(*t),
+                format!("{:.2}x", t1.as_secs_f64() / t.as_secs_f64()),
+            ]
+        })
+        .collect();
+    print_table(&["Workers", "Time (simulated)", "vs 1 worker"], &rows_out);
+
+    // The paper's caveat: 1 HDFS worker is slower than single-node local
+    // disk because of the I/O term.
+    let local = sim.simulate(PAPER_ROWS, 0, 1);
+    println!();
+    println!(
+        "1 HDFS worker: {} vs single-node local disk (no HDFS read): {} — paper notes the same gap",
+        fmt_secs(curve[0].1),
+        fmt_secs(local)
+    );
+}

@@ -1,0 +1,126 @@
+//! # eda-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (see DESIGN.md §4 for the full index) plus Criterion
+//! microbenches and ablations under `benches/`.
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table2` | Table 2: report time, baseline vs DataPrep, 15 datasets |
+//! | `figure5` | Figure 5: % of fine-grained tasks within 0.5/1/2/5 s |
+//! | `figure6a` | Figure 6(a): engine comparison on the bitcoin shape |
+//! | `figure6b` | Figure 6(b): report time vs data size, both tools |
+//! | `figure6c` | Figure 6(c): simulated cluster scale-out |
+//! | `figure7` | Figure 7 + §6.3: the user-study simulation |
+//!
+//! All binaries accept `--scale <f64>` (default chosen per experiment) to
+//! shrink workloads for small machines, and print the machine context
+//! next to their results so EXPERIMENTS.md can quote them honestly.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Time one invocation.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Parse `--scale <f64>` (or `--rows <usize>`-style pairs) from argv.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                if let Ok(v) = v.parse() {
+                    return v;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// Parse a `--flag` presence.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Format a duration as seconds with sensible precision.
+pub fn fmt_secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}ms", s * 1000.0)
+    }
+}
+
+/// Print an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate().take(ncols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', widths[i].saturating_sub(cell.chars().count())));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// One-line machine context printed by every experiment.
+pub fn machine_context() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!(
+        "host: {cores} core(s); paper testbed: 8-core E7-4830, 64 GB — absolute times differ, shapes should hold"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_value_and_time() {
+        let (v, d) = measure(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(Duration::from_millis(5)), "5ms");
+        assert_eq!(fmt_secs(Duration::from_secs_f64(2.34)), "2.3s");
+        assert_eq!(fmt_secs(Duration::from_secs(150)), "150s");
+    }
+
+    #[test]
+    fn args_default_when_absent() {
+        assert_eq!(arg_f64("--definitely-not-passed", 1.5), 1.5);
+        assert!(!arg_flag("--definitely-not-passed"));
+    }
+
+    #[test]
+    fn machine_context_mentions_cores() {
+        assert!(machine_context().contains("core"));
+    }
+}

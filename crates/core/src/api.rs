@@ -1,0 +1,429 @@
+//! The task-centric public API (paper §3.2).
+//!
+//! `plot_tasktype(df, col_list, config)`: the function name picks the task
+//! family, the column count picks the granularity — zero columns is the
+//! overview, one is detailed single-column analysis, two is pair analysis.
+
+use eda_dataframe::DataFrame;
+use eda_taskgraph::ExecStats;
+
+use crate::compute::{
+    bivariate, correlation, ctx::ComputeContext, missing, overview, timeseries, univariate,
+};
+use crate::config::{howto_for, Config, HowToGuide};
+use crate::dtype::SemanticType;
+use crate::error::{EdaError, EdaResult};
+use crate::insights::Insight;
+use crate::intermediate::{Inter, Intermediates};
+
+/// Which EDA task an [`Analysis`] answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskKind {
+    /// `plot(df)`.
+    Overview,
+    /// `plot(df, x)`.
+    Univariate {
+        /// The analyzed column.
+        column: String,
+        /// Its detected semantic type.
+        semantic: SemanticType,
+    },
+    /// `plot(df, x, y)`.
+    Bivariate {
+        /// The column pair.
+        columns: (String, String),
+        /// Their detected semantic types.
+        semantics: (SemanticType, SemanticType),
+    },
+    /// `plot_correlation(df)`.
+    CorrelationOverview,
+    /// `plot_correlation(df, x)`.
+    CorrelationVector(String),
+    /// `plot_correlation(df, x, y)`.
+    CorrelationPair(String, String),
+    /// `plot_missing(df)`.
+    MissingOverview,
+    /// `plot_missing(df, x)`.
+    MissingImpact(String),
+    /// `plot_missing(df, x, y)`.
+    MissingPair(String, String),
+    /// `plot_timeseries(df, time, value)` (the §7 extension task).
+    TimeSeries(String, String),
+}
+
+/// The result of one EDA call: intermediates, insights, execution stats.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The task that was run.
+    pub task: TaskKind,
+    /// Everything the Render module needs.
+    pub intermediates: Intermediates,
+    /// Auto-detected insights.
+    pub insights: Vec<Insight>,
+    /// What the engine did (tasks run, CSE hits, wall time).
+    pub stats: Option<ExecStats>,
+}
+
+impl Analysis {
+    /// Shortcut to one intermediate by name.
+    pub fn get(&self, name: &str) -> Option<&Inter> {
+        self.intermediates.get(name)
+    }
+
+    /// The how-to guide for one of this analysis' charts (paper Figure 1,
+    /// part D).
+    pub fn howto(&self, chart: &str) -> HowToGuide {
+        // Per-column chart names carry a `:column` suffix.
+        let base = chart.split(':').next().unwrap_or(chart);
+        howto_for(base)
+    }
+
+    /// Names of all produced charts/tables.
+    pub fn chart_names(&self) -> Vec<&str> {
+        self.intermediates.names()
+    }
+}
+
+/// Apply the §7 sampling extension: when `engine.sample_rows` is set and
+/// the frame is larger, analyze a systematic sample and notify the user
+/// via an [`crate::insights::InsightKind::Approximated`] insight.
+fn maybe_sample(df: &DataFrame, config: &Config) -> Option<(DataFrame, crate::insights::Insight)> {
+    let target = config.engine.sample_rows;
+    if target == 0 || df.nrows() <= target {
+        return None;
+    }
+    let stride = df.nrows().div_ceil(target);
+    let sampled = df.stride(stride);
+    let note = crate::insights::approximated_insight(sampled.nrows(), df.nrows());
+    Some((sampled, note))
+}
+
+fn check_columns(function: &'static str, columns: &[&str], max: usize) -> EdaResult<()> {
+    if columns.len() > max {
+        return Err(EdaError::TooManyColumns { function, max, got: columns.len() });
+    }
+    Ok(())
+}
+
+/// `plot(df, cols, config)`: overview (0 columns), univariate (1), or
+/// bivariate (2) analysis.
+pub fn plot(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
+    check_columns("plot", columns, 2)?;
+    let sampled = maybe_sample(df, config);
+    let (df, note) = match &sampled {
+        Some((s, n)) => (s, Some(n.clone())),
+        None => (df, None),
+    };
+    let mut analysis = plot_inner(df, columns, config)?;
+    if let Some(note) = note {
+        analysis.insights.insert(0, note);
+    }
+    Ok(analysis)
+}
+
+fn plot_inner(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
+    let mut ctx = ComputeContext::new(df, config);
+    match columns {
+        [] => {
+            let (intermediates, insights) = overview::compute_overview(&mut ctx)?;
+            Ok(Analysis {
+                task: TaskKind::Overview,
+                intermediates,
+                insights,
+                stats: ctx.last_stats,
+            })
+        }
+        [x] => {
+            let (intermediates, insights, semantic) =
+                univariate::compute_univariate(&mut ctx, x)?;
+            Ok(Analysis {
+                task: TaskKind::Univariate { column: x.to_string(), semantic },
+                intermediates,
+                insights,
+                stats: ctx.last_stats,
+            })
+        }
+        [x, y] => {
+            let (intermediates, insights, semantics) =
+                bivariate::compute_bivariate(&mut ctx, x, y)?;
+            Ok(Analysis {
+                task: TaskKind::Bivariate {
+                    columns: (x.to_string(), y.to_string()),
+                    semantics,
+                },
+                intermediates,
+                insights,
+                stats: ctx.last_stats,
+            })
+        }
+        _ => unreachable!("checked above"),
+    }
+}
+
+/// `plot_correlation(df, cols, config)`: matrix overview (0 columns),
+/// one-vs-rest vectors (1), or pair regression (2).
+pub fn plot_correlation(
+    df: &DataFrame,
+    columns: &[&str],
+    config: &Config,
+) -> EdaResult<Analysis> {
+    check_columns("plot_correlation", columns, 2)?;
+    let mut ctx = ComputeContext::new(df, config);
+    let (task, (intermediates, insights)) = match columns {
+        [] => (
+            TaskKind::CorrelationOverview,
+            correlation::compute_correlation_overview(&mut ctx)?,
+        ),
+        [x] => (
+            TaskKind::CorrelationVector(x.to_string()),
+            correlation::compute_correlation_vector(&mut ctx, x)?,
+        ),
+        [x, y] => (
+            TaskKind::CorrelationPair(x.to_string(), y.to_string()),
+            correlation::compute_correlation_pair(&mut ctx, x, y)?,
+        ),
+        _ => unreachable!("checked above"),
+    };
+    Ok(Analysis { task, intermediates, insights, stats: ctx.last_stats })
+}
+
+/// `plot_missing(df, cols, config)`: nullity overview (0 columns), impact
+/// of one column's missing rows on the rest (1), or on one column (2).
+pub fn plot_missing(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
+    check_columns("plot_missing", columns, 2)?;
+    let mut ctx = ComputeContext::new(df, config);
+    let (task, (intermediates, insights)) = match columns {
+        [] => (
+            TaskKind::MissingOverview,
+            missing::compute_missing_overview(&mut ctx)?,
+        ),
+        [x] => (
+            TaskKind::MissingImpact(x.to_string()),
+            missing::compute_missing_impact(&mut ctx, x)?,
+        ),
+        [x, y] => (
+            TaskKind::MissingPair(x.to_string(), y.to_string()),
+            missing::compute_missing_pair(&mut ctx, x, y)?,
+        ),
+        _ => unreachable!("checked above"),
+    };
+    Ok(Analysis { task, intermediates, insights, stats: ctx.last_stats })
+}
+
+/// `plot_timeseries(df, time, value, config)`: time-series analysis —
+/// resampled line, rolling mean, autocorrelation, trend detection. This
+/// implements the first future-work task of the paper's §7 with the same
+/// task-centric architecture as the built-in calls.
+pub fn plot_timeseries(
+    df: &DataFrame,
+    time: &str,
+    value: &str,
+    config: &Config,
+) -> EdaResult<Analysis> {
+    let sampled = maybe_sample(df, config);
+    let (df, note) = match &sampled {
+        Some((s, n)) => (s, Some(n.clone())),
+        None => (df, None),
+    };
+    let mut ctx = ComputeContext::new(df, config);
+    let (intermediates, mut insights) = timeseries::compute_timeseries(&mut ctx, time, value)?;
+    if let Some(note) = note {
+        insights.insert(0, note);
+    }
+    Ok(Analysis {
+        task: TaskKind::TimeSeries(time.to_string(), value.to_string()),
+        intermediates,
+        insights,
+        stats: ctx.last_stats,
+    })
+}
+
+/// `create_report(df, config)`: the full profile report. See
+/// [`crate::report`].
+pub fn create_report(df: &DataFrame, config: &Config) -> EdaResult<crate::report::Report> {
+    crate::report::Report::create(df, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![
+            (
+                "price".into(),
+                Column::from_opt_f64(
+                    (0..200)
+                        .map(|i| if i % 20 == 0 { None } else { Some(100.0 + (i % 50) as f64) })
+                        .collect(),
+                ),
+            ),
+            (
+                "size".into(),
+                Column::from_f64((0..200).map(|i| 30.0 + (i % 70) as f64).collect()),
+            ),
+            (
+                "city".into(),
+                Column::from_string((0..200).map(|i| format!("c{}", i % 5)).collect()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn plot_dispatches_by_arity() {
+        let df = frame();
+        let cfg = Config::default();
+        assert_eq!(plot(&df, &[], &cfg).unwrap().task, TaskKind::Overview);
+        assert!(matches!(
+            plot(&df, &["price"], &cfg).unwrap().task,
+            TaskKind::Univariate { .. }
+        ));
+        assert!(matches!(
+            plot(&df, &["price", "city"], &cfg).unwrap().task,
+            TaskKind::Bivariate { .. }
+        ));
+        assert!(matches!(
+            plot(&df, &["a", "b", "c"], &cfg),
+            Err(EdaError::TooManyColumns { .. })
+        ));
+    }
+
+    #[test]
+    fn plot_unknown_column_errors() {
+        let df = frame();
+        let cfg = Config::default();
+        assert!(matches!(
+            plot(&df, &["nope"], &cfg),
+            Err(EdaError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn correlation_dispatches() {
+        let df = frame();
+        let cfg = Config::default();
+        assert_eq!(
+            plot_correlation(&df, &[], &cfg).unwrap().task,
+            TaskKind::CorrelationOverview
+        );
+        assert!(matches!(
+            plot_correlation(&df, &["price"], &cfg).unwrap().task,
+            TaskKind::CorrelationVector(_)
+        ));
+        assert!(matches!(
+            plot_correlation(&df, &["price", "size"], &cfg).unwrap().task,
+            TaskKind::CorrelationPair(..)
+        ));
+    }
+
+    #[test]
+    fn missing_dispatches() {
+        let df = frame();
+        let cfg = Config::default();
+        assert_eq!(
+            plot_missing(&df, &[], &cfg).unwrap().task,
+            TaskKind::MissingOverview
+        );
+        assert!(matches!(
+            plot_missing(&df, &["price"], &cfg).unwrap().task,
+            TaskKind::MissingImpact(_)
+        ));
+        assert!(matches!(
+            plot_missing(&df, &["price", "size"], &cfg).unwrap().task,
+            TaskKind::MissingPair(..)
+        ));
+    }
+
+    #[test]
+    fn analysis_exposes_stats_and_howto() {
+        let df = frame();
+        let cfg = Config::default();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        let stats = a.stats.as_ref().unwrap();
+        assert!(stats.tasks_run > 0);
+        let guide = a.howto("histogram");
+        assert!(guide.entries.iter().any(|e| e.spec.key == "hist.bins"));
+        // Suffixed chart names resolve to their base guide.
+        let g2 = a.howto("histogram:price");
+        assert_eq!(g2.entries.len(), guide.entries.len());
+        assert!(!a.chart_names().is_empty());
+    }
+
+    #[test]
+    fn timeseries_task() {
+        let n = 300;
+        let df = DataFrame::new(vec![
+            ("t".into(), Column::from_f64((0..n).map(|i| i as f64).collect())),
+            (
+                "v".into(),
+                Column::from_f64((0..n).map(|i| 10.0 + 0.1 * i as f64).collect()),
+            ),
+        ])
+        .unwrap();
+        let cfg = Config::default();
+        let a = plot_timeseries(&df, "t", "v", &cfg).unwrap();
+        assert!(matches!(a.task, TaskKind::TimeSeries(..)));
+        for chart in ["line", "rolling_mean", "acf", "stats"] {
+            assert!(a.get(chart).is_some(), "missing {chart}");
+        }
+        // A pure trend must be flagged.
+        assert!(a
+            .insights
+            .iter()
+            .any(|i| i.kind == crate::insights::InsightKind::Trend));
+    }
+
+    #[test]
+    fn sampling_extension_flags_approximation() {
+        let df = frame();
+        // frame() has 200 rows; sample down to ~50.
+        let cfg = Config::from_pairs(vec![("engine.sample_rows", "50")]).unwrap();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        let note = a
+            .insights
+            .iter()
+            .find(|i| i.kind == crate::insights::InsightKind::Approximated)
+            .expect("approximation notice");
+        assert!(note.message.contains("50 of 200"));
+        // Stats reflect the sample, not the full frame.
+        let Some(Inter::StatsTable(rows)) = a.get("stats") else { panic!() };
+        let count = rows.iter().find(|r| r.label == "count").unwrap();
+        assert_eq!(count.value, "50");
+        // Without the option, no notice.
+        let exact = plot(&df, &["price"], &Config::default()).unwrap();
+        assert!(exact
+            .insights
+            .iter()
+            .all(|i| i.kind != crate::insights::InsightKind::Approximated));
+    }
+
+    #[test]
+    fn sampling_noop_when_frame_small_enough() {
+        let df = frame();
+        let cfg = Config::from_pairs(vec![("engine.sample_rows", "100000")]).unwrap();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        assert!(a
+            .insights
+            .iter()
+            .all(|i| i.kind != crate::insights::InsightKind::Approximated));
+    }
+
+    #[test]
+    fn fine_grained_call_avoids_unrelated_work() {
+        // plot(df, price) must not compute city's frequency table: the
+        // graph contains only price-related kernels.
+        let df = frame();
+        let cfg = Config::default();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        let stats = a.stats.unwrap();
+        // Rough bound: 5 kernels × (npartitions maps + reduces) + sources.
+        let nparts = cfg.engine.npartitions;
+        assert!(
+            stats.tasks_run <= 5 * (2 * nparts) + nparts,
+            "ran {} tasks",
+            stats.tasks_run
+        );
+    }
+}

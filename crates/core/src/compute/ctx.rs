@@ -1,0 +1,201 @@
+//! The per-call compute context.
+//!
+//! A [`ComputeContext`] owns the lazy graph for one (or several) EDA calls
+//! over one dataframe: the precomputed partition layout, the graph under
+//! construction, and the engine settings. `create_report` reuses a single
+//! context across every section, so the whole report is *one* optimized
+//! graph — the paper's headline optimization.
+
+use std::sync::Arc;
+
+use eda_dataframe::DataFrame;
+use eda_taskgraph::graph::Payload;
+use eda_taskgraph::scheduler::{run_pool_observed, ProgressObserver};
+use eda_taskgraph::{Engine, ExecStats, NodeId, PartitionedFrame, TaskGraph};
+
+use crate::config::Config;
+
+/// Graph-building and execution state for one dataframe.
+pub struct ComputeContext<'a> {
+    /// The source frame.
+    pub df: &'a DataFrame,
+    /// Resolved configuration.
+    pub config: &'a Config,
+    /// Partitioned view (precompute stage already done).
+    pub pf: PartitionedFrame,
+    /// The lazy graph under construction.
+    pub graph: TaskGraph,
+    /// Partition source nodes.
+    pub sources: Vec<NodeId>,
+    /// Cumulative stats across `execute` calls.
+    pub last_stats: Option<ExecStats>,
+    /// Optional progress observer (the Figure 1 progress bar).
+    pub progress: Option<ProgressObserver>,
+}
+
+impl<'a> ComputeContext<'a> {
+    /// Precompute the partition layout and set up an empty graph.
+    pub fn new(df: &'a DataFrame, config: &'a Config) -> ComputeContext<'a> {
+        // Stage 1 of Figure 4: precompute chunk-size information.
+        // "Dask is slow on tiny data" (§5.2): scheduling many partitions
+        // of a small frame is pure overhead, so the partition count is
+        // capped at one partition per ~8K rows.
+        let npartitions = config
+            .engine
+            .npartitions
+            .min((df.nrows() / 8192).max(1));
+        let pf = PartitionedFrame::from_frame(df, npartitions);
+        let mut graph = if config.engine.share_computations {
+            TaskGraph::new()
+        } else {
+            TaskGraph::without_dedup()
+        };
+        // Stage 2 begins: partition sources enter the graph.
+        let sources = pf.source_nodes(&mut graph);
+        ComputeContext { df, config, pf, graph, sources, last_stats: None, progress: None }
+    }
+
+    /// Attach a progress observer; each executed task reports
+    /// `(completed, total)`.
+    pub fn with_progress(mut self, observer: ProgressObserver) -> Self {
+        self.progress = Some(observer);
+        self
+    }
+
+    /// Parameter-hash base mixing in the config, so config changes never
+    /// share nodes with differently-configured builds.
+    pub fn params(&self, extra: u64) -> u64 {
+        self.config.compute_hash() ^ extra.rotate_left(17)
+    }
+
+    /// Execute the graph for `outputs` under the configured engine
+    /// (stage 3 of Figure 4) and record stats.
+    pub fn execute(&mut self, outputs: &[NodeId]) -> Vec<Payload> {
+        let result = match &self.progress {
+            Some(obs) => run_pool_observed(
+                &self.graph,
+                outputs,
+                self.config.engine.workers,
+                std::time::Duration::ZERO,
+                Some(Arc::clone(obs)),
+            ),
+            None => Engine::LazyParallel { workers: self.config.engine.workers }
+                .execute(&self.graph, outputs),
+        };
+        self.last_stats = Some(result.stats);
+        result.outputs
+    }
+
+    /// Execute under an explicit engine (used by the engine-comparison
+    /// benchmark, Figure 6a).
+    pub fn execute_with(&mut self, engine: Engine, outputs: &[NodeId]) -> Vec<Payload> {
+        let result = engine.execute(&self.graph, outputs);
+        self.last_stats = Some(result.stats);
+        result.outputs
+    }
+}
+
+/// Wrap a value as a task payload.
+pub fn pl<T: Send + Sync + 'static>(value: T) -> Payload {
+    Arc::new(value)
+}
+
+/// Borrow a typed value out of a payload.
+///
+/// Panics on type mismatch — payload types are fixed by the kernel that
+/// produced the node, so a mismatch is a plan-construction bug.
+pub fn un<T: Send + Sync + 'static>(p: &Payload) -> &T {
+    p.downcast_ref::<T>()
+        .unwrap_or_else(|| panic!("payload type mismatch: expected {}", std::any::type_name::<T>()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![(
+            "x".into(),
+            Column::from_f64((0..100).map(|i| i as f64).collect()),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn context_precomputes_partitions() {
+        let df = frame();
+        let cfg = Config::default();
+        let ctx = ComputeContext::new(&df, &cfg);
+        assert_eq!(ctx.pf.nrows(), 100);
+        assert_eq!(ctx.sources.len(), ctx.pf.npartitions());
+        assert!(!ctx.graph.is_empty());
+    }
+
+    #[test]
+    fn share_computations_flag_controls_dedup() {
+        let df = frame();
+        let mut cfg = Config::default();
+        cfg.set("engine.share_computations", "false").unwrap();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let before = ctx.graph.len();
+        // Re-adding the identical sources must duplicate without dedup.
+        let again = ctx.pf.source_nodes(&mut ctx.graph);
+        assert_eq!(again.len(), ctx.sources.len());
+        assert_eq!(ctx.graph.len(), before + again.len());
+    }
+
+    #[test]
+    fn execute_records_stats() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let outs: Vec<NodeId> = ctx.sources.clone();
+        let payloads = ctx.execute(&outs);
+        assert_eq!(payloads.len(), outs.len());
+        assert!(ctx.last_stats.as_ref().unwrap().tasks_run >= outs.len());
+    }
+
+    #[test]
+    fn progress_observer_reports_completions() {
+        let df = frame();
+        let cfg = Config::default();
+        let count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let mut ctx = ComputeContext::new(&df, &cfg).with_progress(Arc::new(move |done, total| {
+            assert!(done <= total);
+            c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        let outs: Vec<NodeId> = ctx.sources.clone();
+        ctx.execute(&outs);
+        assert_eq!(
+            count.load(std::sync::atomic::Ordering::SeqCst),
+            ctx.last_stats.as_ref().unwrap().tasks_run
+        );
+    }
+
+    #[test]
+    fn params_mixes_config() {
+        let df = frame();
+        let a_cfg = Config::default();
+        let ctx = ComputeContext::new(&df, &a_cfg);
+        let mut b_cfg = Config::default();
+        b_cfg.set("hist.bins", "99").unwrap();
+        let ctx2 = ComputeContext::new(&df, &b_cfg);
+        assert_ne!(ctx.params(1), ctx2.params(1));
+        assert_ne!(ctx.params(1), ctx.params(2));
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = pl(42i64);
+        assert_eq!(*un::<i64>(&p), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn payload_type_mismatch_panics() {
+        let p = pl(42i64);
+        un::<String>(&p);
+    }
+}

@@ -1,0 +1,882 @@
+//! Graph-building kernels.
+//!
+//! Each function adds a map/tree-reduce sub-plan to the context's graph
+//! and returns the node holding the reduced result. Structural keys cover
+//! the kernel name, the column(s), the relevant config, and — for the
+//! missing-impact variants — which column's nulls get dropped first, so
+//! two visualizations needing the same statistic share one plan and
+//! different configurations never collide.
+//!
+//! Kernels whose bin grid depends on data extrema (histogram, hexbin,
+//! binned boxes, multi-line) take the reduced [`Moments`] node as an extra
+//! dependency and read `min`/`max` from its payload at *execution* time,
+//! which keeps everything inside one lazy graph (no eager pre-pass).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eda_dataframe::{Column, DataFrame};
+use eda_stats::corr::PearsonPartial;
+use eda_stats::freq::FreqTable;
+use eda_stats::histogram::Histogram;
+use eda_stats::moments::Moments;
+use eda_stats::text::TextStats;
+use eda_taskgraph::key::TaskKey;
+use eda_taskgraph::ops;
+use eda_taskgraph::partition::payload_frame;
+use eda_taskgraph::NodeId;
+
+use super::ctx::{pl, un, ComputeContext};
+
+/// Row/null counts for one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColMeta {
+    /// Total rows.
+    pub len: usize,
+    /// Null rows.
+    pub nulls: usize,
+}
+
+/// Optionally drop rows where `drop` is null, then borrow `col`.
+///
+/// Shared preprocessing of every missing-impact kernel. Returns `None`
+/// when the partition is left unchanged (fast path: borrow directly).
+fn maybe_dropped(df: &DataFrame, drop: Option<&str>) -> Option<DataFrame> {
+    drop.map(|d| df.drop_nulls_in(d).expect("column exists"))
+}
+
+fn col<'d>(df: &'d DataFrame, name: &str) -> &'d Column {
+    df.column(name).expect("column exists")
+}
+
+fn drop_tag(drop: Option<&str>) -> String {
+    drop.map_or_else(String::new, |d| format!("|dropna:{d}"))
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / sketch kernels
+// ---------------------------------------------------------------------------
+
+/// Row/null counts of `column` (optionally after dropping rows null in
+/// `drop`).
+pub fn col_meta(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -> NodeId {
+    let name = column.to_string();
+    let dropped = drop.map(str::to_string);
+    let params = ctx.params(TaskKey::params(&format!("meta:{column}{}", drop_tag(drop))));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "col_meta",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let filtered = maybe_dropped(df, dropped.as_deref());
+            let frame = filtered.as_ref().unwrap_or(df);
+            let c = col(frame, &name);
+            pl(ColMeta { len: c.len(), nulls: c.null_count() })
+        },
+        |a, b| {
+            let (a, b) = (un::<ColMeta>(a), un::<ColMeta>(b));
+            pl(ColMeta { len: a.len + b.len, nulls: a.nulls + b.nulls })
+        },
+    )
+}
+
+/// Moments sketch over a numeric column.
+pub fn moments(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -> NodeId {
+    let name = column.to_string();
+    let dropped = drop.map(str::to_string);
+    let params = ctx.params(TaskKey::params(&format!("moments:{column}{}", drop_tag(drop))));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "moments",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let filtered = maybe_dropped(df, dropped.as_deref());
+            let frame = filtered.as_ref().unwrap_or(df);
+            let mut m = Moments::new();
+            for v in col(frame, &name).numeric_iter().expect("numeric").flatten() {
+                m.push(v);
+            }
+            pl(m)
+        },
+        |a, b| {
+            let mut m = un::<Moments>(a).clone();
+            m.merge(un::<Moments>(b));
+            pl(m)
+        },
+    )
+}
+
+/// Fully sorted non-null values of a numeric column (feeds quantiles,
+/// box plot, Q-Q plot — computed once, shared by all three).
+pub fn sorted_values(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -> NodeId {
+    let name = column.to_string();
+    let dropped = drop.map(str::to_string);
+    let params = ctx.params(TaskKey::params(&format!("sorted:{column}{}", drop_tag(drop))));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "sorted_values",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let filtered = maybe_dropped(df, dropped.as_deref());
+            let frame = filtered.as_ref().unwrap_or(df);
+            let mut v: Vec<f64> = col(frame, &name)
+                .numeric_iter()
+                .expect("numeric")
+                .flatten()
+                .filter(|x| !x.is_nan())
+                .collect();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            pl(v)
+        },
+        |a, b| pl(merge_sorted(un::<Vec<f64>>(a), un::<Vec<f64>>(b))),
+    )
+}
+
+/// Merge two ascending vectors.
+fn merge_sorted(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Histogram over a numeric column. Bin range comes from the reduced
+/// moments payload at execution time, so the whole thing stays lazy.
+pub fn histogram(
+    ctx: &mut ComputeContext<'_>,
+    column: &str,
+    bins: usize,
+    drop: Option<&str>,
+) -> NodeId {
+    let m = moments(ctx, column, drop);
+    histogram_with_range(ctx, column, bins, drop, m)
+}
+
+/// Histogram whose bin range comes from an explicit moments node — the
+/// before/after comparisons of `plot_missing` bin both variants on the
+/// *before* range so the bars are comparable.
+pub fn histogram_with_range(
+    ctx: &mut ComputeContext<'_>,
+    column: &str,
+    bins: usize,
+    drop: Option<&str>,
+    m: NodeId,
+) -> NodeId {
+    let name = column.to_string();
+    let dropped = drop.map(str::to_string);
+    let params = ctx.params(TaskKey::params(&format!(
+        "hist:{column}:{bins}{}",
+        drop_tag(drop)
+    )));
+    let mapped: Vec<NodeId> = ctx
+        .sources
+        .clone()
+        .iter()
+        .map(|&p| {
+            let name = name.clone();
+            let dropped = dropped.clone();
+            ctx.graph.op("histogram", params, vec![p, m], move |inputs| {
+                let frame_arc = payload_frame(&inputs[0]);
+                let mom = un::<Moments>(&inputs[1]);
+                let filtered = maybe_dropped(&frame_arc, dropped.as_deref());
+                let frame = filtered.as_ref().unwrap_or(&frame_arc);
+                let mut h = Histogram::new(mom.min, mom.max, bins);
+                for v in col(frame, &name).numeric_iter().expect("numeric").flatten() {
+                    h.push(v);
+                }
+                pl(h)
+            })
+        })
+        .collect();
+    ops::tree_reduce(&mut ctx.graph, "histogram/reduce", params, &mapped, |a, b| {
+        let mut h = un::<Histogram>(a).clone();
+        h.merge(un::<Histogram>(b));
+        pl(h)
+    })
+}
+
+/// Frequency table over any column's display values.
+pub fn freq(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -> NodeId {
+    let name = column.to_string();
+    let dropped = drop.map(str::to_string);
+    let params = ctx.params(TaskKey::params(&format!("freq:{column}{}", drop_tag(drop))));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "freq",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let filtered = maybe_dropped(df, dropped.as_deref());
+            let frame = filtered.as_ref().unwrap_or(df);
+            let mut t = FreqTable::new();
+            for v in col(frame, &name).display_iter() {
+                t.push_owned(v);
+            }
+            pl(t)
+        },
+        |a, b| {
+            let mut t = un::<FreqTable>(a).clone();
+            t.merge(un::<FreqTable>(b));
+            pl(t)
+        },
+    )
+}
+
+/// Text statistics over a string column.
+pub fn text_stats(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
+    let name = column.to_string();
+    let params = ctx.params(TaskKey::params(&format!("text:{column}")));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "text_stats",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let mut t = TextStats::new();
+            let c = col(df, &name);
+            match c.str_iter() {
+                Ok(iter) => {
+                    for v in iter {
+                        t.push(v);
+                    }
+                }
+                Err(_) => {
+                    // Non-string categorical (bool / low-card int): use the
+                    // display form so word stats still make sense.
+                    for v in c.display_iter() {
+                        t.push(v.as_deref());
+                    }
+                }
+            }
+            pl(t)
+        },
+        |a, b| {
+            let mut t = un::<TextStats>(a).clone();
+            t.merge(un::<TextStats>(b));
+            pl(t)
+        },
+    )
+}
+
+/// Pearson co-moment partial over two numeric columns.
+pub fn pearson_partial(ctx: &mut ComputeContext<'_>, x: &str, y: &str) -> NodeId {
+    let (xn, yn) = (x.to_string(), y.to_string());
+    let params = ctx.params(TaskKey::params(&format!("pearson:{x}:{y}")));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "pearson",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let mut p = PearsonPartial::new();
+            let xs = col(df, &xn).numeric_iter().expect("numeric");
+            let ys = col(df, &yn).numeric_iter().expect("numeric");
+            for (a, b) in xs.zip(ys) {
+                if let (Some(a), Some(b)) = (a, b) {
+                    p.push(a, b);
+                }
+            }
+            pl(p)
+        },
+        |a, b| {
+            let mut p = un::<PearsonPartial>(a).clone();
+            p.merge(un::<PearsonPartial>(b));
+            pl(p)
+        },
+    )
+}
+
+/// Gathered complete pairs of two numeric columns (feeds Spearman/Kendall
+/// — rank statistics need the full columns — and the scatter sampler).
+pub fn pair_values(ctx: &mut ComputeContext<'_>, x: &str, y: &str) -> NodeId {
+    let (xn, yn) = (x.to_string(), y.to_string());
+    let params = ctx.params(TaskKey::params(&format!("pairs:{x}:{y}")));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "pair_values",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let xs = col(df, &xn).numeric_iter().expect("numeric");
+            let ys = col(df, &yn).numeric_iter().expect("numeric");
+            let pairs: Vec<(f64, f64)> = xs
+                .zip(ys)
+                .filter_map(|(a, b)| match (a, b) {
+                    (Some(a), Some(b)) if !a.is_nan() && !b.is_nan() => Some((a, b)),
+                    _ => None,
+                })
+                .collect();
+            pl(pairs)
+        },
+        |a, b| {
+            let mut v = un::<Vec<(f64, f64)>>(a).clone();
+            v.extend_from_slice(un::<Vec<(f64, f64)>>(b));
+            pl(v)
+        },
+    )
+}
+
+/// Row-aligned numeric values of a column with nulls as NaN, gathered in
+/// row order. Feeds the rank correlations (Spearman/Kendall need whole
+/// columns) and the eager correlation-matrix finish.
+pub fn numeric_gather(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
+    let name = column.to_string();
+    let params = ctx.params(TaskKey::params(&format!("gather:{column}")));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "numeric_gather",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let v: Vec<f64> = col(df, &name)
+                .numeric_iter()
+                .expect("numeric")
+                .map(|x| x.unwrap_or(f64::NAN))
+                .collect();
+            pl(v)
+        },
+        |a, b| {
+            let mut v = un::<Vec<f64>>(a).clone();
+            v.extend_from_slice(un::<Vec<f64>>(b));
+            pl(v)
+        },
+    )
+}
+
+/// Null-indicator vector of a column (`true` = missing), gathered in row
+/// order. Feeds the spectrum, nullity correlation, and dendrogram.
+pub fn null_indicator(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
+    let name = column.to_string();
+    let params = ctx.params(TaskKey::params(&format!("nulls:{column}")));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "null_indicator",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let c = col(df, &name);
+            let v: Vec<bool> = (0..c.len()).map(|i| !c.is_valid(i)).collect();
+            pl(v)
+        },
+        |a, b| {
+            let mut v = un::<Vec<bool>>(a).clone();
+            v.extend_from_slice(un::<Vec<bool>>(b));
+            pl(v)
+        },
+    )
+}
+
+/// Numeric values of `num` grouped by the (display) categories of `cat`,
+/// restricted to `keep` categories (the stage-one top-k — the two-phase
+/// boundary in action).
+pub fn grouped_numeric(
+    ctx: &mut ComputeContext<'_>,
+    cat: &str,
+    num: &str,
+    keep: &[String],
+) -> NodeId {
+    let (cn, nn) = (cat.to_string(), num.to_string());
+    let keep_set: Arc<Vec<String>> = Arc::new(keep.to_vec());
+    let params = ctx.params(TaskKey::params(&format!(
+        "grouped:{cat}:{num}:{}",
+        keep.join("\u{1}")
+    )));
+    let keep_for_map = Arc::clone(&keep_set);
+    ops::map_reduce(
+        &mut ctx.graph,
+        "grouped_numeric",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
+            let cats: Vec<Option<String>> = col(df, &cn).display_iter().collect();
+            let nums = col(df, &nn).numeric_iter().expect("numeric");
+            for (c, v) in cats.into_iter().zip(nums) {
+                if let (Some(c), Some(v)) = (c, v) {
+                    if !v.is_nan() && keep_for_map.contains(&c) {
+                        groups.entry(c).or_default().push(v);
+                    }
+                }
+            }
+            pl(groups)
+        },
+        |a, b| {
+            let mut g = un::<HashMap<String, Vec<f64>>>(a).clone();
+            for (k, v) in un::<HashMap<String, Vec<f64>>>(b) {
+                g.entry(k.clone()).or_default().extend_from_slice(v);
+            }
+            pl(g)
+        },
+    )
+}
+
+/// Cross-tabulated counts of two categorical columns restricted to the
+/// stage-one top categories; everything else lands in the `other` bucket.
+pub fn crosstab(
+    ctx: &mut ComputeContext<'_>,
+    c1: &str,
+    c2: &str,
+    keep1: &[String],
+    keep2: &[String],
+) -> NodeId {
+    let (n1, n2) = (c1.to_string(), c2.to_string());
+    let k1: Arc<Vec<String>> = Arc::new(keep1.to_vec());
+    let k2: Arc<Vec<String>> = Arc::new(keep2.to_vec());
+    let params = ctx.params(TaskKey::params(&format!(
+        "crosstab:{c1}:{c2}:{}:{}",
+        keep1.join("\u{1}"),
+        keep2.join("\u{1}")
+    )));
+    ops::map_reduce(
+        &mut ctx.graph,
+        "crosstab",
+        params,
+        &ctx.sources.clone(),
+        move |df| {
+            let mut counts: HashMap<(String, String), u64> = HashMap::new();
+            let a: Vec<Option<String>> = col(df, &n1).display_iter().collect();
+            let b: Vec<Option<String>> = col(df, &n2).display_iter().collect();
+            for (x, y) in a.into_iter().zip(b) {
+                if let (Some(x), Some(y)) = (x, y) {
+                    if k1.contains(&x) && k2.contains(&y) {
+                        *counts.entry((x, y)).or_insert(0) += 1;
+                    }
+                }
+            }
+            pl(counts)
+        },
+        |a, b| {
+            let mut c = un::<HashMap<(String, String), u64>>(a).clone();
+            for (k, v) in un::<HashMap<(String, String), u64>>(b) {
+                *c.entry(k.clone()).or_insert(0) += v;
+            }
+            pl(c)
+        },
+    )
+}
+
+/// Per-x-bin collections of y values for the binned box plot (N×N).
+/// Bin grid from x's reduced moments at execution time.
+pub fn binned_numeric(
+    ctx: &mut ComputeContext<'_>,
+    x: &str,
+    y: &str,
+    bins: usize,
+) -> NodeId {
+    let mx = moments(ctx, x, None);
+    let (xn, yn) = (x.to_string(), y.to_string());
+    let params = ctx.params(TaskKey::params(&format!("binned:{x}:{y}:{bins}")));
+    let mapped: Vec<NodeId> = ctx
+        .sources
+        .clone()
+        .iter()
+        .map(|&p| {
+            let xn = xn.clone();
+            let yn = yn.clone();
+            ctx.graph.op("binned_numeric", params, vec![p, mx], move |inputs| {
+                let frame = payload_frame(&inputs[0]);
+                let mom = un::<Moments>(&inputs[1]);
+                let mut groups: Vec<Vec<f64>> = vec![Vec::new(); bins.max(1)];
+                let width = (mom.max - mom.min) / bins.max(1) as f64;
+                let xs = col(&frame, &xn).numeric_iter().expect("numeric");
+                let ys = col(&frame, &yn).numeric_iter().expect("numeric");
+                for (a, b) in xs.zip(ys) {
+                    if let (Some(a), Some(b)) = (a, b) {
+                        if a.is_nan() || b.is_nan() || width <= 0.0 {
+                            if width <= 0.0 && !b.is_nan() {
+                                groups[0].push(b);
+                            }
+                            continue;
+                        }
+                        let mut idx = ((a - mom.min) / width) as usize;
+                        if idx >= groups.len() {
+                            idx = groups.len() - 1;
+                        }
+                        groups[idx].push(b);
+                    }
+                }
+                pl(groups)
+            })
+        })
+        .collect();
+    ops::tree_reduce(&mut ctx.graph, "binned/reduce", params, &mapped, |a, b| {
+        let mut g = un::<Vec<Vec<f64>>>(a).clone();
+        for (dst, src) in g.iter_mut().zip(un::<Vec<Vec<f64>>>(b)) {
+            dst.extend_from_slice(src);
+        }
+        pl(g)
+    })
+}
+
+/// Hexagonal binning of two numeric columns (pointy-top axial grid over
+/// the data ranges; ranges from the reduced moments at execution time).
+pub fn hexbin(ctx: &mut ComputeContext<'_>, x: &str, y: &str, gridsize: usize) -> NodeId {
+    let mx = moments(ctx, x, None);
+    let my = moments(ctx, y, None);
+    let (xn, yn) = (x.to_string(), y.to_string());
+    let params = ctx.params(TaskKey::params(&format!("hexbin:{x}:{y}:{gridsize}")));
+    let mapped: Vec<NodeId> = ctx
+        .sources
+        .clone()
+        .iter()
+        .map(|&p| {
+            let xn = xn.clone();
+            let yn = yn.clone();
+            ctx.graph.op("hexbin", params, vec![p, mx, my], move |inputs| {
+                let frame = payload_frame(&inputs[0]);
+                let momx = un::<Moments>(&inputs[1]);
+                let momy = un::<Moments>(&inputs[2]);
+                let mut cells: HashMap<(i64, i64), u64> = HashMap::new();
+                let xs = col(&frame, &xn).numeric_iter().expect("numeric");
+                let ys = col(&frame, &yn).numeric_iter().expect("numeric");
+                let (sx, sy) = hex_scales(momx, momy, gridsize);
+                for (a, b) in xs.zip(ys) {
+                    if let (Some(a), Some(b)) = (a, b) {
+                        if a.is_nan() || b.is_nan() {
+                            continue;
+                        }
+                        let q = hex_cell((a - momx.min) / sx, (b - momy.min) / sy);
+                        *cells.entry(q).or_insert(0) += 1;
+                    }
+                }
+                pl(cells)
+            })
+        })
+        .collect();
+    ops::tree_reduce(&mut ctx.graph, "hexbin/reduce", params, &mapped, |a, b| {
+        let mut c = un::<HashMap<(i64, i64), u64>>(a).clone();
+        for (k, v) in un::<HashMap<(i64, i64), u64>>(b) {
+            *c.entry(*k).or_insert(0) += v;
+        }
+        pl(c)
+    })
+}
+
+/// Data-unit scale factors for the hex grid.
+pub fn hex_scales(mx: &Moments, my: &Moments, gridsize: usize) -> (f64, f64) {
+    let g = gridsize.max(2) as f64;
+    let sx = ((mx.max - mx.min) / g).max(f64::MIN_POSITIVE);
+    let sy = ((my.max - my.min) / g).max(f64::MIN_POSITIVE);
+    (sx, sy)
+}
+
+/// Map normalized coordinates to an axial hex cell (pointy-top layout,
+/// cube-rounded).
+pub fn hex_cell(x: f64, y: f64) -> (i64, i64) {
+    // Axial coordinates for unit-size pointy-top hexagons.
+    let q = (3f64.sqrt() / 3.0) * x - (1.0 / 3.0) * y;
+    let r = (2.0 / 3.0) * y;
+    // Cube rounding.
+    let (xf, zf) = (q, r);
+    let yf = -xf - zf;
+    let (mut rx, mut ry, mut rz) = (xf.round(), yf.round(), zf.round());
+    let (dx, dy, dz) = ((rx - xf).abs(), (ry - yf).abs(), (rz - zf).abs());
+    if dx > dy && dx > dz {
+        rx = -ry - rz;
+    } else if dy > dz {
+        ry = -rx - rz;
+    } else {
+        rz = -rx - ry;
+    }
+    let _ = ry;
+    (rx as i64, rz as i64)
+}
+
+/// Center of an axial hex cell in normalized coordinates (inverse of
+/// [`hex_cell`]'s lattice).
+pub fn hex_center(q: i64, r: i64) -> (f64, f64) {
+    (3f64.sqrt() * (q as f64 + r as f64 / 2.0), 1.5 * r as f64)
+}
+
+/// Per-category histograms over shared bins for the multi-line chart.
+pub fn multi_line(
+    ctx: &mut ComputeContext<'_>,
+    cat: &str,
+    num: &str,
+    keep: &[String],
+    bins: usize,
+) -> NodeId {
+    let m = moments(ctx, num, None);
+    let (cn, nn) = (cat.to_string(), num.to_string());
+    let keep: Arc<Vec<String>> = Arc::new(keep.to_vec());
+    let params = ctx.params(TaskKey::params(&format!(
+        "multiline:{cat}:{num}:{bins}:{}",
+        keep.join("\u{1}")
+    )));
+    let mapped: Vec<NodeId> = ctx
+        .sources
+        .clone()
+        .iter()
+        .map(|&p| {
+            let cn = cn.clone();
+            let nn = nn.clone();
+            let keep = Arc::clone(&keep);
+            ctx.graph.op("multi_line", params, vec![p, m], move |inputs| {
+                let frame = payload_frame(&inputs[0]);
+                let mom = un::<Moments>(&inputs[1]);
+                let mut hists: HashMap<String, Histogram> = keep
+                    .iter()
+                    .map(|k| (k.clone(), Histogram::new(mom.min, mom.max, bins)))
+                    .collect();
+                let cats: Vec<Option<String>> = col(&frame, &cn).display_iter().collect();
+                let nums = col(&frame, &nn).numeric_iter().expect("numeric");
+                for (c, v) in cats.into_iter().zip(nums) {
+                    if let (Some(c), Some(v)) = (c, v) {
+                        if let Some(h) = hists.get_mut(&c) {
+                            h.push(v);
+                        }
+                    }
+                }
+                pl(hists)
+            })
+        })
+        .collect();
+    ops::tree_reduce(&mut ctx.graph, "multi_line/reduce", params, &mapped, |a, b| {
+        let mut h = un::<HashMap<String, Histogram>>(a).clone();
+        for (k, v) in un::<HashMap<String, Histogram>>(b) {
+            h.get_mut(k).expect("same key set").merge(v);
+        }
+        pl(h)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use eda_dataframe::DataFrame;
+
+    fn frame() -> DataFrame {
+        let n = 200;
+        DataFrame::new(vec![
+            (
+                "num".into(),
+                Column::from_opt_f64(
+                    (0..n)
+                        .map(|i| if i % 10 == 0 { None } else { Some(i as f64) })
+                        .collect(),
+                ),
+            ),
+            (
+                "num2".into(),
+                Column::from_f64((0..n).map(|i| (i * 2) as f64).collect()),
+            ),
+            (
+                "cat".into(),
+                Column::from_opt_string(
+                    (0..n)
+                        .map(|i| {
+                            if i % 13 == 0 {
+                                None
+                            } else {
+                                Some(format!("g{}", i % 4))
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn run_one<T: Send + Sync + 'static + Clone>(
+        build: impl Fn(&mut ComputeContext<'_>) -> NodeId,
+    ) -> T {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let node = build(&mut ctx);
+        let out = ctx.execute(&[node]);
+        un::<T>(&out[0]).clone()
+    }
+
+    #[test]
+    fn col_meta_counts() {
+        let meta: ColMeta = run_one(|ctx| col_meta(ctx, "num", None));
+        assert_eq!(meta.len, 200);
+        assert_eq!(meta.nulls, 20);
+    }
+
+    #[test]
+    fn col_meta_after_drop() {
+        // Dropping num's nulls leaves 180 rows; cat null where i%13==0.
+        let meta: ColMeta = run_one(|ctx| col_meta(ctx, "cat", Some("num")));
+        assert_eq!(meta.len, 180);
+    }
+
+    #[test]
+    fn moments_match_direct_computation() {
+        let m: Moments = run_one(|ctx| moments(ctx, "num", None));
+        assert_eq!(m.count, 180);
+        let direct: Vec<f64> = (0..200)
+            .filter(|i| i % 10 != 0)
+            .map(|i| i as f64)
+            .collect();
+        let dm = Moments::from_slice(&direct);
+        assert!((m.mean - dm.mean).abs() < 1e-9);
+        assert_eq!(m.min, dm.min);
+        assert_eq!(m.max, dm.max);
+    }
+
+    #[test]
+    fn sorted_values_are_sorted_and_complete() {
+        let v: Vec<f64> = run_one(|ctx| sorted_values(ctx, "num", None));
+        assert_eq!(v.len(), 180);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[179], 199.0);
+    }
+
+    #[test]
+    fn histogram_covers_all_values() {
+        let h: Histogram = run_one(|ctx| histogram(ctx, "num", 10, None));
+        assert_eq!(h.total(), 180);
+        assert_eq!(h.nbins(), 10);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 199.0);
+    }
+
+    #[test]
+    fn freq_counts_categories() {
+        let t: FreqTable = run_one(|ctx| freq(ctx, "cat", None));
+        assert_eq!(t.distinct(), 4);
+        assert_eq!(t.total() + t.nulls, 200);
+    }
+
+    #[test]
+    fn pearson_partial_correlates_perfectly() {
+        let p: PearsonPartial = run_one(|ctx| pearson_partial(ctx, "num", "num2"));
+        assert!((p.finish().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_values_drop_incomplete() {
+        let pairs: Vec<(f64, f64)> = run_one(|ctx| pair_values(ctx, "num", "num2"));
+        assert_eq!(pairs.len(), 180);
+        assert!(pairs.iter().all(|(a, b)| *b == *a * 2.0));
+    }
+
+    #[test]
+    fn null_indicator_in_row_order() {
+        let v: Vec<bool> = run_one(|ctx| null_indicator(ctx, "num"));
+        assert_eq!(v.len(), 200);
+        assert!(v[0]);
+        assert!(!v[1]);
+        assert!(v[10]);
+        assert_eq!(v.iter().filter(|&&b| b).count(), 20);
+    }
+
+    #[test]
+    fn grouped_numeric_respects_keep() {
+        let keep = vec!["g0".to_string(), "g1".to_string()];
+        let g: HashMap<String, Vec<f64>> =
+            run_one(move |ctx| grouped_numeric(ctx, "cat", "num", &keep));
+        assert_eq!(g.len(), 2);
+        assert!(g.contains_key("g0"));
+        assert!(!g.contains_key("g2"));
+    }
+
+    #[test]
+    fn crosstab_counts() {
+        let keep1 = vec!["g0".to_string(), "g1".to_string()];
+        let keep2 = vec!["g2".to_string()];
+        // cat × cat crosstab is degenerate but exercises the kernel:
+        // cells require x∈keep1 and y∈keep2 for the same row, and a row's
+        // category can't be g0 and g2 simultaneously, so all cells are 0.
+        let c: HashMap<(String, String), u64> =
+            run_one(move |ctx| crosstab(ctx, "cat", "cat", &keep1, &keep2));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn binned_numeric_covers_pairs() {
+        let g: Vec<Vec<f64>> = run_one(|ctx| binned_numeric(ctx, "num", "num2", 5));
+        assert_eq!(g.len(), 5);
+        let total: usize = g.iter().map(Vec::len).sum();
+        assert_eq!(total, 180);
+    }
+
+    #[test]
+    fn hexbin_conserves_points() {
+        let cells: HashMap<(i64, i64), u64> = run_one(|ctx| hexbin(ctx, "num", "num2", 8));
+        let total: u64 = cells.values().sum();
+        assert_eq!(total, 180);
+        assert!(cells.len() > 1);
+    }
+
+    #[test]
+    fn multi_line_shares_bins() {
+        let keep = vec!["g0".to_string(), "g1".to_string()];
+        let h: HashMap<String, Histogram> =
+            run_one(move |ctx| multi_line(ctx, "cat", "num", &keep, 8));
+        assert_eq!(h.len(), 2);
+        let h0 = &h["g0"];
+        let h1 = &h["g1"];
+        assert_eq!(h0.min, h1.min);
+        assert_eq!(h0.max, h1.max);
+        assert!(h0.total() > 0);
+    }
+
+    #[test]
+    fn kernels_share_nodes_across_repeat_builds() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let a = moments(&mut ctx, "num", None);
+        let before = ctx.graph.len();
+        let b = moments(&mut ctx, "num", None);
+        assert_eq!(a, b);
+        assert_eq!(ctx.graph.len(), before);
+        // The histogram reuses the same moments node.
+        let _h = histogram(&mut ctx, "num", 10, None);
+        let c = moments(&mut ctx, "num", None);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn drop_variants_do_not_collide() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let plain = moments(&mut ctx, "num2", None);
+        let dropped = moments(&mut ctx, "num2", Some("num"));
+        assert_ne!(plain, dropped);
+        let outs = ctx.execute(&[plain, dropped]);
+        let (mp, md) = (un::<Moments>(&outs[0]), un::<Moments>(&outs[1]));
+        assert_eq!(mp.count, 200);
+        assert_eq!(md.count, 180);
+    }
+
+    #[test]
+    fn merge_sorted_interleaves() {
+        assert_eq!(
+            merge_sorted(&[1.0, 3.0, 5.0], &[2.0, 4.0]),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0]
+        );
+        assert_eq!(merge_sorted(&[], &[1.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn hex_cell_roundtrip_consistency() {
+        // Points near a hex center map to that cell.
+        for q in -3i64..3 {
+            for r in -3i64..3 {
+                let (x, y) = hex_center(q, r);
+                assert_eq!(hex_cell(x, y), (q, r), "center of ({q},{r})");
+            }
+        }
+    }
+}

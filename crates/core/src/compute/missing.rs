@@ -1,0 +1,463 @@
+//! Missing-value analysis: `plot_missing` (paper Figure 2, rows 8–10).
+//!
+//! * `plot_missing(df)` → per-column missing bar chart, missing spectrum,
+//!   nullity correlation heatmap, dendrogram.
+//! * `plot_missing(df, x)` → for every other column, its distribution
+//!   before vs after dropping the rows where `x` is null. The paper's
+//!   Figure 5 calls this the most expensive fine-grained task ("it
+//!   computes two frequency distributions for each column") — our
+//!   benchmark asserts the same.
+//! * `plot_missing(df, x, y)` → histogram, PDF, CDF, box plot of `y`
+//!   before vs after dropping `x`'s missing rows.
+
+use eda_stats::freq::FreqTable;
+use eda_stats::histogram::Histogram;
+use eda_stats::hypothesis::ks_distance;
+use eda_stats::missing::{missing_spectrum, nullity_correlation, nullity_dendrogram, MissingSummary};
+use eda_stats::quantile::BoxPlot;
+use eda_taskgraph::NodeId;
+
+use crate::dtype::{detect, SemanticType};
+use crate::error::EdaResult;
+use crate::insights::{similarity_insight, Insight};
+use crate::intermediate::{Inter, Intermediates};
+
+use super::ctx::{un, ComputeContext};
+use super::kernels::{self, ColMeta};
+
+/// Run `plot_missing(df)`.
+pub fn compute_missing_overview(
+    ctx: &mut ComputeContext<'_>,
+) -> EdaResult<(Intermediates, Vec<Insight>)> {
+    let names: Vec<String> = ctx.df.names().to_vec();
+    let metas: Vec<NodeId> = names
+        .iter()
+        .map(|n| kernels::col_meta(ctx, n, None))
+        .collect();
+    let indicators: Vec<NodeId> = names
+        .iter()
+        .map(|n| kernels::null_indicator(ctx, n))
+        .collect();
+    let mut outputs = metas.clone();
+    outputs.extend(&indicators);
+    let outs = ctx.execute(&outputs);
+
+    // Pandas phase: assemble the four visualizations from the reduced
+    // indicator vectors.
+    let mut ims = Intermediates::new();
+    let summaries: Vec<MissingSummary> = names
+        .iter()
+        .zip(&outs[..names.len()])
+        .map(|(n, p)| {
+            let meta = un::<ColMeta>(p);
+            MissingSummary { label: n.clone(), nulls: meta.nulls, total: meta.len }
+        })
+        .collect();
+    ims.push("missing_bar_chart", Inter::MissingBars(summaries));
+
+    let indicator_cols: Vec<(String, Vec<bool>)> = names
+        .iter()
+        .zip(&outs[names.len()..])
+        .map(|(n, p)| (n.clone(), un::<Vec<bool>>(p).clone()))
+        .collect();
+    ims.push(
+        "missing_spectrum",
+        Inter::Spectrum(missing_spectrum(&indicator_cols, ctx.config.spectrum.bins)),
+    );
+    ims.push(
+        "nullity_correlation",
+        Inter::NullityCorr {
+            labels: names.clone(),
+            cells: nullity_correlation(&indicator_cols),
+        },
+    );
+    ims.push(
+        "dendrogram",
+        Inter::Dendrogram {
+            labels: names,
+            merges: nullity_dendrogram(&indicator_cols),
+        },
+    );
+    Ok((ims, Vec::new()))
+}
+
+/// Run `plot_missing(df, x)`: before/after distributions for every other
+/// column.
+pub fn compute_missing_impact(
+    ctx: &mut ComputeContext<'_>,
+    x: &str,
+) -> EdaResult<(Intermediates, Vec<Insight>)> {
+    ctx.df.column(x)?; // existence check
+    let others: Vec<String> = ctx
+        .df
+        .names()
+        .iter()
+        .filter(|n| n.as_str() != x)
+        .cloned()
+        .collect();
+
+    // Plan both variants of every column into ONE graph — the "two
+    // frequency distributions per column" the paper calls out.
+    enum Plan {
+        Numeric { name: String },
+        Categorical { name: String },
+    }
+    let mut plans = Vec::with_capacity(others.len());
+    let mut outputs = Vec::with_capacity(others.len() * 2);
+    for name in &others {
+        let col = ctx.df.column(name).expect("iterating names");
+        match detect(col, ctx.config.types.low_cardinality) {
+            SemanticType::Numerical => {
+                // Shared bin range: the BEFORE moments anchor both.
+                let m_before = kernels::moments(ctx, name, None);
+                let before =
+                    kernels::histogram_with_range(ctx, name, ctx.config.hist.bins, None, m_before);
+                let after = kernels::histogram_with_range(
+                    ctx,
+                    name,
+                    ctx.config.hist.bins,
+                    Some(x),
+                    m_before,
+                );
+                outputs.push(before);
+                outputs.push(after);
+                plans.push(Plan::Numeric { name: name.clone() });
+            }
+            SemanticType::Categorical => {
+                let before = kernels::freq(ctx, name, None);
+                let after = kernels::freq(ctx, name, Some(x));
+                outputs.push(before);
+                outputs.push(after);
+                plans.push(Plan::Categorical { name: name.clone() });
+            }
+        }
+    }
+    let outs = ctx.execute(&outputs);
+
+    let mut ims = Intermediates::new();
+    let mut insights = Vec::new();
+    let mut cursor = 0;
+    for plan in &plans {
+        match plan {
+            Plan::Numeric { name } => {
+                let before = un::<Histogram>(&outs[cursor]);
+                let after = un::<Histogram>(&outs[cursor + 1]);
+                cursor += 2;
+                // Similarity insight via KS over the binned distributions.
+                if let Some(ks) = histogram_ks(before, after) {
+                    if let Some(i) = similarity_insight(name, ks, &ctx.config.insight) {
+                        insights.push(i);
+                    }
+                }
+                ims.push(
+                    format!("compare_histogram:{name}"),
+                    Inter::CompareHistogram {
+                        edges: before.edges(),
+                        before: before.counts.clone(),
+                        after: after.counts.clone(),
+                    },
+                );
+            }
+            Plan::Categorical { name } => {
+                let before = un::<FreqTable>(&outs[cursor]);
+                let after = un::<FreqTable>(&outs[cursor + 1]);
+                cursor += 2;
+                let top = before.top_k(ctx.config.bar.ngroups);
+                let categories: Vec<String> = top.iter().map(|(c, _)| c.clone()).collect();
+                let before_counts: Vec<u64> = top.iter().map(|(_, c)| *c).collect();
+                let after_counts: Vec<u64> =
+                    categories.iter().map(|c| after.count(c)).collect();
+                ims.push(
+                    format!("compare_bars:{name}"),
+                    Inter::CompareBars {
+                        categories,
+                        before: before_counts,
+                        after: after_counts,
+                    },
+                );
+            }
+        }
+    }
+    Ok((ims, insights))
+}
+
+/// Run `plot_missing(df, x, y)`.
+pub fn compute_missing_pair(
+    ctx: &mut ComputeContext<'_>,
+    x: &str,
+    y: &str,
+) -> EdaResult<(Intermediates, Vec<Insight>)> {
+    ctx.df.column(x)?;
+    let ycol = ctx.df.column(y)?;
+    match detect(ycol, ctx.config.types.low_cardinality) {
+        SemanticType::Categorical => {
+            // Categorical y: before/after bars only.
+            let before = kernels::freq(ctx, y, None);
+            let after = kernels::freq(ctx, y, Some(x));
+            let outs = ctx.execute(&[before, after]);
+            let before = un::<FreqTable>(&outs[0]);
+            let after = un::<FreqTable>(&outs[1]);
+            let top = before.top_k(ctx.config.bar.ngroups);
+            let categories: Vec<String> = top.iter().map(|(c, _)| c.clone()).collect();
+            let mut ims = Intermediates::new();
+            ims.push(
+                "compare_bars",
+                Inter::CompareBars {
+                    before: top.iter().map(|(_, c)| *c).collect(),
+                    after: categories.iter().map(|c| after.count(c)).collect(),
+                    categories,
+                },
+            );
+            Ok((ims, Vec::new()))
+        }
+        SemanticType::Numerical => {
+            let m_before = kernels::moments(ctx, y, None);
+            let h_before =
+                kernels::histogram_with_range(ctx, y, ctx.config.hist.bins, None, m_before);
+            let h_after = kernels::histogram_with_range(
+                ctx,
+                y,
+                ctx.config.hist.bins,
+                Some(x),
+                m_before,
+            );
+            let s_before = kernels::sorted_values(ctx, y, None);
+            let s_after = kernels::sorted_values(ctx, y, Some(x));
+            let outs = ctx.execute(&[h_before, h_after, s_before, s_after]);
+            let hb = un::<Histogram>(&outs[0]);
+            let ha = un::<Histogram>(&outs[1]);
+            let sb = un::<Vec<f64>>(&outs[2]);
+            let sa = un::<Vec<f64>>(&outs[3]);
+
+            let mut ims = Intermediates::new();
+            ims.push(
+                "compare_histogram",
+                Inter::CompareHistogram {
+                    edges: hb.edges(),
+                    before: hb.counts.clone(),
+                    after: ha.counts.clone(),
+                },
+            );
+            // PDF and CDF curves over the shared bin centers.
+            let centers: Vec<f64> = hb.edges().windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+            for (label, hist) in [("before", hb), ("after", ha)] {
+                let dens = hist.density();
+                ims.push(
+                    format!("pdf:{label}"),
+                    Inter::Line { xs: centers.clone(), ys: dens.clone() },
+                );
+                let mut cum = 0.0;
+                let cdf: Vec<f64> = dens
+                    .iter()
+                    .map(|d| {
+                        cum += d;
+                        cum
+                    })
+                    .collect();
+                ims.push(
+                    format!("cdf:{label}"),
+                    Inter::Line { xs: centers.clone(), ys: cdf },
+                );
+            }
+            let mut boxes = Vec::new();
+            if let Some(bp) = BoxPlot::from_sorted(sb, ctx.config.box_plot.max_outliers) {
+                boxes.push(("before".to_string(), bp));
+            }
+            if let Some(bp) = BoxPlot::from_sorted(sa, ctx.config.box_plot.max_outliers) {
+                boxes.push(("after".to_string(), bp));
+            }
+            ims.push("box_plot", Inter::Boxes(boxes));
+
+            let mut insights = Vec::new();
+            if let Some(ks) = ks_distance(sb, sa) {
+                if let Some(i) = similarity_insight(y, ks, &ctx.config.insight) {
+                    insights.push(i);
+                }
+            }
+            Ok((ims, insights))
+        }
+    }
+}
+
+/// KS distance between two histograms over the same grid (approximate KS
+/// from binned CDFs — fine for the insight threshold).
+fn histogram_ks(a: &Histogram, b: &Histogram) -> Option<f64> {
+    if a.total() == 0 || b.total() == 0 {
+        return None;
+    }
+    let (ta, tb) = (a.total() as f64, b.total() as f64);
+    let (mut ca, mut cb) = (0.0, 0.0);
+    let mut d: f64 = 0.0;
+    for (x, y) in a.counts.iter().zip(&b.counts) {
+        ca += *x as f64 / ta;
+        cb += *y as f64 / tb;
+        d = d.max((ca - cb).abs());
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use eda_dataframe::{Column, DataFrame};
+
+    /// Frame where `a`'s nulls coincide with LOW values of `b`, so
+    /// dropping them visibly shifts `b`'s distribution.
+    fn frame() -> DataFrame {
+        let n = 300;
+        DataFrame::new(vec![
+            (
+                "a".into(),
+                Column::from_opt_f64(
+                    (0..n)
+                        .map(|i| if i < 60 { None } else { Some(i as f64) })
+                        .collect(),
+                ),
+            ),
+            (
+                "b".into(),
+                Column::from_f64((0..n).map(|i| i as f64).collect()),
+            ),
+            (
+                "cat".into(),
+                Column::from_opt_string(
+                    (0..n)
+                        .map(|i| {
+                            if i % 11 == 0 {
+                                None
+                            } else {
+                                Some(format!("g{}", i % 3))
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn overview_has_four_visualizations() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _) = compute_missing_overview(&mut ctx).unwrap();
+        for chart in [
+            "missing_bar_chart",
+            "missing_spectrum",
+            "nullity_correlation",
+            "dendrogram",
+        ] {
+            assert!(ims.get(chart).is_some(), "missing {chart}");
+        }
+        let Some(Inter::MissingBars(bars)) = ims.get("missing_bar_chart") else {
+            panic!()
+        };
+        assert_eq!(bars.len(), 3);
+        assert_eq!(bars[0].nulls, 60);
+        let Some(Inter::Dendrogram { merges, .. }) = ims.get("dendrogram") else {
+            panic!()
+        };
+        assert_eq!(merges.len(), 2);
+    }
+
+    #[test]
+    fn impact_compares_before_and_after() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _) = compute_missing_impact(&mut ctx, "a").unwrap();
+        let Some(Inter::CompareHistogram { before, after, edges }) =
+            ims.get("compare_histogram:b")
+        else {
+            panic!()
+        };
+        assert_eq!(edges.len(), before.len() + 1);
+        let nb: u64 = before.iter().sum();
+        let na: u64 = after.iter().sum();
+        assert_eq!(nb, 300);
+        assert_eq!(na, 240);
+        // Low bins lose counts: the first bin must shrink.
+        assert!(after[0] < before[0]);
+        // Categorical column compared with bars.
+        assert!(ims.get("compare_bars:cat").is_some());
+    }
+
+    #[test]
+    fn pair_numeric_panel() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _) = compute_missing_pair(&mut ctx, "a", "b").unwrap();
+        for chart in [
+            "compare_histogram",
+            "pdf:before",
+            "pdf:after",
+            "cdf:before",
+            "cdf:after",
+            "box_plot",
+        ] {
+            assert!(ims.get(chart).is_some(), "missing {chart}");
+        }
+        let Some(Inter::Boxes(boxes)) = ims.get("box_plot") else { panic!() };
+        assert_eq!(boxes.len(), 2);
+        // Dropping low values raises the median.
+        assert!(boxes[1].1.median > boxes[0].1.median);
+        // CDF ends at ~1.
+        let Some(Inter::Line { ys, .. }) = ims.get("cdf:before") else { panic!() };
+        assert!((ys.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_categorical_panel() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _) = compute_missing_pair(&mut ctx, "a", "cat").unwrap();
+        let Some(Inter::CompareBars { before, after, .. }) = ims.get("compare_bars") else {
+            panic!()
+        };
+        assert!(before.iter().sum::<u64>() > after.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn similarity_insight_when_mcar() {
+        // Nulls spread evenly: dropping them preserves the distribution.
+        let n = 400;
+        let df = DataFrame::new(vec![
+            (
+                "a".into(),
+                Column::from_opt_f64(
+                    (0..n)
+                        .map(|i| if i % 10 == 0 { None } else { Some(i as f64) })
+                        .collect(),
+                ),
+            ),
+            (
+                "b".into(),
+                Column::from_f64((0..n).map(|i| (i % 50) as f64).collect()),
+            ),
+        ])
+        .unwrap();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (_, insights) = compute_missing_pair(&mut ctx, "a", "b").unwrap();
+        assert!(insights
+            .iter()
+            .any(|i| i.kind == crate::insights::InsightKind::SimilarDistribution));
+    }
+
+    #[test]
+    fn histogram_ks_bounds() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.extend([1.0, 2.0, 3.0]);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        b.extend([9.0, 9.5]);
+        let d = histogram_ks(&a, &b).unwrap();
+        assert!(d > 0.9);
+        assert!(histogram_ks(&a, &a).unwrap() < 1e-12);
+        let empty = Histogram::new(0.0, 10.0, 5);
+        assert!(histogram_ks(&a, &empty).is_none());
+    }
+}

@@ -1,0 +1,590 @@
+//! Univariate analysis: `plot(df, col)` (paper Figure 2, row 2).
+//!
+//! * Numerical column → column statistics, histogram, KDE plot, normal
+//!   Q-Q plot, box plot.
+//! * Categorical column → column statistics, bar chart, pie chart, word
+//!   cloud, word frequencies.
+//!
+//! The module is split into *plan* (add graph nodes) and *assemble*
+//! (turn reduced payloads into intermediates) so `create_report` can plan
+//! every column into one graph, execute once, and assemble per column.
+
+use eda_stats::freq::FreqTable;
+use eda_stats::kde::kde_grid;
+use eda_stats::moments::Moments;
+use eda_stats::qq::{normal_quantile, normal_qq_points};
+use eda_stats::quantile::{quantile_sorted, BoxPlot};
+use eda_stats::text::TextStats;
+use eda_taskgraph::graph::Payload;
+use eda_taskgraph::NodeId;
+
+use crate::config::Config;
+use crate::dtype::{detect, SemanticType};
+use crate::error::EdaResult;
+use crate::insights::{categorical_insights, numeric_insights, Insight};
+use crate::intermediate::{Inter, Intermediates, StatRow};
+
+use super::ctx::{un, ComputeContext};
+use super::kernels::{self, ColMeta};
+
+/// Graph nodes of a numeric univariate panel.
+#[derive(Debug, Clone, Copy)]
+pub struct NumericPlan {
+    /// Row/null counts.
+    pub meta: NodeId,
+    /// Moments sketch.
+    pub moments: NodeId,
+    /// Fully sorted values (shared by stats, box plot, Q-Q, KDE sample —
+    /// and the distinct count, which is just the sorted vector's run
+    /// count: one more visualization served by an already-shared node).
+    pub sorted: NodeId,
+    /// Histogram.
+    pub hist: NodeId,
+}
+
+impl NumericPlan {
+    /// The output nodes to request from the engine.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        vec![self.meta, self.moments, self.sorted, self.hist]
+    }
+}
+
+/// Add the numeric univariate plan for `column`.
+pub fn plan_numeric(ctx: &mut ComputeContext<'_>, column: &str) -> NumericPlan {
+    NumericPlan {
+        meta: kernels::col_meta(ctx, column, None),
+        moments: kernels::moments(ctx, column, None),
+        sorted: kernels::sorted_values(ctx, column, None),
+        hist: kernels::histogram(ctx, column, ctx.config.hist.bins, None),
+    }
+}
+
+/// Distinct count of an ascending-sorted slice (run count).
+pub fn distinct_sorted(sorted: &[f64]) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// Graph nodes of a categorical univariate panel.
+#[derive(Debug, Clone, Copy)]
+pub struct CategoricalPlan {
+    /// Row/null counts.
+    pub meta: NodeId,
+    /// Frequency table.
+    pub freq: NodeId,
+    /// Word/length statistics.
+    pub text: NodeId,
+}
+
+impl CategoricalPlan {
+    /// The output nodes to request from the engine.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        vec![self.meta, self.freq, self.text]
+    }
+}
+
+/// Add the categorical univariate plan for `column`.
+pub fn plan_categorical(ctx: &mut ComputeContext<'_>, column: &str) -> CategoricalPlan {
+    CategoricalPlan {
+        meta: kernels::col_meta(ctx, column, None),
+        freq: kernels::freq(ctx, column, None),
+        text: kernels::text_stats(ctx, column),
+    }
+}
+
+/// Run `plot(df, column)`: detect the type, plan, execute, assemble.
+pub fn compute_univariate(
+    ctx: &mut ComputeContext<'_>,
+    column: &str,
+) -> EdaResult<(Intermediates, Vec<Insight>, SemanticType)> {
+    let col = ctx.df.column(column)?;
+    let sem = detect(col, ctx.config.types.low_cardinality);
+    match sem {
+        SemanticType::Numerical => {
+            let plan = plan_numeric(ctx, column);
+            let outs = ctx.execute(&plan.outputs());
+            let (ims, insights) = assemble_numeric(column, ctx.config, &outs);
+            Ok((ims, insights, sem))
+        }
+        SemanticType::Categorical => {
+            let plan = plan_categorical(ctx, column);
+            let outs = ctx.execute(&plan.outputs());
+            let (ims, insights) = assemble_categorical(column, ctx.config, &outs);
+            Ok((ims, insights, sem))
+        }
+    }
+}
+
+/// Assemble the numeric panel from payloads ordered as
+/// [`NumericPlan::outputs`]. This is the eager "Pandas phase": every input
+/// is already a small aggregate (the sorted vector being the one O(n)
+/// exception, exactly as in the paper's quantile pipeline).
+pub fn assemble_numeric(
+    column: &str,
+    config: &Config,
+    outs: &[Payload],
+) -> (Intermediates, Vec<Insight>) {
+    let meta = un::<ColMeta>(&outs[0]);
+    let moments = un::<Moments>(&outs[1]);
+    let sorted = un::<Vec<f64>>(&outs[2]);
+    let hist = un::<eda_stats::histogram::Histogram>(&outs[3]);
+
+    let box_plot = BoxPlot::from_sorted(sorted, config.box_plot.max_outliers);
+    let insights = numeric_insights(column, meta, moments, box_plot.as_ref(), &config.insight);
+
+    let mut ims = Intermediates::new();
+    ims.push(
+        "stats",
+        Inter::StatsTable(numeric_stats_rows(meta, moments, sorted, &insights)),
+    );
+    ims.push(
+        "histogram",
+        Inter::Histogram { edges: hist.edges(), counts: hist.counts.clone() },
+    );
+    // KDE over a bounded sample of the sorted values (interactivity:
+    // kernel sums over millions of points would defeat the latency goal).
+    let sample = stride_sample(sorted, 5000);
+    let (xs, ys) = kde_grid(&sample, config.kde.grid);
+    if config.violin.enabled {
+        // The violin is the same density profile mirrored by the
+        // renderer — shared computation, zero extra passes.
+        ims.push(
+            "violin_plot",
+            Inter::Violin { ys: xs.clone(), densities: ys.clone() },
+        );
+    }
+    ims.push("kde_plot", Inter::Kde { xs, ys });
+    ims.push(
+        "qq_plot",
+        Inter::QQ(qq_from_sorted(sorted, config.qq.points)),
+    );
+    if let Some(bp) = box_plot {
+        ims.push("box_plot", Inter::Boxes(vec![(column.to_string(), bp)]));
+    }
+    (ims, insights)
+}
+
+/// Assemble the categorical panel from payloads ordered as
+/// [`CategoricalPlan::outputs`].
+pub fn assemble_categorical(
+    column: &str,
+    config: &Config,
+    outs: &[Payload],
+) -> (Intermediates, Vec<Insight>) {
+    let meta = un::<ColMeta>(&outs[0]);
+    let freq = un::<FreqTable>(&outs[1]);
+    let text = un::<TextStats>(&outs[2]);
+
+    let insights = categorical_insights(column, meta, freq, &config.insight);
+
+    let mut ims = Intermediates::new();
+    ims.push(
+        "stats",
+        Inter::StatsTable(categorical_stats_rows(meta, freq, text, &insights)),
+    );
+    ims.push("bar_chart", bar_from_freq(freq, config.bar.ngroups));
+    ims.push("pie_chart", pie_from_freq(freq, config.pie.slices));
+    let words = text.top_words(config.word.top);
+    ims.push(
+        "word_cloud",
+        Inter::WordFreq {
+            words: words.clone(),
+            total: text.total_words(),
+            distinct: text.distinct_words(),
+        },
+    );
+    ims.push(
+        "word_frequencies",
+        Inter::WordFreq {
+            words,
+            total: text.total_words(),
+            distinct: text.distinct_words(),
+        },
+    );
+    (ims, insights)
+}
+
+// ---------------------------------------------------------------------------
+// Shared assembly helpers (also used by overview/bivariate/report)
+// ---------------------------------------------------------------------------
+
+/// Bar-chart intermediate from a frequency table.
+pub fn bar_from_freq(freq: &FreqTable, ngroups: usize) -> Inter {
+    let top = freq.top_k(ngroups);
+    let shown: u64 = top.iter().map(|(_, c)| c).sum();
+    Inter::Bar {
+        categories: top.iter().map(|(c, _)| c.clone()).collect(),
+        counts: top.iter().map(|(_, c)| *c).collect(),
+        other: freq.total() - shown,
+        total_distinct: freq.distinct(),
+    }
+}
+
+/// Pie-chart intermediate from a frequency table.
+pub fn pie_from_freq(freq: &FreqTable, slices: usize) -> Inter {
+    let total = freq.total().max(1) as f64;
+    let top = freq.top_k(slices);
+    Inter::Pie {
+        categories: top.iter().map(|(c, _)| c.clone()).collect(),
+        fractions: top.iter().map(|(_, c)| *c as f64 / total).collect(),
+    }
+}
+
+/// Every `len/k`-th element of a slice (at least 1 apart).
+pub fn stride_sample(values: &[f64], k: usize) -> Vec<f64> {
+    if values.len() <= k {
+        return values.to_vec();
+    }
+    let stride = values.len() / k;
+    values.iter().copied().step_by(stride.max(1)).take(k).collect()
+}
+
+/// Q-Q points straight from pre-sorted data (avoids re-sorting).
+pub fn qq_from_sorted(sorted: &[f64], max_points: usize) -> Vec<(f64, f64)> {
+    let n = sorted.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    // Reuse the generic implementation on a bounded sample when huge.
+    if n > 100_000 {
+        return normal_qq_points(&stride_sample(sorted, 50_000), max_points);
+    }
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    let std = var.sqrt();
+    if std <= 0.0 {
+        return Vec::new();
+    }
+    let k = n.min(max_points.max(2));
+    (0..k)
+        .map(|i| {
+            let p = (i as f64 + 0.5) / k as f64;
+            (
+                mean + std * normal_quantile(p),
+                quantile_sorted(sorted, p).expect("non-empty"),
+            )
+        })
+        .collect()
+}
+
+/// Compact number formatting for stats tables.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.4e}")
+    } else if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn highlighted(insights: &[Insight], label: &str) -> bool {
+    insights.iter().any(|i| match i.kind {
+        crate::insights::InsightKind::Missing => label == "missing",
+        crate::insights::InsightKind::Skewed => label == "skewness",
+        crate::insights::InsightKind::Infinite => label == "infinite",
+        crate::insights::InsightKind::Zeros => label == "zeros",
+        crate::insights::InsightKind::Negatives => label == "negatives",
+        crate::insights::InsightKind::HighCardinality => label == "distinct",
+        crate::insights::InsightKind::Outliers => label == "outliers",
+        _ => false,
+    })
+}
+
+fn numeric_stats_rows(
+    meta: &ColMeta,
+    m: &Moments,
+    sorted: &[f64],
+    insights: &[Insight],
+) -> Vec<StatRow> {
+    let q = |p: f64| quantile_sorted(sorted, p).map_or("-".into(), fmt_num);
+    let opt = |v: Option<f64>| v.map_or("-".into(), fmt_num);
+    let mut rows = vec![
+        StatRow::new("count", meta.len.to_string()),
+        StatRow::new(
+            "missing",
+            format!(
+                "{} ({:.1}%)",
+                meta.nulls,
+                100.0 * meta.nulls as f64 / meta.len.max(1) as f64
+            ),
+        ),
+        StatRow::new("distinct", distinct_sorted(sorted).to_string()),
+        StatRow::new("mean", fmt_num(m.mean)),
+        StatRow::new("std", opt(m.std())),
+        StatRow::new("variance", opt(m.variance())),
+        StatRow::new("cv", opt(m.cv())),
+        StatRow::new("min", fmt_num(m.min)),
+        StatRow::new("q1", q(0.25)),
+        StatRow::new("median", q(0.5)),
+        StatRow::new("q3", q(0.75)),
+        StatRow::new("max", fmt_num(m.max)),
+        StatRow::new("range", opt(m.range())),
+        StatRow::new("sum", fmt_num(m.sum)),
+        StatRow::new("skewness", opt(m.skewness())),
+        StatRow::new("kurtosis", opt(m.kurtosis())),
+        StatRow::new("zeros", m.zeros.to_string()),
+        StatRow::new("negatives", m.negatives.to_string()),
+        StatRow::new("infinite", m.infinites.to_string()),
+    ];
+    for r in &mut rows {
+        r.highlight = highlighted(insights, &r.label);
+    }
+    rows
+}
+
+fn categorical_stats_rows(
+    meta: &ColMeta,
+    freq: &FreqTable,
+    text: &TextStats,
+    insights: &[Insight],
+) -> Vec<StatRow> {
+    let mode = freq.mode();
+    let mut rows = vec![
+        StatRow::new("count", meta.len.to_string()),
+        StatRow::new(
+            "missing",
+            format!(
+                "{} ({:.1}%)",
+                meta.nulls,
+                100.0 * meta.nulls as f64 / meta.len.max(1) as f64
+            ),
+        ),
+        StatRow::new("distinct", freq.distinct().to_string()),
+        StatRow::new(
+            "mode",
+            mode.map_or("-".into(), |(c, n)| format!("{c} ({n})")),
+        ),
+        StatRow::new("entropy", fmt_num(freq.entropy())),
+        StatRow::new("total words", text.total_words().to_string()),
+        StatRow::new("distinct words", text.distinct_words().to_string()),
+        StatRow::new("mean length", fmt_num(text.lengths.mean)),
+        StatRow::new(
+            "min length",
+            if text.lengths.count > 0 { fmt_num(text.lengths.min) } else { "-".into() },
+        ),
+        StatRow::new(
+            "max length",
+            if text.lengths.count > 0 { fmt_num(text.lengths.max) } else { "-".into() },
+        ),
+        StatRow::new("blank", text.blank.to_string()),
+    ];
+    for r in &mut rows {
+        r.highlight = highlighted(insights, &r.label);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::{Column, DataFrame};
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![
+            (
+                "price".into(),
+                Column::from_opt_f64(
+                    (0..500)
+                        .map(|i| {
+                            if i % 25 == 0 {
+                                None
+                            } else {
+                                Some(100.0 + ((i * 37) % 200) as f64)
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "city".into(),
+                Column::from_opt_string(
+                    (0..500)
+                        .map(|i| {
+                            if i % 50 == 0 {
+                                None
+                            } else {
+                                Some(format!("city {}", i % 7))
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_panel_has_all_figure2_charts() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _insights, sem) = compute_univariate(&mut ctx, "price").unwrap();
+        assert_eq!(sem, SemanticType::Numerical);
+        for chart in ["stats", "histogram", "kde_plot", "qq_plot", "box_plot"] {
+            assert!(ims.get(chart).is_some(), "missing {chart}");
+        }
+    }
+
+    #[test]
+    fn categorical_panel_has_all_figure2_charts() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _insights, sem) = compute_univariate(&mut ctx, "city").unwrap();
+        assert_eq!(sem, SemanticType::Categorical);
+        for chart in ["stats", "bar_chart", "pie_chart", "word_cloud", "word_frequencies"] {
+            assert!(ims.get(chart).is_some(), "missing {chart}");
+        }
+    }
+
+    #[test]
+    fn numeric_stats_values_are_correct() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _, _) = compute_univariate(&mut ctx, "price").unwrap();
+        let Some(Inter::StatsTable(rows)) = ims.get("stats") else {
+            panic!("stats table missing")
+        };
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("row {label}"))
+                .value
+                .clone()
+        };
+        assert_eq!(get("count"), "500");
+        assert!(get("missing").starts_with("20 "));
+        // i = 0 (the only index where (i*37)%200 == 0) is null, so the
+        // smallest surviving value is 101.
+        assert_eq!(get("min"), "101");
+    }
+
+    #[test]
+    fn histogram_bins_follow_config() {
+        let df = frame();
+        let cfg = Config::from_pairs(vec![("hist.bins", "7")]).unwrap();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _, _) = compute_univariate(&mut ctx, "price").unwrap();
+        let Some(Inter::Histogram { counts, edges }) = ims.get("histogram") else {
+            panic!()
+        };
+        assert_eq!(counts.len(), 7);
+        assert_eq!(edges.len(), 8);
+    }
+
+    #[test]
+    fn bar_chart_groups_and_other() {
+        let df = frame();
+        let cfg = Config::from_pairs(vec![("bar.ngroups", "3")]).unwrap();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _, _) = compute_univariate(&mut ctx, "city").unwrap();
+        let Some(Inter::Bar { categories, counts, other, total_distinct }) =
+            ims.get("bar_chart")
+        else {
+            panic!()
+        };
+        assert_eq!(categories.len(), 3);
+        assert_eq!(*total_distinct, 7);
+        let shown: u64 = counts.iter().sum();
+        assert_eq!(shown + other, 490); // 500 - 10 nulls
+    }
+
+    #[test]
+    fn word_stats_tokenize_values() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _, _) = compute_univariate(&mut ctx, "city").unwrap();
+        let Some(Inter::WordFreq { words, .. }) = ims.get("word_cloud") else {
+            panic!()
+        };
+        // Every value contains the word "city".
+        assert_eq!(words[0].0, "city");
+        assert_eq!(words[0].1, 490);
+    }
+
+    #[test]
+    fn missing_insight_fires_and_highlights() {
+        let df = frame();
+        let cfg = Config::default(); // 4% nulls < 5% threshold → no insight
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (_, insights, _) = compute_univariate(&mut ctx, "price").unwrap();
+        assert!(insights
+            .iter()
+            .all(|i| i.kind != crate::insights::InsightKind::Missing));
+
+        let strict = Config::from_pairs(vec![("insight.missing", "0.01")]).unwrap();
+        let mut ctx = ComputeContext::new(&df, &strict);
+        let (ims, insights, _) = compute_univariate(&mut ctx, "price").unwrap();
+        assert!(insights
+            .iter()
+            .any(|i| i.kind == crate::insights::InsightKind::Missing));
+        let Some(Inter::StatsTable(rows)) = ims.get("stats") else { panic!() };
+        assert!(rows.iter().find(|r| r.label == "missing").unwrap().highlight);
+    }
+
+    #[test]
+    fn stride_sample_bounds() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = stride_sample(&v, 100);
+        assert!(s.len() <= 100);
+        assert_eq!(stride_sample(&v, 10_000).len(), 1000);
+    }
+
+    #[test]
+    fn qq_from_sorted_matches_generic() {
+        let vals: Vec<f64> = (0..500).map(|i| (i as f64).sqrt() * 3.0).collect();
+        let fast = qq_from_sorted(&vals, 50);
+        let generic = normal_qq_points(&vals, 50);
+        assert_eq!(fast.len(), generic.len());
+        for (a, b) in fast.iter().zip(&generic) {
+            assert!((a.0 - b.0).abs() < 1e-9);
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn violin_is_opt_in() {
+        let df = frame();
+        let base = Config::default();
+        let mut ctx = ComputeContext::new(&df, &base);
+        let (ims, _, _) = compute_univariate(&mut ctx, "price").unwrap();
+        assert!(ims.get("violin_plot").is_none());
+
+        let cfg = Config::from_pairs(vec![("violin.enabled", "true")]).unwrap();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let (ims, _, _) = compute_univariate(&mut ctx, "price").unwrap();
+        let Some(Inter::Violin { ys, densities }) = ims.get("violin_plot") else {
+            panic!("violin expected")
+        };
+        assert_eq!(ys.len(), densities.len());
+        assert!(!ys.is_empty());
+    }
+
+    #[test]
+    fn distinct_from_sorted_runs() {
+        assert_eq!(distinct_sorted(&[]), 0);
+        assert_eq!(distinct_sorted(&[1.0]), 1);
+        assert_eq!(distinct_sorted(&[1.0, 1.0, 2.0, 2.0, 3.0]), 3);
+    }
+
+    #[test]
+    fn fmt_num_forms() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(1.23456), "1.2346");
+        assert!(fmt_num(1.0e9).contains('e'));
+        assert!(fmt_num(f64::INFINITY).contains("inf"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for EDA computations.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type EdaResult<T> = std::result::Result<T, EdaError>;
+
+/// Errors surfaced by the EDA API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdaError {
+    /// Underlying dataframe failure (missing column, type error, ...).
+    Frame(eda_dataframe::Error),
+    /// Too many columns were passed to a plot function.
+    TooManyColumns {
+        /// The function that was called.
+        function: &'static str,
+        /// How many columns it accepts at most.
+        max: usize,
+        /// How many were passed.
+        got: usize,
+    },
+    /// An operation required a numeric column.
+    NotNumeric(String),
+    /// A configuration string could not be parsed.
+    Config {
+        /// The config key.
+        key: String,
+        /// The problem.
+        message: String,
+    },
+    /// The frame has no columns / rows where some are required.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for EdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdaError::Frame(e) => write!(f, "dataframe error: {e}"),
+            EdaError::TooManyColumns { function, max, got } => {
+                write!(f, "{function} accepts at most {max} columns, got {got}")
+            }
+            EdaError::NotNumeric(col) => {
+                write!(f, "column {col:?} is not numeric, but the task requires it")
+            }
+            EdaError::Config { key, message } => write!(f, "config {key:?}: {message}"),
+            EdaError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EdaError {}
+
+impl From<eda_dataframe::Error> for EdaError {
+    fn from(e: eda_dataframe::Error) -> Self {
+        EdaError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EdaError::TooManyColumns { function: "plot", max: 2, got: 3 };
+        assert!(e.to_string().contains("at most 2"));
+        let e = EdaError::NotNumeric("city".into());
+        assert!(e.to_string().contains("city"));
+    }
+
+    #[test]
+    fn frame_error_converts() {
+        let fe = eda_dataframe::Error::ColumnNotFound("x".into());
+        let e: EdaError = fe.clone().into();
+        assert_eq!(e, EdaError::Frame(fe));
+    }
+}

@@ -1,0 +1,235 @@
+//! Packed validity bitmap.
+//!
+//! Each column may carry a [`Bitmap`] marking which entries are valid
+//! (bit set) versus null (bit clear). A column without a bitmap has no
+//! nulls. One bit per value, LSB-first within each byte, matching the
+//! Arrow convention so the representation is familiar to readers.
+
+/// A growable, packed bitset tracking value validity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let fill = if value { 0xFF } else { 0x00 };
+        let mut bm = Bitmap { bytes: vec![fill; len.div_ceil(8)], len };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Build from an iterator of booleans (also available through the
+    /// `FromIterator` impl below; the inherent method reads better at
+    /// call sites that already have a `Bitmap` in scope).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        let (byte, bit) = (self.len / 8, self.len % 8);
+        if bit == 0 {
+            self.bytes.push(0);
+        }
+        if value {
+            self.bytes[byte] |= 1 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Read bit `i`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds for length {}", self.len);
+        (self.bytes[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`. Panics if out of bounds.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds for length {}", self.len);
+        if value {
+            self.bytes[i / 8] |= 1 << (i % 8);
+        } else {
+            self.bytes[i / 8] &= !(1 << (i % 8));
+        }
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_set(&self) -> usize {
+        self.bytes.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Number of clear (null) bits.
+    pub fn count_unset(&self) -> usize {
+        self.len - self.count_set()
+    }
+
+    /// Whether every bit is set (no nulls).
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Iterate over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// A new bitmap restricted to `range` (half-open).
+    pub fn slice(&self, start: usize, len: usize) -> Bitmap {
+        assert!(start + len <= self.len, "slice out of bounds");
+        Bitmap::from_iter((start..start + len).map(|i| self.get(i)))
+    }
+
+    /// Bitwise AND of two equal-length bitmaps.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in and()");
+        let bytes = self
+            .bytes
+            .iter()
+            .zip(&other.bytes)
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap { bytes, len: self.len }
+    }
+
+    /// Append all bits of `other`.
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Clear the unused bits of the last byte so equality and popcount
+    /// stay well-defined after bulk fills.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 8;
+        if tail != 0 {
+            if let Some(last) = self.bytes.last_mut() {
+                *last &= (1u8 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Bitmap::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = Bitmap::new();
+        assert_eq!(bm.len(), 0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_set(), 0);
+        assert!(bm.all_set());
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut bm = Bitmap::new();
+        for i in 0..20 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 20);
+        for i in 0..20 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.count_set(), 7);
+        assert_eq!(bm.count_unset(), 13);
+    }
+
+    #[test]
+    fn filled_true_and_false() {
+        let t = Bitmap::filled(13, true);
+        assert_eq!(t.count_set(), 13);
+        assert!(t.all_set());
+        let f = Bitmap::filled(13, false);
+        assert_eq!(f.count_set(), 0);
+        assert!(!f.all_set());
+    }
+
+    #[test]
+    fn set_flips_bits() {
+        let mut bm = Bitmap::filled(10, false);
+        bm.set(3, true);
+        bm.set(9, true);
+        assert!(bm.get(3));
+        assert!(bm.get(9));
+        assert_eq!(bm.count_set(), 2);
+        bm.set(3, false);
+        assert!(!bm.get(3));
+        assert_eq!(bm.count_set(), 1);
+    }
+
+    #[test]
+    fn slice_preserves_bits() {
+        let bm = Bitmap::from_iter((0..30).map(|i| i % 2 == 0));
+        let s = bm.slice(5, 10);
+        assert_eq!(s.len(), 10);
+        for i in 0..10 {
+            assert_eq!(s.get(i), (i + 5) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn and_combines() {
+        let a = Bitmap::from_iter([true, true, false, false]);
+        let b = Bitmap::from_iter([true, false, true, false]);
+        let c = a.and(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Bitmap::from_iter([true, false]);
+        let b = Bitmap::from_iter([false, true, true]);
+        a.extend_from(&b);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![true, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn filled_equality_respects_tail_masking() {
+        // filled(5, true) must equal a bit-by-bit construction.
+        let a = Bitmap::filled(5, true);
+        let b = Bitmap::from_iter([true; 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::filled(3, true).get(3);
+    }
+}

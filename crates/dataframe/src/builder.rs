@@ -1,0 +1,408 @@
+//! Incremental column builders.
+//!
+//! Builders let the CSV reader (and data generators) append values one at a
+//! time without knowing the final length, then freeze into an immutable
+//! [`Column`]. Each builder tracks nullity lazily: the bitmap is only
+//! allocated once the first null arrives.
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::dtype::DataType;
+
+/// Common interface over the typed builders, used by the CSV reader which
+/// decides types at runtime.
+pub enum ColumnBuilder {
+    /// Builds a float column.
+    F64(F64Builder),
+    /// Builds an integer column.
+    I64(I64Builder),
+    /// Builds a string column.
+    Str(StrBuilder),
+    /// Builds a boolean column.
+    Bool(BoolBuilder),
+}
+
+impl ColumnBuilder {
+    /// A builder for the given physical type.
+    pub fn for_dtype(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Float64 => ColumnBuilder::F64(F64Builder::new()),
+            DataType::Int64 => ColumnBuilder::I64(I64Builder::new()),
+            DataType::Str => ColumnBuilder::Str(StrBuilder::new()),
+            DataType::Bool => ColumnBuilder::Bool(BoolBuilder::new()),
+        }
+    }
+
+    /// Number of values appended so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::F64(b) => b.len(),
+            ColumnBuilder::I64(b) => b.len(),
+            ColumnBuilder::Str(b) => b.len(),
+            ColumnBuilder::Bool(b) => b.len(),
+        }
+    }
+
+    /// Whether no values have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a null.
+    pub fn push_null(&mut self) {
+        match self {
+            ColumnBuilder::F64(b) => b.push_null(),
+            ColumnBuilder::I64(b) => b.push_null(),
+            ColumnBuilder::Str(b) => b.push_null(),
+            ColumnBuilder::Bool(b) => b.push_null(),
+        }
+    }
+
+    /// Parse and append a raw text field. Returns `false` when the field
+    /// does not parse as this builder's type (the caller then widens).
+    pub fn push_parsed(&mut self, field: &str) -> bool {
+        match self {
+            ColumnBuilder::F64(b) => match parse_f64(field) {
+                Some(v) => {
+                    b.push(v);
+                    true
+                }
+                None => false,
+            },
+            ColumnBuilder::I64(b) => match field.trim().parse::<i64>() {
+                Ok(v) => {
+                    b.push(v);
+                    true
+                }
+                Err(_) => false,
+            },
+            ColumnBuilder::Str(b) => {
+                b.push(field);
+                true
+            }
+            ColumnBuilder::Bool(b) => match parse_bool(field) {
+                Some(v) => {
+                    b.push(v);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Freeze into an immutable column.
+    pub fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::F64(b) => b.finish(),
+            ColumnBuilder::I64(b) => b.finish(),
+            ColumnBuilder::Str(b) => b.finish(),
+            ColumnBuilder::Bool(b) => b.finish(),
+        }
+    }
+}
+
+/// Parse a float field, accepting common CSV spellings.
+pub(crate) fn parse_f64(field: &str) -> Option<f64> {
+    field.trim().parse::<f64>().ok()
+}
+
+/// Parse a boolean field, accepting `true/false` in any case.
+pub(crate) fn parse_bool(field: &str) -> Option<bool> {
+    match field.trim() {
+        "true" | "True" | "TRUE" => Some(true),
+        "false" | "False" | "FALSE" => Some(false),
+        _ => None,
+    }
+}
+
+macro_rules! typed_builder {
+    ($name:ident, $t:ty, $default:expr, $variant:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Default)]
+        pub struct $name {
+            values: Vec<$t>,
+            validity: Option<Bitmap>,
+        }
+
+        impl $name {
+            /// An empty builder.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// An empty builder with reserved capacity.
+            pub fn with_capacity(cap: usize) -> Self {
+                $name { values: Vec::with_capacity(cap), validity: None }
+            }
+
+            /// Number of values appended so far.
+            pub fn len(&self) -> usize {
+                self.values.len()
+            }
+
+            /// Whether no values have been appended.
+            pub fn is_empty(&self) -> bool {
+                self.values.is_empty()
+            }
+
+            /// Append a null.
+            pub fn push_null(&mut self) {
+                let validity = self.validity.get_or_insert_with(|| {
+                    Bitmap::filled(self.values.len(), true)
+                });
+                validity.push(false);
+                self.values.push($default);
+            }
+
+            /// Append an optional value.
+            pub fn push_opt(&mut self, value: Option<$t>) {
+                match value {
+                    Some(v) => self.push(v),
+                    None => self.push_null(),
+                }
+            }
+
+            /// Freeze into an immutable column.
+            pub fn finish(self) -> Column {
+                match self.validity {
+                    Some(v) => {
+                        let opts: Vec<Option<$t>> = self
+                            .values
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, x)| if v.get(i) { Some(x) } else { None })
+                            .collect();
+                        Column::$variant(opts)
+                    }
+                    None => Column::$variant(
+                        self.values.into_iter().map(Some).collect::<Vec<_>>(),
+                    ),
+                }
+            }
+        }
+    };
+}
+
+// The `finish` paths above funnel through the `from_opt_*` constructors to
+// keep bitmap bookkeeping in one place; macro indirection maps each builder
+// to the right constructor via these small shims.
+#[allow(non_snake_case)]
+impl Column {
+    fn Float64Opts(v: Vec<Option<f64>>) -> Column {
+        Column::from_opt_f64(v)
+    }
+    fn Int64Opts(v: Vec<Option<i64>>) -> Column {
+        Column::from_opt_i64(v)
+    }
+    fn BoolOpts(v: Vec<Option<bool>>) -> Column {
+        Column::from_opt_bool(v)
+    }
+}
+
+typed_builder!(F64Builder, f64, 0.0, Float64Opts, "Builder for float columns.");
+typed_builder!(I64Builder, i64, 0, Int64Opts, "Builder for integer columns.");
+typed_builder!(BoolBuilder, bool, false, BoolOpts, "Builder for boolean columns.");
+
+impl F64Builder {
+    /// Append a value.
+    pub fn push(&mut self, v: f64) {
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+        self.values.push(v);
+    }
+}
+
+impl I64Builder {
+    /// Append a value.
+    pub fn push(&mut self, v: i64) {
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+        self.values.push(v);
+    }
+}
+
+impl BoolBuilder {
+    /// Append a value.
+    pub fn push(&mut self, v: bool) {
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+        self.values.push(v);
+    }
+}
+
+/// Builder for string columns.
+#[derive(Debug, Default)]
+pub struct StrBuilder {
+    values: Vec<String>,
+    validity: Option<Bitmap>,
+}
+
+impl StrBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        StrBuilder { values: Vec::with_capacity(cap), validity: None }
+    }
+
+    /// Number of values appended so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: &str) {
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+        self.values.push(v.to_string());
+    }
+
+    /// Append an owned value.
+    pub fn push_string(&mut self, v: String) {
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+        self.values.push(v);
+    }
+
+    /// Append a null.
+    pub fn push_null(&mut self) {
+        let validity = self
+            .validity
+            .get_or_insert_with(|| Bitmap::filled(self.values.len(), true));
+        validity.push(false);
+        self.values.push(String::new());
+    }
+
+    /// Append an optional value.
+    pub fn push_opt(&mut self, v: Option<&str>) {
+        match v {
+            Some(v) => self.push(v),
+            None => self.push_null(),
+        }
+    }
+
+    /// Freeze into an immutable column.
+    pub fn finish(self) -> Column {
+        match self.validity {
+            Some(bm) => Column::from_opt_string(
+                self.values
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| if bm.get(i) { Some(s) } else { None })
+                    .collect(),
+            ),
+            None => Column::from_string(self.values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn f64_builder_no_nulls() {
+        let mut b = F64Builder::new();
+        b.push(1.0);
+        b.push(2.0);
+        let c = b.finish();
+        assert_eq!(c, Column::from_f64(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn f64_builder_with_nulls() {
+        let mut b = F64Builder::new();
+        b.push(1.0);
+        b.push_null();
+        b.push(3.0);
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_first_then_values() {
+        let mut b = I64Builder::new();
+        b.push_null();
+        b.push(7);
+        let c = b.finish();
+        assert!(!c.is_valid(0));
+        assert_eq!(c.get(1).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn str_builder() {
+        let mut b = StrBuilder::with_capacity(3);
+        b.push("a");
+        b.push_null();
+        b.push_string("c".into());
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(2).unwrap(), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn push_opt() {
+        let mut b = BoolBuilder::new();
+        b.push_opt(Some(true));
+        b.push_opt(None);
+        let c = b.finish();
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn dynamic_builder_parses_or_rejects() {
+        let mut b = ColumnBuilder::for_dtype(DataType::Int64);
+        assert!(b.push_parsed("42"));
+        assert!(!b.push_parsed("4.5")); // not an int
+        assert!(!b.push_parsed("x"));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn dynamic_builder_bool() {
+        let mut b = ColumnBuilder::for_dtype(DataType::Bool);
+        assert!(b.push_parsed("true"));
+        assert!(b.push_parsed("False"));
+        assert!(!b.push_parsed("yes"));
+        let c = b.finish();
+        assert_eq!(c, Column::from_bool(vec![true, false]));
+    }
+
+    #[test]
+    fn dynamic_builder_str_accepts_everything() {
+        let mut b = ColumnBuilder::for_dtype(DataType::Str);
+        assert!(b.push_parsed("anything"));
+        assert!(b.push_parsed("1.5"));
+        b.push_null();
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn parse_helpers() {
+        assert_eq!(parse_f64(" 1.5 "), Some(1.5));
+        assert_eq!(parse_f64("NaN").map(|v| v.is_nan()), Some(true));
+        assert_eq!(parse_f64("abc"), None);
+        assert_eq!(parse_bool("TRUE"), Some(true));
+        assert_eq!(parse_bool("0"), None);
+    }
+}

@@ -1,0 +1,544 @@
+//! Typed columnar storage.
+//!
+//! A [`Column`] is a contiguous vector of one physical type plus an optional
+//! validity [`Bitmap`]. Columns are immutable once built; dataframes share
+//! them via `Arc`, so slicing a frame into partitions never deep-copies
+//! unless rows must actually be rearranged (filter/gather).
+
+use crate::bitmap::Bitmap;
+use crate::dtype::DataType;
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Values plus optional validity for one physical type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedData<T> {
+    pub(crate) values: Vec<T>,
+    pub(crate) validity: Option<Bitmap>,
+}
+
+impl<T> TypedData<T> {
+    fn new(values: Vec<T>, validity: Option<Bitmap>) -> Self {
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), values.len(), "validity length must match values");
+        }
+        TypedData { values, validity }
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v.get(i))
+    }
+
+    fn null_count(&self) -> usize {
+        self.validity.as_ref().map_or(0, |v| v.count_unset())
+    }
+}
+
+/// A single immutable column of data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit floats.
+    Float64(TypedData<f64>),
+    /// 64-bit signed integers.
+    Int64(TypedData<i64>),
+    /// UTF-8 strings.
+    Str(TypedData<String>),
+    /// Booleans.
+    Bool(TypedData<bool>),
+}
+
+impl Column {
+    // ---- constructors -----------------------------------------------------
+
+    /// A non-null float column.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float64(TypedData::new(values, None))
+    }
+
+    /// A float column where `None` marks nulls.
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Self {
+        let validity: Bitmap = values.iter().map(Option::is_some).collect();
+        let data = values.into_iter().map(|v| v.unwrap_or(0.0)).collect();
+        Column::Float64(TypedData::new(data, some_if_nulls(validity)))
+    }
+
+    /// A non-null integer column.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column::Int64(TypedData::new(values, None))
+    }
+
+    /// An integer column where `None` marks nulls.
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Self {
+        let validity: Bitmap = values.iter().map(Option::is_some).collect();
+        let data = values.into_iter().map(|v| v.unwrap_or(0)).collect();
+        Column::Int64(TypedData::new(data, some_if_nulls(validity)))
+    }
+
+    /// A non-null string column from owned strings.
+    pub fn from_string(values: Vec<String>) -> Self {
+        Column::Str(TypedData::new(values, None))
+    }
+
+    /// A non-null string column from string slices.
+    pub fn from_strs(values: &[&str]) -> Self {
+        Column::Str(TypedData::new(
+            values.iter().map(|s| s.to_string()).collect(),
+            None,
+        ))
+    }
+
+    /// A string column where `None` marks nulls.
+    pub fn from_opt_string(values: Vec<Option<String>>) -> Self {
+        let validity: Bitmap = values.iter().map(Option::is_some).collect();
+        let data = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Str(TypedData::new(data, some_if_nulls(validity)))
+    }
+
+    /// A non-null boolean column.
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        Column::Bool(TypedData::new(values, None))
+    }
+
+    /// A boolean column where `None` marks nulls.
+    pub fn from_opt_bool(values: Vec<Option<bool>>) -> Self {
+        let validity: Bitmap = values.iter().map(Option::is_some).collect();
+        let data = values.into_iter().map(|v| v.unwrap_or(false)).collect();
+        Column::Bool(TypedData::new(data, some_if_nulls(validity)))
+    }
+
+    // ---- metadata ---------------------------------------------------------
+
+    /// Number of rows, including nulls.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Float64(d) => d.len(),
+            Column::Int64(d) => d.len(),
+            Column::Str(d) => d.len(),
+            Column::Bool(d) => d.len(),
+        }
+    }
+
+    /// Whether the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical type of the column.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Float64(_) => DataType::Float64,
+            Column::Int64(_) => DataType::Int64,
+            Column::Str(_) => DataType::Str,
+            Column::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of null entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Float64(d) => d.null_count(),
+            Column::Int64(d) => d.null_count(),
+            Column::Str(d) => d.null_count(),
+            Column::Bool(d) => d.null_count(),
+        }
+    }
+
+    /// Whether row `i` is non-null.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            Column::Float64(d) => d.is_valid(i),
+            Column::Int64(d) => d.is_valid(i),
+            Column::Str(d) => d.is_valid(i),
+            Column::Bool(d) => d.is_valid(i),
+        }
+    }
+
+    /// The validity bitmap as a materialized mask (all-true when absent).
+    pub fn validity_mask(&self) -> Bitmap {
+        let validity = match self {
+            Column::Float64(d) => &d.validity,
+            Column::Int64(d) => &d.validity,
+            Column::Str(d) => &d.validity,
+            Column::Bool(d) => &d.validity,
+        };
+        match validity {
+            Some(v) => v.clone(),
+            None => Bitmap::filled(self.len(), true),
+        }
+    }
+
+    // ---- cell access ------------------------------------------------------
+
+    /// Dynamically-typed view of row `i`.
+    pub fn get(&self, i: usize) -> Result<Value> {
+        if i >= self.len() {
+            return Err(Error::IndexOutOfBounds { index: i, len: self.len() });
+        }
+        Ok(match self {
+            Column::Float64(d) if d.is_valid(i) => Value::Float(d.values[i]),
+            Column::Int64(d) if d.is_valid(i) => Value::Int(d.values[i]),
+            Column::Str(d) if d.is_valid(i) => Value::Str(d.values[i].clone()),
+            Column::Bool(d) if d.is_valid(i) => Value::Bool(d.values[i]),
+            _ => Value::Null,
+        })
+    }
+
+    // ---- typed iteration --------------------------------------------------
+
+    /// Iterate all rows as `Option<f64>` (ints widened); non-numeric columns
+    /// yield an error.
+    pub fn numeric_iter(&self) -> Result<Box<dyn Iterator<Item = Option<f64>> + '_>> {
+        match self {
+            Column::Float64(d) => Ok(Box::new(
+                d.values
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, v)| if d.is_valid(i) { Some(*v) } else { None }),
+            )),
+            Column::Int64(d) => Ok(Box::new(d.values.iter().enumerate().map(move |(i, v)| {
+                if d.is_valid(i) {
+                    Some(*v as f64)
+                } else {
+                    None
+                }
+            }))),
+            other => Err(Error::TypeMismatch {
+                context: "numeric_iter".into(),
+                expected: "numeric",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Collect valid numeric values (ints widened) into a vector,
+    /// dropping nulls. Errors on non-numeric columns.
+    pub fn numeric_nonnull(&self) -> Result<Vec<f64>> {
+        Ok(self.numeric_iter()?.flatten().collect())
+    }
+
+    /// Iterate all rows as `Option<&str>`; non-string columns yield an error.
+    pub fn str_iter(&self) -> Result<Box<dyn Iterator<Item = Option<&str>> + '_>> {
+        match self {
+            Column::Str(d) => Ok(Box::new(d.values.iter().enumerate().map(move |(i, v)| {
+                if d.is_valid(i) {
+                    Some(v.as_str())
+                } else {
+                    None
+                }
+            }))),
+            other => Err(Error::TypeMismatch {
+                context: "str_iter".into(),
+                expected: "str",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Iterate all rows as `Option<bool>`; non-bool columns yield an error.
+    pub fn bool_iter(&self) -> Result<Box<dyn Iterator<Item = Option<bool>> + '_>> {
+        match self {
+            Column::Bool(d) => Ok(Box::new(d.values.iter().enumerate().map(move |(i, v)| {
+                if d.is_valid(i) {
+                    Some(*v)
+                } else {
+                    None
+                }
+            }))),
+            other => Err(Error::TypeMismatch {
+                context: "bool_iter".into(),
+                expected: "bool",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Every row rendered to its display string (`None` for nulls).
+    /// Works for all column types; used by categorical kernels so that a
+    /// numeric column explicitly treated as categorical still works.
+    pub fn display_iter(&self) -> impl Iterator<Item = Option<String>> + '_ {
+        (0..self.len()).map(move |i| {
+            if self.is_valid(i) {
+                Some(match self {
+                    Column::Float64(d) => format_float(d.values[i]),
+                    Column::Int64(d) => d.values[i].to_string(),
+                    Column::Str(d) => d.values[i].clone(),
+                    Column::Bool(d) => d.values[i].to_string(),
+                })
+            } else {
+                None
+            }
+        })
+    }
+
+    // ---- transformations --------------------------------------------------
+
+    /// Copy rows `[start, start + len)` into a new column.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        assert!(start + len <= self.len(), "slice out of bounds");
+        fn slice_data<T: Clone>(d: &TypedData<T>, start: usize, len: usize) -> TypedData<T> {
+            TypedData {
+                values: d.values[start..start + len].to_vec(),
+                validity: d.validity.as_ref().map(|v| v.slice(start, len)),
+            }
+        }
+        match self {
+            Column::Float64(d) => Column::Float64(slice_data(d, start, len)),
+            Column::Int64(d) => Column::Int64(slice_data(d, start, len)),
+            Column::Str(d) => Column::Str(slice_data(d, start, len)),
+            Column::Bool(d) => Column::Bool(slice_data(d, start, len)),
+        }
+    }
+
+    /// Keep only the rows where `mask` is set.
+    pub fn filter(&self, mask: &Bitmap) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                column: "<mask>".into(),
+                got: mask.len(),
+                expected: self.len(),
+            });
+        }
+        fn filter_data<T: Clone>(d: &TypedData<T>, mask: &Bitmap) -> TypedData<T> {
+            let mut values = Vec::with_capacity(mask.count_set());
+            let mut validity = d.validity.as_ref().map(|_| Bitmap::new());
+            for i in 0..d.values.len() {
+                if mask.get(i) {
+                    values.push(d.values[i].clone());
+                    if let (Some(out), Some(v)) = (&mut validity, &d.validity) {
+                        out.push(v.get(i));
+                    }
+                }
+            }
+            TypedData { values, validity }
+        }
+        Ok(match self {
+            Column::Float64(d) => Column::Float64(filter_data(d, mask)),
+            Column::Int64(d) => Column::Int64(filter_data(d, mask)),
+            Column::Str(d) => Column::Str(filter_data(d, mask)),
+            Column::Bool(d) => Column::Bool(filter_data(d, mask)),
+        })
+    }
+
+    /// Vertically concatenate columns of the same type.
+    pub fn concat(parts: &[&Column]) -> Result<Column> {
+        let first = parts.first().ok_or_else(|| Error::Io("concat of zero columns".into()))?;
+        let dtype = first.dtype();
+        for p in parts {
+            if p.dtype() != dtype {
+                return Err(Error::TypeMismatch {
+                    context: "concat".into(),
+                    expected: dtype.name(),
+                    got: p.dtype().name(),
+                });
+            }
+        }
+        // Concatenate through Values to stay simple; concat is only used on
+        // small reduce-side data, never in the hot per-partition path.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let any_null = parts.iter().any(|p| p.null_count() > 0);
+        macro_rules! concat_typed {
+            ($variant:ident, $t:ty) => {{
+                let mut values: Vec<$t> = Vec::with_capacity(total);
+                let mut validity = if any_null { Some(Bitmap::new()) } else { None };
+                for p in parts {
+                    if let Column::$variant(d) = p {
+                        values.extend(d.values.iter().cloned());
+                        if let Some(v) = &mut validity {
+                            match &d.validity {
+                                Some(src) => v.extend_from(src),
+                                None => {
+                                    for _ in 0..d.len() {
+                                        v.push(true);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Column::$variant(TypedData { values, validity })
+            }};
+        }
+        Ok(match dtype {
+            DataType::Float64 => concat_typed!(Float64, f64),
+            DataType::Int64 => concat_typed!(Int64, i64),
+            DataType::Str => concat_typed!(Str, String),
+            DataType::Bool => concat_typed!(Bool, bool),
+        })
+    }
+
+    /// Reinterpret the column as floats with nulls mapped to NaN.
+    /// Only valid for numeric columns.
+    pub fn to_f64_nan(&self) -> Result<Vec<f64>> {
+        Ok(self
+            .numeric_iter()?
+            .map(|v| v.unwrap_or(f64::NAN))
+            .collect())
+    }
+}
+
+/// Format a float the way cells are displayed (no trailing `.0` noise for
+/// integral values).
+fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Drop the bitmap entirely when it has no nulls, the common fast path.
+fn some_if_nulls(bm: Bitmap) -> Option<Bitmap> {
+    if bm.all_set() {
+        None
+    } else {
+        Some(bm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_float_column() {
+        let c = Column::from_f64(vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dtype(), DataType::Float64);
+        assert_eq!(c.null_count(), 0);
+        assert_eq!(c.get(1).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn optional_columns_track_nulls() {
+        let c = Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.null_count(), 1);
+        assert!(!c.is_valid(1));
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+        assert_eq!(c.numeric_nonnull().unwrap(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn all_some_optional_drops_bitmap() {
+        let c = Column::from_opt_i64(vec![Some(1), Some(2)]);
+        assert_eq!(c.null_count(), 0);
+        // Equivalent to a plain column.
+        assert_eq!(c, Column::from_i64(vec![1, 2]));
+    }
+
+    #[test]
+    fn int_column_widens_to_f64() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3)]);
+        let vals: Vec<Option<f64>> = c.numeric_iter().unwrap().collect();
+        assert_eq!(vals, vec![Some(1.0), None, Some(3.0)]);
+    }
+
+    #[test]
+    fn str_iter_and_type_errors() {
+        let c = Column::from_opt_string(vec![Some("a".into()), None]);
+        let vals: Vec<Option<&str>> = c.str_iter().unwrap().collect();
+        assert_eq!(vals, vec![Some("a"), None]);
+        assert!(c.numeric_iter().is_err());
+        assert!(Column::from_f64(vec![1.0]).str_iter().is_err());
+    }
+
+    #[test]
+    fn bool_iter() {
+        let c = Column::from_opt_bool(vec![Some(true), None, Some(false)]);
+        let vals: Vec<Option<bool>> = c.bool_iter().unwrap().collect();
+        assert_eq!(vals, vec![Some(true), None, Some(false)]);
+    }
+
+    #[test]
+    fn display_iter_formats_all_types() {
+        let f = Column::from_f64(vec![1.0, 2.5]);
+        assert_eq!(
+            f.display_iter().collect::<Vec<_>>(),
+            vec![Some("1".to_string()), Some("2.5".to_string())]
+        );
+        let s = Column::from_opt_string(vec![None, Some("x".into())]);
+        assert_eq!(
+            s.display_iter().collect::<Vec<_>>(),
+            vec![None, Some("x".to_string())]
+        );
+    }
+
+    #[test]
+    fn slice_copies_rows_and_validity() {
+        let c = Column::from_opt_i64(vec![Some(0), None, Some(2), Some(3), None]);
+        let s = c.slice(1, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0).unwrap(), Value::Null);
+        assert_eq!(s.get(1).unwrap(), Value::Int(2));
+        assert_eq!(s.null_count(), 1);
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let mask = Bitmap::from_iter([true, false, false, true]);
+        let out = c.filter(&mask).unwrap();
+        assert_eq!(out, Column::from_i64(vec![10, 40]));
+    }
+
+    #[test]
+    fn filter_preserves_nulls() {
+        let c = Column::from_opt_string(vec![Some("a".into()), None, Some("c".into())]);
+        let mask = Bitmap::from_iter([false, true, true]);
+        let out = c.filter(&mask).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(!out.is_valid(0));
+        assert_eq!(out.get(1).unwrap(), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn filter_length_mismatch_errors() {
+        let c = Column::from_i64(vec![1, 2]);
+        let mask = Bitmap::from_iter([true]);
+        assert!(c.filter(&mask).is_err());
+    }
+
+    #[test]
+    fn concat_round_trip() {
+        let a = Column::from_opt_f64(vec![Some(1.0), None]);
+        let b = Column::from_f64(vec![3.0]);
+        let out = Column::concat(&[&a, &b]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.null_count(), 1);
+        assert_eq!(out.get(2).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn concat_type_mismatch_errors() {
+        let a = Column::from_f64(vec![1.0]);
+        let b = Column::from_i64(vec![1]);
+        assert!(Column::concat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn to_f64_nan_maps_nulls() {
+        let c = Column::from_opt_f64(vec![Some(1.0), None]);
+        let v = c.to_f64_nan().unwrap();
+        assert_eq!(v[0], 1.0);
+        assert!(v[1].is_nan());
+    }
+
+    #[test]
+    fn get_out_of_bounds() {
+        let c = Column::from_bool(vec![true]);
+        assert!(matches!(c.get(1), Err(Error::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validity_mask_defaults_to_all_true() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert!(c.validity_mask().all_set());
+        let c2 = Column::from_opt_i64(vec![Some(1), None]);
+        assert_eq!(c2.validity_mask().count_unset(), 1);
+    }
+}

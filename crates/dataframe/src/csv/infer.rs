@@ -1,0 +1,121 @@
+//! Column type inference.
+//!
+//! For each column the narrowest type that every sampled non-null field
+//! parses as is chosen, in the order bool → i64 → f64 → str. The lattice is
+//! a chain, so widening on later contradictions is a single step up.
+
+use crate::builder::{parse_bool, parse_f64};
+use crate::dtype::DataType;
+
+/// Default spellings treated as null (after trimming).
+pub(crate) const NULL_LEXICON: &[&str] = &["", "NA", "N/A", "na", "null", "NULL", "None", "nan", "NaN"];
+
+/// Whether a raw field should be read as null.
+pub(crate) fn is_null_field(field: &str, extra: &[String]) -> bool {
+    let t = field.trim();
+    NULL_LEXICON.contains(&t) || extra.iter().any(|n| n == t)
+}
+
+/// The narrowest type a single field parses as (`None` for null fields).
+pub fn infer_dtype(field: &str) -> Option<DataType> {
+    let t = field.trim();
+    if is_null_field(t, &[]) {
+        return None;
+    }
+    if parse_bool(t).is_some() {
+        Some(DataType::Bool)
+    } else if t.parse::<i64>().is_ok() {
+        Some(DataType::Int64)
+    } else if parse_f64(t).is_some() {
+        Some(DataType::Float64)
+    } else {
+        Some(DataType::Str)
+    }
+}
+
+/// Widen `a` to also accommodate `b` along the bool → i64 → f64 → str chain.
+pub(crate) fn widen(a: DataType, b: DataType) -> DataType {
+    use DataType::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        (Int64, Float64) | (Float64, Int64) => Float64,
+        // bool mixed with anything non-bool, or str with anything: string.
+        _ => Str,
+    }
+}
+
+/// Infer a type per column from sampled rows of raw fields.
+///
+/// Columns whose sample is entirely null default to `Str`.
+pub fn infer_schema<'a, R>(rows: R, ncols: usize) -> Vec<DataType>
+where
+    R: IntoIterator<Item = &'a Vec<String>>,
+{
+    let mut types: Vec<Option<DataType>> = vec![None; ncols];
+    for row in rows {
+        for (i, field) in row.iter().enumerate().take(ncols) {
+            if let Some(t) = infer_dtype(field) {
+                types[i] = Some(match types[i] {
+                    Some(prev) => widen(prev, t),
+                    None => t,
+                });
+            }
+        }
+    }
+    types
+        .into_iter()
+        .map(|t| t.unwrap_or(DataType::Str))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_field_inference() {
+        assert_eq!(infer_dtype("true"), Some(DataType::Bool));
+        assert_eq!(infer_dtype("42"), Some(DataType::Int64));
+        assert_eq!(infer_dtype("-4.5"), Some(DataType::Float64));
+        assert_eq!(infer_dtype("4e3"), Some(DataType::Float64));
+        assert_eq!(infer_dtype("hello"), Some(DataType::Str));
+        assert_eq!(infer_dtype(""), None);
+        assert_eq!(infer_dtype("NA"), None);
+        assert_eq!(infer_dtype(" null "), None);
+    }
+
+    #[test]
+    fn widening_chain() {
+        use DataType::*;
+        assert_eq!(widen(Int64, Float64), Float64);
+        assert_eq!(widen(Float64, Int64), Float64);
+        assert_eq!(widen(Int64, Str), Str);
+        assert_eq!(widen(Bool, Int64), Str);
+        assert_eq!(widen(Bool, Bool), Bool);
+    }
+
+    #[test]
+    fn schema_from_rows() {
+        let rows = vec![
+            vec!["1".to_string(), "x".to_string(), "true".to_string(), "".to_string()],
+            vec!["2.5".to_string(), "y".to_string(), "false".to_string(), "NA".to_string()],
+        ];
+        let schema = infer_schema(&rows, 4);
+        assert_eq!(
+            schema,
+            vec![DataType::Float64, DataType::Str, DataType::Bool, DataType::Str]
+        );
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_str() {
+        let rows = vec![vec!["".to_string()], vec!["NA".to_string()]];
+        assert_eq!(infer_schema(&rows, 1), vec![DataType::Str]);
+    }
+
+    #[test]
+    fn custom_null_lexicon() {
+        assert!(is_null_field("-", &["-".to_string()]));
+        assert!(!is_null_field("-", &[]));
+    }
+}

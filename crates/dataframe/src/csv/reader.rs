@@ -1,0 +1,244 @@
+//! CSV → [`DataFrame`] reader.
+
+use std::fs;
+use std::path::Path;
+
+use crate::builder::ColumnBuilder;
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+
+use super::infer::{infer_schema, is_null_field, widen};
+use super::parser::{parse_line, split_records};
+
+/// Options controlling CSV ingestion.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Whether the first record is a header row (default `true`).
+    pub has_header: bool,
+    /// How many data rows to sample for type inference (default 1000).
+    pub infer_rows: usize,
+    /// Additional spellings (after trim) treated as null.
+    pub extra_nulls: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            has_header: true,
+            infer_rows: 1000,
+            extra_nulls: Vec::new(),
+        }
+    }
+}
+
+/// Read a CSV file from disk with default options.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<DataFrame> {
+    let text = fs::read_to_string(path)?;
+    read_csv_str(&text, &CsvOptions::default())
+}
+
+/// Parse CSV text into a frame.
+pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
+    let records = split_records(text);
+    if records.is_empty() {
+        return Ok(DataFrame::empty());
+    }
+
+    let (header, data_records, first_data_line) = if options.has_header {
+        let header = parse_line(records[0], options.separator, 1)?;
+        (header, &records[1..], 2usize)
+    } else {
+        let ncols = parse_line(records[0], options.separator, 1)?.len();
+        let header = (0..ncols).map(|i| format!("column_{i}")).collect();
+        (header, &records[..], 1usize)
+    };
+    let ncols = header.len();
+
+    // Pass 1: parse a sample and infer types.
+    let sample: Result<Vec<Vec<String>>> = data_records
+        .iter()
+        .take(options.infer_rows)
+        .enumerate()
+        .map(|(i, rec)| parse_line(rec, options.separator, first_data_line + i))
+        .collect();
+    let sample = sample?;
+    for (i, row) in sample.iter().enumerate() {
+        if row.len() != ncols {
+            return Err(Error::Csv {
+                line: first_data_line + i,
+                message: format!("expected {ncols} fields, found {}", row.len()),
+            });
+        }
+    }
+    let mut schema = infer_schema(sample.iter(), ncols);
+
+    // Pass 2: build columns, widening when a later field contradicts the
+    // sampled type. Widening restarts the affected column from raw fields,
+    // so all raw fields are retained until the end.
+    let mut raw_columns: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
+    for (i, rec) in data_records.iter().enumerate() {
+        let row = if i < sample.len() {
+            sample[i].clone()
+        } else {
+            parse_line(rec, options.separator, first_data_line + i)?
+        };
+        if row.len() != ncols {
+            return Err(Error::Csv {
+                line: first_data_line + i,
+                message: format!("expected {ncols} fields, found {}", row.len()),
+            });
+        }
+        for (c, field) in row.into_iter().enumerate() {
+            if is_null_field(&field, &options.extra_nulls) {
+                raw_columns[c].push(None);
+            } else {
+                if let Some(t) = super::infer::infer_dtype(&field) {
+                    schema[c] = widen(schema[c], t);
+                }
+                raw_columns[c].push(Some(field));
+            }
+        }
+    }
+
+    let mut pairs = Vec::with_capacity(ncols);
+    for (c, name) in header.into_iter().enumerate() {
+        let mut builder = ColumnBuilder::for_dtype(schema[c]);
+        for field in &raw_columns[c] {
+            match field {
+                None => builder.push_null(),
+                Some(f) => {
+                    if !builder.push_parsed(f) {
+                        // infer_dtype + widen guarantee parseability; a
+                        // failure here is a logic error worth surfacing.
+                        return Err(Error::Csv {
+                            line: 0,
+                            message: format!(
+                                "internal: field {f:?} does not parse as {}",
+                                schema[c].name()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        pairs.push((name, builder.finish()));
+    }
+    DataFrame::new(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+    use crate::value::Value;
+
+    #[test]
+    fn reads_typed_columns() {
+        let csv = "a,b,c,d\n1,1.5,x,true\n2,2.5,y,false\n";
+        let df = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(df.nrows(), 2);
+        assert_eq!(df.column("a").unwrap().dtype(), DataType::Int64);
+        assert_eq!(df.column("b").unwrap().dtype(), DataType::Float64);
+        assert_eq!(df.column("c").unwrap().dtype(), DataType::Str);
+        assert_eq!(df.column("d").unwrap().dtype(), DataType::Bool);
+    }
+
+    #[test]
+    fn nulls_are_detected() {
+        let csv = "a,b\n1,x\n,\n3,NA\n";
+        let df = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(df.column("a").unwrap().null_count(), 1);
+        assert_eq!(df.column("b").unwrap().null_count(), 2);
+        assert_eq!(df.get(1, "a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn widening_beyond_sample() {
+        // Sample window sees only ints; a float appears later.
+        let mut csv = String::from("a\n");
+        for i in 0..5 {
+            csv.push_str(&format!("{i}\n"));
+        }
+        csv.push_str("9.5\n");
+        let opts = CsvOptions { infer_rows: 3, ..CsvOptions::default() };
+        let df = read_csv_str(&csv, &opts).unwrap();
+        assert_eq!(df.column("a").unwrap().dtype(), DataType::Float64);
+        assert_eq!(df.nrows(), 6);
+    }
+
+    #[test]
+    fn widening_to_string() {
+        let csv = "a\n1\n2\noops\n";
+        let opts = CsvOptions { infer_rows: 2, ..CsvOptions::default() };
+        let df = read_csv_str(csv, &opts).unwrap();
+        assert_eq!(df.column("a").unwrap().dtype(), DataType::Str);
+    }
+
+    #[test]
+    fn no_header_generates_names() {
+        let csv = "1,2\n3,4\n";
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let df = read_csv_str(csv, &opts).unwrap();
+        assert_eq!(df.names(), &["column_0".to_string(), "column_1".to_string()]);
+        assert_eq!(df.nrows(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_with_separator() {
+        let csv = "name,desc\nx,\"a, b\"\ny,\"line\nbreak\"\n";
+        let df = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(df.nrows(), 2);
+        assert_eq!(df.get(0, "desc").unwrap(), Value::Str("a, b".into()));
+        assert_eq!(df.get(1, "desc").unwrap(), Value::Str("line\nbreak".into()));
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = read_csv_str(csv, &CsvOptions::default()).unwrap_err();
+        match err {
+            Error::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let df = read_csv_str("", &CsvOptions::default()).unwrap();
+        assert_eq!(df.ncols(), 0);
+        assert_eq!(df.nrows(), 0);
+    }
+
+    #[test]
+    fn header_only() {
+        let df = read_csv_str("a,b\n", &CsvOptions::default()).unwrap();
+        assert_eq!(df.ncols(), 2);
+        assert_eq!(df.nrows(), 0);
+    }
+
+    #[test]
+    fn custom_separator_and_nulls() {
+        let csv = "a;b\n1;-\n2;x\n";
+        let opts = CsvOptions {
+            separator: ';',
+            extra_nulls: vec!["-".to_string()],
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str(csv, &opts).unwrap();
+        assert_eq!(df.column("b").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("eda_dataframe_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "a,b\n1,x\n2,y\n").unwrap();
+        let df = read_csv(&path).unwrap();
+        assert_eq!(df.nrows(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

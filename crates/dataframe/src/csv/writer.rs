@@ -1,0 +1,112 @@
+//! [`DataFrame`] → CSV writer.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Serialize a frame to CSV text.
+pub fn write_csv_string(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = df.names().iter().map(|n| escape(n)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..df.nrows() {
+        for (i, name) in df.names().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let value = df.get(row, name).expect("in-bounds cell");
+            match value {
+                Value::Null => {}
+                Value::Str(s) => out.push_str(&escape(&s)),
+                other => out.push_str(&other.to_string()),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a frame to a CSV file.
+pub fn write_csv<P: AsRef<Path>>(df: &DataFrame, path: P) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(write_csv_string(df).as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Quote a field when it contains separators, quotes, or newlines.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::csv::reader::{read_csv_str, CsvOptions};
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            ("n".into(), Column::from_opt_i64(vec![Some(1), None, Some(3)])),
+            (
+                "s".into(),
+                Column::from_opt_string(vec![
+                    Some("plain".into()),
+                    Some("a,b \"q\"".into()),
+                    None,
+                ]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn writes_header_and_rows() {
+        let csv = write_csv_string(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,s");
+        assert_eq!(lines[1], "1,plain");
+        assert_eq!(lines[2], ",\"a,b \"\"q\"\"\"");
+        assert_eq!(lines[3], "3,");
+    }
+
+    #[test]
+    fn round_trips_through_reader() {
+        let df = sample();
+        let csv = write_csv_string(&df);
+        let back = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+        assert_eq!(back.nrows(), df.nrows());
+        assert_eq!(back.column("n").unwrap().null_count(), 1);
+        assert_eq!(
+            back.get(1, "s").unwrap(),
+            Value::Str("a,b \"q\"".into())
+        );
+    }
+
+    #[test]
+    fn escape_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+        assert_eq!(escape("l\nl"), "\"l\nl\"");
+    }
+
+    #[test]
+    fn file_write() {
+        let dir = std::env::temp_dir().join("eda_dataframe_csvw_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(&sample(), &path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().starts_with("n,s\n"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,120 @@
+//! Human-readable frame rendering for terminals and tests.
+
+use std::fmt;
+
+use crate::frame::DataFrame;
+
+/// Maximum rows shown by the `Display` impl before eliding.
+const DISPLAY_ROWS: usize = 10;
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_frame(self, DISPLAY_ROWS))
+    }
+}
+
+/// Render the first `max_rows` rows as an aligned text table with a
+/// `name [dtype]` header and a shape footer.
+pub fn format_frame(df: &DataFrame, max_rows: usize) -> String {
+    let shown = df.nrows().min(max_rows);
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown + 1);
+    cells.push(
+        df.schema()
+            .iter()
+            .map(|(n, t)| format!("{n} [{t}]"))
+            .collect(),
+    );
+    for row in 0..shown {
+        cells.push(
+            df.names()
+                .iter()
+                .map(|name| {
+                    let v = df.get(row, name).expect("in-bounds cell");
+                    if v.is_null() {
+                        "<null>".to_string()
+                    } else {
+                        v.to_string()
+                    }
+                })
+                .collect(),
+        );
+    }
+    let ncols = df.ncols();
+    let mut widths = vec![0usize; ncols];
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in cells.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            if i + 1 < ncols {
+                out.extend(std::iter::repeat_n(' ', pad));
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    if df.nrows() > shown {
+        out.push_str(&format!("... {} more rows\n", df.nrows() - shown));
+    }
+    out.push_str(&format!("[{} rows x {} columns]\n", df.nrows(), df.ncols()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            ("id".into(), Column::from_i64((0..15).collect())),
+            (
+                "name".into(),
+                Column::from_opt_string(
+                    (0..15)
+                        .map(|i| if i == 2 { None } else { Some(format!("row{i}")) })
+                        .collect(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn header_shows_types() {
+        let s = format_frame(&sample(), 3);
+        assert!(s.contains("id [i64]"));
+        assert!(s.contains("name [str]"));
+    }
+
+    #[test]
+    fn elides_long_frames() {
+        let s = format_frame(&sample(), 5);
+        assert!(s.contains("... 10 more rows"));
+        assert!(s.contains("[15 rows x 2 columns]"));
+    }
+
+    #[test]
+    fn shows_nulls() {
+        let s = format_frame(&sample(), 5);
+        assert!(s.contains("<null>"));
+    }
+
+    #[test]
+    fn display_impl_caps_rows() {
+        let s = sample().to_string();
+        assert!(s.contains("... 5 more rows"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Physical column types.
+//!
+//! These are *storage* types. The EDA layer (`eda-core`) maps them onto
+//! *semantic* types (numerical vs categorical) with its own detection rules,
+//! mirroring the paper's type-detection step in §3.2.
+
+use std::fmt;
+
+/// The physical type of a [`crate::Column`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit IEEE-754 floating point.
+    Float64,
+    /// 64-bit signed integer.
+    Int64,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Short lowercase name used in error messages and schema displays.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Float64 => "f64",
+            DataType::Int64 => "i64",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+        }
+    }
+
+    /// Whether this storage type holds numbers.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Float64 | DataType::Int64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(DataType::Float64.to_string(), "f64");
+        assert_eq!(DataType::Int64.to_string(), "i64");
+        assert_eq!(DataType::Str.to_string(), "str");
+        assert_eq!(DataType::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Float64.is_numeric());
+        assert!(DataType::Int64.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+}

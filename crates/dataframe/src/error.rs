@@ -1,0 +1,116 @@
+//! Error type shared by all dataframe operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by dataframe construction, access, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A column name was requested that does not exist in the frame.
+    ColumnNotFound(String),
+    /// Two columns with the same name were supplied to one frame.
+    DuplicateColumn(String),
+    /// Columns supplied to one frame have differing lengths.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Its length.
+        got: usize,
+        /// The length of the first column in the frame.
+        expected: usize,
+    },
+    /// An operation required a specific column type.
+    TypeMismatch {
+        /// Name or description of the operand.
+        context: String,
+        /// The type that was required.
+        expected: &'static str,
+        /// The type that was found.
+        got: &'static str,
+    },
+    /// A row index was out of bounds.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number where the problem occurred.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            Error::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            Error::LengthMismatch { column, got, expected } => write!(
+                f,
+                "column {column:?} has length {got} but the frame has {expected} rows"
+            ),
+            Error::TypeMismatch { context, expected, got } => {
+                write!(f, "{context}: expected {expected} column, got {got}")
+            }
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Error::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = Error::ColumnNotFound("price".into());
+        assert_eq!(e.to_string(), "column not found: \"price\"");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = Error::LengthMismatch { column: "a".into(), got: 3, expected: 5 };
+        assert!(e.to_string().contains("length 3"));
+        assert!(e.to_string().contains("5 rows"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::ColumnNotFound("x".into()),
+            Error::ColumnNotFound("x".into())
+        );
+        assert_ne!(
+            Error::ColumnNotFound("x".into()),
+            Error::ColumnNotFound("y".into())
+        );
+    }
+}

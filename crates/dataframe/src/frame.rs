@@ -1,0 +1,479 @@
+//! The [`DataFrame`]: an ordered collection of equal-length named columns.
+//!
+//! Columns are held behind `Arc`, so cloning a frame, selecting columns, or
+//! building the per-partition views used by `eda-taskgraph` is O(#columns),
+//! never O(#rows).
+
+use std::sync::Arc;
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::dtype::DataType;
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// An immutable, named, columnar table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Arc<Column>>,
+    nrows: usize,
+}
+
+impl DataFrame {
+    /// Build a frame from `(name, column)` pairs.
+    ///
+    /// All columns must share one length and names must be unique.
+    pub fn new(pairs: Vec<(String, Column)>) -> Result<Self> {
+        let mut names = Vec::with_capacity(pairs.len());
+        let mut columns = Vec::with_capacity(pairs.len());
+        let mut nrows = None;
+        for (name, col) in pairs {
+            if names.contains(&name) {
+                return Err(Error::DuplicateColumn(name));
+            }
+            match nrows {
+                None => nrows = Some(col.len()),
+                Some(expected) if col.len() != expected => {
+                    return Err(Error::LengthMismatch {
+                        column: name,
+                        got: col.len(),
+                        expected,
+                    });
+                }
+                _ => {}
+            }
+            names.push(name);
+            columns.push(Arc::new(col));
+        }
+        Ok(DataFrame { names, columns, nrows: nrows.unwrap_or(0) })
+    }
+
+    /// Build from pre-shared columns (used by partitioning code).
+    pub fn from_arcs(names: Vec<String>, columns: Vec<Arc<Column>>) -> Result<Self> {
+        let mut pairs_len = None;
+        for (name, col) in names.iter().zip(&columns) {
+            match pairs_len {
+                None => pairs_len = Some(col.len()),
+                Some(expected) if col.len() != expected => {
+                    return Err(Error::LengthMismatch {
+                        column: name.clone(),
+                        got: col.len(),
+                        expected,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(DataFrame { names, columns, nrows: pairs_len.unwrap_or(0) })
+    }
+
+    /// An empty frame with zero rows and zero columns.
+    pub fn empty() -> Self {
+        DataFrame::default()
+    }
+
+    // ---- shape ------------------------------------------------------------
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in frame order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// `(name, dtype)` pairs in frame order.
+    pub fn schema(&self) -> Vec<(&str, DataType)> {
+        self.names
+            .iter()
+            .zip(&self.columns)
+            .map(|(n, c)| (n.as_str(), c.dtype()))
+            .collect()
+    }
+
+    /// Whether a column of this name exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    // ---- access -----------------------------------------------------------
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.index_of(name).map(|i| self.columns[i].as_ref())
+    }
+
+    /// Borrow a column by position.
+    pub fn column_at(&self, i: usize) -> Result<&Column> {
+        self.columns
+            .get(i)
+            .map(|c| c.as_ref())
+            .ok_or(Error::IndexOutOfBounds { index: i, len: self.columns.len() })
+    }
+
+    /// The shared handle for a column (cheap clone).
+    pub fn column_arc(&self, name: &str) -> Result<Arc<Column>> {
+        self.index_of(name).map(|i| Arc::clone(&self.columns[i]))
+    }
+
+    /// Position of a named column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::ColumnNotFound(name.to_string()))
+    }
+
+    /// One cell, dynamically typed.
+    pub fn get(&self, row: usize, column: &str) -> Result<Value> {
+        self.column(column)?.get(row)
+    }
+
+    /// Iterate `(name, column)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Column)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.columns.iter().map(|c| c.as_ref()))
+    }
+
+    // ---- transformations ----------------------------------------------------
+
+    /// A frame with only the named columns, in the given order. O(#columns).
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut out_names = Vec::with_capacity(names.len());
+        let mut out_cols = Vec::with_capacity(names.len());
+        for &name in names {
+            let i = self.index_of(name)?;
+            out_names.push(self.names[i].clone());
+            out_cols.push(Arc::clone(&self.columns[i]));
+        }
+        DataFrame::from_arcs(out_names, out_cols)
+    }
+
+    /// A frame without the named columns. O(#columns).
+    pub fn drop_columns(&self, names: &[&str]) -> Result<DataFrame> {
+        for &n in names {
+            self.index_of(n)?;
+        }
+        let keep: Vec<&str> = self
+            .names
+            .iter()
+            .map(String::as_str)
+            .filter(|n| !names.contains(n))
+            .collect();
+        self.select(&keep)
+    }
+
+    /// A frame with `column` appended (or replaced when the name exists).
+    pub fn with_column(&self, name: &str, column: Column) -> Result<DataFrame> {
+        if self.ncols() > 0 && column.len() != self.nrows {
+            return Err(Error::LengthMismatch {
+                column: name.to_string(),
+                got: column.len(),
+                expected: self.nrows,
+            });
+        }
+        let mut names = self.names.clone();
+        let mut columns = self.columns.clone();
+        match self.index_of(name) {
+            Ok(i) => columns[i] = Arc::new(column),
+            Err(_) => {
+                names.push(name.to_string());
+                columns.push(Arc::new(column));
+            }
+        }
+        let nrows = columns.first().map_or(0, |c| c.len());
+        Ok(DataFrame { names, columns, nrows })
+    }
+
+    /// Keep only the rows where `mask` is set. Copies the surviving rows.
+    pub fn filter(&self, mask: &Bitmap) -> Result<DataFrame> {
+        if mask.len() != self.nrows {
+            return Err(Error::LengthMismatch {
+                column: "<mask>".into(),
+                got: mask.len(),
+                expected: self.nrows,
+            });
+        }
+        let columns: Result<Vec<Arc<Column>>> = self
+            .columns
+            .iter()
+            .map(|c| c.filter(mask).map(Arc::new))
+            .collect();
+        DataFrame::from_arcs(self.names.clone(), columns?)
+    }
+
+    /// The first `n` rows (fewer when the frame is shorter).
+    pub fn head(&self, n: usize) -> DataFrame {
+        let n = n.min(self.nrows);
+        self.slice(0, n)
+    }
+
+    /// Copy rows `[start, start + len)` into a new frame.
+    pub fn slice(&self, start: usize, len: usize) -> DataFrame {
+        assert!(start + len <= self.nrows, "slice out of bounds");
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.slice(start, len)))
+            .collect();
+        DataFrame { names: self.names.clone(), columns, nrows: len }
+    }
+
+    /// Split the frame into up-to-`n` contiguous partitions of near-equal
+    /// size. Mirrors Dask's row-wise partitioning; the chunk boundaries are
+    /// exactly the "chunk size information" the paper's §5.2 precomputes.
+    pub fn partition(&self, n: usize) -> Vec<DataFrame> {
+        let n = n.max(1);
+        if self.nrows == 0 {
+            return vec![self.clone()];
+        }
+        let chunk = self.nrows.div_ceil(n);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.nrows {
+            let len = chunk.min(self.nrows - start);
+            out.push(self.slice(start, len));
+            start += len;
+        }
+        out
+    }
+
+    /// Vertically concatenate frames with identical schemas.
+    pub fn vstack(parts: &[&DataFrame]) -> Result<DataFrame> {
+        let first = parts
+            .first()
+            .ok_or_else(|| Error::Io("vstack of zero frames".into()))?;
+        for p in parts.iter().skip(1) {
+            if p.names != first.names {
+                return Err(Error::Io("vstack schema mismatch".into()));
+            }
+        }
+        let mut columns = Vec::with_capacity(first.ncols());
+        for i in 0..first.ncols() {
+            let cols: Vec<&Column> = parts.iter().map(|p| p.columns[i].as_ref()).collect();
+            columns.push(Arc::new(Column::concat(&cols)?));
+        }
+        DataFrame::from_arcs(first.names.clone(), columns)
+    }
+
+    /// Every `k`-th row (deterministic systematic sample), starting at
+    /// row 0. `k = 1` returns a clone.
+    pub fn stride(&self, k: usize) -> DataFrame {
+        let k = k.max(1);
+        if k == 1 {
+            return self.clone();
+        }
+        let mask: Bitmap = (0..self.nrows).map(|i| i % k == 0).collect();
+        self.filter(&mask).expect("mask length matches")
+    }
+
+    /// Rows where the named column is non-null.
+    pub fn drop_nulls_in(&self, name: &str) -> Result<DataFrame> {
+        let mask = self.column(name)?.validity_mask();
+        self.filter(&mask)
+    }
+
+    /// Total nulls across every column.
+    pub fn total_null_count(&self) -> usize {
+        self.columns.iter().map(|c| c.null_count()).sum()
+    }
+
+    /// Approximate in-memory size in bytes (used for overview stats).
+    pub fn memory_size(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c.as_ref() {
+                Column::Float64(_) => 8 * c.len(),
+                Column::Int64(_) => 8 * c.len(),
+                Column::Bool(_) => c.len(),
+                Column::Str(_) => c
+                    .display_iter()
+                    .map(|s| s.map_or(0, |s| s.len() + 24))
+                    .sum(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            ("a".into(), Column::from_i64(vec![1, 2, 3, 4])),
+            (
+                "b".into(),
+                Column::from_opt_f64(vec![Some(1.5), None, Some(3.5), None]),
+            ),
+            ("c".into(), Column::from_strs(&["w", "x", "y", "z"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_and_schema() {
+        let df = sample();
+        assert_eq!(df.nrows(), 4);
+        assert_eq!(df.ncols(), 3);
+        assert_eq!(
+            df.schema(),
+            vec![
+                ("a", DataType::Int64),
+                ("b", DataType::Float64),
+                ("c", DataType::Str)
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = DataFrame::new(vec![
+            ("a".into(), Column::from_i64(vec![1])),
+            ("a".into(), Column::from_i64(vec![2])),
+        ]);
+        assert!(matches!(r, Err(Error::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let r = DataFrame::new(vec![
+            ("a".into(), Column::from_i64(vec![1, 2])),
+            ("b".into(), Column::from_i64(vec![1])),
+        ]);
+        assert!(matches!(r, Err(Error::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn column_access() {
+        let df = sample();
+        assert_eq!(df.column("a").unwrap().len(), 4);
+        assert!(df.column("nope").is_err());
+        assert_eq!(df.get(2, "c").unwrap(), Value::Str("y".into()));
+        assert_eq!(df.get(1, "b").unwrap(), Value::Null);
+        assert!(df.has_column("b"));
+        assert!(!df.has_column("B"));
+    }
+
+    #[test]
+    fn select_reorders_and_shares() {
+        let df = sample();
+        let s = df.select(&["c", "a"]).unwrap();
+        assert_eq!(s.names(), &["c".to_string(), "a".to_string()]);
+        assert_eq!(s.nrows(), 4);
+        // Shared storage: same Arc pointer.
+        assert!(Arc::ptr_eq(
+            &df.column_arc("a").unwrap(),
+            &s.column_arc("a").unwrap()
+        ));
+    }
+
+    #[test]
+    fn drop_columns_removes() {
+        let df = sample();
+        let d = df.drop_columns(&["b"]).unwrap();
+        assert_eq!(d.ncols(), 2);
+        assert!(!d.has_column("b"));
+        assert!(df.drop_columns(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn with_column_appends_and_replaces() {
+        let df = sample();
+        let added = df
+            .with_column("d", Column::from_bool(vec![true, false, true, false]))
+            .unwrap();
+        assert_eq!(added.ncols(), 4);
+        let replaced = added
+            .with_column("a", Column::from_f64(vec![0.0; 4]))
+            .unwrap();
+        assert_eq!(replaced.column("a").unwrap().dtype(), DataType::Float64);
+        assert!(df
+            .with_column("e", Column::from_i64(vec![1]))
+            .is_err());
+    }
+
+    #[test]
+    fn filter_rows() {
+        let df = sample();
+        let mask = Bitmap::from_iter([true, false, true, false]);
+        let f = df.filter(&mask).unwrap();
+        assert_eq!(f.nrows(), 2);
+        assert_eq!(f.get(1, "a").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn head_and_slice() {
+        let df = sample();
+        assert_eq!(df.head(2).nrows(), 2);
+        assert_eq!(df.head(100).nrows(), 4);
+        let s = df.slice(1, 2);
+        assert_eq!(s.get(0, "a").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn partition_covers_all_rows() {
+        let df = sample();
+        let parts = df.partition(3);
+        assert_eq!(parts.iter().map(DataFrame::nrows).sum::<usize>(), 4);
+        assert!(parts.len() <= 3);
+        let rejoined = DataFrame::vstack(&parts.iter().collect::<Vec<_>>()).unwrap();
+        assert_eq!(rejoined, df);
+    }
+
+    #[test]
+    fn partition_of_empty_frame() {
+        let df = DataFrame::new(vec![("a".into(), Column::from_i64(vec![]))]).unwrap();
+        let parts = df.partition(4);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].nrows(), 0);
+    }
+
+    #[test]
+    fn vstack_schema_mismatch() {
+        let a = sample();
+        let b = a.select(&["a", "b"]).unwrap();
+        assert!(DataFrame::vstack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn stride_sampling() {
+        let df = sample();
+        let s = df.stride(2);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.get(0, "a").unwrap(), Value::Int(1));
+        assert_eq!(s.get(1, "a").unwrap(), Value::Int(3));
+        assert_eq!(df.stride(1), df);
+        assert_eq!(df.stride(100).nrows(), 1);
+    }
+
+    #[test]
+    fn drop_nulls_in_filters_rows() {
+        let df = sample();
+        let d = df.drop_nulls_in("b").unwrap();
+        assert_eq!(d.nrows(), 2);
+        assert_eq!(d.column("b").unwrap().null_count(), 0);
+        // Other columns follow the same mask.
+        assert_eq!(d.get(1, "a").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn total_null_count_sums() {
+        assert_eq!(sample().total_null_count(), 2);
+    }
+
+    #[test]
+    fn memory_size_positive() {
+        assert!(sample().memory_size() > 0);
+    }
+}

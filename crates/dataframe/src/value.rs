@@ -1,0 +1,148 @@
+//! Dynamically-typed single values.
+//!
+//! [`Value`] is the row-wise escape hatch: columnar kernels never touch it,
+//! but display code, tests, and the CSV writer use it to address individual
+//! cells uniformly.
+
+use std::fmt;
+
+use crate::dtype::DataType;
+
+/// One cell of a dataframe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A missing value of any type.
+    Null,
+    /// A float cell.
+    Float(f64),
+    /// An integer cell.
+    Int(i64),
+    /// A string cell.
+    Str(String),
+    /// A boolean cell.
+    Bool(bool),
+}
+
+impl Value {
+    /// Whether the cell is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The storage type this value belongs to, or `None` for null.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Numeric view of the cell: ints are widened, non-numerics are `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String view of the cell.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_properties() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.dtype(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(2.0), Value::Float(2.0));
+        assert_eq!(Value::from(2i64), Value::Int(2));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(4i64)), Value::Int(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

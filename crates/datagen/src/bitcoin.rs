@@ -1,0 +1,51 @@
+//! The bitcoin historical-data dataset shape (paper §6.2, Figure 6).
+//!
+//! The Kaggle original has ~4.7M rows × 8 columns of minute-bar market
+//! data: timestamp, OHLC prices, volumes, and weighted price. All columns
+//! are numeric, which is exactly why the paper uses it for the engine and
+//! scalability experiments.
+
+use crate::spec::quick::*;
+use crate::spec::DatasetSpec;
+
+/// Rows of the original dataset.
+pub const BITCOIN_ROWS: usize = 4_700_000;
+
+/// The bitcoin-shaped spec with a configurable row count (the paper's
+/// Figure 6(b) duplicates it up to 100M rows; small machines scale down).
+pub fn bitcoin_spec(rows: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "bitcoin".into(),
+        rows,
+        columns: vec![
+            ints("timestamp", 1_325_000_000, 1_610_000_000, 0.0),
+            lognormal("open", 6.0, 1.5, 0.01),
+            lognormal("high", 6.0, 1.5, 0.01),
+            lognormal("low", 6.0, 1.5, 0.01),
+            lognormal("close", 6.0, 1.5, 0.01),
+            lognormal("volume_btc", 1.0, 1.2, 0.01),
+            lognormal("volume_currency", 7.0, 1.4, 0.01),
+            lognormal("weighted_price", 6.0, 1.5, 0.01),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_eight_numeric_columns() {
+        let spec = bitcoin_spec(1000);
+        assert_eq!(spec.columns.len(), 8);
+        assert_eq!(spec.nc_split(), (8, 0));
+    }
+
+    #[test]
+    fn generates_positive_prices() {
+        let df = crate::generate(&bitcoin_spec(500), 3);
+        assert_eq!(df.nrows(), 500);
+        let close = df.column("close").unwrap().numeric_nonnull().unwrap();
+        assert!(close.iter().all(|&v| v > 0.0));
+    }
+}

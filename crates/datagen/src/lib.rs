@@ -1,0 +1,25 @@
+//! # eda-datagen
+//!
+//! Deterministic synthetic dataset generators for the `dataprep-eda`
+//! experiments.
+//!
+//! The paper evaluates on 15 Kaggle datasets (Table 2), the 4.7M-row
+//! bitcoin dataset (Figure 6), and two user-study datasets (§6.3). Those
+//! files cannot ship with this repository, so each is replaced by a
+//! generator parameterized to the dataset's **published shape** — row
+//! count, numeric/categorical column split, cardinalities, missing rates —
+//! which is what the paper's performance results depend on (see DESIGN.md,
+//! "Substitutions"). Every generator is seeded, so runs are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod bitcoin;
+pub mod distributions;
+pub mod generator;
+pub mod kaggle;
+pub mod spec;
+pub mod userstudy;
+
+pub use generator::generate;
+pub use kaggle::{kaggle_specs, kaggle_spec_by_name};
+pub use spec::{ColumnSpec, DatasetSpec, Distribution};

@@ -1,0 +1,199 @@
+//! Dataset shape specifications.
+
+/// How one column's values are distributed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// Gaussian floats.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+    /// Log-normal floats (right-skewed, e.g. prices).
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std of the underlying normal.
+        sigma: f64,
+    },
+    /// Uniform floats over a range.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Uniform integers over an inclusive range.
+    IntRange {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// Categorical labels with a Zipf-like popularity skew.
+    Categorical {
+        /// Number of distinct categories.
+        cardinality: usize,
+        /// Zipf exponent (0 = uniform; ~1 = natural skew).
+        exponent: f64,
+    },
+    /// Short text values of several words (exercises the word kernels).
+    Text {
+        /// Words per value.
+        words: usize,
+        /// Vocabulary size.
+        vocabulary: usize,
+    },
+    /// Booleans with the given probability of `true`.
+    Bool {
+        /// P(true).
+        p_true: f64,
+    },
+}
+
+/// One column of a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Value distribution.
+    pub distribution: Distribution,
+    /// Fraction of rows that are null.
+    pub missing_rate: f64,
+}
+
+impl ColumnSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, distribution: Distribution, missing_rate: f64) -> Self {
+        ColumnSpec { name: name.into(), distribution, missing_rate }
+    }
+
+    /// Whether the generated column is numeric storage.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self.distribution,
+            Distribution::Normal { .. }
+                | Distribution::LogNormal { .. }
+                | Distribution::Uniform { .. }
+                | Distribution::IntRange { .. }
+        )
+    }
+}
+
+/// A full synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name (matches the paper's Table 2 where applicable).
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column specifications.
+    pub columns: Vec<ColumnSpec>,
+}
+
+impl DatasetSpec {
+    /// Count of `(numeric, categorical)` columns — the `N/C` split the
+    /// paper's Table 2 reports.
+    pub fn nc_split(&self) -> (usize, usize) {
+        let n = self.columns.iter().filter(|c| c.is_numeric()).count();
+        (n, self.columns.len() - n)
+    }
+
+    /// Scale the row count by a factor (used to run the benchmarks at
+    /// reduced size on small machines).
+    pub fn scaled(&self, factor: f64) -> DatasetSpec {
+        DatasetSpec {
+            name: self.name.clone(),
+            rows: ((self.rows as f64 * factor) as usize).max(10),
+            columns: self.columns.clone(),
+        }
+    }
+}
+
+/// Helpers to cut down the noise of building many column specs.
+pub mod quick {
+    use super::*;
+
+    /// Normal numeric column.
+    pub fn normal(name: &str, mean: f64, std: f64, missing: f64) -> ColumnSpec {
+        ColumnSpec::new(name, Distribution::Normal { mean, std }, missing)
+    }
+
+    /// Log-normal numeric column.
+    pub fn lognormal(name: &str, mu: f64, sigma: f64, missing: f64) -> ColumnSpec {
+        ColumnSpec::new(name, Distribution::LogNormal { mu, sigma }, missing)
+    }
+
+    /// Uniform numeric column.
+    pub fn uniform(name: &str, lo: f64, hi: f64, missing: f64) -> ColumnSpec {
+        ColumnSpec::new(name, Distribution::Uniform { lo, hi }, missing)
+    }
+
+    /// Integer column.
+    pub fn ints(name: &str, lo: i64, hi: i64, missing: f64) -> ColumnSpec {
+        ColumnSpec::new(name, Distribution::IntRange { lo, hi }, missing)
+    }
+
+    /// Categorical column.
+    pub fn cat(name: &str, cardinality: usize, missing: f64) -> ColumnSpec {
+        ColumnSpec::new(
+            name,
+            Distribution::Categorical { cardinality, exponent: 1.0 },
+            missing,
+        )
+    }
+
+    /// Text column.
+    pub fn text(name: &str, words: usize, vocabulary: usize, missing: f64) -> ColumnSpec {
+        ColumnSpec::new(name, Distribution::Text { words, vocabulary }, missing)
+    }
+
+    /// Boolean column.
+    pub fn boolean(name: &str, p_true: f64, missing: f64) -> ColumnSpec {
+        ColumnSpec::new(name, Distribution::Bool { p_true }, missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quick::*;
+    use super::*;
+
+    #[test]
+    fn nc_split_counts() {
+        let spec = DatasetSpec {
+            name: "t".into(),
+            rows: 10,
+            columns: vec![
+                normal("a", 0.0, 1.0, 0.0),
+                ints("b", 0, 5, 0.0),
+                cat("c", 3, 0.0),
+                boolean("d", 0.5, 0.0),
+            ],
+        };
+        assert_eq!(spec.nc_split(), (2, 2));
+    }
+
+    #[test]
+    fn scaled_changes_rows_only() {
+        let spec = DatasetSpec {
+            name: "t".into(),
+            rows: 1000,
+            columns: vec![normal("a", 0.0, 1.0, 0.0)],
+        };
+        let s = spec.scaled(0.1);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.columns, spec.columns);
+        // Floor of 10 rows.
+        assert_eq!(spec.scaled(0.000001).rows, 10);
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(uniform("u", 0.0, 1.0, 0.0).is_numeric());
+        assert!(lognormal("l", 0.0, 1.0, 0.0).is_numeric());
+        assert!(!text("t", 3, 100, 0.0).is_numeric());
+        assert!(!cat("c", 5, 0.0).is_numeric());
+    }
+}

@@ -1,0 +1,92 @@
+//! The two user-study dataset shapes (paper §6.3).
+//!
+//! * **BirdStrike**: ~220K strike reports × 12 columns (the "small"
+//!   dataset of the study).
+//! * **DelayedFlights**: ~5.8M records × 14 columns (the "complex"
+//!   dataset; Pandas-profiling visibly fails to scale on it, which drives
+//!   the study's headline numbers).
+
+use crate::spec::quick::*;
+use crate::spec::DatasetSpec;
+
+/// BirdStrike-shaped spec (row count configurable for scaled runs).
+pub fn birdstrike_spec(rows: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "BirdStrike".into(),
+        rows,
+        columns: vec![
+            ints("record_id", 1, 10_000_000, 0.0),
+            cat("airport", 2_360, 0.01),
+            cat("state", 52, 0.02),
+            cat("species", 600, 0.05),
+            cat("phase_of_flight", 8, 0.10),
+            cat("sky", 4, 0.08),
+            normal("height_ft", 800.0, 900.0, 0.15),
+            normal("speed_knots", 140.0, 40.0, 0.20),
+            ints("engines", 1, 4, 0.05),
+            lognormal("repair_cost", 8.0, 2.0, 0.40),
+            boolean("damage", 0.35, 0.0),
+            text("remarks", 8, 400, 0.25),
+        ],
+    }
+}
+
+/// Original BirdStrike row count.
+pub const BIRDSTRIKE_ROWS: usize = 220_000;
+
+/// DelayedFlights-shaped spec.
+pub fn delayed_flights_spec(rows: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "DelayedFlights".into(),
+        rows,
+        columns: vec![
+            ints("year", 2008, 2008, 0.0),
+            ints("month", 1, 12, 0.0),
+            ints("day_of_week", 1, 7, 0.0),
+            cat("carrier", 20, 0.0),
+            cat("origin", 300, 0.0),
+            cat("dest", 300, 0.0),
+            normal("dep_delay", 10.0, 35.0, 0.02),
+            normal("arr_delay", 8.0, 38.0, 0.02),
+            normal("distance", 730.0, 560.0, 0.0),
+            normal("air_time", 104.0, 67.0, 0.02),
+            lognormal("carrier_delay", 2.0, 1.5, 0.78),
+            lognormal("weather_delay", 1.0, 1.5, 0.78),
+            lognormal("nas_delay", 1.5, 1.4, 0.78),
+            boolean("cancelled", 0.02, 0.0),
+        ],
+    }
+}
+
+/// Original DelayedFlights row count.
+pub const DELAYED_FLIGHTS_ROWS: usize = 5_819_079;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn birdstrike_shape() {
+        let spec = birdstrike_spec(1000);
+        assert_eq!(spec.columns.len(), 12);
+        let df = crate::generate(&spec, 1);
+        assert_eq!(df.nrows(), 1000);
+        // Heavy missingness in repair_cost.
+        let rate = df.column("repair_cost").unwrap().null_count() as f64 / 1000.0;
+        assert!(rate > 0.3, "rate {rate}");
+    }
+
+    #[test]
+    fn delayed_flights_shape() {
+        let spec = delayed_flights_spec(500);
+        assert_eq!(spec.columns.len(), 14);
+        let df = crate::generate(&spec, 1);
+        assert_eq!(df.nrows(), 500);
+    }
+
+    #[test]
+    fn complex_dataset_is_larger() {
+        // Compile-time property of the published row counts.
+        const { assert!(DELAYED_FLIGHTS_ROWS > BIRDSTRIKE_ROWS * 20) };
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the dataset generator: shapes, missing
+//! rates, and determinism over arbitrary specs.
+
+use eda_datagen::spec::quick::*;
+use eda_datagen::{generate, DatasetSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
+    (
+        1usize..400,
+        0.0f64..0.5,
+        2usize..30,
+        prop::sample::select(vec![0u8, 1, 2, 3, 4, 5, 6]),
+    )
+        .prop_map(|(rows, missing, cardinality, kind)| {
+            let column = match kind {
+                0 => normal("col", 5.0, 2.0, missing),
+                1 => lognormal("col", 1.0, 0.5, missing),
+                2 => uniform("col", -10.0, 10.0, missing),
+                3 => ints("col", -50, 50, missing),
+                4 => cat("col", cardinality, missing),
+                5 => text("col", 3, cardinality, missing),
+                _ => boolean("col", 0.4, missing),
+            };
+            DatasetSpec { name: "prop".into(), rows, columns: vec![column] }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_shape_matches_spec(spec in arb_spec(), seed in any::<u64>()) {
+        let df = generate(&spec, seed);
+        prop_assert_eq!(df.nrows(), spec.rows);
+        prop_assert_eq!(df.ncols(), 1);
+    }
+
+    #[test]
+    fn determinism(spec in arb_spec(), seed in any::<u64>()) {
+        prop_assert_eq!(generate(&spec, seed), generate(&spec, seed));
+    }
+
+    #[test]
+    fn missing_rate_within_tolerance(spec in arb_spec(), seed in any::<u64>()) {
+        let df = generate(&spec, seed);
+        let rate = df.column("col").unwrap().null_count() as f64 / spec.rows.max(1) as f64;
+        let expected = spec.columns[0].missing_rate;
+        // Binomial noise bound: 4 standard deviations plus slack for tiny n.
+        let sigma = (expected * (1.0 - expected) / spec.rows as f64).sqrt();
+        prop_assert!(
+            (rate - expected).abs() <= 4.0 * sigma + 0.08,
+            "rate {rate} vs expected {expected} (n = {})",
+            spec.rows
+        );
+    }
+
+    #[test]
+    fn scaled_specs_generate_scaled_frames(spec in arb_spec(), factor in 0.05f64..3.0) {
+        let scaled = spec.scaled(factor);
+        let df = generate(&scaled, 7);
+        prop_assert_eq!(df.nrows(), scaled.rows);
+        prop_assert!(scaled.rows >= 10);
+    }
+}

@@ -1,0 +1,175 @@
+//! Matrix renderers: categorical heat map, correlation matrices, nullity
+//! correlation.
+
+use eda_stats::corr::CorrMatrix;
+
+use crate::svg::Svg;
+use crate::theme;
+
+use super::bars::{empty_chart, truncate};
+
+/// Shared grid renderer: cells colored by `color(row, col)`, labelled
+/// axes, optional cell text.
+#[allow(clippy::too_many_arguments)]
+fn grid(
+    title: &str,
+    xlabels: &[String],
+    ylabels: &[String],
+    color: impl Fn(usize, usize) -> String,
+    text: impl Fn(usize, usize) -> Option<String>,
+    w: usize,
+    h: usize,
+) -> String {
+    if xlabels.is_empty() || ylabels.is_empty() {
+        return empty_chart(title, w, h);
+    }
+    let mut svg = Svg::new(w, h);
+    svg.text(w as f64 / 2.0, 16.0, title, 12.0, "middle", theme::TEXT);
+    let left = 80.0;
+    let top = 28.0;
+    let right = w as f64 - 12.0;
+    let bottom = h as f64 - 34.0;
+    let cw = (right - left) / xlabels.len() as f64;
+    let ch = (bottom - top) / ylabels.len() as f64;
+    for (r, yl) in ylabels.iter().enumerate() {
+        svg.text(
+            left - 6.0,
+            top + ch * (r as f64 + 0.5) + 3.0,
+            &truncate(yl, 11),
+            9.0,
+            "end",
+            theme::TEXT,
+        );
+        for (c, _) in xlabels.iter().enumerate() {
+            let x = left + cw * c as f64;
+            let y = top + ch * r as f64;
+            svg.rect_outlined(x, y, cw, ch, &color(r, c), "#FFFFFF");
+            if let Some(t) = text(r, c) {
+                svg.text(x + cw / 2.0, y + ch / 2.0 + 3.0, &t, 8.5, "middle", theme::TEXT);
+            }
+        }
+    }
+    for (c, xl) in xlabels.iter().enumerate() {
+        svg.text(
+            left + cw * (c as f64 + 0.5),
+            bottom + 14.0,
+            &truncate(xl, 9),
+            9.0,
+            "middle",
+            theme::TEXT,
+        );
+    }
+    svg.finish()
+}
+
+/// Count heat map over two categorical axes.
+pub fn heatmap(
+    title: &str,
+    xlabels: &[String],
+    ylabels: &[String],
+    values: &[Vec<u64>],
+    w: usize,
+    h: usize,
+) -> String {
+    let max = values.iter().flatten().copied().max().unwrap_or(1).max(1) as f64;
+    grid(
+        title,
+        xlabels,
+        ylabels,
+        |r, c| theme::sequential(values[r][c] as f64 / max),
+        |r, c| Some(values[r][c].to_string()),
+        w,
+        h,
+    )
+}
+
+/// Correlation matrix heat map with diverging colors and r values.
+pub fn correlation(title: &str, m: &CorrMatrix, w: usize, h: usize) -> String {
+    let labels = &m.labels;
+    grid(
+        &format!("{title} — {}", m.method.name()),
+        labels,
+        labels,
+        |r, c| match m.get(r, c) {
+            Some(v) => theme::diverging(v),
+            None => "#F5F5F5".to_string(),
+        },
+        |r, c| m.get(r, c).map(|v| format!("{v:.2}")),
+        w,
+        h,
+    )
+}
+
+/// Nullity correlation heat map (missingno-style).
+pub fn nullity_correlation(
+    title: &str,
+    labels: &[String],
+    cells: &[Vec<Option<f64>>],
+    w: usize,
+    h: usize,
+) -> String {
+    grid(
+        title,
+        labels,
+        labels,
+        |r, c| match cells[r][c] {
+            Some(v) => theme::diverging(v),
+            None => "#F5F5F5".to_string(),
+        },
+        |r, c| cells[r][c].map(|v| format!("{v:.2}")),
+        w,
+        h,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_stats::corr::CorrMethod;
+
+    #[test]
+    fn heatmap_draws_all_cells() {
+        let svg = heatmap(
+            "h",
+            &["a".into(), "b".into(), "c".into()],
+            &["x".into(), "y".into()],
+            &[vec![1, 2, 3], vec![4, 5, 6]],
+            300,
+            200,
+        );
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert!(svg.contains(">6<"));
+    }
+
+    #[test]
+    fn correlation_matrix_title_names_method() {
+        let m = CorrMatrix::compute(
+            &[
+                ("a".into(), vec![1.0, 2.0, 3.0]),
+                ("b".into(), vec![3.0, 2.0, 1.0]),
+            ],
+            CorrMethod::Spearman,
+        );
+        let svg = correlation("corr", &m, 300, 200);
+        assert!(svg.contains("Spearman"));
+        assert!(svg.contains("-1.00"));
+        assert!(svg.contains("1.00"));
+    }
+
+    #[test]
+    fn undefined_cells_render_grey() {
+        let svg = nullity_correlation(
+            "n",
+            &["a".into(), "b".into()],
+            &[vec![Some(1.0), None], vec![None, Some(1.0)]],
+            300,
+            200,
+        );
+        assert!(svg.contains("#F5F5F5"));
+    }
+
+    #[test]
+    fn empty_grid_is_placeholder() {
+        assert!(heatmap("h", &[], &[], &[], 300, 200).contains("no data"));
+    }
+}

@@ -1,0 +1,263 @@
+//! HTML layouts: the tabbed panel of the paper's Figure 1 and the full
+//! report page.
+//!
+//! Layouts are self-contained (inline CSS, CSS-only tabs via radio
+//! inputs) so the output opens offline in any browser — the same
+//! requirement that pushed the paper's authors to a custom HTML/JS layout
+//! over stock plotting-library layouts.
+
+use eda_core::api::Analysis;
+use eda_core::config::DisplayConfig;
+use eda_core::intermediate::Inter;
+use eda_core::report::Report;
+use eda_core::Insight;
+
+use crate::charts::render_chart;
+use crate::svg::Svg;
+
+const STYLE: &str = r#"<style>
+body { font-family: ui-sans-serif, system-ui, sans-serif; margin: 16px; color: #333; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; border-bottom: 1px solid #ddd; }
+.eda-stats { border-collapse: collapse; margin: 8px 0; font-size: 12px; }
+.eda-stats td, .eda-stats th { border: 1px solid #e0e0e0; padding: 3px 10px; }
+.eda-stats tr.highlight td { color: #C0392B; font-weight: 600; }
+.eda-tabs { margin: 10px 0; }
+.eda-tabs input[type=radio] { display: none; }
+.eda-tabs label { display: inline-block; padding: 5px 12px; border: 1px solid #ccc;
+  border-bottom: none; border-radius: 4px 4px 0 0; cursor: pointer; font-size: 12px;
+  background: #f5f5f5; margin-right: 2px; }
+.eda-tabs input:checked + label { background: #fff; font-weight: 600; }
+.eda-panel { display: none; border: 1px solid #ccc; padding: 10px; }
+.eda-tabs input:checked + label + .eda-panel { display: block; }
+.eda-insights { background: #FFF7F5; border: 1px solid #E8C4BC; padding: 8px 12px;
+  border-radius: 4px; font-size: 12px; }
+.eda-insights li { margin: 2px 0; }
+.eda-grid { display: flex; flex-wrap: wrap; gap: 12px; }
+</style>"#;
+
+/// A tabbed panel: one tab per `(title, html)` pair.
+///
+/// `group` must be unique per panel on a page (radio-input namespace).
+pub fn tab_panel(group: &str, tabs: &[(String, String)]) -> String {
+    if tabs.is_empty() {
+        return String::new();
+    }
+    let mut html = String::from(r#"<div class="eda-tabs">"#);
+    for (i, (title, body)) in tabs.iter().enumerate() {
+        let id = format!("{group}-{i}");
+        let checked = if i == 0 { " checked" } else { "" };
+        html.push_str(&format!(
+            r#"<input type="radio" name="{group}" id="{id}"{checked}><label for="{id}">{}</label><div class="eda-panel">{body}</div>"#,
+            Svg::escape(title)
+        ));
+    }
+    html.push_str("</div>");
+    html
+}
+
+/// The insights box shown above the tabs.
+pub fn insights_list(insights: &[Insight]) -> String {
+    if insights.is_empty() {
+        return String::new();
+    }
+    let mut html = String::from(r#"<ul class="eda-insights">"#);
+    for i in insights {
+        html.push_str(&format!(
+            "<li><b>[{}]</b> {}</li>",
+            Svg::escape(i.kind.name()),
+            Svg::escape(&i.message)
+        ));
+    }
+    html.push_str("</ul>");
+    html
+}
+
+/// Human-readable tab title from an intermediate name
+/// (`compare_histogram:price` → `Compare Histogram: price`).
+fn tab_title(name: &str) -> String {
+    let (base, suffix) = match name.split_once(':') {
+        Some((b, s)) => (b, Some(s)),
+        None => (name, None),
+    };
+    let pretty: String = base
+        .split('_')
+        .map(|w| {
+            let mut cs = w.chars();
+            match cs.next() {
+                Some(f) => f.to_uppercase().chain(cs).collect::<String>(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    match suffix {
+        Some(s) => format!("{pretty}: {s}"),
+        None => pretty,
+    }
+}
+
+/// Render one analysis as a standalone HTML page (title, insights box,
+/// tabbed charts — the front end of the paper's Figure 1).
+pub fn render_analysis_html(analysis: &Analysis, display: &DisplayConfig) -> String {
+    let tabs: Vec<(String, String)> = analysis
+        .intermediates
+        .iter()
+        .map(|(name, inter)| (tab_title(name), render_chart(name, inter, display)))
+        .collect();
+    format!(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{:?}</title>{STYLE}</head><body><h1>{:?}</h1>{}{}</body></html>",
+        analysis.task,
+        analysis.task,
+        insights_list(&analysis.insights),
+        tab_panel("analysis", &tabs)
+    )
+}
+
+/// Render a full report as a standalone HTML page with Overview,
+/// Variables, Correlations, and Missing Values sections (the
+/// Pandas-profiling-equivalent output, computed the DataPrep way).
+pub fn render_report_html(report: &Report, display: &DisplayConfig) -> String {
+    let mut body = String::new();
+    body.push_str("<h1>DataPrep.EDA Report</h1>");
+    body.push_str(&insights_list(&report.insights));
+
+    body.push_str("<h2>Overview</h2><div class=\"eda-grid\">");
+    for (name, inter) in report.overview.iter() {
+        body.push_str(&render_chart(name, inter, display));
+    }
+    body.push_str("</div>");
+
+    body.push_str("<h2>Variables</h2>");
+    for (vi, var) in report.variables.iter().enumerate() {
+        body.push_str(&format!(
+            "<h3>{} <small>({})</small></h3>",
+            Svg::escape(&var.name),
+            var.semantic
+        ));
+        body.push_str(&insights_list(&var.insights));
+        let tabs: Vec<(String, String)> = var
+            .intermediates
+            .iter()
+            .map(|(name, inter)| (tab_title(name), render_chart(name, inter, display)))
+            .collect();
+        body.push_str(&tab_panel(&format!("var{vi}"), &tabs));
+    }
+
+    if !report.correlations.is_empty() {
+        body.push_str("<h2>Correlations</h2>");
+        let tabs: Vec<(String, String)> = report
+            .correlations
+            .iter()
+            .map(|m| {
+                (
+                    m.method.name().to_string(),
+                    render_chart("correlation_matrix", &Inter::Correlation(m.clone()), display),
+                )
+            })
+            .collect();
+        body.push_str(&tab_panel("corr", &tabs));
+    }
+
+    body.push_str("<h2>Missing Values</h2>");
+    let tabs: Vec<(String, String)> = report
+        .missing
+        .iter()
+        .map(|(name, inter)| (tab_title(name), render_chart(name, inter, display)))
+        .collect();
+    body.push_str(&tab_panel("missing", &tabs));
+
+    body.push_str(&format!(
+        "<p><small>computed {} tasks ({} shared away) in {:.3}s on {} workers</small></p>",
+        report.stats.tasks_run,
+        report.stats.cse_hits,
+        report.stats.elapsed.as_secs_f64(),
+        report.stats.workers
+    ));
+    format!(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>DataPrep.EDA Report</title>{STYLE}</head><body>{body}</body></html>"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_core::{create_report, plot, Config};
+    use eda_dataframe::{Column, DataFrame};
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![
+            (
+                "price".into(),
+                Column::from_opt_f64(
+                    (0..150)
+                        .map(|i| if i % 10 == 0 { None } else { Some(100.0 + (i % 40) as f64) })
+                        .collect(),
+                ),
+            ),
+            (
+                "city".into(),
+                Column::from_string((0..150).map(|i| format!("c{}", i % 4)).collect()),
+            ),
+            (
+                "size".into(),
+                Column::from_f64((0..150).map(|i| 20.0 + (i % 60) as f64).collect()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn tab_titles_prettified() {
+        assert_eq!(tab_title("box_plot"), "Box Plot");
+        assert_eq!(tab_title("compare_histogram:price"), "Compare Histogram: price");
+    }
+
+    #[test]
+    fn tab_panel_structure() {
+        let html = tab_panel("g", &[("A".into(), "<p>a</p>".into()), ("B".into(), "<p>b</p>".into())]);
+        assert_eq!(html.matches("type=\"radio\"").count(), 2);
+        assert_eq!(html.matches("checked").count(), 1);
+        assert!(tab_panel("g", &[]).is_empty());
+    }
+
+    #[test]
+    fn analysis_page_is_complete_html() {
+        let df = frame();
+        let cfg = Config::default();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        let html = render_analysis_html(&a, &cfg.display);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("Histogram"));
+        assert!(html.contains("Qq Plot"));
+        assert!(html.ends_with("</html>"));
+    }
+
+    #[test]
+    fn report_page_has_all_sections() {
+        let df = frame();
+        let cfg = Config::default();
+        let r = create_report(&df, &cfg).unwrap();
+        let html = render_report_html(&r, &cfg.display);
+        for section in ["Overview", "Variables", "Correlations", "Missing Values"] {
+            assert!(html.contains(section), "missing section {section}");
+        }
+        assert!(html.contains("price"));
+        assert!(html.contains("city"));
+        assert!(html.matches("<svg").count() > 10);
+        assert!(html.contains("shared away"));
+    }
+
+    #[test]
+    fn insights_box_escapes() {
+        use eda_core::insights::{Insight, InsightKind};
+        let html = insights_list(&[Insight {
+            kind: InsightKind::Missing,
+            columns: vec!["a".into()],
+            value: 0.2,
+            message: "a <has> nulls".into(),
+        }]);
+        assert!(html.contains("a &lt;has&gt; nulls"));
+        assert!(insights_list(&[]).is_empty());
+    }
+}

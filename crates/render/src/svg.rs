@@ -1,0 +1,276 @@
+//! A minimal SVG canvas plus the standard chart frame.
+
+use std::fmt::Write as _;
+
+use crate::scale::{tick_label, LinearScale};
+use crate::theme;
+
+/// Margins of the chart frame, in pixels.
+#[derive(Debug, Clone, Copy)]
+pub struct Margins {
+    /// Top margin.
+    pub top: f64,
+    /// Right margin.
+    pub right: f64,
+    /// Bottom margin (room for x tick labels).
+    pub bottom: f64,
+    /// Left margin (room for y tick labels).
+    pub left: f64,
+}
+
+impl Default for Margins {
+    fn default() -> Self {
+        Margins { top: 28.0, right: 16.0, bottom: 36.0, left: 52.0 }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Svg {
+    /// A blank canvas.
+    pub fn new(width: usize, height: usize) -> Svg {
+        Svg { width: width as f64, height: height as f64, body: String::new() }
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Escape text content.
+    pub fn escape(s: &str) -> String {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+            .replace('"', "&quot;")
+    }
+
+    /// Add a rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Add a rectangle with stroke.
+    pub fn rect_outlined(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: &str) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"#
+        );
+    }
+
+    /// Add a line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Add a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, opacity: f64) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}" fill-opacity="{opacity}"/>"#
+        );
+    }
+
+    /// Add a polyline path through points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let mut d = String::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            let _ = write!(d, "{}{x:.2},{y:.2} ", if i == 0 { "M" } else { "L" });
+        }
+        let _ = write!(
+            self.body,
+            r#"<path d="{d}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Add a closed polygon.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let _ = write!(
+            self.body,
+            r#"<polygon points="{}" fill="{fill}"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// Add text. `anchor` is `start`/`middle`/`end`.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="{}" text-anchor="{anchor}" fill="{fill}">{}</text>"#,
+            theme::FONT,
+            Svg::escape(content)
+        );
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">{}</svg>"#,
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// A framed plotting area: title, axes, ticks, grid.
+pub struct Frame {
+    /// The canvas.
+    pub svg: Svg,
+    /// X scale (domain → plot pixels).
+    pub x: LinearScale,
+    /// Y scale (domain → plot pixels, inverted for SVG).
+    pub y: LinearScale,
+    /// Margins in use.
+    pub margins: Margins,
+}
+
+impl Frame {
+    /// Build a frame with numeric x/y axes and draw the decorations.
+    pub fn new(
+        width: usize,
+        height: usize,
+        title: &str,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+    ) -> Frame {
+        let margins = Margins::default();
+        let mut svg = Svg::new(width, height);
+        let x = LinearScale::new(x0, x1, margins.left, width as f64 - margins.right);
+        let y = LinearScale::new(y0, y1, height as f64 - margins.bottom, margins.top);
+
+        svg.text(width as f64 / 2.0, 16.0, title, 12.0, "middle", theme::TEXT);
+
+        // Grid + ticks.
+        for t in y.ticks(5) {
+            let py = y.map(t);
+            svg.line(margins.left, py, width as f64 - margins.right, py, theme::GRID, 1.0);
+            svg.text(margins.left - 6.0, py + 3.0, &tick_label(t), 9.0, "end", theme::TEXT);
+        }
+        for t in x.ticks(6) {
+            let px = x.map(t);
+            svg.text(
+                px,
+                height as f64 - margins.bottom + 14.0,
+                &tick_label(t),
+                9.0,
+                "middle",
+                theme::TEXT,
+            );
+        }
+        // Axes.
+        svg.line(
+            margins.left,
+            height as f64 - margins.bottom,
+            width as f64 - margins.right,
+            height as f64 - margins.bottom,
+            theme::AXIS,
+            1.0,
+        );
+        svg.line(
+            margins.left,
+            margins.top,
+            margins.left,
+            height as f64 - margins.bottom,
+            theme::AXIS,
+            1.0,
+        );
+        Frame { svg, x, y, margins }
+    }
+
+    /// Pixel bounds of the plotting area `(left, top, right, bottom)`.
+    pub fn plot_area(&self) -> (f64, f64, f64, f64) {
+        (
+            self.margins.left,
+            self.margins.top,
+            self.svg.width() - self.margins.right,
+            self.svg.height() - self.margins.bottom,
+        )
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        self.svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_document_structure() {
+        let mut s = Svg::new(100, 50);
+        s.rect(0.0, 0.0, 10.0, 10.0, "#fff");
+        s.circle(5.0, 5.0, 2.0, "#000", 1.0);
+        s.text(1.0, 1.0, "a<b", 10.0, "start", "#333");
+        let out = s.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.ends_with("</svg>"));
+        assert!(out.contains("<rect"));
+        assert!(out.contains("<circle"));
+        assert!(out.contains("a&lt;b"));
+        assert!(out.contains(r#"width="100""#));
+    }
+
+    #[test]
+    fn escape_rules() {
+        assert_eq!(Svg::escape("a&b<c>\"d\""), "a&amp;b&lt;c&gt;&quot;d&quot;");
+    }
+
+    #[test]
+    fn polyline_path() {
+        let mut s = Svg::new(10, 10);
+        s.polyline(&[(0.0, 0.0), (5.0, 5.0)], "#000", 1.0);
+        let out = s.finish();
+        assert!(out.contains("M0.00,0.00"));
+        assert!(out.contains("L5.00,5.00"));
+    }
+
+    #[test]
+    fn empty_polyline_is_noop() {
+        let mut s = Svg::new(10, 10);
+        s.polyline(&[], "#000", 1.0);
+        assert!(!s.finish().contains("<path"));
+    }
+
+    #[test]
+    fn frame_draws_axes_and_title() {
+        let f = Frame::new(300, 200, "Title", (0.0, 10.0), (0.0, 5.0));
+        let out = f.finish();
+        assert!(out.contains("Title"));
+        assert!(out.matches("<line").count() >= 4); // grid + axes
+    }
+
+    #[test]
+    fn frame_scales_are_oriented() {
+        let f = Frame::new(300, 200, "t", (0.0, 10.0), (0.0, 5.0));
+        // Larger y value maps to smaller pixel y (SVG grows downward).
+        assert!(f.y.map(5.0) < f.y.map(0.0));
+        assert!(f.x.map(10.0) > f.x.map(0.0));
+        let (l, t, r, b) = f.plot_area();
+        assert!(l < r && t < b);
+    }
+}

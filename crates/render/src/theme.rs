@@ -1,0 +1,91 @@
+//! Color palette and typography constants shared by the chart renderers.
+
+/// Categorical series palette (colorblind-aware, dark-first).
+pub const SERIES: &[&str] = &[
+    "#4C78A8", "#F58518", "#54A24B", "#E45756", "#72B7B2", "#EECA3B", "#B279A2", "#FF9DA6",
+    "#9D755D", "#BAB0AC",
+];
+
+/// Primary mark color.
+pub const PRIMARY: &str = SERIES[0];
+/// Secondary mark color (after/compare series).
+pub const SECONDARY: &str = SERIES[1];
+/// Insight highlight color (the red rows of the paper's Figure 1).
+pub const HIGHLIGHT: &str = "#C0392B";
+/// Axis/frame stroke.
+pub const AXIS: &str = "#888888";
+/// Grid-line stroke.
+pub const GRID: &str = "#E0E0E0";
+/// Label text fill.
+pub const TEXT: &str = "#333333";
+/// Font stack for SVG text.
+pub const FONT: &str = "ui-sans-serif, system-ui, sans-serif";
+
+/// Color of the `i`-th series.
+pub fn series_color(i: usize) -> &'static str {
+    SERIES[i % SERIES.len()]
+}
+
+/// Sequential color for a value in `[0, 1]` (light blue → dark blue);
+/// used by heat maps and hexbins.
+pub fn sequential(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let from = (237.0, 248.0, 255.0);
+    let to = (30.0, 80.0, 150.0);
+    let r = from.0 + (to.0 - from.0) * t;
+    let g = from.1 + (to.1 - from.1) * t;
+    let b = from.2 + (to.2 - from.2) * t;
+    format!("rgb({},{},{})", r as u8, g as u8, b as u8)
+}
+
+/// Diverging color for a correlation in `[-1, 1]` (blue → white → red).
+pub fn diverging(r: f64) -> String {
+    let r = r.clamp(-1.0, 1.0);
+    if r >= 0.0 {
+        let t = r;
+        let (fr, fg, fb) = (255.0, 255.0, 255.0);
+        let (tr, tg, tb) = (178.0, 24.0, 43.0);
+        format!(
+            "rgb({},{},{})",
+            (fr + (tr - fr) * t) as u8,
+            (fg + (tg - fg) * t) as u8,
+            (fb + (tb - fb) * t) as u8
+        )
+    } else {
+        let t = -r;
+        let (fr, fg, fb) = (255.0, 255.0, 255.0);
+        let (tr, tg, tb) = (33.0, 102.0, 172.0);
+        format!(
+            "rgb({},{},{})",
+            (fr + (tr - fr) * t) as u8,
+            (fg + (tg - fg) * t) as u8,
+            (fb + (tb - fb) * t) as u8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_wraps() {
+        assert_eq!(series_color(0), SERIES[0]);
+        assert_eq!(series_color(SERIES.len()), SERIES[0]);
+    }
+
+    #[test]
+    fn sequential_endpoints() {
+        assert_eq!(sequential(0.0), "rgb(237,248,255)");
+        assert_eq!(sequential(1.0), "rgb(30,80,150)");
+        // Clamped.
+        assert_eq!(sequential(2.0), sequential(1.0));
+    }
+
+    #[test]
+    fn diverging_endpoints() {
+        assert_eq!(diverging(0.0), "rgb(255,255,255)");
+        assert_eq!(diverging(1.0), "rgb(178,24,43)");
+        assert_eq!(diverging(-1.0), "rgb(33,102,172)");
+    }
+}

@@ -1,0 +1,407 @@
+//! Kendall's tau-b via Knight's O(n log n) algorithm.
+//!
+//! The naive tau is O(n²) in pair comparisons — too slow for the row counts
+//! in the paper's Table 2. Knight (1966) counts discordant pairs as merge
+//! sort inversions after sorting by one coordinate, and corrects for ties:
+//!
+//! `tau_b = (n0 - n1 - n2 + n3 - 2·D) / sqrt((n0 - n1)(n0 - n2))`
+//!
+//! with `n0 = n(n-1)/2`, `n1`/`n2` tie pair counts in x/y, `n3` joint-tie
+//! pairs, `D` discordant pairs — the same formulation SciPy uses.
+
+use super::complete_pairs;
+
+/// Kendall's tau-b over pairwise-complete observations.
+///
+/// Returns `None` when fewer than 2 complete pairs remain or either side is
+/// entirely tied.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
+    let (xs, ys) = complete_pairs(x, y);
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+
+    // Sort indices by (x, y).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("no NaNs")
+            .then(ys[a].partial_cmp(&ys[b]).expect("no NaNs"))
+    });
+
+    let n0 = pairs(n as u64);
+
+    // Tie counts in x, and joint ties (x and y both equal).
+    let mut n1 = 0u64;
+    let mut n3 = 0u64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+                j += 1;
+            }
+            n1 += pairs((j - i + 1) as u64);
+            // Within the x-tie group, indices are sorted by y: count y runs.
+            let mut k = i;
+            while k <= j {
+                let mut m = k;
+                while m < j && ys[idx[m + 1]] == ys[idx[k]] {
+                    m += 1;
+                }
+                n3 += pairs((m - k + 1) as u64);
+                k = m + 1;
+            }
+            i = j + 1;
+        }
+    }
+
+    // Tie counts in y.
+    let mut sorted_y: Vec<f64> = ys.clone();
+    sorted_y.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mut n2 = 0u64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && sorted_y[j + 1] == sorted_y[i] {
+                j += 1;
+            }
+            n2 += pairs((j - i + 1) as u64);
+            i = j + 1;
+        }
+    }
+
+    // Discordant pairs = inversions of the y sequence ordered by (x, y).
+    let mut seq: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
+    let mut buf = vec![0.0; n];
+    let discordant = count_inversions(&mut seq, &mut buf);
+
+    let denom = ((n0 - n1) as f64) * ((n0 - n2) as f64);
+    if denom <= 0.0 {
+        return None;
+    }
+    let numer = n0 as f64 - n1 as f64 - n2 as f64 + n3 as f64 - 2.0 * discordant as f64;
+    Some(numer / denom.sqrt())
+}
+
+/// `k choose 2`.
+fn pairs(k: u64) -> u64 {
+    k * k.saturating_sub(1) / 2
+}
+
+/// Count inversions (strictly decreasing pairs) with bottom-up merge sort.
+fn count_inversions(seq: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = seq.len();
+    let mut inversions = 0u64;
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo + width < n {
+            let mid = lo + width;
+            let hi = (lo + 2 * width).min(n);
+            inversions += merge_count(&seq[lo..hi], mid - lo, &mut buf[lo..hi]);
+            seq[lo..hi].copy_from_slice(&buf[lo..hi]);
+            lo += 2 * width;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+/// Merge two sorted halves of `slice` (split at `mid`) into `out`,
+/// counting cross-half inversions.
+fn merge_count(slice: &[f64], mid: usize, out: &mut [f64]) -> u64 {
+    let (left, right) = slice.split_at(mid);
+    let mut inversions = 0u64;
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            out[k] = left[i];
+            i += 1;
+        } else {
+            // right[j] jumps ahead of all remaining left items: each is an
+            // inversion.
+            inversions += (left.len() - i) as u64;
+            out[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    out[k..k + left.len() - i].copy_from_slice(&left[i..]);
+    let k = k + left.len() - i;
+    out[k..k + right.len() - j].copy_from_slice(&right[j..]);
+    inversions
+}
+
+/// Per-column state reusable across every pair involving the column:
+/// its stable sort permutation and its tie-pair count. Computing these
+/// once per column (instead of once per pair) is the shared-computation
+/// optimization the DataPrep correlation matrix applies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KendallPrep {
+    /// Stable argsort of the column (indices in ascending value order).
+    pub perm: Vec<u32>,
+    /// `Σ t(t-1)/2` over the column's tie groups.
+    pub tie_pairs: u64,
+}
+
+/// Build the shared per-column state. Returns `None` when the column
+/// contains NaN (pairwise-complete filtering invalidates a shared
+/// permutation; callers fall back to [`kendall_tau`] for such columns).
+pub fn kendall_prep(values: &[f64]) -> Option<KendallPrep> {
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut perm: Vec<u32> = (0..values.len() as u32).collect();
+    perm.sort_by(|&a, &b| {
+        values[a as usize]
+            .partial_cmp(&values[b as usize])
+            .expect("no NaNs")
+    });
+    let mut tie_pairs = 0u64;
+    let mut i = 0;
+    while i < perm.len() {
+        let mut j = i;
+        while j + 1 < perm.len() && values[perm[j + 1] as usize] == values[perm[i] as usize] {
+            j += 1;
+        }
+        tie_pairs += pairs((j - i + 1) as u64);
+        i = j + 1;
+    }
+    Some(KendallPrep { perm, tie_pairs })
+}
+
+/// Kendall's tau-b over NaN-free columns using precomputed per-column
+/// state: `x_prep` is x's shared sort permutation / tie count, and
+/// `y_tie_pairs` comes from y's own prep. Exactly equal to
+/// [`kendall_tau`] on the same data, but the per-pair cost drops from
+/// two comparison sorts to one linear pass plus the inversion count.
+pub fn kendall_tau_prepped(
+    x: &[f64],
+    y: &[f64],
+    x_prep: &KendallPrep,
+    y_tie_pairs: u64,
+) -> Option<f64> {
+    let n = x.len();
+    if n < 2 || y.len() != n || x_prep.perm.len() != n {
+        return None;
+    }
+    let n0 = pairs(n as u64);
+    let n1 = x_prep.tie_pairs;
+    let n2 = y_tie_pairs;
+
+    // Walk x's shared order; within each x-tie group sort the y values
+    // ascending (required by Knight) and count joint ties.
+    let mut seq: Vec<f64> = Vec::with_capacity(n);
+    let mut n3 = 0u64;
+    let perm = &x_prep.perm;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[perm[j + 1] as usize] == x[perm[i] as usize] {
+            j += 1;
+        }
+        if j == i {
+            seq.push(y[perm[i] as usize]);
+        } else {
+            let start = seq.len();
+            for &p in &perm[i..=j] {
+                seq.push(y[p as usize]);
+            }
+            let group = &mut seq[start..];
+            group.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            let mut k = 0;
+            while k < group.len() {
+                let mut m = k;
+                while m + 1 < group.len() && group[m + 1] == group[k] {
+                    m += 1;
+                }
+                n3 += pairs((m - k + 1) as u64);
+                k = m + 1;
+            }
+        }
+        i = j + 1;
+    }
+
+    let mut buf = vec![0.0; n];
+    let discordant = count_inversions(&mut seq, &mut buf);
+    let denom = ((n0 - n1) as f64) * ((n0 - n2) as f64);
+    if denom <= 0.0 {
+        return None;
+    }
+    let numer = n0 as f64 - n1 as f64 - n2 as f64 + n3 as f64 - 2.0 * discordant as f64;
+    Some(numer / denom.sqrt())
+}
+
+/// Naive O(n²) tau-b used to validate the fast path in tests.
+#[doc(hidden)]
+pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Option<f64> {
+    let (xs, ys) = complete_pairs(x, y);
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let (mut concordant, mut discordant, mut tx, mut ty) = (0i64, 0i64, 0u64, 0u64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                tx += 1;
+                ty += 1;
+            } else if dx == 0.0 {
+                tx += 1;
+            } else if dy == 0.0 {
+                ty += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = (n0 - tx as f64) * (n0 - ty as f64);
+    if denom <= 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert!((kendall_tau(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_disagreement() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // scipy.stats.kendalltau([1,2,3,4,5], [2,1,4,3,5]).statistic == 0.6
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        assert!((kendall_tau(&x, &y).unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_handled_as_tau_b() {
+        // scipy.stats.kendalltau([1,2,2,3], [1,2,3,4]) ≈ 0.9128709291752769
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!((tau - 0.912_870_929_175_276_9).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(kendall_tau(&[], &[]), None);
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+        assert_eq!(kendall_tau(&[2.0, 2.0], &[1.0, 3.0]), None);
+    }
+
+    #[test]
+    fn nan_pairs_dropped() {
+        let x = [1.0, f64::NAN, 2.0, 3.0];
+        let y = [1.0, 99.0, 2.0, 3.0];
+        assert!((kendall_tau(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_pseudorandom_data() {
+        // Deterministic pseudo-random data with plenty of ties.
+        let x: Vec<f64> = (0..300).map(|i| ((i * 37 + 11) % 23) as f64).collect();
+        let y: Vec<f64> = (0..300).map(|i| ((i * 53 + 7) % 19) as f64).collect();
+        let fast = kendall_tau(&x, &y).unwrap();
+        let naive = kendall_tau_naive(&x, &y).unwrap();
+        assert!((fast - naive).abs() < 1e-12, "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn fast_matches_naive_continuous() {
+        let x: Vec<f64> = (0..200).map(|i| ((i * 97 + 13) % 541) as f64 / 7.0).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i * 31 + 29) % 769) as f64 / 11.0).collect();
+        let fast = kendall_tau(&x, &y).unwrap();
+        let naive = kendall_tau_naive(&x, &y).unwrap();
+        assert!((fast - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0];
+        let a = kendall_tau(&x, &y).unwrap();
+        let b = kendall_tau(&y, &x).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepped_matches_plain_on_tied_data() {
+        let x: Vec<f64> = (0..300).map(|i| ((i * 37 + 11) % 23) as f64).collect();
+        let y: Vec<f64> = (0..300).map(|i| ((i * 53 + 7) % 19) as f64).collect();
+        let xp = kendall_prep(&x).unwrap();
+        let yp = kendall_prep(&y).unwrap();
+        let fast = kendall_tau_prepped(&x, &y, &xp, yp.tie_pairs).unwrap();
+        let plain = kendall_tau(&x, &y).unwrap();
+        assert!((fast - plain).abs() < 1e-12, "{fast} vs {plain}");
+        // Symmetric use of the preps.
+        let rev = kendall_tau_prepped(&y, &x, &yp, xp.tie_pairs).unwrap();
+        assert!((fast - rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepped_matches_plain_continuous() {
+        let x: Vec<f64> = (0..200).map(|i| ((i * 97 + 13) % 541) as f64 / 7.0).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i * 31 + 29) % 769) as f64 / 11.0).collect();
+        let xp = kendall_prep(&x).unwrap();
+        let yp = kendall_prep(&y).unwrap();
+        let fast = kendall_tau_prepped(&x, &y, &xp, yp.tie_pairs).unwrap();
+        let plain = kendall_tau(&x, &y).unwrap();
+        assert!((fast - plain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prep_rejects_nan_columns() {
+        assert!(kendall_prep(&[1.0, f64::NAN]).is_none());
+        assert!(kendall_prep(&[1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn prepped_degenerate() {
+        let xp = kendall_prep(&[2.0, 2.0]).unwrap();
+        let yp = kendall_prep(&[1.0, 3.0]).unwrap();
+        assert_eq!(
+            kendall_tau_prepped(&[2.0, 2.0], &[1.0, 3.0], &xp, yp.tie_pairs),
+            None
+        );
+    }
+
+    #[test]
+    fn inversion_counter_basics() {
+        let mut seq = vec![3.0, 1.0, 2.0];
+        let mut buf = vec![0.0; 3];
+        assert_eq!(count_inversions(&mut seq, &mut buf), 2);
+        assert_eq!(seq, vec![1.0, 2.0, 3.0]);
+
+        let mut sorted = vec![1.0, 2.0, 3.0, 4.0];
+        let mut buf = vec![0.0; 4];
+        assert_eq!(count_inversions(&mut sorted, &mut buf), 0);
+
+        let mut rev = vec![4.0, 3.0, 2.0, 1.0];
+        let mut buf = vec![0.0; 4];
+        assert_eq!(count_inversions(&mut rev, &mut buf), 6);
+    }
+}

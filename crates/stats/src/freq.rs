@@ -1,0 +1,220 @@
+//! Frequency tables for categorical columns.
+//!
+//! A [`FreqTable`] is a mergeable value → count map. It backs bar charts,
+//! pie charts, distinct counts, mode detection, and the grouped statistics
+//! of the bivariate categorical panels.
+
+use std::collections::HashMap;
+
+/// Mergeable frequency table over owned string categories.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FreqTable {
+    counts: HashMap<String, u64>,
+    /// Number of null entries observed alongside the categories.
+    pub nulls: u64,
+}
+
+impl FreqTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of optional categories.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<'a, I: IntoIterator<Item = Option<&'a str>>>(values: I) -> Self {
+        let mut t = FreqTable::new();
+        for v in values {
+            t.push(v);
+        }
+        t
+    }
+
+    /// Accumulate one value (`None` counts as null).
+    pub fn push(&mut self, value: Option<&str>) {
+        match value {
+            Some(v) => *self.counts.entry(v.to_string()).or_insert(0) += 1,
+            None => self.nulls += 1,
+        }
+    }
+
+    /// Accumulate an owned value.
+    pub fn push_owned(&mut self, value: Option<String>) {
+        match value {
+            Some(v) => *self.counts.entry(v).or_insert(0) += 1,
+            None => self.nulls += 1,
+        }
+    }
+
+    /// Merge another table into this one.
+    pub fn merge(&mut self, other: &FreqTable) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+        self.nulls += other.nulls;
+    }
+
+    /// Number of distinct categories.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total non-null observations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Count for one category (0 when absent).
+    pub fn count(&self, category: &str) -> u64 {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    /// The `k` most frequent `(category, count)` pairs, ties broken by
+    /// category name so results are deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<(String, u64)> {
+        let mut entries: Vec<(String, u64)> = self
+            .counts
+            .iter()
+            .map(|(c, &n)| (c.clone(), n))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// All `(category, count)` pairs sorted by descending count
+    /// (deterministic tie-break by name).
+    pub fn sorted(&self) -> Vec<(String, u64)> {
+        self.top_k(usize::MAX)
+    }
+
+    /// The most frequent category and its count.
+    pub fn mode(&self) -> Option<(String, u64)> {
+        self.top_k(1).into_iter().next()
+    }
+
+    /// Iterate raw entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Shannon entropy (nats) of the category distribution.
+    pub fn entropy(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.ln()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FreqTable {
+        FreqTable::from_iter(vec![
+            Some("a"),
+            Some("b"),
+            Some("a"),
+            None,
+            Some("c"),
+            Some("a"),
+            Some("b"),
+        ])
+    }
+
+    #[test]
+    fn counts_and_nulls() {
+        let t = sample();
+        assert_eq!(t.count("a"), 3);
+        assert_eq!(t.count("b"), 2);
+        assert_eq!(t.count("missing"), 0);
+        assert_eq!(t.nulls, 1);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.distinct(), 3);
+    }
+
+    #[test]
+    fn top_k_is_ordered_and_deterministic() {
+        let t = sample();
+        assert_eq!(
+            t.top_k(2),
+            vec![("a".to_string(), 3), ("b".to_string(), 2)]
+        );
+        // Tie between b(2)… add c up to 2 and check name tie-break.
+        let mut t2 = sample();
+        t2.push(Some("c"));
+        assert_eq!(
+            t2.top_k(3),
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn mode() {
+        assert_eq!(sample().mode(), Some(("a".to_string(), 3)));
+        assert_eq!(FreqTable::new().mode(), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample();
+        let b = FreqTable::from_iter(vec![Some("a"), Some("d"), None]);
+        a.merge(&b);
+        assert_eq!(a.count("a"), 4);
+        assert_eq!(a.count("d"), 1);
+        assert_eq!(a.nulls, 2);
+        assert_eq!(a.distinct(), 4);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let values: Vec<Option<String>> = (0..100)
+            .map(|i| {
+                if i % 7 == 0 {
+                    None
+                } else {
+                    Some(format!("cat{}", i % 5))
+                }
+            })
+            .collect();
+        let whole = {
+            let mut t = FreqTable::new();
+            for v in &values {
+                t.push(v.as_deref());
+            }
+            t
+        };
+        let mut merged = FreqTable::new();
+        for chunk in values.chunks(13) {
+            let mut part = FreqTable::new();
+            for v in chunk {
+                part.push(v.as_deref());
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn entropy_behaviour() {
+        // Uniform over 4 categories: ln(4).
+        let t = FreqTable::from_iter(vec![Some("a"), Some("b"), Some("c"), Some("d")]);
+        assert!((t.entropy() - 4.0f64.ln()).abs() < 1e-12);
+        // Constant column: zero entropy.
+        let c = FreqTable::from_iter(vec![Some("x"), Some("x")]);
+        assert_eq!(c.entropy(), 0.0);
+        assert_eq!(FreqTable::new().entropy(), 0.0);
+    }
+}

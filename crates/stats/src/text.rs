@@ -1,0 +1,145 @@
+//! Text statistics for categorical columns.
+//!
+//! The univariate-categorical panel (paper Figure 2, row 2, case C) shows a
+//! word cloud, word frequencies, and string-length statistics. This module
+//! provides the tokenization and the mergeable length/word accumulators.
+
+use crate::freq::FreqTable;
+use crate::moments::Moments;
+
+/// Lowercased alphanumeric tokens of a string (split on everything else).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Mergeable accumulator for string-column text statistics.
+#[derive(Debug, Clone, Default)]
+pub struct TextStats {
+    /// Frequencies of individual words across all values.
+    pub words: FreqTable,
+    /// Distribution of string lengths (in chars).
+    pub lengths: Moments,
+    /// Number of values consisting solely of whitespace (or empty).
+    pub blank: u64,
+    /// Total number of non-null values.
+    pub count: u64,
+}
+
+impl TextStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TextStats { lengths: Moments::new(), ..Default::default() }
+    }
+
+    /// Accumulate one value; `None` is ignored (nulls are tracked by the
+    /// frequency-table kernel, not here).
+    pub fn push(&mut self, value: Option<&str>) {
+        let Some(v) = value else { return };
+        self.count += 1;
+        self.lengths.push(v.chars().count() as f64);
+        if v.trim().is_empty() {
+            self.blank += 1;
+        }
+        for token in tokenize(v) {
+            self.words.push_owned(Some(token));
+        }
+    }
+
+    /// Merge another partial.
+    pub fn merge(&mut self, other: &TextStats) {
+        self.words.merge(&other.words);
+        self.lengths.merge(&other.lengths);
+        self.blank += other.blank;
+        self.count += other.count;
+    }
+
+    /// Total words observed.
+    pub fn total_words(&self) -> u64 {
+        self.words.total()
+    }
+
+    /// Distinct words observed.
+    pub fn distinct_words(&self) -> usize {
+        self.words.distinct()
+    }
+
+    /// The `k` most frequent words.
+    pub fn top_words(&self, k: usize) -> Vec<(String, u64)> {
+        self.words.top_k(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize("a-b_c d"), vec!["a", "b", "c", "d"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("year2024"), vec!["year2024"]);
+    }
+
+    #[test]
+    fn tokenize_unicode() {
+        assert_eq!(tokenize("Crème brûlée"), vec!["crème", "brûlée"]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = TextStats::new();
+        t.push(Some("red apple"));
+        t.push(Some("green apple"));
+        t.push(None);
+        t.push(Some(""));
+        assert_eq!(t.count, 3);
+        assert_eq!(t.blank, 1);
+        assert_eq!(t.total_words(), 4);
+        assert_eq!(t.distinct_words(), 3);
+        assert_eq!(t.top_words(1), vec![("apple".to_string(), 2)]);
+        assert_eq!(t.lengths.count, 3);
+        assert_eq!(t.lengths.max, 11.0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let values = ["one two", "two three", "three three four"];
+        let whole = {
+            let mut t = TextStats::new();
+            for v in values {
+                t.push(Some(v));
+            }
+            t
+        };
+        let mut merged = TextStats::new();
+        for v in values {
+            let mut part = TextStats::new();
+            part.push(Some(v));
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count, whole.count);
+        assert_eq!(merged.words, whole.words);
+        assert_eq!(merged.lengths.count, whole.lengths.count);
+        assert!((merged.lengths.mean - whole.lengths.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_stats_in_chars_not_bytes() {
+        let mut t = TextStats::new();
+        t.push(Some("été")); // 3 chars, 5 bytes
+        assert_eq!(t.lengths.max, 3.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # eda-studysim
+//!
+//! A Monte-Carlo simulation of the paper's user study (§6.3, Figure 7).
+//!
+//! The original study put 32 human participants in 50-minute sessions,
+//! within-subjects across two tools (DataPrep.EDA vs Pandas-profiling) and
+//! two datasets (BirdStrike ≈ 220K rows — "small"; DelayedFlights ≈ 5.8M
+//! rows — "complex"), with 5 sequential EDA tasks per session. A human
+//! study cannot ship in a repository, so per DESIGN.md we substitute a
+//! simulation that keeps the paper's *mechanism*:
+//!
+//! * **Tool latency is measured, not invented** — the experiment binary
+//!   measures this repository's `create_report` (baseline) and fine-grained
+//!   `plot*` calls on scaled copies of both datasets and projects them to
+//!   full size; those latencies enter the simulated sessions.
+//! * **Granularity drives search cost** — a Pandas-profiling participant
+//!   must locate answers inside an everything-report (search time grows
+//!   with dataset complexity, and some tasks — e.g. missing-value *impact*
+//!   — are simply not answerable from the report, lowering accuracy),
+//!   while a DataPrep participant issues targeted calls.
+//! * **Skill matters where the paper found it matters** — skilled
+//!   participants are faster everywhere, but their accuracy advantage only
+//!   materializes when the tool forces them to dig (Pandas-profiling on the
+//!   complex dataset), matching Figure 7's breakdown.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod model;
+pub mod simulate;
+
+pub use metrics::{welch_t, StudySummary};
+pub use model::{Dataset, Skill, StudyConfig, Tool, ToolLatencies};
+pub use simulate::{run_study, ParticipantResult, StudyOutcome};

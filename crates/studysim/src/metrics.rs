@@ -1,0 +1,175 @@
+//! Aggregation of study outcomes into the numbers §6.3 reports.
+
+use crate::model::{Dataset, Skill, Tool};
+use crate::simulate::{ParticipantResult, StudyOutcome};
+
+/// Mean and standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanSd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+fn mean_sd(xs: &[f64]) -> MeanSd {
+    let n = xs.len();
+    if n == 0 {
+        return MeanSd { mean: 0.0, sd: 0.0, n: 0 };
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    MeanSd { mean, sd: var.sqrt(), n }
+}
+
+/// Welch's t statistic for two independent samples.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    let (ma, mb) = (mean_sd(a), mean_sd(b));
+    let se = (ma.sd * ma.sd / ma.n.max(1) as f64 + mb.sd * mb.sd / mb.n.max(1) as f64).sqrt();
+    if se == 0.0 {
+        0.0
+    } else {
+        (ma.mean - mb.mean) / se
+    }
+}
+
+/// The §6.3 summary numbers for one study outcome.
+#[derive(Debug, Clone)]
+pub struct StudySummary {
+    /// Completed tasks per tool.
+    pub completed: [(Tool, MeanSd); 2],
+    /// Correct answers per tool.
+    pub correct: [(Tool, MeanSd); 2],
+    /// Relative accuracy (#correct / #completed) per tool.
+    pub relative_accuracy: [(Tool, MeanSd); 2],
+    /// Relative accuracy per (tool, skill, dataset) — Figure 7's bars.
+    pub breakdown: Vec<(Tool, Skill, Dataset, MeanSd)>,
+    /// Welch t for completed tasks (DataPrep vs PP).
+    pub completed_t: f64,
+    /// Welch t for correct answers.
+    pub correct_t: f64,
+}
+
+impl StudySummary {
+    /// Aggregate an outcome.
+    pub fn from_outcome(outcome: &StudyOutcome) -> StudySummary {
+        let select = |f: &dyn Fn(&ParticipantResult) -> bool,
+                      v: &dyn Fn(&ParticipantResult) -> f64|
+         -> Vec<f64> {
+            outcome.results.iter().filter(|r| f(r)).map(v).collect()
+        };
+        let completed_of = |tool: Tool| {
+            select(&|r| r.tool == tool, &|r| r.completed as f64)
+        };
+        let correct_of = |tool: Tool| select(&|r| r.tool == tool, &|r| r.correct as f64);
+        let relacc_of = |f: &dyn Fn(&ParticipantResult) -> bool| -> Vec<f64> {
+            outcome
+                .results
+                .iter()
+                .filter(|r| f(r) && r.completed > 0)
+                .map(|r| r.correct as f64 / r.completed as f64)
+                .collect()
+        };
+
+        let tools = [Tool::DataPrep, Tool::PandasProfiling];
+        let completed = tools.map(|t| (t, mean_sd(&completed_of(t))));
+        let correct = tools.map(|t| (t, mean_sd(&correct_of(t))));
+        let relative_accuracy = tools.map(|t| (t, mean_sd(&relacc_of(&|r| r.tool == t))));
+
+        let mut breakdown = Vec::new();
+        for tool in tools {
+            for skill in [Skill::Novice, Skill::Skilled] {
+                for dataset in [Dataset::BirdStrike, Dataset::DelayedFlights] {
+                    let xs = relacc_of(&|r| {
+                        r.tool == tool && r.skill == skill && r.dataset == dataset
+                    });
+                    breakdown.push((tool, skill, dataset, mean_sd(&xs)));
+                }
+            }
+        }
+
+        StudySummary {
+            completed,
+            correct,
+            relative_accuracy,
+            completed_t: welch_t(
+                &completed_of(Tool::DataPrep),
+                &completed_of(Tool::PandasProfiling),
+            ),
+            correct_t: welch_t(&correct_of(Tool::DataPrep), &correct_of(Tool::PandasProfiling)),
+            breakdown,
+        }
+    }
+
+    /// The completed-task ratio the paper headlines (2.05×).
+    pub fn completed_ratio(&self) -> f64 {
+        self.completed[0].1.mean / self.completed[1].1.mean.max(1e-9)
+    }
+
+    /// The correct-answer ratio the paper headlines (2.2×).
+    pub fn correct_ratio(&self) -> f64 {
+        self.correct[0].1.mean / self.correct[1].1.mean.max(1e-9)
+    }
+
+    /// The relative-accuracy ratio (1.5×).
+    pub fn relative_accuracy_ratio(&self) -> f64 {
+        self.relative_accuracy[0].1.mean / self.relative_accuracy[1].1.mean.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StudyConfig;
+    use crate::simulate::run_study;
+
+    #[test]
+    fn welch_t_basics() {
+        let a = [5.0, 6.0, 7.0, 8.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert!(welch_t(&a, &b) > 2.0);
+        assert!((welch_t(&a, &a)).abs() < 1e-12);
+        assert_eq!(welch_t(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_ratios_match_paper_shape() {
+        let summary = StudySummary::from_outcome(&run_study(&StudyConfig::default()));
+        let cr = summary.completed_ratio();
+        assert!((1.5..=3.2).contains(&cr), "completed ratio {cr:.2}");
+        let ar = summary.correct_ratio();
+        assert!(ar > 1.6, "correct ratio {ar:.2}");
+        let rr = summary.relative_accuracy_ratio();
+        assert!(rr > 1.1, "relative accuracy ratio {rr:.2}");
+        // Differences are significant (|t| comfortably above 2).
+        assert!(summary.completed_t > 2.0);
+        assert!(summary.correct_t > 2.0);
+    }
+
+    #[test]
+    fn breakdown_covers_all_cells() {
+        let summary = StudySummary::from_outcome(&run_study(&StudyConfig::default()));
+        assert_eq!(summary.breakdown.len(), 8);
+        // PP skill gap on the complex dataset (Figure 7's key cell).
+        let cell = |tool, skill, dataset| {
+            summary
+                .breakdown
+                .iter()
+                .find(|(t, s, d, _)| *t == tool && *s == skill && *d == dataset)
+                .map(|(_, _, _, m)| m.mean)
+                .unwrap()
+        };
+        let pp_skilled = cell(Tool::PandasProfiling, Skill::Skilled, Dataset::DelayedFlights);
+        let pp_novice = cell(Tool::PandasProfiling, Skill::Novice, Dataset::DelayedFlights);
+        assert!(
+            pp_skilled > pp_novice,
+            "skilled {pp_skilled:.2} vs novice {pp_novice:.2}"
+        );
+    }
+}

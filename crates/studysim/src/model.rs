@@ -1,0 +1,265 @@
+//! Study model: tools, datasets, skills, task types, and the calibrated
+//! behavioural constants.
+
+use std::time::Duration;
+
+/// The two tools compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// Task-centric fine-grained calls (this repository's `eda-core`).
+    DataPrep,
+    /// Full-report-only profiling (this repository's `eda-baseline`).
+    PandasProfiling,
+}
+
+/// The two study datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// BirdStrike (~220K rows): the "small" dataset.
+    BirdStrike,
+    /// DelayedFlights (~5.8M rows): the "complex" dataset.
+    DelayedFlights,
+}
+
+impl Dataset {
+    /// Report-search overhead multiplier: how much longer locating an
+    /// answer takes inside a full report of this dataset.
+    pub fn search_factor(self) -> f64 {
+        match self {
+            Dataset::BirdStrike => 1.3,
+            Dataset::DelayedFlights => 2.1,
+        }
+    }
+}
+
+/// Participant skill levels (the study pre-screened for both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Skill {
+    /// Little prior Python/data-analysis experience.
+    Novice,
+    /// Experienced analyst.
+    Skilled,
+}
+
+/// The five sequential task types of the study (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskType {
+    /// Task 1: univariate distribution of one column.
+    UnivariateDistribution,
+    /// Task 2: distributions across multiple columns.
+    MultiColumnDistribution,
+    /// Task 3: examine distribution skewness.
+    Skewness,
+    /// Task 4: missing values and their impact.
+    MissingImpact,
+    /// Task 5: find highly correlated columns.
+    Correlation,
+}
+
+/// The session's task order.
+pub const TASKS: [TaskType; 5] = [
+    TaskType::UnivariateDistribution,
+    TaskType::MultiColumnDistribution,
+    TaskType::Skewness,
+    TaskType::MissingImpact,
+    TaskType::Correlation,
+];
+
+impl TaskType {
+    /// How many fine-grained DataPrep calls the task needs.
+    pub fn dataprep_calls(self) -> usize {
+        match self {
+            TaskType::UnivariateDistribution => 1,
+            TaskType::MultiColumnDistribution => 3,
+            TaskType::Skewness => 2,
+            TaskType::MissingImpact => 2,
+            TaskType::Correlation => 1,
+        }
+    }
+
+    /// Relative interpretation effort (multiplies the base think time).
+    pub fn effort(self) -> f64 {
+        match self {
+            TaskType::UnivariateDistribution => 0.8,
+            TaskType::MultiColumnDistribution => 1.1,
+            TaskType::Skewness => 1.0,
+            TaskType::MissingImpact => 1.25,
+            TaskType::Correlation => 0.95,
+        }
+    }
+
+    /// Whether a full profile report answers the task *directly*.
+    /// Missing-value impact requires the kind of before/after drill-down
+    /// only `plot_missing(df, x)` provides.
+    pub fn answerable_from_report(self) -> bool {
+        !matches!(self, TaskType::MissingImpact)
+    }
+}
+
+/// Measured tool latencies for one dataset (projected to full size by the
+/// experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToolLatencies {
+    /// One fine-grained DataPrep call on the dataset.
+    pub dataprep_task: Duration,
+    /// One full baseline (Pandas-profiling-equivalent) report.
+    pub baseline_report: Duration,
+}
+
+impl ToolLatencies {
+    /// Plausible defaults (used by unit tests; experiments measure).
+    pub fn default_for(dataset: Dataset) -> ToolLatencies {
+        match dataset {
+            Dataset::BirdStrike => ToolLatencies {
+                dataprep_task: Duration::from_secs_f64(2.0),
+                baseline_report: Duration::from_secs_f64(110.0),
+            },
+            Dataset::DelayedFlights => ToolLatencies {
+                dataprep_task: Duration::from_secs_f64(6.0),
+                baseline_report: Duration::from_secs_f64(1400.0),
+            },
+        }
+    }
+}
+
+/// Full study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Participants (the paper recruited 32).
+    pub participants: usize,
+    /// Session length per (tool, dataset) block (the paper used 50 min
+    /// for the whole session; each tool block gets half).
+    pub session: Duration,
+    /// Latencies per dataset.
+    pub birdstrike: ToolLatencies,
+    /// Latencies per dataset.
+    pub delayed_flights: ToolLatencies,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            participants: 32,
+            session: Duration::from_secs(50 * 60),
+            birdstrike: ToolLatencies::default_for(Dataset::BirdStrike),
+            delayed_flights: ToolLatencies::default_for(Dataset::DelayedFlights),
+            seed: 2021,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// Latencies for a dataset.
+    pub fn latencies(&self, dataset: Dataset) -> ToolLatencies {
+        match dataset {
+            Dataset::BirdStrike => self.birdstrike,
+            Dataset::DelayedFlights => self.delayed_flights,
+        }
+    }
+}
+
+// ---- calibrated behavioural constants -------------------------------------
+
+/// Mean think/interpret time per task, seconds.
+pub fn think_time_mean(skill: Skill) -> f64 {
+    match skill {
+        Skill::Novice => 640.0,
+        Skill::Skilled => 520.0,
+    }
+}
+
+/// Std-dev of think time, seconds.
+pub fn think_time_std(skill: Skill) -> f64 {
+    match skill {
+        Skill::Novice => 150.0,
+        Skill::Skilled => 110.0,
+    }
+}
+
+/// Probability of a correct answer on a *completed* task.
+pub fn accuracy(tool: Tool, dataset: Dataset, skill: Skill, task: TaskType) -> f64 {
+    match tool {
+        Tool::DataPrep => {
+            // Targeted output: high accuracy, small skill gap.
+            
+            match skill {
+                Skill::Novice => 0.82,
+                Skill::Skilled => 0.86,
+            }
+        }
+        Tool::PandasProfiling => {
+            let mut p: f64 = match dataset {
+                Dataset::BirdStrike => 0.66,
+                Dataset::DelayedFlights => 0.42,
+            };
+            // Information the report lacks halves the odds.
+            if !task.answerable_from_report() {
+                p *= 0.5;
+            }
+            // Skill only compensates when digging is required (complex
+            // dataset) — the Figure 7 pattern.
+            if skill == Skill::Skilled && dataset == Dataset::DelayedFlights {
+                p += 0.22;
+            }
+            p.min(0.95)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_tasks_in_order() {
+        assert_eq!(TASKS.len(), 5);
+        assert_eq!(TASKS[3], TaskType::MissingImpact);
+        assert!(!TaskType::MissingImpact.answerable_from_report());
+        assert!(TaskType::Correlation.answerable_from_report());
+    }
+
+    #[test]
+    fn complex_dataset_searches_slower() {
+        assert!(Dataset::DelayedFlights.search_factor() > Dataset::BirdStrike.search_factor());
+    }
+
+    #[test]
+    fn skilled_think_faster() {
+        assert!(think_time_mean(Skill::Skilled) < think_time_mean(Skill::Novice));
+    }
+
+    #[test]
+    fn accuracy_patterns_match_figure7() {
+        use TaskType::Correlation as T;
+        // DataPrep beats PP everywhere.
+        for ds in [Dataset::BirdStrike, Dataset::DelayedFlights] {
+            for sk in [Skill::Novice, Skill::Skilled] {
+                assert!(
+                    accuracy(Tool::DataPrep, ds, sk, T)
+                        > accuracy(Tool::PandasProfiling, ds, sk, T)
+                );
+            }
+        }
+        // Skill gap only for PP on the complex dataset.
+        let pp_gap_complex = accuracy(Tool::PandasProfiling, Dataset::DelayedFlights, Skill::Skilled, T)
+            - accuracy(Tool::PandasProfiling, Dataset::DelayedFlights, Skill::Novice, T);
+        let pp_gap_small = accuracy(Tool::PandasProfiling, Dataset::BirdStrike, Skill::Skilled, T)
+            - accuracy(Tool::PandasProfiling, Dataset::BirdStrike, Skill::Novice, T);
+        let dp_gap = accuracy(Tool::DataPrep, Dataset::DelayedFlights, Skill::Skilled, T)
+            - accuracy(Tool::DataPrep, Dataset::DelayedFlights, Skill::Novice, T);
+        assert!(pp_gap_complex > 0.15);
+        assert!(pp_gap_small.abs() < 0.05);
+        assert!(dp_gap < 0.1);
+    }
+
+    #[test]
+    fn default_config() {
+        let c = StudyConfig::default();
+        assert_eq!(c.participants, 32);
+        assert_eq!(c.session, Duration::from_secs(3000));
+        assert!(c.latencies(Dataset::DelayedFlights).baseline_report
+            > c.latencies(Dataset::BirdStrike).baseline_report);
+    }
+}

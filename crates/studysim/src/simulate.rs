@@ -1,0 +1,266 @@
+//! The session simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{
+    accuracy, think_time_mean, think_time_std, Dataset, Skill, StudyConfig, Tool, TASKS,
+};
+
+/// One participant's result on one (tool, dataset) block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParticipantResult {
+    /// Participant id.
+    pub id: usize,
+    /// Skill level.
+    pub skill: Skill,
+    /// Tool used in this block.
+    pub tool: Tool,
+    /// Dataset analyzed in this block.
+    pub dataset: Dataset,
+    /// Tasks completed within the budget (0..=5).
+    pub completed: u32,
+    /// Correct answers among the completed tasks.
+    pub correct: u32,
+}
+
+/// All blocks of the study.
+#[derive(Debug, Clone)]
+pub struct StudyOutcome {
+    /// One entry per (participant, tool) block.
+    pub results: Vec<ParticipantResult>,
+}
+
+/// Gaussian sample via Box–Muller (local copy; keeps the crate's
+/// dependencies to `rand` alone).
+fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Run the full within-subjects study: every participant uses both tools,
+/// tool/dataset pairings counterbalanced as in the paper.
+pub fn run_study(config: &StudyConfig) -> StudyOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut results = Vec::with_capacity(config.participants * 2);
+    for id in 0..config.participants {
+        // Half the pool skilled, half novice (the paper recruited both).
+        let skill = if id % 2 == 0 { Skill::Novice } else { Skill::Skilled };
+        // Counterbalanced tool→dataset pairing across participants.
+        let pairings = match id % 4 {
+            0 => [(Tool::DataPrep, Dataset::BirdStrike), (Tool::PandasProfiling, Dataset::DelayedFlights)],
+            1 => [(Tool::DataPrep, Dataset::DelayedFlights), (Tool::PandasProfiling, Dataset::BirdStrike)],
+            2 => [(Tool::PandasProfiling, Dataset::BirdStrike), (Tool::DataPrep, Dataset::DelayedFlights)],
+            _ => [(Tool::PandasProfiling, Dataset::DelayedFlights), (Tool::DataPrep, Dataset::BirdStrike)],
+        };
+        for (tool, dataset) in pairings {
+            results.push(simulate_block(id, skill, tool, dataset, config, &mut rng));
+        }
+    }
+    StudyOutcome { results }
+}
+
+/// Simulate one (participant, tool, dataset) block.
+fn simulate_block(
+    id: usize,
+    skill: Skill,
+    tool: Tool,
+    dataset: Dataset,
+    config: &StudyConfig,
+    rng: &mut StdRng,
+) -> ParticipantResult {
+    let latencies = config.latencies(dataset);
+    let mut remaining = config.session.as_secs_f64();
+    let mut completed = 0u32;
+    let mut correct = 0u32;
+
+    // Pandas-profiling: the report must exist before any task; generating
+    // it eats the budget up front.
+    if tool == Tool::PandasProfiling {
+        remaining -= latencies.baseline_report.as_secs_f64();
+    }
+
+    for task in TASKS {
+        if remaining <= 0.0 {
+            break;
+        }
+        let think = normal(
+            rng,
+            think_time_mean(skill) * task.effort(),
+            think_time_std(skill),
+        )
+        .max(60.0);
+        let task_time = match tool {
+            Tool::DataPrep => {
+                // Targeted calls: tool latency per call plus interpretation.
+                think + task.dataprep_calls() as f64 * latencies.dataprep_task.as_secs_f64()
+            }
+            Tool::PandasProfiling => {
+                // Searching the everything-report inflates interpretation;
+                // tasks the report can't answer directly trigger one
+                // regeneration attempt (filtering requires a new report).
+                let mut t = think * dataset.search_factor();
+                if !task.answerable_from_report() {
+                    t += latencies.baseline_report.as_secs_f64() * 0.5;
+                }
+                t
+            }
+        };
+        if task_time > remaining {
+            break;
+        }
+        remaining -= task_time;
+        completed += 1;
+        if rng.gen::<f64>() < accuracy(tool, dataset, skill, task) {
+            correct += 1;
+        }
+    }
+    ParticipantResult { id, skill, tool, dataset, completed, correct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> StudyOutcome {
+        run_study(&StudyConfig::default())
+    }
+
+    fn mean<F: Fn(&ParticipantResult) -> bool>(
+        o: &StudyOutcome,
+        filter: F,
+        value: impl Fn(&ParticipantResult) -> f64,
+    ) -> f64 {
+        let xs: Vec<f64> = o.results.iter().filter(|r| filter(r)).map(value).collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    }
+
+    #[test]
+    fn study_structure() {
+        let o = outcome();
+        assert_eq!(o.results.len(), 64); // 32 participants × 2 blocks
+        // Every participant used both tools.
+        for id in 0..32 {
+            let tools: Vec<Tool> = o
+                .results
+                .iter()
+                .filter(|r| r.id == id)
+                .map(|r| r.tool)
+                .collect();
+            assert!(tools.contains(&Tool::DataPrep));
+            assert!(tools.contains(&Tool::PandasProfiling));
+        }
+    }
+
+    #[test]
+    fn dataprep_completes_about_twice_as_many_tasks() {
+        let o = outcome();
+        let dp = mean(&o, |r| r.tool == Tool::DataPrep, |r| r.completed as f64);
+        let pp = mean(&o, |r| r.tool == Tool::PandasProfiling, |r| r.completed as f64);
+        let ratio = dp / pp;
+        assert!(
+            (1.5..=3.2).contains(&ratio),
+            "completion ratio {ratio:.2} (dp {dp:.2}, pp {pp:.2})"
+        );
+    }
+
+    #[test]
+    fn dataprep_more_correct_answers() {
+        let o = outcome();
+        let dp = mean(&o, |r| r.tool == Tool::DataPrep, |r| r.correct as f64);
+        let pp = mean(&o, |r| r.tool == Tool::PandasProfiling, |r| r.correct as f64);
+        let ratio = dp / pp;
+        assert!(ratio > 1.6, "correctness ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn pp_degrades_on_complex_dataset() {
+        let o = outcome();
+        let small = mean(
+            &o,
+            |r| r.tool == Tool::PandasProfiling && r.dataset == Dataset::BirdStrike,
+            |r| r.completed as f64,
+        );
+        let complex = mean(
+            &o,
+            |r| r.tool == Tool::PandasProfiling && r.dataset == Dataset::DelayedFlights,
+            |r| r.completed as f64,
+        );
+        assert!(small > complex + 0.8, "small {small:.2} vs complex {complex:.2}");
+        // DataPrep shows no comparable dataset effect.
+        let dp_small = mean(
+            &o,
+            |r| r.tool == Tool::DataPrep && r.dataset == Dataset::BirdStrike,
+            |r| r.completed as f64,
+        );
+        let dp_complex = mean(
+            &o,
+            |r| r.tool == Tool::DataPrep && r.dataset == Dataset::DelayedFlights,
+            |r| r.completed as f64,
+        );
+        assert!((dp_small - dp_complex).abs() < 1.0);
+    }
+
+    #[test]
+    fn correct_never_exceeds_completed() {
+        for r in &outcome().results {
+            assert!(r.correct <= r.completed);
+            assert!(r.completed <= 5);
+        }
+    }
+
+    #[test]
+    fn longer_sessions_complete_more_tasks() {
+        use std::time::Duration;
+        let short = run_study(&StudyConfig {
+            session: Duration::from_secs(20 * 60),
+            ..StudyConfig::default()
+        });
+        let long = run_study(&StudyConfig {
+            session: Duration::from_secs(90 * 60),
+            ..StudyConfig::default()
+        });
+        let mean_completed = |o: &StudyOutcome| {
+            o.results.iter().map(|r| r.completed as f64).sum::<f64>() / o.results.len() as f64
+        };
+        assert!(mean_completed(&long) > mean_completed(&short) + 0.5);
+    }
+
+    #[test]
+    fn slower_baseline_report_hurts_pp_only() {
+        use crate::model::ToolLatencies;
+        use std::time::Duration;
+        let base = StudyConfig::default();
+        let slow_pp = StudyConfig {
+            delayed_flights: ToolLatencies {
+                baseline_report: Duration::from_secs(2400),
+                ..base.delayed_flights
+            },
+            ..base.clone()
+        };
+        let mean = |o: &StudyOutcome, tool: Tool| {
+            let xs: Vec<f64> = o
+                .results
+                .iter()
+                .filter(|r| r.tool == tool && r.dataset == Dataset::DelayedFlights)
+                .map(|r| r.completed as f64)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let a = run_study(&base);
+        let b = run_study(&slow_pp);
+        assert!(mean(&b, Tool::PandasProfiling) < mean(&a, Tool::PandasProfiling));
+        // DataPrep latency unchanged: completion within noise.
+        assert!((mean(&b, Tool::DataPrep) - mean(&a, Tool::DataPrep)).abs() < 0.6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_study(&StudyConfig::default());
+        let b = run_study(&StudyConfig::default());
+        assert_eq!(a.results, b.results);
+        let c = run_study(&StudyConfig { seed: 7, ..StudyConfig::default() });
+        assert_ne!(a.results, c.results);
+    }
+}

@@ -1,0 +1,179 @@
+//! Engine variants for the paper's Figure 6(a) comparison.
+//!
+//! The paper compares Dask, Modin, Koalas and PySpark computing the
+//! intermediates of `plot(df)` and explains the ranking structurally
+//! (§5.1): Dask evaluates one shared lazy graph; Modin evaluates eagerly
+//! per operation so nothing is shared across visualizations; Koalas and
+//! PySpark are lazy but pay heavy per-task scheduling overhead on a single
+//! node. [`Engine`] encodes exactly those structural differences over the
+//! same [`TaskGraph`], so the comparison isolates the scheduling model.
+
+use std::time::Duration;
+
+use crate::graph::{NodeId, TaskGraph};
+use crate::scheduler::{run_pool, run_single_thread, ExecResult};
+
+/// How a task graph gets executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// One shared lazy graph over a worker pool (the Dask model —
+    /// DataPrep.EDA's choice).
+    LazyParallel {
+        /// Worker threads.
+        workers: usize,
+    },
+    /// Each requested output is executed as its own graph, recomputing any
+    /// shared dependencies (the Modin model: eager per-operation
+    /// evaluation, no cross-visualization optimization).
+    EagerPerOp {
+        /// Worker threads.
+        workers: usize,
+    },
+    /// One shared lazy graph, but every task pays a fixed scheduling
+    /// latency (the Koalas/PySpark model: driver/JVM overhead per task,
+    /// dominant on a single node).
+    HeavyScheduler {
+        /// Worker threads.
+        workers: usize,
+        /// Per-task scheduling latency in microseconds.
+        overhead_us: u64,
+    },
+    /// Single-threaded topological execution (the plain-Pandas model).
+    SingleThread,
+}
+
+impl Engine {
+    /// Human-readable name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::LazyParallel { .. } => "LazyParallel (Dask)",
+            Engine::EagerPerOp { .. } => "EagerPerOp (Modin)",
+            Engine::HeavyScheduler { .. } => "HeavyScheduler (Koalas/PySpark)",
+            Engine::SingleThread => "SingleThread (Pandas)",
+        }
+    }
+
+    /// Execute `outputs` of `graph` under this engine's model.
+    pub fn execute(&self, graph: &TaskGraph, outputs: &[NodeId]) -> ExecResult {
+        match *self {
+            Engine::LazyParallel { workers } => {
+                run_pool(graph, outputs, workers, Duration::ZERO)
+            }
+            Engine::SingleThread => run_single_thread(graph, outputs),
+            Engine::HeavyScheduler { workers, overhead_us } => {
+                run_pool(graph, outputs, workers, Duration::from_micros(overhead_us))
+            }
+            Engine::EagerPerOp { workers } => {
+                // One execution per output: shared dependencies rerun each
+                // time, exactly like issuing eager ops one by one.
+                let started = std::time::Instant::now();
+                let mut all_outputs = Vec::with_capacity(outputs.len());
+                let mut tasks_run = 0;
+                let mut live_nodes = 0;
+                for &out in outputs {
+                    let r = run_pool(graph, &[out], workers, Duration::ZERO);
+                    tasks_run += r.stats.tasks_run;
+                    live_nodes += r.stats.live_nodes;
+                    all_outputs.extend(r.outputs);
+                }
+                ExecResult {
+                    outputs: all_outputs,
+                    stats: crate::stats::ExecStats {
+                        tasks_run,
+                        live_nodes,
+                        total_nodes: graph.len(),
+                        cse_hits: graph.cse_hits(),
+                        workers,
+                        elapsed: started.elapsed(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Payload;
+    use crate::key::TaskKey;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn int(v: i64) -> Payload {
+        Arc::new(v)
+    }
+
+    fn get(p: &Payload) -> i64 {
+        *p.downcast_ref::<i64>().expect("i64")
+    }
+
+    /// A graph with one expensive shared node feeding two outputs, where
+    /// the expensive node counts its executions.
+    fn shared_graph(counter: Arc<AtomicUsize>) -> (TaskGraph, Vec<NodeId>) {
+        let mut g = TaskGraph::new();
+        let c = counter;
+        let src = g.source("src", TaskKey::leaf("src", 0), move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            int(7)
+        });
+        let o1 = g.op("a", 0, vec![src], |d| int(get(&d[0]) + 1));
+        let o2 = g.op("b", 0, vec![src], |d| int(get(&d[0]) + 2));
+        (g, vec![o1, o2])
+    }
+
+    #[test]
+    fn all_engines_agree_on_results() {
+        for engine in [
+            Engine::LazyParallel { workers: 2 },
+            Engine::EagerPerOp { workers: 2 },
+            Engine::HeavyScheduler { workers: 2, overhead_us: 10 },
+            Engine::SingleThread,
+        ] {
+            let (g, outs) = shared_graph(Arc::new(AtomicUsize::new(0)));
+            let r = engine.execute(&g, &outs);
+            assert_eq!(get(&r.outputs[0]), 8, "{}", engine.name());
+            assert_eq!(get(&r.outputs[1]), 9, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn lazy_shares_eager_recomputes() {
+        let lazy_counter = Arc::new(AtomicUsize::new(0));
+        let (g, outs) = shared_graph(Arc::clone(&lazy_counter));
+        Engine::LazyParallel { workers: 2 }.execute(&g, &outs);
+        assert_eq!(lazy_counter.load(Ordering::SeqCst), 1);
+
+        let eager_counter = Arc::new(AtomicUsize::new(0));
+        let (g, outs) = shared_graph(Arc::clone(&eager_counter));
+        Engine::EagerPerOp { workers: 2 }.execute(&g, &outs);
+        assert_eq!(eager_counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn eager_runs_more_tasks() {
+        let (g, outs) = shared_graph(Arc::new(AtomicUsize::new(0)));
+        let lazy = Engine::LazyParallel { workers: 1 }.execute(&g, &outs);
+        let (g2, outs2) = shared_graph(Arc::new(AtomicUsize::new(0)));
+        let eager = Engine::EagerPerOp { workers: 1 }.execute(&g2, &outs2);
+        assert_eq!(lazy.stats.tasks_run, 3); // src, a, b
+        assert_eq!(eager.stats.tasks_run, 4); // (src, a), (src, b)
+    }
+
+    #[test]
+    fn heavy_scheduler_is_slower_than_lazy() {
+        let (g, outs) = shared_graph(Arc::new(AtomicUsize::new(0)));
+        let lazy = Engine::LazyParallel { workers: 1 }.execute(&g, &outs);
+        let (g2, outs2) = shared_graph(Arc::new(AtomicUsize::new(0)));
+        let heavy =
+            Engine::HeavyScheduler { workers: 1, overhead_us: 3000 }.execute(&g2, &outs2);
+        assert!(heavy.stats.elapsed > lazy.stats.elapsed);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert!(Engine::LazyParallel { workers: 1 }.name().contains("Dask"));
+        assert!(Engine::EagerPerOp { workers: 1 }.name().contains("Modin"));
+        assert!(Engine::SingleThread.name().contains("Pandas"));
+    }
+}

@@ -1,0 +1,286 @@
+//! The lazy task graph.
+//!
+//! A [`TaskGraph`] is a DAG under construction: `eda-core` adds one task
+//! per statistic/transform, and shared subcomputations collapse onto a
+//! single node through structural-key deduplication. Nothing executes until
+//! a [`crate::scheduler`] (via an [`crate::engine::Engine`]) is asked for
+//! specific output nodes — the same lazy-then-optimize-then-execute flow
+//! Dask gives the paper.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::key::TaskKey;
+
+/// Type-erased task result, shared between dependents without copying.
+pub type Payload = Arc<dyn std::any::Any + Send + Sync>;
+
+/// The function a task runs: inputs arrive in dependency order.
+pub type TaskFn = Arc<dyn Fn(&[Payload]) -> Payload + Send + Sync>;
+
+/// Index of a task within its graph.
+pub type NodeId = usize;
+
+/// One node of the DAG.
+pub struct Task {
+    /// Debug/profiling label (op name).
+    pub name: String,
+    /// Structural identity used for deduplication.
+    pub key: TaskKey,
+    /// Dependency nodes, in the order their payloads are passed to `run`.
+    pub deps: Vec<NodeId>,
+    /// The computation.
+    pub run: TaskFn,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("name", &self.name)
+            .field("key", &self.key)
+            .field("deps", &self.deps)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A DAG of lazy tasks with insertion-time common-subexpression
+/// elimination.
+#[derive(Debug, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    by_key: HashMap<TaskKey, NodeId>,
+    /// When `false`, structurally identical tasks are *not* merged — used
+    /// by the sharing ablation benchmark.
+    dedup: bool,
+    /// Number of insertions answered by an existing node.
+    cse_hits: usize,
+}
+
+impl TaskGraph {
+    /// An empty graph with deduplication enabled.
+    pub fn new() -> Self {
+        TaskGraph { dedup: true, ..Default::default() }
+    }
+
+    /// An empty graph with deduplication disabled (ablation mode: every
+    /// insertion creates a fresh node, like building one graph per
+    /// visualization).
+    pub fn without_dedup() -> Self {
+        TaskGraph { dedup: false, ..Default::default() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// How many insertions were deduplicated onto existing nodes.
+    pub fn cse_hits(&self) -> usize {
+        self.cse_hits
+    }
+
+    /// Borrow a task.
+    pub fn task(&self, id: NodeId) -> &Task {
+        &self.tasks[id]
+    }
+
+    /// All tasks, indexable by `NodeId`.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Add a source task (no dependencies). Returns the node id; when a
+    /// task with the same key exists and dedup is on, that node is reused.
+    pub fn source<F>(&mut self, name: &str, key: TaskKey, f: F) -> NodeId
+    where
+        F: Fn() -> Payload + Send + Sync + 'static,
+    {
+        self.add_task(name, key, Vec::new(), Arc::new(move |_: &[Payload]| f()))
+    }
+
+    /// Add a source task that simply yields an existing shared value.
+    pub fn value(&mut self, name: &str, key: TaskKey, value: Payload) -> NodeId {
+        self.source(name, key, move || Arc::clone(&value))
+    }
+
+    /// Add a derived task. `key` should be built with
+    /// [`TaskKey::derived`] over the dependency keys so structural sharing
+    /// works.
+    pub fn derive<F>(&mut self, name: &str, key: TaskKey, deps: Vec<NodeId>, f: F) -> NodeId
+    where
+        F: Fn(&[Payload]) -> Payload + Send + Sync + 'static,
+    {
+        self.add_task(name, key, deps, Arc::new(f))
+    }
+
+    /// Convenience: derive a task whose key is computed from the op name,
+    /// a parameter hash, and the dependency keys.
+    pub fn op<F>(&mut self, name: &str, params: u64, deps: Vec<NodeId>, f: F) -> NodeId
+    where
+        F: Fn(&[Payload]) -> Payload + Send + Sync + 'static,
+    {
+        let dep_keys: Vec<TaskKey> = deps.iter().map(|&d| self.tasks[d].key).collect();
+        let key = TaskKey::derived(name, params, &dep_keys);
+        self.derive(name, key, deps, f)
+    }
+
+    fn add_task(&mut self, name: &str, key: TaskKey, deps: Vec<NodeId>, run: TaskFn) -> NodeId {
+        if self.dedup {
+            if let Some(&existing) = self.by_key.get(&key) {
+                self.cse_hits += 1;
+                return existing;
+            }
+        }
+        for &d in &deps {
+            assert!(d < self.tasks.len(), "dependency {d} does not exist yet");
+        }
+        let id = self.tasks.len();
+        self.tasks.push(Task { name: name.to_string(), key, deps, run });
+        if self.dedup {
+            self.by_key.insert(key, id);
+        }
+        id
+    }
+
+    /// The set of nodes reachable from `outputs` (dead-node pruning): the
+    /// executor only runs these. Returned as a boolean mask over node ids.
+    pub fn reachable(&self, outputs: &[NodeId]) -> Vec<bool> {
+        let mut live = vec![false; self.tasks.len()];
+        let mut stack: Vec<NodeId> = outputs.to_vec();
+        while let Some(id) = stack.pop() {
+            if live[id] {
+                continue;
+            }
+            live[id] = true;
+            stack.extend(self.tasks[id].deps.iter().copied());
+        }
+        live
+    }
+
+    /// Topological order restricted to nodes live for `outputs`.
+    ///
+    /// Dependencies precede dependents. Insertion order already guarantees
+    /// acyclicity (dependencies must exist before dependents), so this is a
+    /// filtered identity walk.
+    pub fn topo_order(&self, outputs: &[NodeId]) -> Vec<NodeId> {
+        let live = self.reachable(outputs);
+        (0..self.tasks.len()).filter(|&i| live[i]).collect()
+    }
+
+    /// Indegree (number of live dependencies) per live node; used by the
+    /// parallel scheduler.
+    pub fn live_indegrees(&self, live: &[bool]) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| if live[i] { t.deps.len() } else { 0 })
+            .collect()
+    }
+
+    /// Live dependents (reverse edges) per node.
+    pub fn live_dependents(&self, live: &[bool]) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            if live[i] {
+                for &d in &t.deps {
+                    out[d].push(i);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> Payload {
+        Arc::new(v)
+    }
+
+    fn get(p: &Payload) -> i64 {
+        *p.downcast_ref::<i64>().expect("i64 payload")
+    }
+
+    #[test]
+    fn builds_and_keys_dedup() {
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(2));
+        let a2 = g.source("a", TaskKey::leaf("a", 0), || int(2));
+        assert_eq!(a, a2);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.cse_hits(), 1);
+    }
+
+    #[test]
+    fn without_dedup_duplicates() {
+        let mut g = TaskGraph::without_dedup();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(2));
+        let a2 = g.source("a", TaskKey::leaf("a", 0), || int(2));
+        assert_ne!(a, a2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.cse_hits(), 0);
+    }
+
+    #[test]
+    fn op_shares_structurally_identical_work() {
+        let mut g = TaskGraph::new();
+        let src = g.source("src", TaskKey::leaf("src", 0), || int(10));
+        // Two visualizations both need "double(src)".
+        let d1 = g.op("double", 0, vec![src], |deps| int(get(&deps[0]) * 2));
+        let d2 = g.op("double", 0, vec![src], |deps| int(get(&deps[0]) * 2));
+        assert_eq!(d1, d2);
+        // Different params: distinct node.
+        let d3 = g.op("double", 1, vec![src], |deps| int(get(&deps[0]) * 2));
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn reachable_prunes_dead_nodes() {
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(1));
+        let b = g.source("b", TaskKey::leaf("b", 0), || int(2));
+        let c = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+        let _dead = g.op("inc", 0, vec![b], |d| int(get(&d[0]) + 1));
+        let live = g.reachable(&[c]);
+        assert_eq!(live, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn topo_order_is_dependency_first() {
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(1));
+        let b = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+        let c = g.op("sum", 0, vec![a, b], |d| int(get(&d[0]) + get(&d[1])));
+        let order = g.topo_order(&[c]);
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn dependents_and_indegrees() {
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(1));
+        let b = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+        let c = g.op("dec", 0, vec![a], |d| int(get(&d[0]) - 1));
+        let live = g.reachable(&[b, c]);
+        assert_eq!(g.live_indegrees(&live), vec![0, 1, 1]);
+        let deps = g.live_dependents(&live);
+        assert_eq!(deps[a], vec![b, c]);
+        assert!(deps[b].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_dependency_panics() {
+        let mut g = TaskGraph::new();
+        g.derive("bad", TaskKey::leaf("bad", 0), vec![5], |_| int(0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Structural task keys.
+//!
+//! A [`TaskKey`] identifies a computation by *what it computes*, not where
+//! it sits in a graph: the hash covers the operation name, its parameters,
+//! and the keys of its inputs. Two tasks with equal keys are
+//! interchangeable, which is the license for common-subexpression
+//! elimination.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A structural identity for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskKey(pub u64);
+
+impl TaskKey {
+    /// Key for a leaf (source) task: operation name + parameter hash.
+    pub fn leaf(op: &str, params: u64) -> TaskKey {
+        let mut h = DefaultHasher::new();
+        0xE0A_u32.hash(&mut h);
+        op.hash(&mut h);
+        params.hash(&mut h);
+        TaskKey(h.finish())
+    }
+
+    /// Key for a derived task: operation name + parameter hash + ordered
+    /// input keys.
+    pub fn derived(op: &str, params: u64, inputs: &[TaskKey]) -> TaskKey {
+        let mut h = DefaultHasher::new();
+        0xE0B_u32.hash(&mut h);
+        op.hash(&mut h);
+        params.hash(&mut h);
+        for k in inputs {
+            k.0.hash(&mut h);
+        }
+        TaskKey(h.finish())
+    }
+
+    /// Hash arbitrary parameter material into the `params` slot.
+    pub fn params<T: Hash>(value: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    /// A key guaranteed unique within a process — used for tasks whose
+    /// results must never be shared (e.g. impure sources).
+    pub fn unique() -> TaskKey {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut h = DefaultHasher::new();
+        0xE0C_u32.hash(&mut h);
+        n.hash(&mut h);
+        TaskKey(h.finish())
+    }
+}
+
+/// Hash a float's bit pattern (so parameter hashing can include floats).
+pub fn hash_f64(v: f64) -> u64 {
+    v.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_keys_deterministic() {
+        assert_eq!(TaskKey::leaf("read", 1), TaskKey::leaf("read", 1));
+        assert_ne!(TaskKey::leaf("read", 1), TaskKey::leaf("read", 2));
+        assert_ne!(TaskKey::leaf("read", 1), TaskKey::leaf("scan", 1));
+    }
+
+    #[test]
+    fn derived_keys_cover_inputs() {
+        let a = TaskKey::leaf("src", 0);
+        let b = TaskKey::leaf("src", 1);
+        let k1 = TaskKey::derived("sum", 0, &[a]);
+        let k2 = TaskKey::derived("sum", 0, &[b]);
+        let k3 = TaskKey::derived("sum", 0, &[a]);
+        assert_ne!(k1, k2);
+        assert_eq!(k1, k3);
+    }
+
+    #[test]
+    fn derived_keys_are_order_sensitive() {
+        let a = TaskKey::leaf("src", 0);
+        let b = TaskKey::leaf("src", 1);
+        assert_ne!(
+            TaskKey::derived("sub", 0, &[a, b]),
+            TaskKey::derived("sub", 0, &[b, a])
+        );
+    }
+
+    #[test]
+    fn leaf_vs_derived_domains_disjoint() {
+        // Same op/params but different constructor must not collide.
+        assert_ne!(TaskKey::leaf("x", 0), TaskKey::derived("x", 0, &[]));
+    }
+
+    #[test]
+    fn unique_keys_differ() {
+        assert_ne!(TaskKey::unique(), TaskKey::unique());
+    }
+
+    #[test]
+    fn params_hashes_structs() {
+        #[derive(Hash)]
+        struct P {
+            bins: usize,
+            name: &'static str,
+        }
+        let a = TaskKey::params(&P { bins: 50, name: "price" });
+        let b = TaskKey::params(&P { bins: 50, name: "price" });
+        let c = TaskKey::params(&P { bins: 200, name: "price" });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_f64_distinguishes_values() {
+        assert_ne!(hash_f64(1.0), hash_f64(2.0));
+        assert_eq!(hash_f64(1.5), hash_f64(1.5));
+    }
+}

@@ -1,0 +1,48 @@
+//! # eda-taskgraph
+//!
+//! A lazy task-graph execution engine: the "Dask role" substrate of the
+//! `dataprep-eda` workspace (Rust reproduction of *DataPrep.EDA*, SIGMOD
+//! 2021).
+//!
+//! The paper's central performance idea (§5.2) is to express **all** the
+//! computations one EDA call needs as a *single* lazy graph, let the engine
+//! deduplicate shared subcomputations, and execute the optimized graph in
+//! parallel over data partitions. This crate provides exactly that:
+//!
+//! * [`graph::TaskGraph`] — a DAG of tasks whose payloads are type-erased
+//!   `Arc` values. Every task carries a **structural key** (op name +
+//!   parameter hash + dependency keys); inserting a task whose key already
+//!   exists returns the existing node, which is the
+//!   *common-subexpression-elimination* that shares computations between
+//!   visualizations (e.g. quantiles feeding stats table, box plot, and Q-Q
+//!   plot are computed once).
+//! * [`scheduler`] — executors: a single-thread topological runner and a
+//!   multi-worker pool (crossbeam channels) that runs ready tasks as their
+//!   dependencies complete.
+//! * [`engine::Engine`] — the engine variants compared in the paper's
+//!   Figure 6(a): `LazyParallel` (Dask), `EagerPerOp` (Modin: one graph per
+//!   output, no cross-output sharing), `HeavyScheduler` (Koalas/PySpark:
+//!   lazy but with per-task scheduling latency), and `SingleThread`
+//!   (Pandas).
+//! * [`partition`] — chunked dataframes with the *chunk-size precompute*
+//!   stage the paper adds before graph construction, plus map/tree-reduce
+//!   combinators.
+//! * [`cluster`] — a cost-model simulator for the scale-out experiment
+//!   (Figure 6(c)); see DESIGN.md for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod engine;
+pub mod graph;
+pub mod key;
+pub mod ops;
+pub mod partition;
+pub mod scheduler;
+pub mod stats;
+
+pub use engine::Engine;
+pub use graph::{NodeId, Payload, TaskGraph};
+pub use key::TaskKey;
+pub use partition::{ChunkMeta, PartitionedFrame};
+pub use stats::ExecStats;

@@ -1,0 +1,252 @@
+//! Partitioned dataframes and the chunk-size precompute stage.
+//!
+//! The paper hit a Dask issue: `rechunk` needs chunk sizes at *graph
+//! construction* time, but a delayed array doesn't know them (§5.2, "Dask
+//! graph fails to build"). Their fix — ours too — is a precompute stage
+//! that materializes the chunk metadata **before** the lazy graph is
+//! built, then feeds the known sizes into graph construction.
+//!
+//! [`ChunkMeta`] is that precomputed metadata; [`PartitionedFrame`] is the
+//! chunked dataframe whose partitions become source nodes of a
+//! [`TaskGraph`].
+
+use std::sync::Arc;
+
+use eda_dataframe::DataFrame;
+
+use crate::graph::{NodeId, Payload, TaskGraph};
+use crate::key::TaskKey;
+
+/// Chunk-size metadata, precomputed before graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Rows per partition.
+    pub sizes: Vec<usize>,
+    /// Total rows.
+    pub total_rows: usize,
+}
+
+impl ChunkMeta {
+    /// Precompute metadata for splitting `df` into `npartitions` chunks.
+    /// This is the stage that runs *before* the lazy graph exists.
+    pub fn precompute(df: &DataFrame, npartitions: usize) -> ChunkMeta {
+        let n = npartitions.max(1);
+        let total = df.nrows();
+        if total == 0 {
+            return ChunkMeta { sizes: vec![0], total_rows: 0 };
+        }
+        let chunk = total.div_ceil(n);
+        let mut sizes = Vec::new();
+        let mut start = 0;
+        while start < total {
+            let len = chunk.min(total - start);
+            sizes.push(len);
+            start += len;
+        }
+        ChunkMeta { sizes, total_rows: total }
+    }
+
+    /// Number of partitions.
+    pub fn npartitions(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Half-open row range of partition `i`.
+    pub fn range(&self, i: usize) -> (usize, usize) {
+        let start: usize = self.sizes[..i].iter().sum();
+        (start, start + self.sizes[i])
+    }
+}
+
+/// A dataframe split into row-wise partitions, each `Arc`-shared so graph
+/// source nodes can hand them out without copying.
+#[derive(Debug, Clone)]
+pub struct PartitionedFrame {
+    /// The partitions.
+    pub partitions: Vec<Arc<DataFrame>>,
+    /// The precomputed chunk metadata the partitions were built from.
+    pub meta: ChunkMeta,
+    /// Identity of the underlying dataset, used to key source tasks so two
+    /// plot calls over the same frame share partition sources.
+    pub dataset_id: u64,
+}
+
+impl PartitionedFrame {
+    /// Split `df` according to precomputed metadata.
+    pub fn from_meta(df: &DataFrame, meta: ChunkMeta) -> PartitionedFrame {
+        let mut partitions = Vec::with_capacity(meta.npartitions());
+        for i in 0..meta.npartitions() {
+            let (start, end) = meta.range(i);
+            partitions.push(Arc::new(df.slice(start, end - start)));
+        }
+        PartitionedFrame {
+            partitions,
+            meta,
+            dataset_id: next_dataset_id(),
+        }
+    }
+
+    /// Precompute chunk sizes and split in one step.
+    pub fn from_frame(df: &DataFrame, npartitions: usize) -> PartitionedFrame {
+        let meta = ChunkMeta::precompute(df, npartitions);
+        PartitionedFrame::from_meta(df, meta)
+    }
+
+    /// Number of partitions.
+    pub fn npartitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total rows across partitions.
+    pub fn nrows(&self) -> usize {
+        self.meta.total_rows
+    }
+
+    /// Install one source node per partition into `graph`, returning their
+    /// node ids. Keys derive from `(dataset_id, partition index)`, so
+    /// repeated calls for the same frame share the same source nodes.
+    pub fn source_nodes(&self, graph: &mut TaskGraph) -> Vec<NodeId> {
+        self.partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // The key covers the chunk layout, not just the index: the
+                // same dataset rechunked differently yields different
+                // partition contents and must not dedupe.
+                let key = TaskKey::leaf(
+                    "partition",
+                    TaskKey::params(&(self.dataset_id, self.meta.npartitions(), i)),
+                );
+                let part: Payload = Arc::new(Arc::clone(p));
+                graph.value("partition", key, part)
+            })
+            .collect()
+    }
+
+    /// Repartition into `n` chunks. Because chunk sizes were precomputed,
+    /// this never inspects delayed data — the fix for the paper's
+    /// `rechunk` issue.
+    pub fn rechunk(&self, n: usize) -> PartitionedFrame {
+        let refs: Vec<&DataFrame> = self.partitions.iter().map(|p| p.as_ref()).collect();
+        let whole = DataFrame::vstack(&refs).expect("partitions share a schema");
+        let mut out = PartitionedFrame::from_frame(&whole, n);
+        out.dataset_id = self.dataset_id; // same data, same identity
+        out
+    }
+}
+
+/// Extract the `Arc<DataFrame>` stored in a partition source payload.
+pub fn payload_frame(p: &Payload) -> Arc<DataFrame> {
+    p.downcast_ref::<Arc<DataFrame>>()
+        .expect("payload holds Arc<DataFrame>")
+        .clone()
+}
+
+fn next_dataset_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_dataframe::Column;
+
+    fn frame(n: usize) -> DataFrame {
+        DataFrame::new(vec![(
+            "x".into(),
+            Column::from_i64((0..n as i64).collect()),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn precompute_sizes() {
+        let meta = ChunkMeta::precompute(&frame(10), 3);
+        assert_eq!(meta.sizes, vec![4, 4, 2]);
+        assert_eq!(meta.total_rows, 10);
+        assert_eq!(meta.range(0), (0, 4));
+        assert_eq!(meta.range(2), (8, 10));
+    }
+
+    #[test]
+    fn precompute_empty_frame() {
+        let meta = ChunkMeta::precompute(&frame(0), 4);
+        assert_eq!(meta.sizes, vec![0]);
+        assert_eq!(meta.npartitions(), 1);
+    }
+
+    #[test]
+    fn precompute_more_partitions_than_rows() {
+        let meta = ChunkMeta::precompute(&frame(2), 8);
+        assert_eq!(meta.sizes.iter().sum::<usize>(), 2);
+        assert!(meta.npartitions() <= 2);
+    }
+
+    #[test]
+    fn partitions_cover_frame() {
+        let df = frame(17);
+        let pf = PartitionedFrame::from_frame(&df, 4);
+        assert_eq!(pf.nrows(), 17);
+        let total: usize = pf.partitions.iter().map(|p| p.nrows()).sum();
+        assert_eq!(total, 17);
+        // First row of partition 1 continues where partition 0 ended.
+        let p0_last = pf.partitions[0]
+            .get(pf.partitions[0].nrows() - 1, "x")
+            .unwrap();
+        let p1_first = pf.partitions[1].get(0, "x").unwrap();
+        assert_eq!(p0_last.as_f64().unwrap() + 1.0, p1_first.as_f64().unwrap());
+    }
+
+    #[test]
+    fn source_nodes_shared_across_calls() {
+        let pf = PartitionedFrame::from_frame(&frame(8), 2);
+        let mut g = TaskGraph::new();
+        let first = pf.source_nodes(&mut g);
+        let second = pf.source_nodes(&mut g);
+        assert_eq!(first, second);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.cse_hits(), 2);
+    }
+
+    #[test]
+    fn different_frames_do_not_share_sources() {
+        let pf1 = PartitionedFrame::from_frame(&frame(8), 2);
+        let pf2 = PartitionedFrame::from_frame(&frame(8), 2);
+        let mut g = TaskGraph::new();
+        let a = pf1.source_nodes(&mut g);
+        let b = pf2.source_nodes(&mut g);
+        assert_ne!(a, b);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn source_payloads_are_frames() {
+        let pf = PartitionedFrame::from_frame(&frame(6), 3);
+        let mut g = TaskGraph::new();
+        let nodes = pf.source_nodes(&mut g);
+        let r = crate::scheduler::run_single_thread(&g, &nodes);
+        let f0 = payload_frame(&r.outputs[0]);
+        assert_eq!(f0.nrows(), 2);
+    }
+
+    #[test]
+    fn rechunk_preserves_rows_and_identity() {
+        let pf = PartitionedFrame::from_frame(&frame(12), 3);
+        let re = pf.rechunk(5);
+        assert_eq!(re.nrows(), 12);
+        // ceil-division layout: 12 rows in chunks of ceil(12/5)=3 → 4 parts.
+        assert_eq!(re.npartitions(), 4);
+        assert_eq!(re.dataset_id, pf.dataset_id);
+        // Same identity ⇒ sources shared with the original in one graph.
+        let mut g = TaskGraph::new();
+        pf.source_nodes(&mut g);
+        let before = g.len();
+        re.source_nodes(&mut g);
+        // Different partition count ⇒ different indices may add nodes, but
+        // partition 0..3 of the rechunked frame share keys only if sizes
+        // match; here they don't, so new nodes appear for all 5.
+        assert!(g.len() >= before);
+    }
+}

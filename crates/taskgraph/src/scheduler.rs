@@ -1,0 +1,355 @@
+//! Graph executors.
+//!
+//! Two schedulers share the same contract: run the live subgraph for the
+//! requested outputs, dependencies before dependents, and return output
+//! payloads plus [`ExecStats`].
+//!
+//! * [`run_single_thread`] walks the pruned topological order in the
+//!   calling thread — the "Pandas phase" executor, and the baseline for
+//!   scheduling-overhead comparisons.
+//! * [`run_pool`] drives a crossbeam-channel worker pool: ready tasks are
+//!   pushed to workers, completions decrement dependent indegrees, newly
+//!   ready tasks are pushed in turn. An optional per-task latency models
+//!   heavyweight schedulers (the paper's Koalas/PySpark comparison).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use crate::graph::{NodeId, Payload, TaskGraph};
+use crate::stats::ExecStats;
+
+/// Observer invoked after every completed task with
+/// `(completed, total_live)` — backs the front-end progress bar of the
+/// paper's Figure 1 (part B).
+pub type ProgressObserver = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+/// Result of one execution: payloads for the requested outputs (same
+/// order), plus statistics.
+pub struct ExecResult {
+    /// Output payloads, parallel to the requested output ids.
+    pub outputs: Vec<Payload>,
+    /// What the scheduler did.
+    pub stats: ExecStats,
+}
+
+/// Execute in the calling thread, in topological order.
+pub fn run_single_thread(graph: &TaskGraph, outputs: &[NodeId]) -> ExecResult {
+    let started = Instant::now();
+    let order = graph.topo_order(outputs);
+    let mut results: Vec<Option<Payload>> = vec![None; graph.len()];
+    for &id in &order {
+        let task = graph.task(id);
+        let inputs: Vec<Payload> = task
+            .deps
+            .iter()
+            .map(|&d| results[d].clone().expect("dependency computed"))
+            .collect();
+        results[id] = Some((task.run)(&inputs));
+    }
+    let outputs_payloads = outputs
+        .iter()
+        .map(|&id| results[id].clone().expect("output computed"))
+        .collect();
+    ExecResult {
+        outputs: outputs_payloads,
+        stats: ExecStats {
+            tasks_run: order.len(),
+            live_nodes: order.len(),
+            total_nodes: graph.len(),
+            cse_hits: graph.cse_hits(),
+            workers: 1,
+            elapsed: started.elapsed(),
+        },
+    }
+}
+
+/// Execute over a pool of `workers` threads.
+///
+/// `per_task_latency` injects a fixed scheduling delay before each task,
+/// modelling engines whose driver adds per-task overhead (paper §5.1's
+/// explanation of Koalas/PySpark single-node behaviour). Use
+/// `Duration::ZERO` for the Dask-like engine.
+pub fn run_pool(
+    graph: &TaskGraph,
+    outputs: &[NodeId],
+    workers: usize,
+    per_task_latency: Duration,
+) -> ExecResult {
+    run_pool_observed(graph, outputs, workers, per_task_latency, None)
+}
+
+/// [`run_pool`] with an optional progress observer called after each
+/// completed task.
+pub fn run_pool_observed(
+    graph: &TaskGraph,
+    outputs: &[NodeId],
+    workers: usize,
+    per_task_latency: Duration,
+    observer: Option<ProgressObserver>,
+) -> ExecResult {
+    let workers = workers.max(1);
+    let started = Instant::now();
+    let live = graph.reachable(outputs);
+    let live_count = live.iter().filter(|&&b| b).count();
+    if live_count == 0 {
+        return ExecResult {
+            outputs: Vec::new(),
+            stats: ExecStats {
+                tasks_run: 0,
+                live_nodes: 0,
+                total_nodes: graph.len(),
+                cse_hits: graph.cse_hits(),
+                workers,
+                elapsed: started.elapsed(),
+            },
+        };
+    }
+    let dependents = graph.live_dependents(&live);
+    let mut indegrees = graph.live_indegrees(&live);
+
+    let results: Arc<Vec<Mutex<Option<Payload>>>> =
+        Arc::new((0..graph.len()).map(|_| Mutex::new(None)).collect());
+
+    let (ready_tx, ready_rx) = channel::unbounded::<NodeId>();
+    let (done_tx, done_rx) = channel::unbounded::<NodeId>();
+
+    // Seed the ready queue.
+    for (id, &is_live) in live.iter().enumerate() {
+        if is_live && indegrees[id] == 0 {
+            ready_tx.send(id).expect("queue open");
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let ready_rx = ready_rx.clone();
+            let done_tx = done_tx.clone();
+            let results = Arc::clone(&results);
+            scope.spawn(move || {
+                while let Ok(id) = ready_rx.recv() {
+                    if per_task_latency > Duration::ZERO {
+                        spin_for(per_task_latency);
+                    }
+                    let task = graph.task(id);
+                    let inputs: Vec<Payload> = task
+                        .deps
+                        .iter()
+                        .map(|&d| {
+                            results[d]
+                                .lock()
+                                .clone()
+                                .expect("dependency computed before dependent")
+                        })
+                        .collect();
+                    let out = (task.run)(&inputs);
+                    *results[id].lock() = Some(out);
+                    if done_tx.send(id).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Coordinator: track completions, release newly ready tasks.
+        let mut completed = 0usize;
+        while completed < live_count {
+            let id = done_rx.recv().expect("workers alive");
+            completed += 1;
+            if let Some(obs) = &observer {
+                obs(completed, live_count);
+            }
+            for &dep in &dependents[id] {
+                indegrees[dep] -= 1;
+                if indegrees[dep] == 0 {
+                    ready_tx.send(dep).expect("queue open");
+                }
+            }
+        }
+        // Closing the channel terminates the workers.
+        drop(ready_tx);
+    });
+
+    let outputs_payloads = outputs
+        .iter()
+        .map(|&id| results[id].lock().clone().expect("output computed"))
+        .collect();
+    ExecResult {
+        outputs: outputs_payloads,
+        stats: ExecStats {
+            tasks_run: live_count,
+            live_nodes: live_count,
+            total_nodes: graph.len(),
+            cse_hits: graph.cse_hits(),
+            workers,
+            elapsed: started.elapsed(),
+        },
+    }
+}
+
+/// Busy-wait for `d` (sleep granularity is far too coarse for the
+/// microsecond-scale overheads the engine comparison injects).
+fn spin_for(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::TaskKey;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn int(v: i64) -> Payload {
+        Arc::new(v)
+    }
+
+    fn get(p: &Payload) -> i64 {
+        *p.downcast_ref::<i64>().expect("i64")
+    }
+
+    fn diamond() -> (TaskGraph, NodeId) {
+        // a -> (b, c) -> d
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(10));
+        let b = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+        let c = g.op("dbl", 0, vec![a], |d| int(get(&d[0]) * 2));
+        let d = g.op("sum", 0, vec![b, c], |d| int(get(&d[0]) + get(&d[1])));
+        (g, d)
+    }
+
+    #[test]
+    fn single_thread_diamond() {
+        let (g, out) = diamond();
+        let r = run_single_thread(&g, &[out]);
+        assert_eq!(get(&r.outputs[0]), 31);
+        assert_eq!(r.stats.tasks_run, 4);
+        assert_eq!(r.stats.workers, 1);
+    }
+
+    #[test]
+    fn pool_diamond_matches_single_thread() {
+        let (g, out) = diamond();
+        for workers in [1, 2, 4] {
+            let r = run_pool(&g, &[out], workers, Duration::ZERO);
+            assert_eq!(get(&r.outputs[0]), 31, "workers={workers}");
+            assert_eq!(r.stats.tasks_run, 4);
+        }
+    }
+
+    #[test]
+    fn dead_nodes_not_executed() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(1));
+        let _dead = g.source("dead", TaskKey::leaf("dead", 0), || {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+            int(99)
+        });
+        let b = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+        let r = run_single_thread(&g, &[b]);
+        assert_eq!(get(&r.outputs[0]), 2);
+        assert_eq!(RUNS.load(Ordering::SeqCst), 0);
+        assert_eq!(r.stats.tasks_run, 2);
+        assert_eq!(r.stats.pruned(), 1);
+
+        let r2 = run_pool(&g, &[b], 2, Duration::ZERO);
+        assert_eq!(get(&r2.outputs[0]), 2);
+        assert_eq!(RUNS.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn shared_node_runs_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        let c2 = Arc::clone(&counter);
+        let src = g.source("src", TaskKey::leaf("src", 0), move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+            int(5)
+        });
+        // Two consumers of a CSE-shared expensive node.
+        let shared1 = g.op("expensive", 0, vec![src], |d| int(get(&d[0]) * 10));
+        let shared2 = g.op("expensive", 0, vec![src], |d| int(get(&d[0]) * 10));
+        assert_eq!(shared1, shared2);
+        let u1 = g.op("plus1", 0, vec![shared1], |d| int(get(&d[0]) + 1));
+        let u2 = g.op("plus2", 0, vec![shared2], |d| int(get(&d[0]) + 2));
+        let r = run_pool(&g, &[u1, u2], 2, Duration::ZERO);
+        assert_eq!(get(&r.outputs[0]), 51);
+        assert_eq!(get(&r.outputs[1]), 52);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert_eq!(r.stats.tasks_run, 4); // src, expensive, plus1, plus2
+    }
+
+    #[test]
+    fn multiple_outputs_order_preserved() {
+        let (g, out) = diamond();
+        // Request outputs in reverse creation order.
+        let r = run_single_thread(&g, &[out, 0]);
+        assert_eq!(get(&r.outputs[0]), 31);
+        assert_eq!(get(&r.outputs[1]), 10);
+    }
+
+    #[test]
+    fn empty_outputs() {
+        let (g, _) = diamond();
+        let r = run_pool(&g, &[], 2, Duration::ZERO);
+        assert!(r.outputs.is_empty());
+        assert_eq!(r.stats.tasks_run, 0);
+    }
+
+    #[test]
+    fn per_task_latency_slows_execution() {
+        let (g, out) = diamond();
+        let fast = run_pool(&g, &[out], 1, Duration::ZERO);
+        let slow = run_pool(&g, &[out], 1, Duration::from_millis(2));
+        assert!(slow.stats.elapsed > fast.stats.elapsed);
+        assert!(slow.stats.elapsed >= Duration::from_millis(8)); // 4 tasks × 2ms
+        assert_eq!(get(&slow.outputs[0]), 31);
+    }
+
+    #[test]
+    fn progress_observer_sees_every_completion() {
+        let (g, out) = diamond();
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let obs: ProgressObserver = Arc::new(move |done, total| {
+            seen2.lock().push((done, total));
+        });
+        let r = run_pool_observed(&g, &[out], 2, Duration::ZERO, Some(obs));
+        assert_eq!(get(&r.outputs[0]), 31);
+        let events = seen.lock().clone();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.last(), Some(&(4, 4)));
+        // Monotone completion counter.
+        assert!(events.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn wide_graph_under_pool() {
+        // 100 independent sources reduced pairwise: exercises the queue.
+        let mut g = TaskGraph::new();
+        let leaves: Vec<NodeId> = (0..100)
+            .map(|i| g.source("leaf", TaskKey::leaf("leaf", i), move || int(i as i64)))
+            .collect();
+        let mut layer = leaves;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(g.op("add", 0, vec![pair[0], pair[1]], |d| {
+                        int(get(&d[0]) + get(&d[1]))
+                    }));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        let r = run_pool(&g, &[layer[0]], 4, Duration::ZERO);
+        assert_eq!(get(&r.outputs[0]), (0..100).sum::<i64>());
+    }
+}

@@ -1,0 +1,42 @@
+//! Execution statistics.
+//!
+//! Every run reports what the scheduler actually did — how many tasks ran,
+//! how many insertions were shared away, wall time — so the ablation
+//! benchmarks can attribute speedups to specific optimizations.
+
+use std::time::Duration;
+
+/// Summary of one graph execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Tasks actually executed.
+    pub tasks_run: usize,
+    /// Live nodes after dead-node pruning.
+    pub live_nodes: usize,
+    /// Total nodes in the graph.
+    pub total_nodes: usize,
+    /// Insertions answered by CSE during graph construction.
+    pub cse_hits: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Nodes skipped by dead-node pruning.
+    pub fn pruned(&self) -> usize {
+        self.total_nodes - self.live_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_counts() {
+        let s = ExecStats { live_nodes: 7, total_nodes: 10, ..Default::default() };
+        assert_eq!(s.pruned(), 3);
+    }
+}

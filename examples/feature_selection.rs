@@ -1,0 +1,60 @@
+//! Correlation analysis for feature selection (paper §3.1): find features
+//! correlated with the target and redundant feature pairs.
+//!
+//! Run with: `cargo run --example feature_selection`
+
+use dataprep_eda::prelude::*;
+use eda_dataframe::Column;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Features with known structure: size drives price; rooms ≈ size
+    // (redundant); noise is irrelevant.
+    let n = 5000;
+    let size: Vec<f64> = (0..n).map(|i| 60.0 + ((i * 37) % 200) as f64).collect();
+    let rooms: Vec<f64> = size.iter().map(|s| (s / 35.0).round()).collect();
+    let noise: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64).collect();
+    let price: Vec<f64> = size
+        .iter()
+        .zip(&noise)
+        .map(|(s, e)| 2500.0 * s + 40.0 * e + 100_000.0)
+        .collect();
+    let df = DataFrame::new(vec![
+        ("size".into(), Column::from_f64(size)),
+        ("rooms".into(), Column::from_f64(rooms)),
+        ("noise".into(), Column::from_f64(noise)),
+        ("price".into(), Column::from_f64(price)),
+    ])?;
+    let config = Config::default();
+
+    // Overview: the full matrices.
+    let overview = plot_correlation(&df, &[], &config)?;
+    if let Some(inter) = overview.get("correlation_matrix:Pearson") {
+        print!("{}", eda_render::ascii::render("pearson", inter));
+    }
+    for insight in &overview.insights {
+        println!("insight: {}", insight.message);
+    }
+
+    // Detail: how does everything correlate with the target?
+    let target = plot_correlation(&df, &["price"], &config)?;
+    let Some(Inter::CorrVectors(vectors)) = target.get("correlation_vectors") else {
+        panic!("vectors expected");
+    };
+    println!("\ncorrelation with price:");
+    for (method, entries) in vectors {
+        let formatted: Vec<String> = entries
+            .iter()
+            .map(|(c, r)| format!("{c}={}", r.map_or("-".into(), |v| format!("{v:.2}"))))
+            .collect();
+        println!("  {method}: {}", formatted.join("  "));
+    }
+
+    // Pair: the regression line for the strongest feature.
+    let pair = plot_correlation(&df, &["size", "price"], &config)?;
+    if let Some(Inter::RegressionScatter { slope, intercept, r2, .. }) =
+        pair.get("regression_scatter")
+    {
+        println!("\nprice ≈ {slope:.0} * size + {intercept:.0}   (R² = {r2:.3})");
+    }
+    Ok(())
+}

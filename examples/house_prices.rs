@@ -1,0 +1,73 @@
+//! The paper's running example (Figure 1): a data scientist building a
+//! house-price regression model removes outliers from `price`, inspects
+//! the filtered distribution, and customizes the histogram via the
+//! how-to guide.
+//!
+//! Run with: `cargo run --example house_prices`
+
+use dataprep_eda::prelude::*;
+use eda_dataframe::Bitmap;
+use eda_datagen::spec::quick::*;
+use eda_datagen::{generate, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic training data with the paper's five columns.
+    let spec = DatasetSpec {
+        name: "houses".into(),
+        rows: 20_000,
+        columns: vec![
+            lognormal("price", 12.8, 0.4, 0.01), // right-skewed prices
+            normal("size", 140.0, 40.0, 0.02),
+            ints("year_built", 1950, 2020, 0.05),
+            cat("city", 12, 0.0),
+            cat("house_type", 4, 0.0),
+        ],
+    };
+    let df = generate(&spec, 7);
+    let config = Config::default();
+
+    // Figure 1, line 1: df[df["price"] < 1_400_000]
+    let threshold = 1_400_000.0;
+    let price = df.column("price")?;
+    let mask: Bitmap = (0..df.nrows())
+        .map(|i| {
+            price
+                .get(i)
+                .ok()
+                .and_then(|v| v.as_f64())
+                .is_none_or(|v| v < threshold) // keep nulls; drop outliers
+        })
+        .collect();
+    let filtered = df.filter(&mask)?;
+    println!(
+        "removed {} outliers above ${threshold}",
+        df.nrows() - filtered.nrows()
+    );
+
+    // Figure 1, line 2: plot(df, "price")
+    let analysis = plot(&filtered, &["price"], &config)?;
+    if let Some(inter) = analysis.get("stats") {
+        print!("{}", eda_render::ascii::render("stats", inter));
+    }
+    for insight in &analysis.insights {
+        println!("insight: {}", insight.message);
+    }
+
+    // Figure 1, part D: the how-to guide tells us how to change the bins.
+    let guide = analysis.howto("histogram");
+    println!("\n{guide}");
+
+    // Figure 1, part E: re-run with more bins, copied from the guide.
+    let custom = Config::from_pairs(vec![("hist.bins", "200")])?;
+    let detailed = plot(&filtered, &["price"], &custom)?;
+    let Some(Inter::Histogram { counts, .. }) = detailed.get("histogram") else {
+        panic!("histogram expected");
+    };
+    println!("re-plotted histogram with {} bins", counts.len());
+
+    let html = render_analysis_html(&detailed, &custom.display);
+    let path = std::env::temp_dir().join("dataprep_house_prices.html");
+    std::fs::write(&path, html)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

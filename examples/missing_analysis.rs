@@ -1,0 +1,44 @@
+//! Missing-value analysis on a BirdStrike-shaped dataset: overview, the
+//! impact of one column's nulls on the rest, and the before/after detail
+//! for a single pair (paper Figure 2, rows 8–10).
+//!
+//! Run with: `cargo run --example missing_analysis`
+
+use dataprep_eda::prelude::*;
+use eda_datagen::generate;
+use eda_datagen::userstudy::birdstrike_spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let df = generate(&birdstrike_spec(20_000), 11);
+    let config = Config::default();
+
+    // "I want an overview of the missing value analysis result."
+    let overview = plot_missing(&df, &[], &config)?;
+    if let Some(inter) = overview.get("missing_bar_chart") {
+        print!("{}", eda_render::ascii::render("missing_bar_chart", inter));
+    }
+
+    // "I want to understand the impact of removing the missing values
+    //  from repair_cost on other columns."
+    let impact = plot_missing(&df, &["repair_cost"], &config)?;
+    println!(
+        "impact charts: {} before/after comparisons",
+        impact.intermediates.len()
+    );
+    for insight in &impact.insights {
+        println!("insight: {}", insight.message);
+    }
+
+    // "...on speed_knots specifically": histogram, PDF, CDF, box plots.
+    let pair = plot_missing(&df, &["repair_cost", "speed_knots"], &config)?;
+    println!("pair charts: {:?}", pair.chart_names());
+    if let Some(inter) = pair.get("box_plot") {
+        print!("{}", eda_render::ascii::render("box_plot", inter));
+    }
+
+    let html = render_analysis_html(&pair, &config.display);
+    let path = std::env::temp_dir().join("dataprep_missing.html");
+    std::fs::write(&path, html)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

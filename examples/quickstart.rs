@@ -1,0 +1,62 @@
+//! Quickstart: load a CSV, run the three task-centric calls, write an
+//! HTML panel.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dataprep_eda::prelude::*;
+use eda_dataframe::csv::{read_csv_str, CsvOptions};
+
+const CSV: &str = "\
+price,size,year_built,city,house_type
+310000,120,1998,Burnaby,detached
+450000,180,2005,Vancouver,detached
+250000,95,1976,Surrey,apartment
+420000,160,2011,Vancouver,townhouse
+385000,140,2001,Burnaby,townhouse
+295000,88,1985,Surrey,apartment
+512000,210,2018,Vancouver,detached
+330000,125,1995,Burnaby,apartment
+,110,1990,Surrey,apartment
+405000,150,,Vancouver,townhouse
+372000,135,2003,Surrey,apartment
+455000,170,2014,Vancouver,detached
+267000,92,1981,Surrey,apartment
+399000,149,2009,Burnaby,townhouse
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // In real use: let df = read_csv("houses.csv")?;
+    let df = read_csv_str(CSV, &CsvOptions::default())?;
+    println!("loaded {} rows x {} columns", df.nrows(), df.ncols());
+    println!("{df}");
+
+    let config = Config::default();
+
+    // Task 1: "I want an overview of the dataset."
+    let overview = plot(&df, &[], &config)?;
+    println!("overview produced: {:?}", overview.chart_names());
+
+    // Task 2: "I want to understand price."
+    let price = plot(&df, &["price"], &config)?;
+    for (name, inter) in price.intermediates.iter() {
+        if name == "stats" || name == "histogram" {
+            print!("{}", eda_render::ascii::render(name, inter));
+        }
+    }
+
+    // Task 3: correlation + missing overviews.
+    let corr = plot_correlation(&df, &[], &config)?;
+    let missing = plot_missing(&df, &[], &config)?;
+    println!(
+        "correlation charts: {:?}; missing charts: {:?}",
+        corr.chart_names(),
+        missing.chart_names()
+    );
+
+    // Write the univariate panel as a self-contained HTML page.
+    let html = render_analysis_html(&price, &config.display);
+    let path = std::env::temp_dir().join("dataprep_quickstart.html");
+    std::fs::write(&path, html)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Time-series analysis on a bitcoin-shaped price series — the paper's
+//! §7 future-work task ("stock price analysis"), implemented with the
+//! same task-centric architecture, plus the sampling extension with its
+//! user notification.
+//!
+//! Run with: `cargo run --example timeseries`
+
+use dataprep_eda::prelude::*;
+use eda_dataframe::Column;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic daily price series: trend + weekly seasonality + noise.
+    let n = 2000usize;
+    let t: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let price: Vec<f64> = (0..n)
+        .map(|i| {
+            let trend = 0.4 * i as f64;
+            let weekly = 25.0 * (std::f64::consts::TAU * i as f64 / 7.0).sin();
+            let noise = ((i * 2654435761) % 1000) as f64 / 50.0;
+            4000.0 + trend + weekly + noise
+        })
+        .collect();
+    let df = DataFrame::new(vec![
+        ("day".into(), Column::from_f64(t)),
+        ("price".into(), Column::from_f64(price)),
+    ])?;
+
+    let config = Config::default();
+    let analysis = plot_timeseries(&df, "day", "price", &config)?;
+    if let Some(inter) = analysis.get("stats") {
+        print!("{}", eda_render::ascii::render("stats", inter));
+    }
+    for insight in &analysis.insights {
+        println!("insight: {}", insight.message);
+    }
+
+    // The sampling extension: analyze a 200-row systematic sample, with
+    // the notification the paper's §7 asks for.
+    let approx = Config::from_pairs(vec![("engine.sample_rows", "200")])?;
+    let sampled = plot_timeseries(&df, "day", "price", &approx)?;
+    println!("\nwith sampling:");
+    for insight in &sampled.insights {
+        println!("insight: {}", insight.message);
+    }
+
+    let html = render_analysis_html(&analysis, &config.display);
+    let path = std::env::temp_dir().join("dataprep_timeseries.html");
+    std::fs::write(&path, html)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

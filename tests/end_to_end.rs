@@ -1,0 +1,156 @@
+//! End-to-end integration: CSV → frame → analyses → rendered HTML, plus
+//! the full report pipeline on generated datasets.
+
+use dataprep_eda::prelude::*;
+use eda_dataframe::csv::{read_csv_str, CsvOptions};
+use eda_datagen::{generate, kaggle_spec_by_name};
+
+const CSV: &str = "\
+price,size,year_built,city
+310000,120,1998,Burnaby
+450000,180,2005,Vancouver
+250000,95,1976,Surrey
+420000,160,2011,Vancouver
+385000,140,2001,Burnaby
+,110,1990,Surrey
+405000,150,,Vancouver
+298000,99,1988,Surrey
+512000,205,2016,Vancouver
+343000,130,1999,Burnaby
+372000,135,2003,Surrey
+455000,170,2014,Vancouver
+267000,92,1981,Surrey
+399000,149,2009,Burnaby
+";
+
+#[test]
+fn csv_to_rendered_analysis() {
+    let df = read_csv_str(CSV, &CsvOptions::default()).unwrap();
+    assert_eq!(df.nrows(), 14);
+    let cfg = Config::default();
+    let analysis = plot(&df, &["price"], &cfg).unwrap();
+    let html = render_analysis_html(&analysis, &cfg.display);
+    assert!(html.contains("<svg"));
+    assert!(html.contains("Histogram"));
+    // Stats computed from the CSV: 9 non-null prices.
+    let Some(Inter::StatsTable(rows)) = analysis.get("stats") else { panic!() };
+    let count = rows.iter().find(|r| r.label == "count").unwrap();
+    assert_eq!(count.value, "14");
+    let missing = rows.iter().find(|r| r.label == "missing").unwrap();
+    assert!(missing.value.starts_with("1 "));
+}
+
+#[test]
+fn report_on_table2_dataset_renders() {
+    let spec = kaggle_spec_by_name("titanic").unwrap();
+    let df = generate(&spec, 42);
+    let cfg = Config::default();
+    let report = create_report(&df, &cfg).unwrap();
+    assert_eq!(report.variables.len(), 12);
+    assert_eq!(report.correlations.len(), 3);
+    let html = render_report_html(&report, &cfg.display);
+    assert!(html.len() > 10_000);
+    for col in df.names() {
+        assert!(html.contains(col.as_str()), "report misses column {col}");
+    }
+}
+
+#[test]
+fn analyses_are_deterministic() {
+    let df = generate(&kaggle_spec_by_name("heart").unwrap(), 1);
+    let cfg = Config::default();
+    let a = plot(&df, &["num0"], &cfg).unwrap();
+    let b = plot(&df, &["num0"], &cfg).unwrap();
+    assert_eq!(a.intermediates, b.intermediates);
+}
+
+#[test]
+fn dataprep_matches_baseline_statistics() {
+    // The two tools must agree on the numbers, differing only in how they
+    // compute them.
+    let df = generate(&kaggle_spec_by_name("women").unwrap(), 5);
+    let cfg = Config::default();
+    let report = create_report(&df, &cfg).unwrap();
+    let baseline = dataprep_eda::baseline::profile(&df);
+
+    // Row/missing counts agree.
+    assert_eq!(baseline.overview.rows, df.nrows());
+    let dp_missing: usize = df.names().len();
+    assert!(dp_missing > 0);
+
+    // Pearson matrices agree cell by cell.
+    let dp_pearson = &report.correlations[0];
+    let pp_pearson = &baseline.correlations.pearson;
+    assert_eq!(dp_pearson.labels, pp_pearson.labels);
+    for i in 0..dp_pearson.size() {
+        for j in 0..dp_pearson.size() {
+            match (dp_pearson.get(i, j), pp_pearson.get(i, j)) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "({i},{j}): {a} vs {b}"),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    // Per-variable means agree.
+    for (section, profile) in report.variables.iter().zip(&baseline.variables) {
+        assert_eq!(section.name, profile.name);
+        if let Some(num) = &profile.numeric {
+            let Some(Inter::StatsTable(rows)) = section.intermediates.get("stats") else {
+                panic!()
+            };
+            let mean_row = rows.iter().find(|r| r.label == "mean").unwrap();
+            // Parse the formatted mean back and compare loosely.
+            let dp_mean: f64 = mean_row.value.parse().unwrap_or(f64::NAN);
+            if dp_mean.is_finite() && num.mean.abs() > 1e-6 {
+                assert!(
+                    ((dp_mean - num.mean) / num.mean).abs() < 0.01,
+                    "{}: {dp_mean} vs {}",
+                    section.name,
+                    num.mean
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn report_is_faster_than_baseline_on_numeric_data() {
+    // The Table 2 headline, asserted end-to-end at small scale (release
+    // vs debug timing noise makes this a generous 1.0x bound: DataPrep
+    // must at least not lose).
+    let spec = kaggle_spec_by_name("credit").unwrap().scaled(0.2);
+    let df = generate(&spec, 3);
+    let cfg = Config::default();
+    let t0 = std::time::Instant::now();
+    let _ = dataprep_eda::baseline::profile(&df);
+    let pp = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let _ = create_report(&df, &cfg).unwrap();
+    let dp = t1.elapsed();
+    assert!(
+        dp.as_secs_f64() < pp.as_secs_f64() * 1.5,
+        "dataprep {dp:?} vs baseline {pp:?}"
+    );
+}
+
+#[test]
+fn config_snippets_flow_from_howto_to_result() {
+    // The Figure 1 customization loop: guide → config pair → new result.
+    let df = read_csv_str(CSV, &CsvOptions::default()).unwrap();
+    let base = Config::default();
+    let analysis = plot(&df, &["price"], &base).unwrap();
+    let guide = analysis.howto("histogram");
+    let bins_entry = guide
+        .entries
+        .iter()
+        .find(|e| e.spec.key == "hist.bins")
+        .expect("hist.bins in guide");
+    assert_eq!(bins_entry.spec.default, "50");
+
+    let custom = Config::from_pairs(vec![("hist.bins", "5")]).unwrap();
+    let redone = plot(&df, &["price"], &custom).unwrap();
+    let Some(Inter::Histogram { counts, .. }) = redone.get("histogram") else {
+        panic!()
+    };
+    assert_eq!(counts.len(), 5);
+}

@@ -1,0 +1,181 @@
+//! Integration test: the mapping rules of the paper's Figure 2.
+//!
+//! Each task-centric call must produce exactly the stats/plots the table
+//! lists for the detected column types.
+
+use dataprep_eda::prelude::*;
+use eda_dataframe::Column;
+
+fn frame() -> DataFrame {
+    let n = 300;
+    DataFrame::new(vec![
+        (
+            "num_a".into(),
+            Column::from_opt_f64(
+                (0..n)
+                    .map(|i| if i % 20 == 0 { None } else { Some(((i * 37) % 500) as f64) })
+                    .collect(),
+            ),
+        ),
+        (
+            "num_b".into(),
+            Column::from_f64((0..n).map(|i| ((i * 13) % 400) as f64).collect()),
+        ),
+        (
+            "cat_a".into(),
+            Column::from_opt_string(
+                (0..n)
+                    .map(|i| if i % 25 == 0 { None } else { Some(format!("group {}", i % 5)) })
+                    .collect(),
+            ),
+        ),
+        (
+            "cat_b".into(),
+            Column::from_string((0..n).map(|i| format!("kind{}", i % 3)).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn names(a: &Analysis) -> Vec<String> {
+    a.chart_names().iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn row1_overview() {
+    // plot(df) → dataset statistics, histogram or bar chart per column.
+    let a = plot(&frame(), &[], &Config::default()).unwrap();
+    let n = names(&a);
+    assert!(n.contains(&"stats".to_string()));
+    assert!(n.contains(&"histogram:num_a".to_string()));
+    assert!(n.contains(&"histogram:num_b".to_string()));
+    assert!(n.contains(&"bar_chart:cat_a".to_string()));
+    assert!(n.contains(&"bar_chart:cat_b".to_string()));
+    assert_eq!(n.len(), 5);
+}
+
+#[test]
+fn row2_univariate_numerical() {
+    // plot(df, N) → column stats, histogram, KDE plot, normal Q-Q plot,
+    // box plot.
+    let a = plot(&frame(), &["num_a"], &Config::default()).unwrap();
+    assert_eq!(
+        names(&a),
+        vec!["stats", "histogram", "kde_plot", "qq_plot", "box_plot"]
+    );
+    assert!(matches!(
+        a.task,
+        TaskKind::Univariate { semantic: SemanticType::Numerical, .. }
+    ));
+}
+
+#[test]
+fn row2_univariate_categorical() {
+    // plot(df, C) → column stats, bar chart, pie chart, word cloud, word
+    // frequencies.
+    let a = plot(&frame(), &["cat_a"], &Config::default()).unwrap();
+    assert_eq!(
+        names(&a),
+        vec!["stats", "bar_chart", "pie_chart", "word_cloud", "word_frequencies"]
+    );
+}
+
+#[test]
+fn row3_bivariate_nn() {
+    // plot(df, N, N) → scatter plot, hexbin plot, binned box plot.
+    let a = plot(&frame(), &["num_a", "num_b"], &Config::default()).unwrap();
+    assert_eq!(names(&a), vec!["scatter_plot", "hexbin_plot", "binned_box_plot"]);
+}
+
+#[test]
+fn row3_bivariate_nc_both_orders() {
+    // plot(df, N, C) or (C, N) → categorical box plot, multi-line chart.
+    for cols in [["num_a", "cat_a"], ["cat_a", "num_a"]] {
+        let a = plot(&frame(), &cols, &Config::default()).unwrap();
+        assert_eq!(
+            names(&a),
+            vec!["categorical_box_plot", "multi_line_chart"],
+            "{cols:?}"
+        );
+    }
+}
+
+#[test]
+fn row3_bivariate_cc() {
+    // plot(df, C, C) → nested bar chart, stacked bar chart, heat map.
+    let a = plot(&frame(), &["cat_a", "cat_b"], &Config::default()).unwrap();
+    let n = names(&a);
+    assert!(n.contains(&"nested_bar_chart".to_string()));
+    assert!(n.contains(&"stacked_bar_chart".to_string()));
+    assert!(n.contains(&"heat_map".to_string()));
+}
+
+#[test]
+fn rows5_7_correlation() {
+    let df = frame();
+    let cfg = Config::default();
+    // plot_correlation(df) → matrices for Pearson, Spearman, KendallTau.
+    let a = plot_correlation(&df, &[], &cfg).unwrap();
+    let n = names(&a);
+    assert_eq!(
+        n,
+        vec![
+            "correlation_matrix:Pearson",
+            "correlation_matrix:Spearman",
+            "correlation_matrix:KendallTau"
+        ]
+    );
+    // plot_correlation(df, x) → correlation vectors, all three methods.
+    let a = plot_correlation(&df, &["num_a"], &cfg).unwrap();
+    let Some(Inter::CorrVectors(v)) = a.get("correlation_vectors") else {
+        panic!()
+    };
+    assert_eq!(v.len(), 3);
+    // plot_correlation(df, x, y) → scatter with a regression line.
+    let a = plot_correlation(&df, &["num_a", "num_b"], &cfg).unwrap();
+    assert!(a.get("regression_scatter").is_some() || a.get("scatter_plot").is_some());
+}
+
+#[test]
+fn rows8_10_missing() {
+    let df = frame();
+    let cfg = Config::default();
+    // plot_missing(df) → bar chart, spectrum, nullity correlation,
+    // dendrogram.
+    let a = plot_missing(&df, &[], &cfg).unwrap();
+    assert_eq!(
+        names(&a),
+        vec![
+            "missing_bar_chart",
+            "missing_spectrum",
+            "nullity_correlation",
+            "dendrogram"
+        ]
+    );
+    // plot_missing(df, x) → per-column before/after comparison.
+    let a = plot_missing(&df, &["num_a"], &cfg).unwrap();
+    let n = names(&a);
+    assert!(n.contains(&"compare_histogram:num_b".to_string()));
+    assert!(n.contains(&"compare_bars:cat_a".to_string()));
+    assert_eq!(n.len(), 3); // num_b, cat_a, cat_b
+    // plot_missing(df, x, y) with numeric y → histogram, PDF, CDF, box.
+    let a = plot_missing(&df, &["num_a", "num_b"], &cfg).unwrap();
+    let n = names(&a);
+    for chart in ["compare_histogram", "pdf:before", "pdf:after", "cdf:before", "cdf:after", "box_plot"] {
+        assert!(n.contains(&chart.to_string()), "missing {chart}");
+    }
+}
+
+#[test]
+fn every_chart_has_a_howto_entry_point() {
+    // The how-to guide exists for the main charts of each panel.
+    let a = plot(&frame(), &["num_a"], &Config::default()).unwrap();
+    for chart in a.chart_names() {
+        let guide = a.howto(chart);
+        // `stats` and the charts all resolve to a (possibly empty) guide;
+        // the headline charts must be non-empty.
+        if ["histogram", "kde_plot", "qq_plot", "box_plot"].contains(&chart) {
+            assert!(!guide.entries.is_empty(), "{chart} guide empty");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the paper's performance mechanisms: computation
+//! sharing, fine-grained task scoping, two-phase equivalence, and engine
+//! agreement — asserted on observable behaviour (task counts, results),
+//! not wall time.
+
+use dataprep_eda::prelude::*;
+use eda_core::compute::overview::plan_overview;
+use eda_core::compute::ComputeContext;
+use eda_datagen::{generate, kaggle_spec_by_name};
+use eda_taskgraph::Engine;
+
+fn dataset() -> DataFrame {
+    generate(&kaggle_spec_by_name("titanic").unwrap(), 42)
+}
+
+#[test]
+fn report_shares_computations_across_sections() {
+    let df = dataset();
+    let shared = create_report(&df, &Config::default()).unwrap();
+    let unshared_cfg =
+        Config::from_pairs(vec![("engine.share_computations", "false")]).unwrap();
+    let unshared = create_report(&df, &unshared_cfg).unwrap();
+
+    assert!(shared.stats.cse_hits > 20, "cse hits: {}", shared.stats.cse_hits);
+    assert_eq!(unshared.stats.cse_hits, 0);
+    assert!(
+        unshared.stats.tasks_run as f64 > shared.stats.tasks_run as f64 * 1.3,
+        "unshared {} vs shared {}",
+        unshared.stats.tasks_run,
+        shared.stats.tasks_run
+    );
+
+    // Sharing must not change the results.
+    assert_eq!(shared.variables.len(), unshared.variables.len());
+    for (a, b) in shared.variables.iter().zip(&unshared.variables) {
+        assert_eq!(a.intermediates, b.intermediates, "column {}", a.name);
+    }
+}
+
+#[test]
+fn fine_grained_tasks_run_fewer_tasks_than_report() {
+    let df = dataset();
+    let cfg = Config::default();
+    let single = plot(&df, &["num0"], &cfg).unwrap();
+    let report = create_report(&df, &cfg).unwrap();
+    let single_tasks = single.stats.unwrap().tasks_run;
+    assert!(
+        single_tasks * 3 < report.stats.tasks_run,
+        "single {} vs report {}",
+        single_tasks,
+        report.stats.tasks_run
+    );
+}
+
+#[test]
+fn two_phase_boundary_does_not_change_correlations() {
+    let df = dataset();
+    let eager = plot_correlation(&df, &[], &Config::default()).unwrap();
+    let lazy_cfg = Config::from_pairs(vec![("engine.eager_finish", "false")]).unwrap();
+    let lazy = plot_correlation(&df, &[], &lazy_cfg).unwrap();
+    for name in ["Pearson", "Spearman", "KendallTau"] {
+        let key = format!("correlation_matrix:{name}");
+        let (Some(Inter::Correlation(a)), Some(Inter::Correlation(b))) =
+            (eager.get(&key), lazy.get(&key))
+        else {
+            panic!("missing {key}")
+        };
+        assert_eq!(a.labels, b.labels);
+        for i in 0..a.size() {
+            for j in 0..a.size() {
+                match (a.get(i, j), b.get(i, j)) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-12),
+                    (x, y) => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_count_does_not_change_results() {
+    let df = dataset();
+    let base = plot(&df, &["num0"], &Config::default()).unwrap();
+    for nparts in ["1", "3", "7"] {
+        let cfg = Config::from_pairs(vec![("engine.npartitions", nparts)]).unwrap();
+        let other = plot(&df, &["num0"], &cfg).unwrap();
+        assert_eq!(
+            base.intermediates, other.intermediates,
+            "results changed with npartitions={nparts}"
+        );
+    }
+}
+
+#[test]
+fn all_engines_compute_identical_overview_payload_counts() {
+    let df = dataset();
+    let cfg = Config::default();
+    let mut expected: Option<usize> = None;
+    for engine in [
+        Engine::SingleThread,
+        Engine::LazyParallel { workers: 2 },
+        Engine::EagerPerOp { workers: 2 },
+    ] {
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let plan = plan_overview(&mut ctx);
+        let outputs = plan.outputs();
+        let payloads = ctx.execute_with(engine, &outputs);
+        match expected {
+            None => expected = Some(payloads.len()),
+            Some(e) => assert_eq!(payloads.len(), e),
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let df = dataset();
+    let base = plot_missing(&df, &[], &Config::default()).unwrap();
+    let cfg = Config::from_pairs(vec![("engine.workers", "4")]).unwrap();
+    let multi = plot_missing(&df, &[], &cfg).unwrap();
+    assert_eq!(base.intermediates, multi.intermediates);
+}
