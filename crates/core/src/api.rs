@@ -11,7 +11,7 @@ use crate::compute::{
     bivariate, correlation, ctx::ComputeContext, missing, overview, timeseries, univariate,
 };
 use crate::config::{howto_for, Config, HowToGuide};
-use crate::dtype::SemanticType;
+use crate::dtype::{detect, SemanticType};
 use crate::error::{EdaError, EdaResult};
 use crate::insights::Insight;
 use crate::intermediate::{Inter, Intermediates};
@@ -51,6 +51,45 @@ pub enum TaskKind {
     TimeSeries(String, String),
 }
 
+/// Health of one section of an [`Analysis`] or a
+/// [`crate::report::Report`].
+///
+/// A failing kernel no longer poisons a whole run: the scheduler isolates
+/// the panic (or deadline overrun), the section that needed it degrades to
+/// `Failed` with diagnostics, and everything else completes normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// Every task behind the section produced its payload.
+    Ok,
+    /// The section's computation failed; carries what the diagnostics
+    /// panel renders.
+    Failed {
+        /// Human-readable description of the failure.
+        error: String,
+        /// Name of the root-cause task (e.g. `"moments:price"`).
+        root_task: String,
+        /// Wall-clock time spent before the failure was recorded.
+        elapsed: std::time::Duration,
+    },
+}
+
+impl SectionStatus {
+    /// `true` when the section computed fully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, SectionStatus::Ok)
+    }
+
+    /// Build a `Failed` status from a scheduler task error, attributing
+    /// skipped tasks to their transitive root cause.
+    pub fn from_task_error(err: &eda_taskgraph::TaskError) -> SectionStatus {
+        SectionStatus::Failed {
+            error: err.to_string(),
+            root_task: err.root_cause().1.to_string(),
+            elapsed: err.elapsed,
+        }
+    }
+}
+
 /// The result of one EDA call: intermediates, insights, execution stats.
 #[derive(Debug)]
 pub struct Analysis {
@@ -62,6 +101,9 @@ pub struct Analysis {
     pub insights: Vec<Insight>,
     /// What the engine did (tasks run, CSE hits, wall time).
     pub stats: Option<ExecStats>,
+    /// Whether the analysis computed fully. `Failed` analyses have empty
+    /// intermediates and render as a diagnostics panel instead of charts.
+    pub status: SectionStatus,
 }
 
 impl Analysis {
@@ -105,6 +147,25 @@ fn check_columns(function: &'static str, columns: &[&str], max: usize) -> EdaRes
     Ok(())
 }
 
+/// Degrade a task-level failure into an `Analysis` with a `Failed`
+/// status (graceful degradation: the caller still gets stats and a
+/// renderable diagnostics panel). Planning errors — unknown column, bad
+/// config, wrong arity — pass through as `Err` unchanged.
+fn degraded(task: TaskKind, stats: Option<ExecStats>, err: EdaError) -> EdaResult<Analysis> {
+    let root_task = match &err {
+        EdaError::TaskFailed { task, .. } | EdaError::Timeout { task, .. } => task.clone(),
+        _ => return Err(err),
+    };
+    let elapsed = stats.as_ref().map(|s| s.elapsed).unwrap_or_default();
+    Ok(Analysis {
+        task,
+        intermediates: Intermediates::new(),
+        insights: Vec::new(),
+        stats,
+        status: SectionStatus::Failed { error: err.to_string(), root_task, elapsed },
+    })
+}
+
 /// `plot(df, cols, config)`: overview (0 columns), univariate (1), or
 /// bivariate (2) analysis.
 pub fn plot(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
@@ -124,37 +185,59 @@ pub fn plot(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Anal
 fn plot_inner(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
     let mut ctx = ComputeContext::new(df, config);
     match columns {
-        [] => {
-            let (intermediates, insights) = overview::compute_overview(&mut ctx)?;
-            Ok(Analysis {
+        [] => match overview::compute_overview(&mut ctx) {
+            Ok((intermediates, insights)) => Ok(Analysis {
                 task: TaskKind::Overview,
                 intermediates,
                 insights,
                 stats: ctx.last_stats,
-            })
-        }
+                status: SectionStatus::Ok,
+            }),
+            Err(e) => degraded(TaskKind::Overview, ctx.last_stats, e),
+        },
         [x] => {
-            let (intermediates, insights, semantic) =
-                univariate::compute_univariate(&mut ctx, x)?;
-            Ok(Analysis {
-                task: TaskKind::Univariate { column: x.to_string(), semantic },
-                intermediates,
-                insights,
-                stats: ctx.last_stats,
-            })
+            // Detect up front so a degraded analysis still knows its task.
+            let semantic = detect(df.column(x)?, config.types.low_cardinality);
+            match univariate::compute_univariate(&mut ctx, x) {
+                Ok((intermediates, insights, semantic)) => Ok(Analysis {
+                    task: TaskKind::Univariate { column: x.to_string(), semantic },
+                    intermediates,
+                    insights,
+                    stats: ctx.last_stats,
+                    status: SectionStatus::Ok,
+                }),
+                Err(e) => degraded(
+                    TaskKind::Univariate { column: x.to_string(), semantic },
+                    ctx.last_stats,
+                    e,
+                ),
+            }
         }
         [x, y] => {
-            let (intermediates, insights, semantics) =
-                bivariate::compute_bivariate(&mut ctx, x, y)?;
-            Ok(Analysis {
-                task: TaskKind::Bivariate {
-                    columns: (x.to_string(), y.to_string()),
-                    semantics,
-                },
-                intermediates,
-                insights,
-                stats: ctx.last_stats,
-            })
+            let semantics = (
+                detect(df.column(x)?, config.types.low_cardinality),
+                detect(df.column(y)?, config.types.low_cardinality),
+            );
+            match bivariate::compute_bivariate(&mut ctx, x, y) {
+                Ok((intermediates, insights, semantics)) => Ok(Analysis {
+                    task: TaskKind::Bivariate {
+                        columns: (x.to_string(), y.to_string()),
+                        semantics,
+                    },
+                    intermediates,
+                    insights,
+                    stats: ctx.last_stats,
+                    status: SectionStatus::Ok,
+                }),
+                Err(e) => degraded(
+                    TaskKind::Bivariate {
+                        columns: (x.to_string(), y.to_string()),
+                        semantics,
+                    },
+                    ctx.last_stats,
+                    e,
+                ),
+            }
         }
         _ => unreachable!("checked above"),
     }
@@ -169,22 +252,31 @@ pub fn plot_correlation(
 ) -> EdaResult<Analysis> {
     check_columns("plot_correlation", columns, 2)?;
     let mut ctx = ComputeContext::new(df, config);
-    let (task, (intermediates, insights)) = match columns {
+    let (task, computed) = match columns {
         [] => (
             TaskKind::CorrelationOverview,
-            correlation::compute_correlation_overview(&mut ctx)?,
+            correlation::compute_correlation_overview(&mut ctx),
         ),
         [x] => (
             TaskKind::CorrelationVector(x.to_string()),
-            correlation::compute_correlation_vector(&mut ctx, x)?,
+            correlation::compute_correlation_vector(&mut ctx, x),
         ),
         [x, y] => (
             TaskKind::CorrelationPair(x.to_string(), y.to_string()),
-            correlation::compute_correlation_pair(&mut ctx, x, y)?,
+            correlation::compute_correlation_pair(&mut ctx, x, y),
         ),
         _ => unreachable!("checked above"),
     };
-    Ok(Analysis { task, intermediates, insights, stats: ctx.last_stats })
+    match computed {
+        Ok((intermediates, insights)) => Ok(Analysis {
+            task,
+            intermediates,
+            insights,
+            stats: ctx.last_stats,
+            status: SectionStatus::Ok,
+        }),
+        Err(e) => degraded(task, ctx.last_stats, e),
+    }
 }
 
 /// `plot_missing(df, cols, config)`: nullity overview (0 columns), impact
@@ -192,22 +284,31 @@ pub fn plot_correlation(
 pub fn plot_missing(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
     check_columns("plot_missing", columns, 2)?;
     let mut ctx = ComputeContext::new(df, config);
-    let (task, (intermediates, insights)) = match columns {
+    let (task, computed) = match columns {
         [] => (
             TaskKind::MissingOverview,
-            missing::compute_missing_overview(&mut ctx)?,
+            missing::compute_missing_overview(&mut ctx),
         ),
         [x] => (
             TaskKind::MissingImpact(x.to_string()),
-            missing::compute_missing_impact(&mut ctx, x)?,
+            missing::compute_missing_impact(&mut ctx, x),
         ),
         [x, y] => (
             TaskKind::MissingPair(x.to_string(), y.to_string()),
-            missing::compute_missing_pair(&mut ctx, x, y)?,
+            missing::compute_missing_pair(&mut ctx, x, y),
         ),
         _ => unreachable!("checked above"),
     };
-    Ok(Analysis { task, intermediates, insights, stats: ctx.last_stats })
+    match computed {
+        Ok((intermediates, insights)) => Ok(Analysis {
+            task,
+            intermediates,
+            insights,
+            stats: ctx.last_stats,
+            status: SectionStatus::Ok,
+        }),
+        Err(e) => degraded(task, ctx.last_stats, e),
+    }
 }
 
 /// `plot_timeseries(df, time, value, config)`: time-series analysis —
@@ -226,16 +327,16 @@ pub fn plot_timeseries(
         None => (df, None),
     };
     let mut ctx = ComputeContext::new(df, config);
-    let (intermediates, mut insights) = timeseries::compute_timeseries(&mut ctx, time, value)?;
+    let task = TaskKind::TimeSeries(time.to_string(), value.to_string());
+    let (intermediates, mut insights) = match timeseries::compute_timeseries(&mut ctx, time, value)
+    {
+        Ok(parts) => parts,
+        Err(e) => return degraded(task, ctx.last_stats, e),
+    };
     if let Some(note) = note {
         insights.insert(0, note);
     }
-    Ok(Analysis {
-        task: TaskKind::TimeSeries(time.to_string(), value.to_string()),
-        intermediates,
-        insights,
-        stats: ctx.last_stats,
-    })
+    Ok(Analysis { task, intermediates, insights, stats: ctx.last_stats, status: SectionStatus::Ok })
 }
 
 /// `create_report(df, config)`: the full profile report. See

@@ -55,7 +55,7 @@ fn numeric_numeric(
     let binned = kernels::binned_numeric(ctx, x, y, ctx.config.box_plot.bins);
     let mx = kernels::moments(ctx, x, None);
     let my = kernels::moments(ctx, y, None);
-    let outs = ctx.execute(&[pairs, hex, binned, mx, my]);
+    let outs = ctx.execute_checked(&[pairs, hex, binned, mx, my])?;
 
     let pairs = un::<Vec<(f64, f64)>>(&outs[0]);
     let hex_cells = un::<HashMap<(i64, i64), u64>>(&outs[1]);
@@ -120,7 +120,7 @@ fn numeric_categorical(
 ) -> EdaResult<Intermediates> {
     // Stage 1 (Dask phase): category frequencies.
     let freq_node = kernels::freq(ctx, cat, None);
-    let outs = ctx.execute(&[freq_node]);
+    let outs = ctx.execute_checked(&[freq_node])?;
     // Pandas phase: tiny top-k on the reduced table.
     let freq = un::<FreqTable>(&outs[0]);
     let top: Vec<String> = freq
@@ -135,7 +135,7 @@ fn numeric_categorical(
     let line_top: Vec<String> = top.iter().take(ctx.config.line.ngroups).cloned().collect();
     let grouped = kernels::grouped_numeric(ctx, cat, num, &box_top);
     let lines = kernels::multi_line(ctx, cat, num, &line_top, ctx.config.line.bins);
-    let outs = ctx.execute(&[grouped, lines]);
+    let outs = ctx.execute_checked(&[grouped, lines])?;
 
     let groups = un::<HashMap<String, Vec<f64>>>(&outs[0]);
     let line_hists = un::<HashMap<String, Histogram>>(&outs[1]);
@@ -182,7 +182,7 @@ fn categorical_categorical(
     // Stage 1: both frequency tables.
     let fx = kernels::freq(ctx, x, None);
     let fy = kernels::freq(ctx, y, None);
-    let outs = ctx.execute(&[fx, fy]);
+    let outs = ctx.execute_checked(&[fx, fy])?;
     let keep_x: Vec<String> = un::<FreqTable>(&outs[0])
         .top_k(ctx.config.crosstab.ngroups_x)
         .into_iter()
@@ -196,7 +196,7 @@ fn categorical_categorical(
 
     // Stage 2: one crosstab feeds all three charts (shared computation).
     let ct = kernels::crosstab(ctx, x, y, &keep_x, &keep_y);
-    let outs = ctx.execute(&[ct]);
+    let outs = ctx.execute_checked(&[ct])?;
     let counts = un::<HashMap<(String, String), u64>>(&outs[0]);
 
     let mut ims = Intermediates::new();

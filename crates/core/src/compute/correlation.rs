@@ -49,9 +49,9 @@ pub fn compute_correlation_overview(
         return Err(EdaError::EmptyInput("need at least two numeric columns"));
     }
     let matrices = if ctx.config.engine.eager_finish {
-        matrices_two_phase(ctx, &names)
+        matrices_two_phase(ctx, &names)?
     } else {
-        matrices_all_graph(ctx, &names)
+        matrices_all_graph(ctx, &names)?
     };
 
     let mut ims = Intermediates::new();
@@ -132,22 +132,28 @@ pub fn matrices_from_preps(names: &[String], preps: &[ColumnPrep]) -> Vec<CorrMa
 
 /// Two-phase path: gather columns in the graph; prepare each column once
 /// and fill all three matrices eagerly on the reduced data.
-fn matrices_two_phase(ctx: &mut ComputeContext<'_>, names: &[String]) -> Vec<CorrMatrix> {
+fn matrices_two_phase(
+    ctx: &mut ComputeContext<'_>,
+    names: &[String],
+) -> EdaResult<Vec<CorrMatrix>> {
     let gathers: Vec<NodeId> = names
         .iter()
         .map(|n| kernels::numeric_gather(ctx, n))
         .collect();
-    let outs = ctx.execute(&gathers);
+    let outs = ctx.execute_checked(&gathers)?;
     let preps: Vec<ColumnPrep> = outs
         .iter()
         .map(|p| ColumnPrep::prepare(un::<Vec<f64>>(p).clone()))
         .collect();
-    matrices_from_preps(names, &preps)
+    Ok(matrices_from_preps(names, &preps))
 }
 
 /// All-graph path (ablation): per-column prep nodes (shared) feed one
 /// task per (method, pair); assembly still happens at the end.
-fn matrices_all_graph(ctx: &mut ComputeContext<'_>, names: &[String]) -> Vec<CorrMatrix> {
+fn matrices_all_graph(
+    ctx: &mut ComputeContext<'_>,
+    names: &[String],
+) -> EdaResult<Vec<CorrMatrix>> {
     let prep_nodes: Vec<NodeId> = names
         .iter()
         .map(|n| {
@@ -182,8 +188,8 @@ fn matrices_all_graph(ctx: &mut ComputeContext<'_>, names: &[String]) -> Vec<Cor
         }
     }
     let outputs: Vec<NodeId> = pair_nodes.iter().map(|(_, _, _, n)| *n).collect();
-    let outs = ctx.execute(&outputs);
-    CorrMethod::ALL
+    let outs = ctx.execute_checked(&outputs)?;
+    Ok(CorrMethod::ALL
         .iter()
         .map(|&method| {
             let mut cells = vec![None; m * m];
@@ -199,7 +205,7 @@ fn matrices_all_graph(ctx: &mut ComputeContext<'_>, names: &[String]) -> Vec<Cor
             }
             CorrMatrix { labels: names.to_vec(), method, cells }
         })
-        .collect()
+        .collect())
 }
 
 /// Run `plot_correlation(df, x)`.
@@ -224,7 +230,7 @@ pub fn compute_correlation_vector(
         .collect();
     let mut outputs = vec![gx];
     outputs.extend(&gathers);
-    let outs = ctx.execute(&outputs);
+    let outs = ctx.execute_checked(&outputs)?;
 
     let xv = un::<Vec<f64>>(&outs[0]);
     let mut ims = Intermediates::new();
@@ -265,7 +271,7 @@ pub fn compute_correlation_pair(
     }
     let pairs_node = kernels::pair_values(ctx, x, y);
     let pp = kernels::pearson_partial(ctx, x, y);
-    let outs = ctx.execute(&[pairs_node, pp]);
+    let outs = ctx.execute_checked(&[pairs_node, pp])?;
     let pairs = un::<Vec<(f64, f64)>>(&outs[0]);
     let partial = un::<eda_stats::corr::PearsonPartial>(&outs[1]);
 
@@ -398,11 +404,11 @@ mod tests {
         let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
         let eager_cfg = Config::default();
         let mut ctx = ComputeContext::new(&df, &eager_cfg);
-        let two_phase = matrices_two_phase(&mut ctx, &names);
+        let two_phase = matrices_two_phase(&mut ctx, &names).unwrap();
 
         let lazy_cfg = Config::from_pairs(vec![("engine.eager_finish", "false")]).unwrap();
         let mut ctx2 = ComputeContext::new(&df, &lazy_cfg);
-        let all_graph = matrices_all_graph(&mut ctx2, &names);
+        let all_graph = matrices_all_graph(&mut ctx2, &names).unwrap();
 
         let reference = reference_matrices(&df, &names);
         for ((a, b), r) in two_phase.iter().zip(&all_graph).zip(&reference) {
@@ -443,7 +449,7 @@ mod tests {
         let names = vec!["a".to_string(), "b".to_string()];
         let cfg = Config::default();
         let mut ctx = ComputeContext::new(&df, &cfg);
-        let ours = matrices_two_phase(&mut ctx, &names);
+        let ours = matrices_two_phase(&mut ctx, &names).unwrap();
         let reference = reference_matrices(&df, &names);
         for (a, r) in ours.iter().zip(&reference) {
             for i in 0..a.size() {

@@ -10,10 +10,14 @@ use std::sync::Arc;
 
 use eda_dataframe::DataFrame;
 use eda_taskgraph::graph::Payload;
-use eda_taskgraph::scheduler::{run_pool_observed, ProgressObserver};
+use eda_taskgraph::outcome::TaskOutcome;
+use eda_taskgraph::scheduler::{
+    run_pool_opts, run_single_thread_opts, ExecOptions, ProgressObserver,
+};
 use eda_taskgraph::{Engine, ExecStats, NodeId, PartitionedFrame, TaskGraph};
 
 use crate::config::Config;
+use crate::error::{EdaError, EdaResult};
 
 /// Graph-building and execution state for one dataframe.
 pub struct ComputeContext<'a> {
@@ -68,30 +72,65 @@ impl<'a> ComputeContext<'a> {
         self.config.compute_hash() ^ extra.rotate_left(17)
     }
 
+    /// The per-task deadline from `engine.task_deadline_ms` (0 = off).
+    fn deadline(&self) -> Option<std::time::Duration> {
+        match self.config.engine.task_deadline_ms {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        }
+    }
+
     /// Execute the graph for `outputs` under the configured engine
-    /// (stage 3 of Figure 4) and record stats.
-    pub fn execute(&mut self, outputs: &[NodeId]) -> Vec<Payload> {
-        let result = match &self.progress {
-            Some(obs) => run_pool_observed(
-                &self.graph,
-                outputs,
-                self.config.engine.workers,
-                std::time::Duration::ZERO,
-                Some(Arc::clone(obs)),
-            ),
-            None => Engine::LazyParallel { workers: self.config.engine.workers }
-                .execute(&self.graph, outputs),
+    /// (stage 3 of Figure 4) and record stats. Returns one outcome per
+    /// output; failed tasks don't poison the rest of the graph.
+    pub fn execute_outcomes(&mut self, outputs: &[NodeId]) -> Vec<TaskOutcome> {
+        let opts = ExecOptions {
+            per_task_latency: std::time::Duration::ZERO,
+            deadline: self.deadline(),
+            observer: self.progress.as_ref().map(Arc::clone),
+        };
+        // workers <= 1 means the in-place topological scheduler: no pool
+        // to spin up, and fault-tolerance behaviour stays identical.
+        let result = if self.config.engine.workers <= 1 {
+            run_single_thread_opts(&self.graph, outputs, &opts)
+        } else {
+            run_pool_opts(&self.graph, outputs, self.config.engine.workers, &opts)
         };
         self.last_stats = Some(result.stats);
-        result.outputs
+        result.outcomes
+    }
+
+    /// Execute and unwrap the payloads, panicking on any task failure.
+    /// Kernels whose plans cannot fail structurally use this; anything
+    /// user-facing goes through [`Self::execute_checked`] or
+    /// [`Self::execute_outcomes`].
+    pub fn execute(&mut self, outputs: &[NodeId]) -> Vec<Payload> {
+        self.execute_outcomes(outputs).into_iter().map(TaskOutcome::unwrap).collect()
+    }
+
+    /// Execute and surface the first task failure as an [`EdaError`]
+    /// instead of panicking — the recoverable path for `plot*` calls.
+    pub fn execute_checked(&mut self, outputs: &[NodeId]) -> EdaResult<Vec<Payload>> {
+        let outcomes = self.execute_outcomes(outputs);
+        // Prefer a root failure (panic / timeout) over a skip so the
+        // surfaced error names the actual reason.
+        let errors = || outcomes.iter().filter_map(|o| o.error());
+        let err = errors()
+            .find(|e| !matches!(e.failure, eda_taskgraph::TaskFailure::Skipped { .. }))
+            .or_else(|| errors().next());
+        if let Some(err) = err {
+            return Err(EdaError::from(err.as_ref()));
+        }
+        Ok(outcomes.into_iter().map(TaskOutcome::unwrap).collect())
     }
 
     /// Execute under an explicit engine (used by the engine-comparison
     /// benchmark, Figure 6a).
     pub fn execute_with(&mut self, engine: Engine, outputs: &[NodeId]) -> Vec<Payload> {
         let result = engine.execute(&self.graph, outputs);
+        let payloads = result.outputs();
         self.last_stats = Some(result.stats);
-        result.outputs
+        payloads
     }
 }
 
@@ -172,6 +211,54 @@ mod tests {
             count.load(std::sync::atomic::Ordering::SeqCst),
             ctx.last_stats.as_ref().unwrap().tasks_run
         );
+    }
+
+    #[test]
+    fn execute_checked_surfaces_task_failures_as_errors() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let bad = ctx.graph.op("explode", 0, vec![ctx.sources[0]], |_| -> Payload {
+            panic!("kernel bug")
+        });
+        let good = ctx.sources[0];
+        let err = ctx.execute_checked(&[bad]).unwrap_err();
+        assert!(
+            matches!(&err, crate::error::EdaError::TaskFailed { task, .. } if task == "explode"),
+            "{err}"
+        );
+        // The same context still executes healthy outputs.
+        assert!(ctx.execute_checked(&[good]).is_ok());
+    }
+
+    #[test]
+    fn execute_outcomes_isolates_failures_per_output() {
+        let df = frame();
+        let cfg = Config::default();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let bad = ctx.graph.op("explode", 0, vec![ctx.sources[0]], |_| -> Payload {
+            panic!("kernel bug")
+        });
+        let outcomes = ctx.execute_outcomes(&[bad, ctx.sources[0]]);
+        assert!(outcomes[0].is_failed());
+        assert!(outcomes[1].is_ok());
+        let stats = ctx.last_stats.as_ref().unwrap();
+        assert_eq!(stats.tasks_failed, 1);
+    }
+
+    #[test]
+    fn config_deadline_times_out_slow_tasks() {
+        let df = frame();
+        let mut cfg = Config::default();
+        cfg.set("engine.task_deadline_ms", "2").unwrap();
+        let mut ctx = ComputeContext::new(&df, &cfg);
+        let slow = ctx.graph.op("slow", 0, vec![ctx.sources[0]], |d| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Arc::clone(&d[0])
+        });
+        let err = ctx.execute_checked(&[slow]).unwrap_err();
+        assert!(matches!(err, crate::error::EdaError::Timeout { .. }), "{err}");
+        assert_eq!(ctx.last_stats.as_ref().unwrap().tasks_timed_out, 1);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub fn col_meta(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) 
     let params = ctx.params(TaskKey::params(&format!("meta:{column}{}", drop_tag(drop))));
     ops::map_reduce(
         &mut ctx.graph,
-        "col_meta",
+        &format!("col_meta:{column}{}", drop_tag(drop)),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -88,7 +88,7 @@ pub fn moments(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -
     let params = ctx.params(TaskKey::params(&format!("moments:{column}{}", drop_tag(drop))));
     ops::map_reduce(
         &mut ctx.graph,
-        "moments",
+        &format!("moments:{column}{}", drop_tag(drop)),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -116,7 +116,7 @@ pub fn sorted_values(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&s
     let params = ctx.params(TaskKey::params(&format!("sorted:{column}{}", drop_tag(drop))));
     ops::map_reduce(
         &mut ctx.graph,
-        "sorted_values",
+        &format!("sorted_values:{column}{}", drop_tag(drop)),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -181,6 +181,7 @@ pub fn histogram_with_range(
         "hist:{column}:{bins}{}",
         drop_tag(drop)
     )));
+    let task_name = format!("histogram:{column}{}", drop_tag(drop));
     let mapped: Vec<NodeId> = ctx
         .sources
         .clone()
@@ -188,7 +189,7 @@ pub fn histogram_with_range(
         .map(|&p| {
             let name = name.clone();
             let dropped = dropped.clone();
-            ctx.graph.op("histogram", params, vec![p, m], move |inputs| {
+            ctx.graph.op(&task_name, params, vec![p, m], move |inputs| {
                 let frame_arc = payload_frame(&inputs[0]);
                 let mom = un::<Moments>(&inputs[1]);
                 let filtered = maybe_dropped(&frame_arc, dropped.as_deref());
@@ -201,7 +202,7 @@ pub fn histogram_with_range(
             })
         })
         .collect();
-    ops::tree_reduce(&mut ctx.graph, "histogram/reduce", params, &mapped, |a, b| {
+    ops::tree_reduce(&mut ctx.graph, &format!("histogram/reduce:{column}"), params, &mapped, |a, b| {
         let mut h = un::<Histogram>(a).clone();
         h.merge(un::<Histogram>(b));
         pl(h)
@@ -215,7 +216,7 @@ pub fn freq(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -> N
     let params = ctx.params(TaskKey::params(&format!("freq:{column}{}", drop_tag(drop))));
     ops::map_reduce(
         &mut ctx.graph,
-        "freq",
+        &format!("freq:{column}{}", drop_tag(drop)),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -241,7 +242,7 @@ pub fn text_stats(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
     let params = ctx.params(TaskKey::params(&format!("text:{column}")));
     ops::map_reduce(
         &mut ctx.graph,
-        "text_stats",
+        &format!("text_stats:{column}"),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -277,7 +278,7 @@ pub fn pearson_partial(ctx: &mut ComputeContext<'_>, x: &str, y: &str) -> NodeId
     let params = ctx.params(TaskKey::params(&format!("pearson:{x}:{y}")));
     ops::map_reduce(
         &mut ctx.graph,
-        "pearson",
+        &format!("pearson:{x}:{y}"),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -306,7 +307,7 @@ pub fn pair_values(ctx: &mut ComputeContext<'_>, x: &str, y: &str) -> NodeId {
     let params = ctx.params(TaskKey::params(&format!("pairs:{x}:{y}")));
     ops::map_reduce(
         &mut ctx.graph,
-        "pair_values",
+        &format!("pair_values:{x}:{y}"),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -337,7 +338,7 @@ pub fn numeric_gather(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
     let params = ctx.params(TaskKey::params(&format!("gather:{column}")));
     ops::map_reduce(
         &mut ctx.graph,
-        "numeric_gather",
+        &format!("numeric_gather:{column}"),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -363,7 +364,7 @@ pub fn null_indicator(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
     let params = ctx.params(TaskKey::params(&format!("nulls:{column}")));
     ops::map_reduce(
         &mut ctx.graph,
-        "null_indicator",
+        &format!("null_indicator:{column}"),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -397,7 +398,7 @@ pub fn grouped_numeric(
     let keep_for_map = Arc::clone(&keep_set);
     ops::map_reduce(
         &mut ctx.graph,
-        "grouped_numeric",
+        &format!("grouped_numeric:{cat}:{num}"),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -442,7 +443,7 @@ pub fn crosstab(
     )));
     ops::map_reduce(
         &mut ctx.graph,
-        "crosstab",
+        &format!("crosstab:{c1}:{c2}"),
         params,
         &ctx.sources.clone(),
         move |df| {
@@ -479,6 +480,7 @@ pub fn binned_numeric(
     let mx = moments(ctx, x, None);
     let (xn, yn) = (x.to_string(), y.to_string());
     let params = ctx.params(TaskKey::params(&format!("binned:{x}:{y}:{bins}")));
+    let task_name = format!("binned_numeric:{x}:{y}");
     let mapped: Vec<NodeId> = ctx
         .sources
         .clone()
@@ -486,7 +488,7 @@ pub fn binned_numeric(
         .map(|&p| {
             let xn = xn.clone();
             let yn = yn.clone();
-            ctx.graph.op("binned_numeric", params, vec![p, mx], move |inputs| {
+            ctx.graph.op(&task_name, params, vec![p, mx], move |inputs| {
                 let frame = payload_frame(&inputs[0]);
                 let mom = un::<Moments>(&inputs[1]);
                 let mut groups: Vec<Vec<f64>> = vec![Vec::new(); bins.max(1)];
@@ -512,7 +514,7 @@ pub fn binned_numeric(
             })
         })
         .collect();
-    ops::tree_reduce(&mut ctx.graph, "binned/reduce", params, &mapped, |a, b| {
+    ops::tree_reduce(&mut ctx.graph, &format!("binned/reduce:{x}:{y}"), params, &mapped, |a, b| {
         let mut g = un::<Vec<Vec<f64>>>(a).clone();
         for (dst, src) in g.iter_mut().zip(un::<Vec<Vec<f64>>>(b)) {
             dst.extend_from_slice(src);
@@ -528,6 +530,7 @@ pub fn hexbin(ctx: &mut ComputeContext<'_>, x: &str, y: &str, gridsize: usize) -
     let my = moments(ctx, y, None);
     let (xn, yn) = (x.to_string(), y.to_string());
     let params = ctx.params(TaskKey::params(&format!("hexbin:{x}:{y}:{gridsize}")));
+    let task_name = format!("hexbin:{x}:{y}");
     let mapped: Vec<NodeId> = ctx
         .sources
         .clone()
@@ -535,7 +538,7 @@ pub fn hexbin(ctx: &mut ComputeContext<'_>, x: &str, y: &str, gridsize: usize) -
         .map(|&p| {
             let xn = xn.clone();
             let yn = yn.clone();
-            ctx.graph.op("hexbin", params, vec![p, mx, my], move |inputs| {
+            ctx.graph.op(&task_name, params, vec![p, mx, my], move |inputs| {
                 let frame = payload_frame(&inputs[0]);
                 let momx = un::<Moments>(&inputs[1]);
                 let momy = un::<Moments>(&inputs[2]);
@@ -556,7 +559,7 @@ pub fn hexbin(ctx: &mut ComputeContext<'_>, x: &str, y: &str, gridsize: usize) -
             })
         })
         .collect();
-    ops::tree_reduce(&mut ctx.graph, "hexbin/reduce", params, &mapped, |a, b| {
+    ops::tree_reduce(&mut ctx.graph, &format!("hexbin/reduce:{x}:{y}"), params, &mapped, |a, b| {
         let mut c = un::<HashMap<(i64, i64), u64>>(a).clone();
         for (k, v) in un::<HashMap<(i64, i64), u64>>(b) {
             *c.entry(*k).or_insert(0) += v;
@@ -616,6 +619,7 @@ pub fn multi_line(
         "multiline:{cat}:{num}:{bins}:{}",
         keep.join("\u{1}")
     )));
+    let task_name = format!("multi_line:{cat}:{num}");
     let mapped: Vec<NodeId> = ctx
         .sources
         .clone()
@@ -624,7 +628,7 @@ pub fn multi_line(
             let cn = cn.clone();
             let nn = nn.clone();
             let keep = Arc::clone(&keep);
-            ctx.graph.op("multi_line", params, vec![p, m], move |inputs| {
+            ctx.graph.op(&task_name, params, vec![p, m], move |inputs| {
                 let frame = payload_frame(&inputs[0]);
                 let mom = un::<Moments>(&inputs[1]);
                 let mut hists: HashMap<String, Histogram> = keep
@@ -644,7 +648,7 @@ pub fn multi_line(
             })
         })
         .collect();
-    ops::tree_reduce(&mut ctx.graph, "multi_line/reduce", params, &mapped, |a, b| {
+    ops::tree_reduce(&mut ctx.graph, &format!("multi_line/reduce:{cat}:{num}"), params, &mapped, |a, b| {
         let mut h = un::<HashMap<String, Histogram>>(a).clone();
         for (k, v) in un::<HashMap<String, Histogram>>(b) {
             h.get_mut(k).expect("same key set").merge(v);

@@ -40,7 +40,7 @@ pub fn compute_missing_overview(
         .collect();
     let mut outputs = metas.clone();
     outputs.extend(&indicators);
-    let outs = ctx.execute(&outputs);
+    let outs = ctx.execute_checked(&outputs)?;
 
     // Pandas phase: assemble the four visualizations from the reduced
     // indicator vectors.
@@ -132,7 +132,7 @@ pub fn compute_missing_impact(
             }
         }
     }
-    let outs = ctx.execute(&outputs);
+    let outs = ctx.execute_checked(&outputs)?;
 
     let mut ims = Intermediates::new();
     let mut insights = Vec::new();
@@ -194,7 +194,7 @@ pub fn compute_missing_pair(
             // Categorical y: before/after bars only.
             let before = kernels::freq(ctx, y, None);
             let after = kernels::freq(ctx, y, Some(x));
-            let outs = ctx.execute(&[before, after]);
+            let outs = ctx.execute_checked(&[before, after])?;
             let before = un::<FreqTable>(&outs[0]);
             let after = un::<FreqTable>(&outs[1]);
             let top = before.top_k(ctx.config.bar.ngroups);
@@ -223,7 +223,7 @@ pub fn compute_missing_pair(
             );
             let s_before = kernels::sorted_values(ctx, y, None);
             let s_after = kernels::sorted_values(ctx, y, Some(x));
-            let outs = ctx.execute(&[h_before, h_after, s_before, s_after]);
+            let outs = ctx.execute_checked(&[h_before, h_after, s_before, s_after])?;
             let hb = un::<Histogram>(&outs[0]);
             let ha = un::<Histogram>(&outs[1]);
             let sb = un::<Vec<f64>>(&outs[2]);

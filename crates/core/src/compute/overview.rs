@@ -86,7 +86,7 @@ pub fn compute_overview(
     ctx: &mut ComputeContext<'_>,
 ) -> EdaResult<(Intermediates, Vec<Insight>)> {
     let plan = plan_overview(ctx);
-    let outs = ctx.execute(&plan.outputs());
+    let outs = ctx.execute_checked(&plan.outputs())?;
     Ok(assemble_overview(ctx, &plan, &outs))
 }
 

@@ -104,13 +104,13 @@ pub fn compute_univariate(
     match sem {
         SemanticType::Numerical => {
             let plan = plan_numeric(ctx, column);
-            let outs = ctx.execute(&plan.outputs());
+            let outs = ctx.execute_checked(&plan.outputs())?;
             let (ims, insights) = assemble_numeric(column, ctx.config, &outs);
             Ok((ims, insights, sem))
         }
         SemanticType::Categorical => {
             let plan = plan_categorical(ctx, column);
-            let outs = ctx.execute(&plan.outputs());
+            let outs = ctx.execute_checked(&plan.outputs())?;
             let (ims, insights) = assemble_categorical(column, ctx.config, &outs);
             Ok((ims, insights, sem))
         }

@@ -183,6 +183,11 @@ pub struct EngineConfig {
     /// approximated (the paper's §7 sampling future-work, with the
     /// user-notification it calls for).
     pub sample_rows: usize,
+    /// Per-task wall-clock budget in milliseconds (0 = unlimited). Tasks
+    /// exceeding it are recorded as timed out and their dependents are
+    /// skipped; the rest of the run completes and the report degrades
+    /// gracefully.
+    pub task_deadline_ms: u64,
 }
 
 /// Figure-size parameters consumed by the render layer.
@@ -273,6 +278,7 @@ impl Default for Config {
                 share_computations: true,
                 eager_finish: true,
                 sample_rows: 0,
+                task_deadline_ms: 0,
             },
             display: DisplayConfig { width: 450, height: 300 },
         }
@@ -366,6 +372,9 @@ impl Config {
             }
             "engine.eager_finish" => self.engine.eager_finish = bool_of(key, value)?,
             "engine.sample_rows" => self.engine.sample_rows = usize_of(key, value)?,
+            "engine.task_deadline_ms" => {
+                self.engine.task_deadline_ms = usize_of(key, value)? as u64
+            }
             "display.width" => self.display.width = usize_of(key, value)?.max(50),
             "display.height" => self.display.height = usize_of(key, value)?.max(50),
             _ => {

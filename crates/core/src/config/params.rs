@@ -55,6 +55,7 @@ pub const PARAMS: &[ParamSpec] = &[
     ParamSpec { key: "engine.share_computations", default: "true", description: "Deduplicate shared computations across visualizations" },
     ParamSpec { key: "engine.eager_finish", default: "true", description: "Run small-data finishing steps eagerly (two-phase pipeline)" },
     ParamSpec { key: "engine.sample_rows", default: "0", description: "Compute on ~this many sampled rows when the frame is larger (0 = exact)" },
+    ParamSpec { key: "engine.task_deadline_ms", default: "0", description: "Per-task wall-clock budget in ms; over-budget tasks degrade their section (0 = unlimited)" },
     ParamSpec { key: "display.width", default: "450", description: "Figure width in pixels" },
     ParamSpec { key: "display.height", default: "300", description: "Figure height in pixels" },
 ];

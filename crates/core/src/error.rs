@@ -30,6 +30,22 @@ pub enum EdaError {
     },
     /// The frame has no columns / rows where some are required.
     EmptyInput(&'static str),
+    /// A graph task panicked during execution (the panic was isolated;
+    /// this error carries its message).
+    TaskFailed {
+        /// Name of the failing task (e.g. `"moments:price"`).
+        task: String,
+        /// The captured panic message.
+        message: String,
+    },
+    /// A graph task exceeded its per-task wall-clock budget
+    /// (`engine.task_deadline_ms`).
+    Timeout {
+        /// Name of the over-budget task.
+        task: String,
+        /// The configured budget.
+        budget: std::time::Duration,
+    },
 }
 
 impl fmt::Display for EdaError {
@@ -44,6 +60,12 @@ impl fmt::Display for EdaError {
             }
             EdaError::Config { key, message } => write!(f, "config {key:?}: {message}"),
             EdaError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            EdaError::TaskFailed { task, message } => {
+                write!(f, "task {task:?} failed: {message}")
+            }
+            EdaError::Timeout { task, budget } => {
+                write!(f, "task {task:?} exceeded its {budget:?} deadline")
+            }
         }
     }
 }
@@ -53,6 +75,30 @@ impl std::error::Error for EdaError {}
 impl From<eda_dataframe::Error> for EdaError {
     fn from(e: eda_dataframe::Error) -> Self {
         EdaError::Frame(e)
+    }
+}
+
+impl From<&eda_taskgraph::TaskError> for EdaError {
+    /// Convert a scheduler-level failure, attributing skipped tasks to
+    /// their transitive root cause (callers care about the kernel that
+    /// broke, not the node that inherited the breakage).
+    fn from(e: &eda_taskgraph::TaskError) -> Self {
+        use eda_taskgraph::TaskFailure;
+        match &e.failure {
+            TaskFailure::Panicked(message) => {
+                EdaError::TaskFailed { task: e.name.clone(), message: message.clone() }
+            }
+            TaskFailure::TimedOut { budget, .. } => {
+                EdaError::Timeout { task: e.name.clone(), budget: *budget }
+            }
+            TaskFailure::Skipped { root_name, root_failure, .. } => EdaError::TaskFailed {
+                task: root_name.clone(),
+                message: format!(
+                    "{root_failure} (dependent task {:?} was skipped)",
+                    e.name
+                ),
+            },
+        }
     }
 }
 
@@ -69,9 +115,83 @@ mod tests {
     }
 
     #[test]
+    fn display_task_failed_and_timeout() {
+        let e = EdaError::TaskFailed { task: "moments:price".into(), message: "boom".into() };
+        let s = e.to_string();
+        assert!(s.contains("moments:price") && s.contains("boom"), "{s}");
+        let e = EdaError::Timeout {
+            task: "hist:price".into(),
+            budget: std::time::Duration::from_millis(250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("hist:price") && s.contains("250ms") && s.contains("deadline"), "{s}");
+    }
+
+    #[test]
+    fn task_error_converts_with_root_cause_attribution() {
+        use eda_taskgraph::{TaskError, TaskFailure};
+        use std::time::Duration;
+        let panicked = TaskError {
+            task: 3,
+            name: "moments:price".into(),
+            failure: TaskFailure::Panicked("bad float".into()),
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(
+            EdaError::from(&panicked),
+            EdaError::TaskFailed { task: "moments:price".into(), message: "bad float".into() }
+        );
+        let timed_out = TaskError {
+            task: 4,
+            name: "hist:price".into(),
+            failure: TaskFailure::TimedOut {
+                budget: Duration::from_millis(5),
+                elapsed: Duration::from_millis(9),
+            },
+            elapsed: Duration::from_millis(9),
+        };
+        assert_eq!(
+            EdaError::from(&timed_out),
+            EdaError::Timeout { task: "hist:price".into(), budget: Duration::from_millis(5) }
+        );
+        let skipped = TaskError {
+            task: 5,
+            name: "kde:price".into(),
+            failure: TaskFailure::Skipped {
+                root_cause: 3,
+                root_name: "moments:price".into(),
+                root_failure: "panicked: boom".into(),
+            },
+            elapsed: Duration::ZERO,
+        };
+        // Attribution lands on the root cause, not the skipped node.
+        match EdaError::from(&skipped) {
+            EdaError::TaskFailed { task, message } => {
+                assert_eq!(task, "moments:price");
+                assert!(message.contains("panicked: boom"), "{message}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
     fn frame_error_converts() {
         let fe = eda_dataframe::Error::ColumnNotFound("x".into());
         let e: EdaError = fe.clone().into();
         assert_eq!(e, EdaError::Frame(fe));
+    }
+
+    #[test]
+    fn malformed_csv_surfaces_as_frame_error() {
+        let fe = eda_dataframe::Error::Malformed {
+            line: 3,
+            column: Some("price".into()),
+            message: "expected 2 fields, found 1".into(),
+        };
+        let e: EdaError = fe.into();
+        let s = e.to_string();
+        assert!(s.contains("dataframe error"), "{s}");
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("price"), "{s}");
     }
 }

@@ -49,10 +49,13 @@ pub mod intermediate;
 pub mod json;
 pub mod report;
 
-pub use api::{create_report, plot, plot_correlation, plot_missing, plot_timeseries, Analysis, TaskKind};
+pub use api::{
+    create_report, plot, plot_correlation, plot_missing, plot_timeseries, Analysis, SectionStatus,
+    TaskKind,
+};
 pub use config::Config;
 pub use dtype::SemanticType;
 pub use error::{EdaError, EdaResult};
 pub use insights::{Insight, InsightKind};
 pub use intermediate::{Inter, Intermediates};
-pub use report::Report;
+pub use report::{Report, VariableSection};

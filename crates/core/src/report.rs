@@ -9,9 +9,14 @@
 //! construction is what the paper credits for the 4–20× speedups of
 //! Table 2.
 
+use std::sync::Arc;
+
 use eda_dataframe::DataFrame;
+use eda_taskgraph::graph::Payload;
+use eda_taskgraph::outcome::TaskOutcome;
 use eda_taskgraph::ExecStats;
 
+use crate::api::SectionStatus;
 use crate::compute::correlation::{self, matrices_from_preps, numeric_columns, ColumnPrep};
 use crate::compute::ctx::{un, ComputeContext};
 use crate::compute::kernels::{self, ColMeta};
@@ -36,27 +41,61 @@ pub struct VariableSection {
     pub name: String,
     /// Detected semantic type.
     pub semantic: SemanticType,
-    /// The column's charts and stats.
+    /// The column's charts and stats (empty when the section failed).
     pub intermediates: Intermediates,
     /// The column's insights.
     pub insights: Vec<Insight>,
+    /// Whether this column's statistics computed fully; `Failed` sections
+    /// render as a diagnostics panel instead of charts.
+    pub status: SectionStatus,
 }
 
 /// The full profile report.
+///
+/// Fault tolerant: a kernel panicking (or blowing its deadline) on one
+/// pathological column degrades only the sections that needed that
+/// kernel — everything else computes, and failed sections carry
+/// diagnostics instead of charts.
 #[derive(Debug)]
 pub struct Report {
     /// Dataset-level overview (stats + per-column mini charts).
     pub overview: Intermediates,
+    /// Health of the overview section.
+    pub overview_status: SectionStatus,
     /// One section per column.
     pub variables: Vec<VariableSection>,
     /// Correlation matrices (empty when < 2 numeric columns).
     pub correlations: Vec<CorrMatrix>,
+    /// Health of the correlations section.
+    pub correlations_status: SectionStatus,
     /// Missing-value section.
     pub missing: Intermediates,
+    /// Health of the missing-values section.
+    pub missing_status: SectionStatus,
     /// All insights across sections.
     pub insights: Vec<Insight>,
-    /// Execution statistics of the single shared graph.
+    /// Execution statistics of the single shared graph (`tasks_failed`,
+    /// `tasks_skipped`, and `tasks_timed_out` are non-zero on degraded
+    /// runs).
     pub stats: ExecStats,
+}
+
+/// Split a section's outcomes: all payloads, or the status describing
+/// the first failure (the scheduler already attributed skips to their
+/// root cause). A root failure (panic / timeout) is preferred over a
+/// skip so the diagnostics name the actual reason, not just "failed".
+fn section_payloads(outcomes: &[TaskOutcome]) -> Result<Vec<Payload>, SectionStatus> {
+    let errors = || outcomes.iter().filter_map(|o| o.error());
+    let err = errors()
+        .find(|e| !matches!(e.failure, eda_taskgraph::TaskFailure::Skipped { .. }))
+        .or_else(|| errors().next());
+    match err {
+        Some(err) => Err(SectionStatus::from_task_error(err)),
+        None => Ok(outcomes
+            .iter()
+            .map(|o| Arc::clone(o.payload().expect("no failures in section")))
+            .collect()),
+    }
 }
 
 impl Report {
@@ -121,108 +160,162 @@ impl Report {
         outputs.extend(&missing_metas);
         outputs.extend(&missing_indicators);
 
-        let outs = ctx.execute(&outputs);
+        let outcomes = ctx.execute_outcomes(&outputs);
         let stats = ctx.last_stats.clone().expect("executed");
 
-        // ---- assemble (Pandas phase) ---------------------------------------
+        // ---- assemble (Pandas phase), degrading per section ----------------
+        // A failed kernel only takes down the sections that needed it;
+        // each section checks its own slice of outcomes.
         let overview_len = overview_plan.outputs().len();
-        let (overview, mut insights) =
-            assemble_overview(&ctx, &overview_plan, &outs[..overview_len]);
+        let (overview, mut insights, overview_status) =
+            match section_payloads(&outcomes[..overview_len]) {
+                Ok(outs) => {
+                    let (o, i) = assemble_overview(&ctx, &overview_plan, &outs);
+                    (o, i, SectionStatus::Ok)
+                }
+                Err(status) => (Intermediates::new(), Vec::new(), status),
+            };
 
         let mut variables = Vec::with_capacity(var_plans.len());
         for (plan, (start, end)) in var_plans.iter().zip(&var_ranges) {
-            let slice = &outs[*start..*end];
-            match plan {
-                VarPlan::Numeric(name, _) => {
-                    let (ims, ins) = assemble_numeric(name, config, slice);
+            let (name, semantic) = match plan {
+                VarPlan::Numeric(name, _) => (name, SemanticType::Numerical),
+                VarPlan::Categorical(name, _) => (name, SemanticType::Categorical),
+            };
+            match section_payloads(&outcomes[*start..*end]) {
+                Ok(outs) => {
+                    let (ims, ins) = match plan {
+                        VarPlan::Numeric(name, _) => assemble_numeric(name, config, &outs),
+                        VarPlan::Categorical(name, _) => {
+                            assemble_categorical(name, config, &outs)
+                        }
+                    };
                     insights.extend(ins.iter().cloned());
                     variables.push(VariableSection {
                         name: name.clone(),
-                        semantic: SemanticType::Numerical,
+                        semantic,
                         intermediates: ims,
                         insights: ins,
+                        status: SectionStatus::Ok,
                     });
                 }
-                VarPlan::Categorical(name, _) => {
-                    let (ims, ins) = assemble_categorical(name, config, slice);
-                    insights.extend(ins.iter().cloned());
-                    variables.push(VariableSection {
-                        name: name.clone(),
-                        semantic: SemanticType::Categorical,
-                        intermediates: ims,
-                        insights: ins,
-                    });
-                }
+                Err(status) => variables.push(VariableSection {
+                    name: name.clone(),
+                    semantic,
+                    intermediates: Intermediates::new(),
+                    insights: Vec::new(),
+                    status,
+                }),
             }
         }
 
-        let correlations = if corr_names.len() >= 2 {
-            // Shared per-column preparation (ranks + Kendall sort state),
-            // then all three matrices from the preps — the same shared
-            // path as plot_correlation(df).
-            let preps: Vec<ColumnPrep> = outs
-                [corr_start..corr_start + corr_gathers.len()]
-                .iter()
-                .map(|p| ColumnPrep::prepare(un::<Vec<f64>>(p).clone()))
-                .collect();
-            let matrices: Vec<CorrMatrix> = matrices_from_preps(&corr_names, &preps);
-            for m in &matrices {
-                for (a, b, r) in m.strong_pairs(config.insight.correlation) {
-                    if let Some(i) = crate::insights::correlation_insight(
-                        &a,
-                        &b,
-                        m.method.name(),
-                        r,
-                        &config.insight,
-                    ) {
-                        insights.push(i);
+        let (correlations, correlations_status) = if corr_names.len() >= 2 {
+            match section_payloads(&outcomes[corr_start..corr_start + corr_gathers.len()]) {
+                Ok(outs) => {
+                    // Shared per-column preparation (ranks + Kendall sort
+                    // state), then all three matrices from the preps — the
+                    // same shared path as plot_correlation(df).
+                    let preps: Vec<ColumnPrep> = outs
+                        .iter()
+                        .map(|p| ColumnPrep::prepare(un::<Vec<f64>>(p).clone()))
+                        .collect();
+                    let matrices: Vec<CorrMatrix> = matrices_from_preps(&corr_names, &preps);
+                    for m in &matrices {
+                        for (a, b, r) in m.strong_pairs(config.insight.correlation) {
+                            if let Some(i) = crate::insights::correlation_insight(
+                                &a,
+                                &b,
+                                m.method.name(),
+                                r,
+                                &config.insight,
+                            ) {
+                                insights.push(i);
+                            }
+                        }
                     }
+                    (matrices, SectionStatus::Ok)
                 }
+                Err(status) => (Vec::new(), status),
             }
-            matrices
         } else {
-            Vec::new()
+            (Vec::new(), SectionStatus::Ok)
         };
 
-        let mut missing = Intermediates::new();
-        let metas_out = &outs[missing_start..missing_start + names.len()];
-        let summaries: Vec<MissingSummary> = names
-            .iter()
-            .zip(metas_out)
-            .map(|(n, p)| {
-                let meta = un::<ColMeta>(p);
-                MissingSummary { label: n.clone(), nulls: meta.nulls, total: meta.len }
-            })
-            .collect();
-        missing.push("missing_bar_chart", Inter::MissingBars(summaries));
-        let indicator_cols: Vec<(String, Vec<bool>)> = names
-            .iter()
-            .zip(&outs[missing_start + names.len()..])
-            .map(|(n, p)| (n.clone(), un::<Vec<bool>>(p).clone()))
-            .collect();
-        missing.push(
-            "missing_spectrum",
-            Inter::Spectrum(missing_spectrum(&indicator_cols, config.spectrum.bins)),
-        );
-        missing.push(
-            "nullity_correlation",
-            Inter::NullityCorr {
-                labels: names.clone(),
-                cells: eda_stats::missing::nullity_correlation(&indicator_cols),
-            },
-        );
-        missing.push(
-            "dendrogram",
-            Inter::Dendrogram {
-                labels: names,
-                merges: eda_stats::missing::nullity_dendrogram(&indicator_cols),
-            },
-        );
+        let (missing, missing_status) = match section_payloads(&outcomes[missing_start..]) {
+            Ok(outs) => {
+                let mut missing = Intermediates::new();
+                let summaries: Vec<MissingSummary> = names
+                    .iter()
+                    .zip(&outs[..names.len()])
+                    .map(|(n, p)| {
+                        let meta = un::<ColMeta>(p);
+                        MissingSummary { label: n.clone(), nulls: meta.nulls, total: meta.len }
+                    })
+                    .collect();
+                missing.push("missing_bar_chart", Inter::MissingBars(summaries));
+                let indicator_cols: Vec<(String, Vec<bool>)> = names
+                    .iter()
+                    .zip(&outs[names.len()..])
+                    .map(|(n, p)| (n.clone(), un::<Vec<bool>>(p).clone()))
+                    .collect();
+                missing.push(
+                    "missing_spectrum",
+                    Inter::Spectrum(missing_spectrum(&indicator_cols, config.spectrum.bins)),
+                );
+                missing.push(
+                    "nullity_correlation",
+                    Inter::NullityCorr {
+                        labels: names.clone(),
+                        cells: eda_stats::missing::nullity_correlation(&indicator_cols),
+                    },
+                );
+                missing.push(
+                    "dendrogram",
+                    Inter::Dendrogram {
+                        labels: names.clone(),
+                        merges: eda_stats::missing::nullity_dendrogram(&indicator_cols),
+                    },
+                );
+                (missing, SectionStatus::Ok)
+            }
+            Err(status) => (Intermediates::new(), status),
+        };
 
         // Keep the correlation module's labels helper honest.
         debug_assert!(correlation::matrix_labels(&Intermediates::new()).is_empty());
 
-        Ok(Report { overview, variables, correlations, missing, insights, stats })
+        Ok(Report {
+            overview,
+            overview_status,
+            variables,
+            correlations,
+            correlations_status,
+            missing,
+            missing_status,
+            insights,
+            stats,
+        })
+    }
+
+    /// Names and statuses of every degraded section (empty on a fully
+    /// healthy report). Variable sections are named `"variable:<column>"`.
+    pub fn failed_sections(&self) -> Vec<(String, &SectionStatus)> {
+        let mut out = Vec::new();
+        if !self.overview_status.is_ok() {
+            out.push(("overview".to_string(), &self.overview_status));
+        }
+        for v in &self.variables {
+            if !v.status.is_ok() {
+                out.push((format!("variable:{}", v.name), &v.status));
+            }
+        }
+        if !self.correlations_status.is_ok() {
+            out.push(("correlations".to_string(), &self.correlations_status));
+        }
+        if !self.missing_status.is_ok() {
+            out.push(("missing".to_string(), &self.missing_status));
+        }
+        out
     }
 
     /// Total number of charts/tables across all sections.
@@ -318,6 +411,40 @@ mod tests {
             unshared.stats.tasks_run,
             report.stats.tasks_run
         );
+    }
+
+    #[test]
+    fn poisoned_column_degrades_only_its_sections() {
+        let df = frame();
+        let cfg = Config::default();
+        // Kill every kernel touching the `city` column; price/size stay up.
+        let _guard = eda_taskgraph::inject::arm(eda_taskgraph::FaultInjector::panic_on(
+            "freq:city",
+        ));
+        let report = Report::create(&df, &cfg).unwrap();
+        assert!(report.stats.tasks_failed >= 1, "{:?}", report.stats);
+        let city = report.variables.iter().find(|v| v.name == "city").unwrap();
+        assert!(!city.status.is_ok());
+        if let SectionStatus::Failed { root_task, .. } = &city.status {
+            assert!(root_task.contains("freq:city"), "{root_task}");
+        }
+        // Other variable sections are intact, with real content.
+        let price = report.variables.iter().find(|v| v.name == "price").unwrap();
+        assert!(price.status.is_ok());
+        assert!(price.intermediates.get("qq_plot").is_some());
+        // Correlations and missing never consume `freq:city`.
+        assert!(report.correlations_status.is_ok());
+        assert_eq!(report.correlations.len(), 3);
+        assert!(report.missing_status.is_ok());
+        let failed = report.failed_sections();
+        assert!(failed.iter().any(|(n, _)| n == "variable:city"), "{failed:?}");
+    }
+
+    #[test]
+    fn fully_healthy_report_has_no_failed_sections() {
+        let report = Report::create(&frame(), &Config::default()).unwrap();
+        assert!(report.failed_sections().is_empty());
+        assert!(report.stats.fully_succeeded());
     }
 
     #[test]

@@ -35,9 +35,28 @@ impl Default for CsvOptions {
 }
 
 /// Read a CSV file from disk with default options.
+///
+/// Invalid UTF-8 is a recoverable [`Error::Malformed`] naming the byte
+/// offset, not a bare I/O failure.
 pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<DataFrame> {
-    let text = fs::read_to_string(path)?;
+    let bytes = fs::read(path)?;
+    let text = String::from_utf8(bytes).map_err(|e| Error::Malformed {
+        line: 0,
+        column: None,
+        message: format!(
+            "file is not valid UTF-8 (first bad byte at offset {})",
+            e.utf8_error().valid_up_to()
+        ),
+    })?;
     read_csv_str(&text, &CsvOptions::default())
+}
+
+fn ragged_row(line: usize, expected: usize, found: usize) -> Error {
+    Error::Malformed {
+        line,
+        column: None,
+        message: format!("expected {expected} fields, found {found}"),
+    }
 }
 
 /// Parse CSV text into a frame.
@@ -67,10 +86,7 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
     let sample = sample?;
     for (i, row) in sample.iter().enumerate() {
         if row.len() != ncols {
-            return Err(Error::Csv {
-                line: first_data_line + i,
-                message: format!("expected {ncols} fields, found {}", row.len()),
-            });
+            return Err(ragged_row(first_data_line + i, ncols, row.len()));
         }
     }
     let mut schema = infer_schema(sample.iter(), ncols);
@@ -86,10 +102,7 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
             parse_line(rec, options.separator, first_data_line + i)?
         };
         if row.len() != ncols {
-            return Err(Error::Csv {
-                line: first_data_line + i,
-                message: format!("expected {ncols} fields, found {}", row.len()),
-            });
+            return Err(ragged_row(first_data_line + i, ncols, row.len()));
         }
         for (c, field) in row.into_iter().enumerate() {
             if is_null_field(&field, &options.extra_nulls) {
@@ -112,11 +125,13 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
                 Some(f) => {
                     if !builder.push_parsed(f) {
                         // infer_dtype + widen guarantee parseability; a
-                        // failure here is a logic error worth surfacing.
-                        return Err(Error::Csv {
+                        // failure here is a logic error worth surfacing
+                        // as a recoverable error rather than a panic.
+                        return Err(Error::Malformed {
                             line: 0,
+                            column: Some(name),
                             message: format!(
-                                "internal: field {f:?} does not parse as {}",
+                                "field {f:?} does not parse as inferred type {}",
                                 schema[c].name()
                             ),
                         });
@@ -200,9 +215,54 @@ mod tests {
         let csv = "a,b\n1,2\n3\n";
         let err = read_csv_str(csv, &CsvOptions::default()).unwrap_err();
         match err {
-            Error::Csv { line, .. } => assert_eq!(line, 3),
+            Error::Malformed { line, message, .. } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("expected 2 fields"), "{message}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_row_beyond_sample_window_still_recoverable() {
+        let mut csv = String::from("a,b\n");
+        for i in 0..6 {
+            csv.push_str(&format!("{i},{i}\n"));
+        }
+        csv.push_str("7\n");
+        let opts = CsvOptions { infer_rows: 3, ..CsvOptions::default() };
+        let err = read_csv_str(&csv, &opts).unwrap_err();
+        match err {
+            Error::Malformed { line, .. } => assert_eq!(line, 8),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_recoverable() {
+        let csv = "a,b\n1,\"open\n";
+        let err = read_csv_str(csv, &CsvOptions::default()).unwrap_err();
+        match err {
+            Error::Csv { message, .. } => assert!(message.contains("unterminated"), "{message}"),
             other => panic!("expected csv error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn invalid_utf8_file_is_recoverable() {
+        let dir = std::env::temp_dir().join("eda_dataframe_csv_test_utf8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, b"a,b\n1,\xFF\xFE\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        match err {
+            Error::Malformed { column: None, message, .. } => {
+                assert!(message.contains("UTF-8"), "{message}");
+                assert!(message.contains("offset 6"), "{message}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

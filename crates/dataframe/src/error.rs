@@ -44,6 +44,18 @@ pub enum Error {
         /// Human-readable description.
         message: String,
     },
+    /// Input was structurally malformed (ragged rows, invalid encoding,
+    /// a field contradicting its inferred column type). Unlike
+    /// [`Error::Csv`] this pinpoints the offending column when known.
+    Malformed {
+        /// 1-based line number where the problem occurred (0 when the
+        /// problem is not tied to a line, e.g. bad encoding).
+        line: usize,
+        /// The offending column's name, when known.
+        column: Option<String>,
+        /// Human-readable description.
+        message: String,
+    },
     /// Underlying I/O failure (message only, to keep the error `Clone`).
     Io(String),
 }
@@ -64,6 +76,16 @@ impl fmt::Display for Error {
                 write!(f, "index {index} out of bounds for length {len}")
             }
             Error::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            Error::Malformed { line, column, message } => {
+                write!(f, "malformed input")?;
+                if *line > 0 {
+                    write!(f, " at line {line}")?;
+                }
+                if let Some(c) = column {
+                    write!(f, " (column {c:?})")?;
+                }
+                write!(f, ": {message}")
+            }
             Error::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
@@ -100,6 +122,21 @@ mod tests {
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
         assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn display_malformed_variants() {
+        let full = Error::Malformed {
+            line: 4,
+            column: Some("price".into()),
+            message: "field \"x\" does not parse as float64".into(),
+        };
+        assert_eq!(
+            full.to_string(),
+            "malformed input at line 4 (column \"price\"): field \"x\" does not parse as float64"
+        );
+        let bare = Error::Malformed { line: 0, column: None, message: "not valid UTF-8".into() };
+        assert_eq!(bare.to_string(), "malformed input: not valid UTF-8");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! requirement that pushed the paper's authors to a custom HTML/JS layout
 //! over stock plotting-library layouts.
 
-use eda_core::api::Analysis;
+use eda_core::api::{Analysis, SectionStatus};
 use eda_core::config::DisplayConfig;
 use eda_core::intermediate::Inter;
 use eda_core::report::Report;
@@ -33,6 +33,9 @@ h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; border-bottom: 1
   border-radius: 4px; font-size: 12px; }
 .eda-insights li { margin: 2px 0; }
 .eda-grid { display: flex; flex-wrap: wrap; gap: 12px; }
+.eda-error { background: #FDF0EF; border: 1px solid #C0392B; border-radius: 4px;
+  padding: 8px 12px; font-size: 12px; color: #7B241C; margin: 8px 0; }
+.eda-error b { color: #C0392B; }
 </style>"#;
 
 /// A tabbed panel: one tab per `(title, html)` pair.
@@ -72,6 +75,21 @@ pub fn insights_list(insights: &[Insight]) -> String {
     html
 }
 
+/// Diagnostics panel for a degraded section: the error, the task that
+/// originally failed, and how long it ran before failing. Empty for
+/// healthy sections.
+pub fn diagnostics_panel(status: &SectionStatus) -> String {
+    match status {
+        SectionStatus::Ok => String::new(),
+        SectionStatus::Failed { error, root_task, elapsed } => format!(
+            r#"<div class="eda-error"><b>section unavailable</b> — {}<br><small>root cause: task <code>{}</code>, failed after {:.3}s; other sections were computed normally</small></div>"#,
+            Svg::escape(error),
+            Svg::escape(root_task),
+            elapsed.as_secs_f64()
+        ),
+    }
+}
+
 /// Human-readable tab title from an intermediate name
 /// (`compare_histogram:price` → `Compare Histogram: price`).
 fn tab_title(name: &str) -> String {
@@ -105,9 +123,10 @@ pub fn render_analysis_html(analysis: &Analysis, display: &DisplayConfig) -> Str
         .map(|(name, inter)| (tab_title(name), render_chart(name, inter, display)))
         .collect();
     format!(
-        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{:?}</title>{STYLE}</head><body><h1>{:?}</h1>{}{}</body></html>",
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{:?}</title>{STYLE}</head><body><h1>{:?}</h1>{}{}{}</body></html>",
         analysis.task,
         analysis.task,
+        diagnostics_panel(&analysis.status),
         insights_list(&analysis.insights),
         tab_panel("analysis", &tabs)
     )
@@ -121,7 +140,9 @@ pub fn render_report_html(report: &Report, display: &DisplayConfig) -> String {
     body.push_str("<h1>DataPrep.EDA Report</h1>");
     body.push_str(&insights_list(&report.insights));
 
-    body.push_str("<h2>Overview</h2><div class=\"eda-grid\">");
+    body.push_str("<h2>Overview</h2>");
+    body.push_str(&diagnostics_panel(&report.overview_status));
+    body.push_str("<div class=\"eda-grid\">");
     for (name, inter) in report.overview.iter() {
         body.push_str(&render_chart(name, inter, display));
     }
@@ -134,6 +155,7 @@ pub fn render_report_html(report: &Report, display: &DisplayConfig) -> String {
             Svg::escape(&var.name),
             var.semantic
         ));
+        body.push_str(&diagnostics_panel(&var.status));
         body.push_str(&insights_list(&var.insights));
         let tabs: Vec<(String, String)> = var
             .intermediates
@@ -143,8 +165,9 @@ pub fn render_report_html(report: &Report, display: &DisplayConfig) -> String {
         body.push_str(&tab_panel(&format!("var{vi}"), &tabs));
     }
 
-    if !report.correlations.is_empty() {
+    if !report.correlations.is_empty() || !report.correlations_status.is_ok() {
         body.push_str("<h2>Correlations</h2>");
+        body.push_str(&diagnostics_panel(&report.correlations_status));
         let tabs: Vec<(String, String)> = report
             .correlations
             .iter()
@@ -159,6 +182,7 @@ pub fn render_report_html(report: &Report, display: &DisplayConfig) -> String {
     }
 
     body.push_str("<h2>Missing Values</h2>");
+    body.push_str(&diagnostics_panel(&report.missing_status));
     let tabs: Vec<(String, String)> = report
         .missing
         .iter()
@@ -246,6 +270,37 @@ mod tests {
         assert!(html.contains("city"));
         assert!(html.matches("<svg").count() > 10);
         assert!(html.contains("shared away"));
+    }
+
+    #[test]
+    fn degraded_report_renders_diagnostics_panel() {
+        let df = frame();
+        let cfg = Config::default();
+        let _guard = eda_taskgraph::inject::arm(eda_taskgraph::FaultInjector::panic_on(
+            "moments:price",
+        ));
+        let r = create_report(&df, &cfg).unwrap();
+        let html = render_report_html(&r, &cfg.display);
+        assert!(html.contains("eda-error"), "diagnostics panel missing");
+        assert!(html.contains("section unavailable"));
+        assert!(html.contains("moments:price"));
+        assert!(html.contains("root cause"));
+        // Healthy sections still render their charts.
+        assert!(html.contains("city"));
+        assert!(html.matches("<svg").count() > 5);
+    }
+
+    #[test]
+    fn diagnostics_panel_empty_for_ok_and_escaped_for_failed() {
+        assert!(diagnostics_panel(&SectionStatus::Ok).is_empty());
+        let html = diagnostics_panel(&SectionStatus::Failed {
+            error: "task <x> panicked".into(),
+            root_task: "freq:city".into(),
+            elapsed: std::time::Duration::from_millis(12),
+        });
+        assert!(html.contains("task &lt;x&gt; panicked"));
+        assert!(html.contains("freq:city"));
+        assert!(html.contains("0.012"));
     }
 
     #[test]

@@ -67,26 +67,24 @@ impl Engine {
                 // One execution per output: shared dependencies rerun each
                 // time, exactly like issuing eager ops one by one.
                 let started = std::time::Instant::now();
-                let mut all_outputs = Vec::with_capacity(outputs.len());
-                let mut tasks_run = 0;
-                let mut live_nodes = 0;
+                let mut all_outcomes = Vec::with_capacity(outputs.len());
+                let mut stats = crate::stats::ExecStats {
+                    total_nodes: graph.len(),
+                    cse_hits: graph.cse_hits(),
+                    workers,
+                    ..Default::default()
+                };
                 for &out in outputs {
                     let r = run_pool(graph, &[out], workers, Duration::ZERO);
-                    tasks_run += r.stats.tasks_run;
-                    live_nodes += r.stats.live_nodes;
-                    all_outputs.extend(r.outputs);
+                    stats.tasks_run += r.stats.tasks_run;
+                    stats.live_nodes += r.stats.live_nodes;
+                    stats.tasks_failed += r.stats.tasks_failed;
+                    stats.tasks_skipped += r.stats.tasks_skipped;
+                    stats.tasks_timed_out += r.stats.tasks_timed_out;
+                    all_outcomes.extend(r.outcomes);
                 }
-                ExecResult {
-                    outputs: all_outputs,
-                    stats: crate::stats::ExecStats {
-                        tasks_run,
-                        live_nodes,
-                        total_nodes: graph.len(),
-                        cse_hits: graph.cse_hits(),
-                        workers,
-                        elapsed: started.elapsed(),
-                    },
-                }
+                stats.elapsed = started.elapsed();
+                ExecResult { outcomes: all_outcomes, stats }
             }
         }
     }
@@ -132,8 +130,8 @@ mod tests {
         ] {
             let (g, outs) = shared_graph(Arc::new(AtomicUsize::new(0)));
             let r = engine.execute(&g, &outs);
-            assert_eq!(get(&r.outputs[0]), 8, "{}", engine.name());
-            assert_eq!(get(&r.outputs[1]), 9, "{}", engine.name());
+            assert_eq!(get(&r.outputs()[0]), 8, "{}", engine.name());
+            assert_eq!(get(&r.outputs()[1]), 9, "{}", engine.name());
         }
     }
 
@@ -168,6 +166,26 @@ mod tests {
         let heavy =
             Engine::HeavyScheduler { workers: 1, overhead_us: 3000 }.execute(&g2, &outs2);
         assert!(heavy.stats.elapsed > lazy.stats.elapsed);
+    }
+
+    #[test]
+    fn every_engine_isolates_a_panicking_node() {
+        for engine in [
+            Engine::LazyParallel { workers: 2 },
+            Engine::EagerPerOp { workers: 2 },
+            Engine::HeavyScheduler { workers: 2, overhead_us: 10 },
+            Engine::SingleThread,
+        ] {
+            let mut g = TaskGraph::new();
+            let bad = g.source("bad", TaskKey::leaf("bad", 0), || -> Payload {
+                panic!("kernel bug")
+            });
+            let good = g.source("good", TaskKey::leaf("good", 0), || int(5));
+            let r = engine.execute(&g, &[bad, good]);
+            assert!(r.outcomes[0].is_failed(), "{}", engine.name());
+            assert_eq!(get(r.outcomes[1].payload().expect("good ok")), 5, "{}", engine.name());
+            assert_eq!(r.stats.tasks_failed, 1, "{}", engine.name());
+        }
     }
 
     #[test]

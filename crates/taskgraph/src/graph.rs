@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::inject::{self, FaultInjector};
 use crate::key::TaskKey;
 
 /// Type-erased task result, shared between dependents without copying.
@@ -54,19 +55,38 @@ pub struct TaskGraph {
     dedup: bool,
     /// Number of insertions answered by an existing node.
     cse_hits: usize,
+    /// Optional fault-injection hook consulted by schedulers at each
+    /// dispatch (testing only; `None` in production graphs).
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl TaskGraph {
-    /// An empty graph with deduplication enabled.
+    /// An empty graph with deduplication enabled. Adopts any fault
+    /// injector armed on this thread via [`inject::arm`].
     pub fn new() -> Self {
-        TaskGraph { dedup: true, ..Default::default() }
+        TaskGraph { dedup: true, fault: inject::armed(), ..Default::default() }
     }
 
     /// An empty graph with deduplication disabled (ablation mode: every
     /// insertion creates a fresh node, like building one graph per
     /// visualization).
     pub fn without_dedup() -> Self {
-        TaskGraph { dedup: false, ..Default::default() }
+        TaskGraph { dedup: false, fault: inject::armed(), ..Default::default() }
+    }
+
+    /// Attach a fault injector explicitly.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.fault = Some(injector);
+    }
+
+    /// Remove any attached fault injector.
+    pub fn clear_fault_injector(&mut self) {
+        self.fault = None;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
     }
 
     /// Number of nodes.

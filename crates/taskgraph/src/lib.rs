@@ -18,7 +18,12 @@
 //!   plot are computed once).
 //! * [`scheduler`] — executors: a single-thread topological runner and a
 //!   multi-worker pool (crossbeam channels) that runs ready tasks as their
-//!   dependencies complete.
+//!   dependencies complete. Both isolate panics per task
+//!   ([`outcome::TaskOutcome`]), skip dependents of failed nodes instead of
+//!   aborting the run, and support per-task deadlines.
+//! * [`inject`] — a deterministic fault-injection harness (panic / stall /
+//!   garbage payload at a chosen task) used to test the fault tolerance
+//!   end to end.
 //! * [`engine::Engine`] — the engine variants compared in the paper's
 //!   Figure 6(a): `LazyParallel` (Dask), `EagerPerOp` (Modin: one graph per
 //!   output, no cross-output sharing), `HeavyScheduler` (Koalas/PySpark:
@@ -35,14 +40,18 @@
 pub mod cluster;
 pub mod engine;
 pub mod graph;
+pub mod inject;
 pub mod key;
 pub mod ops;
+pub mod outcome;
 pub mod partition;
 pub mod scheduler;
 pub mod stats;
 
 pub use engine::Engine;
 pub use graph::{NodeId, Payload, TaskGraph};
+pub use inject::{FaultInjector, FaultMode, FaultPlan, FaultTarget};
 pub use key::TaskKey;
+pub use outcome::{TaskError, TaskFailure, TaskOutcome};
 pub use partition::{ChunkMeta, PartitionedFrame};
 pub use stats::ExecStats;

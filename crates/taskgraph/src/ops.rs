@@ -159,7 +159,7 @@ mod tests {
         let mut g = TaskGraph::new();
         let out = build_sum(&mut g, &pf, 0);
         let r = run_single_thread(&g, &[out]);
-        assert_eq!(sum_payload(&r.outputs[0]), (0..100).sum::<i64>());
+        assert_eq!(sum_payload(&r.outputs()[0]), (0..100).sum::<i64>());
     }
 
     #[test]
@@ -188,7 +188,7 @@ mod tests {
         let mut g = TaskGraph::new();
         let out = build_sum(&mut g, &pf, 0);
         let r = run_single_thread(&g, &[out]);
-        assert_eq!(sum_payload(&r.outputs[0]), 45);
+        assert_eq!(sum_payload(&r.outputs()[0]), 45);
     }
 
     #[test]
@@ -197,7 +197,7 @@ mod tests {
         let mut g = TaskGraph::new();
         let out = build_sum(&mut g, &pf, 0);
         let r = run_single_thread(&g, &[out]);
-        assert_eq!(sum_payload(&r.outputs[0]), 36);
+        assert_eq!(sum_payload(&r.outputs()[0]), 36);
     }
 
     #[test]
@@ -216,6 +216,6 @@ mod tests {
             Arc::new(sum_payload(&d[0]) * 2)
         });
         let r = run_single_thread(&g, &[doubled]);
-        assert_eq!(sum_payload(&r.outputs[0]), 2 * (0..20).sum::<i64>());
+        assert_eq!(sum_payload(&r.outputs()[0]), 2 * (0..20).sum::<i64>());
     }
 }

@@ -227,7 +227,7 @@ mod tests {
         let mut g = TaskGraph::new();
         let nodes = pf.source_nodes(&mut g);
         let r = crate::scheduler::run_single_thread(&g, &nodes);
-        let f0 = payload_frame(&r.outputs[0]);
+        let f0 = payload_frame(&r.outputs()[0]);
         assert_eq!(f0.nrows(), 2);
     }
 

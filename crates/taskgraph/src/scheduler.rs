@@ -1,8 +1,8 @@
 //! Graph executors.
 //!
 //! Two schedulers share the same contract: run the live subgraph for the
-//! requested outputs, dependencies before dependents, and return output
-//! payloads plus [`ExecStats`].
+//! requested outputs, dependencies before dependents, and return one
+//! [`TaskOutcome`] per requested output plus [`ExecStats`].
 //!
 //! * [`run_single_thread`] walks the pruned topological order in the
 //!   calling thread — the "Pandas phase" executor, and the baseline for
@@ -11,7 +11,16 @@
 //!   pushed to workers, completions decrement dependent indegrees, newly
 //!   ready tasks are pushed in turn. An optional per-task latency models
 //!   heavyweight schedulers (the paper's Koalas/PySpark comparison).
+//!
+//! Both are fault tolerant: every task body runs under
+//! `std::panic::catch_unwind`, so a panicking kernel produces a
+//! [`TaskOutcome::Failed`] for its node, its dependents are recorded as
+//! `Skipped` without running, and every *other* branch of the graph
+//! completes normally. An optional per-task deadline
+//! ([`ExecOptions::deadline`]) marks over-budget tasks `TimedOut` with
+//! the same skip propagation.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,6 +28,8 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 
 use crate::graph::{NodeId, Payload, TaskGraph};
+use crate::inject::{FaultMode, Garbage};
+use crate::outcome::{TaskError, TaskFailure, TaskOutcome};
 use crate::stats::ExecStats;
 
 /// Observer invoked after every completed task with
@@ -26,44 +37,88 @@ use crate::stats::ExecStats;
 /// paper's Figure 1 (part B).
 pub type ProgressObserver = Arc<dyn Fn(usize, usize) + Send + Sync>;
 
-/// Result of one execution: payloads for the requested outputs (same
+/// Knobs shared by both schedulers.
+#[derive(Clone, Default)]
+pub struct ExecOptions {
+    /// Fixed scheduling delay before each task, modelling engines whose
+    /// driver adds per-task overhead (paper §5.1's explanation of
+    /// Koalas/PySpark single-node behaviour). `Duration::ZERO` for the
+    /// Dask-like engine.
+    pub per_task_latency: Duration,
+    /// Per-task wall-clock budget. A task that finishes later than this
+    /// is recorded as `TimedOut` and its dependents are skipped. `None`
+    /// disables the check.
+    pub deadline: Option<Duration>,
+    /// Called after every completed task with `(completed, total_live)`.
+    pub observer: Option<ProgressObserver>,
+}
+
+/// Result of one execution: an outcome per requested output (same
 /// order), plus statistics.
 pub struct ExecResult {
-    /// Output payloads, parallel to the requested output ids.
-    pub outputs: Vec<Payload>,
+    /// Per-output outcomes, parallel to the requested output ids.
+    pub outcomes: Vec<TaskOutcome>,
     /// What the scheduler did.
     pub stats: ExecStats,
 }
 
+impl ExecResult {
+    /// Output payloads for fully successful runs. Panics with the task
+    /// error if any requested output failed — the infallible-caller
+    /// convenience; fault-aware callers should inspect `outcomes`.
+    pub fn outputs(&self) -> Vec<Payload> {
+        self.outcomes.iter().map(|o| o.clone().unwrap()).collect()
+    }
+
+    /// The first failed output's error, if any.
+    pub fn first_failure(&self) -> Option<Arc<TaskError>> {
+        self.outcomes.iter().find_map(|o| o.error().cloned())
+    }
+
+    /// Errors for every failed output.
+    pub fn failures(&self) -> Vec<Arc<TaskError>> {
+        self.outcomes.iter().filter_map(|o| o.error().cloned()).collect()
+    }
+}
+
 /// Execute in the calling thread, in topological order.
 pub fn run_single_thread(graph: &TaskGraph, outputs: &[NodeId]) -> ExecResult {
+    run_single_thread_opts(graph, outputs, &ExecOptions::default())
+}
+
+/// [`run_single_thread`] with explicit [`ExecOptions`].
+pub fn run_single_thread_opts(
+    graph: &TaskGraph,
+    outputs: &[NodeId],
+    opts: &ExecOptions,
+) -> ExecResult {
     let started = Instant::now();
     let order = graph.topo_order(outputs);
-    let mut results: Vec<Option<Payload>> = vec![None; graph.len()];
-    for &id in &order {
-        let task = graph.task(id);
-        let inputs: Vec<Payload> = task
+    let mut results: Vec<Option<TaskOutcome>> = vec![None; graph.len()];
+    for (done, &id) in order.iter().enumerate() {
+        let inputs: Vec<TaskOutcome> = graph
+            .task(id)
             .deps
             .iter()
             .map(|&d| results[d].clone().expect("dependency computed"))
             .collect();
-        results[id] = Some((task.run)(&inputs));
+        results[id] = Some(execute_node(graph, id, &inputs, opts));
+        if let Some(obs) = &opts.observer {
+            obs(done + 1, order.len());
+        }
     }
-    let outputs_payloads = outputs
+    let outcomes = outputs
         .iter()
         .map(|&id| results[id].clone().expect("output computed"))
         .collect();
-    ExecResult {
-        outputs: outputs_payloads,
-        stats: ExecStats {
-            tasks_run: order.len(),
-            live_nodes: order.len(),
-            total_nodes: graph.len(),
-            cse_hits: graph.cse_hits(),
-            workers: 1,
-            elapsed: started.elapsed(),
-        },
-    }
+    let stats = tally(
+        order.iter().map(|&id| results[id].as_ref().expect("live node computed")),
+        order.len(),
+        graph,
+        1,
+        started.elapsed(),
+    );
+    ExecResult { outcomes, stats }
 }
 
 /// Execute over a pool of `workers` threads.
@@ -78,7 +133,12 @@ pub fn run_pool(
     workers: usize,
     per_task_latency: Duration,
 ) -> ExecResult {
-    run_pool_observed(graph, outputs, workers, per_task_latency, None)
+    run_pool_opts(
+        graph,
+        outputs,
+        workers,
+        &ExecOptions { per_task_latency, ..ExecOptions::default() },
+    )
 }
 
 /// [`run_pool`] with an optional progress observer called after each
@@ -90,27 +150,30 @@ pub fn run_pool_observed(
     per_task_latency: Duration,
     observer: Option<ProgressObserver>,
 ) -> ExecResult {
+    run_pool_opts(graph, outputs, workers, &ExecOptions { per_task_latency, deadline: None, observer })
+}
+
+/// [`run_pool`] with explicit [`ExecOptions`].
+pub fn run_pool_opts(
+    graph: &TaskGraph,
+    outputs: &[NodeId],
+    workers: usize,
+    opts: &ExecOptions,
+) -> ExecResult {
     let workers = workers.max(1);
     let started = Instant::now();
     let live = graph.reachable(outputs);
     let live_count = live.iter().filter(|&&b| b).count();
     if live_count == 0 {
         return ExecResult {
-            outputs: Vec::new(),
-            stats: ExecStats {
-                tasks_run: 0,
-                live_nodes: 0,
-                total_nodes: graph.len(),
-                cse_hits: graph.cse_hits(),
-                workers,
-                elapsed: started.elapsed(),
-            },
+            outcomes: Vec::new(),
+            stats: tally(std::iter::empty(), 0, graph, workers, started.elapsed()),
         };
     }
     let dependents = graph.live_dependents(&live);
     let mut indegrees = graph.live_indegrees(&live);
 
-    let results: Arc<Vec<Mutex<Option<Payload>>>> =
+    let results: Arc<Vec<Mutex<Option<TaskOutcome>>>> =
         Arc::new((0..graph.len()).map(|_| Mutex::new(None)).collect());
 
     let (ready_tx, ready_rx) = channel::unbounded::<NodeId>();
@@ -130,11 +193,10 @@ pub fn run_pool_observed(
             let results = Arc::clone(&results);
             scope.spawn(move || {
                 while let Ok(id) = ready_rx.recv() {
-                    if per_task_latency > Duration::ZERO {
-                        spin_for(per_task_latency);
-                    }
-                    let task = graph.task(id);
-                    let inputs: Vec<Payload> = task
+                    // Dependencies completed (with whatever outcome)
+                    // before this node became ready.
+                    let inputs: Vec<TaskOutcome> = graph
+                        .task(id)
                         .deps
                         .iter()
                         .map(|&d| {
@@ -144,8 +206,8 @@ pub fn run_pool_observed(
                                 .expect("dependency computed before dependent")
                         })
                         .collect();
-                    let out = (task.run)(&inputs);
-                    *results[id].lock() = Some(out);
+                    let outcome = execute_node(graph, id, &inputs, opts);
+                    *results[id].lock() = Some(outcome);
                     if done_tx.send(id).is_err() {
                         break;
                     }
@@ -154,11 +216,13 @@ pub fn run_pool_observed(
         }
 
         // Coordinator: track completions, release newly ready tasks.
+        // Failed tasks complete like any other (their outcome is the
+        // error), so counting is unaffected by faults.
         let mut completed = 0usize;
         while completed < live_count {
             let id = done_rx.recv().expect("workers alive");
             completed += 1;
-            if let Some(obs) = &observer {
+            if let Some(obs) = &opts.observer {
                 obs(completed, live_count);
             }
             for &dep in &dependents[id] {
@@ -172,21 +236,142 @@ pub fn run_pool_observed(
         drop(ready_tx);
     });
 
-    let outputs_payloads = outputs
+    let outcomes = outputs
         .iter()
         .map(|&id| results[id].lock().clone().expect("output computed"))
         .collect();
-    ExecResult {
-        outputs: outputs_payloads,
-        stats: ExecStats {
-            tasks_run: live_count,
-            live_nodes: live_count,
-            total_nodes: graph.len(),
-            cse_hits: graph.cse_hits(),
-            workers,
-            elapsed: started.elapsed(),
-        },
+    let live_outcomes: Vec<TaskOutcome> = live
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l)
+        .map(|(id, _)| results[id].lock().clone().expect("live node computed"))
+        .collect();
+    let stats = tally(live_outcomes.iter(), live_count, graph, workers, started.elapsed());
+    ExecResult { outcomes, stats }
+}
+
+/// Run one node given its input outcomes: skip on failed inputs,
+/// otherwise execute under `catch_unwind`, applying any injected fault
+/// and the optional deadline.
+fn execute_node(
+    graph: &TaskGraph,
+    id: NodeId,
+    inputs: &[TaskOutcome],
+    opts: &ExecOptions,
+) -> TaskOutcome {
+    let task = graph.task(id);
+    // An upstream failure poisons only this subtree: record a skip
+    // pointing at the transitive root cause and move on. The skip
+    // inherits the root's elapsed so diagnostics stay meaningful at any
+    // depth.
+    if let Some(err) = inputs.iter().find_map(|o| o.error()) {
+        let (root_cause, root_name) = err.root_cause();
+        return TaskOutcome::Failed(Arc::new(TaskError {
+            task: id,
+            name: task.name.clone(),
+            failure: TaskFailure::Skipped {
+                root_cause,
+                root_name: root_name.to_string(),
+                root_failure: err.root_description(),
+            },
+            elapsed: err.elapsed,
+        }));
     }
+    if opts.per_task_latency > Duration::ZERO {
+        spin_for(opts.per_task_latency);
+    }
+    let payloads: Vec<Payload> =
+        inputs.iter().map(|o| Arc::clone(o.payload().expect("no failed inputs"))).collect();
+    let fault = graph.fault_injector().and_then(|inj| inj.decide(id, &task.name));
+    let started = Instant::now();
+    let result = catch_task_panic(|| match fault {
+        Some(FaultMode::Panic) => panic!("injected fault: panic"),
+        Some(FaultMode::Stall(d)) => {
+            std::thread::sleep(d);
+            (task.run)(&payloads)
+        }
+        Some(FaultMode::Garbage) => Arc::new(Garbage) as Payload,
+        None => (task.run)(&payloads),
+    });
+    let elapsed = started.elapsed();
+    match result {
+        Ok(payload) => match opts.deadline {
+            Some(budget) if elapsed > budget => TaskOutcome::Failed(Arc::new(TaskError {
+                task: id,
+                name: task.name.clone(),
+                failure: TaskFailure::TimedOut { budget, elapsed },
+                elapsed,
+            })),
+            _ => TaskOutcome::Ok(payload),
+        },
+        Err(message) => TaskOutcome::Failed(Arc::new(TaskError {
+            task: id,
+            name: task.name.clone(),
+            failure: TaskFailure::Panicked(message),
+            elapsed,
+        })),
+    }
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run a task body under `catch_unwind`, silencing the default panic
+/// hook for panics we catch (they are expected, recorded outcomes — not
+/// crashes worth a backtrace on stderr). Panics elsewhere still report
+/// normally.
+fn catch_task_panic<F: FnOnce() -> Payload>(f: F) -> Result<Payload, String> {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Fold per-node outcomes into [`ExecStats`].
+fn tally<'a>(
+    live_outcomes: impl Iterator<Item = &'a TaskOutcome>,
+    live_count: usize,
+    graph: &TaskGraph,
+    workers: usize,
+    elapsed: Duration,
+) -> ExecStats {
+    let mut stats = ExecStats {
+        live_nodes: live_count,
+        total_nodes: graph.len(),
+        cse_hits: graph.cse_hits(),
+        workers,
+        elapsed,
+        ..ExecStats::default()
+    };
+    for outcome in live_outcomes {
+        match outcome {
+            TaskOutcome::Ok(_) => stats.tasks_run += 1,
+            TaskOutcome::Failed(err) => match err.failure {
+                TaskFailure::Panicked(_) => stats.tasks_failed += 1,
+                TaskFailure::TimedOut { .. } => stats.tasks_timed_out += 1,
+                TaskFailure::Skipped { .. } => stats.tasks_skipped += 1,
+            },
+        }
+    }
+    stats
 }
 
 /// Busy-wait for `d` (sleep granularity is far too coarse for the
@@ -201,6 +386,7 @@ fn spin_for(d: Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::inject::{self, FaultInjector};
     use crate::key::TaskKey;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -226,9 +412,10 @@ mod tests {
     fn single_thread_diamond() {
         let (g, out) = diamond();
         let r = run_single_thread(&g, &[out]);
-        assert_eq!(get(&r.outputs[0]), 31);
+        assert_eq!(get(&r.outputs()[0]), 31);
         assert_eq!(r.stats.tasks_run, 4);
         assert_eq!(r.stats.workers, 1);
+        assert!(r.stats.fully_succeeded());
     }
 
     #[test]
@@ -236,7 +423,7 @@ mod tests {
         let (g, out) = diamond();
         for workers in [1, 2, 4] {
             let r = run_pool(&g, &[out], workers, Duration::ZERO);
-            assert_eq!(get(&r.outputs[0]), 31, "workers={workers}");
+            assert_eq!(get(&r.outputs()[0]), 31, "workers={workers}");
             assert_eq!(r.stats.tasks_run, 4);
         }
     }
@@ -252,13 +439,13 @@ mod tests {
         });
         let b = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
         let r = run_single_thread(&g, &[b]);
-        assert_eq!(get(&r.outputs[0]), 2);
+        assert_eq!(get(&r.outputs()[0]), 2);
         assert_eq!(RUNS.load(Ordering::SeqCst), 0);
         assert_eq!(r.stats.tasks_run, 2);
         assert_eq!(r.stats.pruned(), 1);
 
         let r2 = run_pool(&g, &[b], 2, Duration::ZERO);
-        assert_eq!(get(&r2.outputs[0]), 2);
+        assert_eq!(get(&r2.outputs()[0]), 2);
         assert_eq!(RUNS.load(Ordering::SeqCst), 0);
     }
 
@@ -278,8 +465,8 @@ mod tests {
         let u1 = g.op("plus1", 0, vec![shared1], |d| int(get(&d[0]) + 1));
         let u2 = g.op("plus2", 0, vec![shared2], |d| int(get(&d[0]) + 2));
         let r = run_pool(&g, &[u1, u2], 2, Duration::ZERO);
-        assert_eq!(get(&r.outputs[0]), 51);
-        assert_eq!(get(&r.outputs[1]), 52);
+        assert_eq!(get(&r.outputs()[0]), 51);
+        assert_eq!(get(&r.outputs()[1]), 52);
         assert_eq!(counter.load(Ordering::SeqCst), 1);
         assert_eq!(r.stats.tasks_run, 4); // src, expensive, plus1, plus2
     }
@@ -289,15 +476,15 @@ mod tests {
         let (g, out) = diamond();
         // Request outputs in reverse creation order.
         let r = run_single_thread(&g, &[out, 0]);
-        assert_eq!(get(&r.outputs[0]), 31);
-        assert_eq!(get(&r.outputs[1]), 10);
+        assert_eq!(get(&r.outputs()[0]), 31);
+        assert_eq!(get(&r.outputs()[1]), 10);
     }
 
     #[test]
     fn empty_outputs() {
         let (g, _) = diamond();
         let r = run_pool(&g, &[], 2, Duration::ZERO);
-        assert!(r.outputs.is_empty());
+        assert!(r.outcomes.is_empty());
         assert_eq!(r.stats.tasks_run, 0);
     }
 
@@ -308,7 +495,7 @@ mod tests {
         let slow = run_pool(&g, &[out], 1, Duration::from_millis(2));
         assert!(slow.stats.elapsed > fast.stats.elapsed);
         assert!(slow.stats.elapsed >= Duration::from_millis(8)); // 4 tasks × 2ms
-        assert_eq!(get(&slow.outputs[0]), 31);
+        assert_eq!(get(&slow.outputs()[0]), 31);
     }
 
     #[test]
@@ -320,7 +507,7 @@ mod tests {
             seen2.lock().push((done, total));
         });
         let r = run_pool_observed(&g, &[out], 2, Duration::ZERO, Some(obs));
-        assert_eq!(get(&r.outputs[0]), 31);
+        assert_eq!(get(&r.outputs()[0]), 31);
         let events = seen.lock().clone();
         assert_eq!(events.len(), 4);
         assert_eq!(events.last(), Some(&(4, 4)));
@@ -350,6 +537,160 @@ mod tests {
             layer = next;
         }
         let r = run_pool(&g, &[layer[0]], 4, Duration::ZERO);
-        assert_eq!(get(&r.outputs[0]), (0..100).sum::<i64>());
+        assert_eq!(get(&r.outputs()[0]), (0..100).sum::<i64>());
+    }
+
+    // ----- fault tolerance -----
+
+    /// a -> (bad, c) -> d, plus an independent healthy branch e -> f.
+    /// `bad` panics; d must be skipped, the rest must complete.
+    fn faulty_graph() -> (TaskGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(10));
+        let bad = g.op("bad", 0, vec![a], |_| -> Payload { panic!("kernel exploded") });
+        let c = g.op("dbl", 0, vec![a], |d| int(get(&d[0]) * 2));
+        let d = g.op("sum", 0, vec![bad, c], |d| int(get(&d[0]) + get(&d[1])));
+        let e = g.source("e", TaskKey::leaf("e", 0), || int(7));
+        let f = g.op("inc", 0, vec![e], |d| int(get(&d[0]) + 1));
+        (g, bad, c, d, f)
+    }
+
+    #[test]
+    fn panic_is_isolated_single_thread() {
+        let (g, _bad, c, d, f) = faulty_graph();
+        let r = run_single_thread(&g, &[d, c, f]);
+        // d skipped because bad panicked...
+        let err = r.outcomes[0].error().expect("d failed");
+        assert!(matches!(err.failure, TaskFailure::Skipped { .. }), "{err}");
+        assert_eq!(err.root_cause().1, "bad");
+        // ...but the sibling branch and the independent branch completed.
+        assert_eq!(get(r.outcomes[1].payload().expect("c ok")), 20);
+        assert_eq!(get(r.outcomes[2].payload().expect("f ok")), 8);
+        assert_eq!(r.stats.tasks_failed, 1);
+        assert_eq!(r.stats.tasks_skipped, 1);
+        assert_eq!(r.stats.tasks_run, 4); // a, c, e, f
+        assert!(!r.stats.fully_succeeded());
+    }
+
+    #[test]
+    fn panic_is_isolated_pool() {
+        let (g, _bad, c, d, f) = faulty_graph();
+        for workers in [1, 2, 4] {
+            let r = run_pool(&g, &[d, c, f], workers, Duration::ZERO);
+            assert!(r.outcomes[0].is_failed(), "workers={workers}");
+            assert_eq!(get(r.outcomes[1].payload().expect("c ok")), 20);
+            assert_eq!(get(r.outcomes[2].payload().expect("f ok")), 8);
+            assert_eq!(r.stats.tasks_failed, 1);
+            assert_eq!(r.stats.tasks_skipped, 1);
+            assert_eq!(r.stats.tasks_run, 4);
+        }
+    }
+
+    #[test]
+    fn skip_propagates_transitively_with_root_cause() {
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(1));
+        let bad = g.op("bad", 0, vec![a], |_| -> Payload { panic!("boom") });
+        let mid = g.op("mid", 0, vec![bad], |d| int(get(&d[0])));
+        let leaf = g.op("leaf", 0, vec![mid], |d| int(get(&d[0])));
+        let r = run_single_thread(&g, &[leaf]);
+        let err = r.outcomes[0].error().expect("leaf failed");
+        // Root cause is `bad`, not the intermediate skip.
+        assert_eq!(err.root_cause(), (bad, "bad"));
+        assert_eq!(r.stats.tasks_skipped, 2); // mid and leaf
+        assert_eq!(r.stats.tasks_failed, 1);
+    }
+
+    #[test]
+    fn panic_message_is_captured() {
+        let mut g = TaskGraph::new();
+        let bad = g.source("bad", TaskKey::leaf("bad", 0), || -> Payload {
+            panic!("specific diagnostic {}", 42)
+        });
+        let r = run_pool(&g, &[bad], 2, Duration::ZERO);
+        let err = r.outcomes[0].error().expect("failed");
+        assert!(
+            matches!(&err.failure, TaskFailure::Panicked(m) if m.contains("specific diagnostic 42")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn deadline_marks_slow_tasks_timed_out() {
+        let mut g = TaskGraph::new();
+        let slow = g.source("slow", TaskKey::leaf("slow", 0), || {
+            std::thread::sleep(Duration::from_millis(20));
+            int(1)
+        });
+        let fast = g.source("fast", TaskKey::leaf("fast", 0), || int(2));
+        let dep = g.op("dep", 0, vec![slow], |d| int(get(&d[0])));
+        let opts = ExecOptions { deadline: Some(Duration::from_millis(2)), ..Default::default() };
+        for r in [
+            run_single_thread_opts(&g, &[dep, fast], &opts),
+            run_pool_opts(&g, &[dep, fast], 2, &opts),
+        ] {
+            let err = r.outcomes[0].error().expect("dep failed");
+            assert!(matches!(err.failure, TaskFailure::Skipped { .. }), "{err}");
+            assert_eq!(get(r.outcomes[1].payload().expect("fast ok")), 2);
+            assert_eq!(r.stats.tasks_timed_out, 1);
+            assert_eq!(r.stats.tasks_skipped, 1);
+            assert_eq!(r.stats.tasks_run, 1);
+        }
+    }
+
+    #[test]
+    fn no_deadline_means_no_timeouts() {
+        let (g, out) = diamond();
+        let r = run_pool(&g, &[out], 2, Duration::ZERO);
+        assert_eq!(r.stats.tasks_timed_out, 0);
+    }
+
+    #[test]
+    fn injected_panic_via_graph_injector() {
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::panic_on("dbl"));
+        let r = run_pool(&g, &[out], 2, Duration::ZERO);
+        let err = r.outcomes[0].error().expect("sum skipped");
+        assert_eq!(err.root_cause().1, "dbl");
+        assert_eq!(r.stats.tasks_failed, 1);
+    }
+
+    #[test]
+    fn injected_garbage_fails_downstream_consumer() {
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::garbage_on("inc"));
+        let r = run_single_thread(&g, &[out]);
+        // `inc` returned Garbage; `sum` panicked on the downcast and the
+        // failure is attributed to `sum`.
+        let err = r.outcomes[0].error().expect("sum failed");
+        assert!(matches!(err.failure, TaskFailure::Panicked(_)), "{err}");
+        assert_eq!(err.name, "sum");
+        assert_eq!(r.stats.tasks_failed, 1);
+    }
+
+    #[test]
+    fn injected_stall_plus_deadline_times_out() {
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::stall_on("inc", Duration::from_millis(20)));
+        let opts = ExecOptions { deadline: Some(Duration::from_millis(2)), ..Default::default() };
+        let r = run_pool_opts(&g, &[out], 2, &opts);
+        let err = r.outcomes[0].error().expect("sum skipped");
+        assert_eq!(err.root_cause().1, "inc");
+        assert_eq!(r.stats.tasks_timed_out, 1);
+    }
+
+    #[test]
+    fn thread_local_arming_reaches_graphs_built_elsewhere() {
+        let inj = FaultInjector::panic_on("dbl");
+        let r = {
+            let _guard = inject::arm(Arc::clone(&inj));
+            // diamond() constructs its own TaskGraph::new() — the armed
+            // injector must reach it, as it must reach graphs built
+            // inside create_report.
+            let (g, out) = diamond();
+            run_pool(&g, &[out], 2, Duration::ZERO)
+        };
+        assert!(r.outcomes[0].is_failed());
+        assert_eq!(inj.triggered(), 1);
     }
 }

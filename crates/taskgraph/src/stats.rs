@@ -9,7 +9,7 @@ use std::time::Duration;
 /// Summary of one graph execution.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExecStats {
-    /// Tasks actually executed.
+    /// Tasks that executed and produced a payload.
     pub tasks_run: usize,
     /// Live nodes after dead-node pruning.
     pub live_nodes: usize,
@@ -21,12 +21,23 @@ pub struct ExecStats {
     pub workers: usize,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Tasks that panicked (the panic was isolated; the run continued).
+    pub tasks_failed: usize,
+    /// Tasks never run because an upstream dependency failed.
+    pub tasks_skipped: usize,
+    /// Tasks that finished but blew their per-task deadline.
+    pub tasks_timed_out: usize,
 }
 
 impl ExecStats {
     /// Nodes skipped by dead-node pruning.
     pub fn pruned(&self) -> usize {
         self.total_nodes - self.live_nodes
+    }
+
+    /// Whether every live task produced a payload.
+    pub fn fully_succeeded(&self) -> bool {
+        self.tasks_failed == 0 && self.tasks_skipped == 0 && self.tasks_timed_out == 0
     }
 }
 

@@ -66,7 +66,9 @@ proptest! {
         let outputs = vec![*nodes.last().expect("non-empty"), nodes[0]];
         let single = run_single_thread(&g, &outputs);
         let pooled = run_pool(&g, &outputs, workers, Duration::ZERO);
-        for (a, b) in single.outputs.iter().zip(&pooled.outputs) {
+        let single_out = single.outputs();
+        let pooled_out = pooled.outputs();
+        for (a, b) in single_out.iter().zip(&pooled_out) {
             prop_assert_eq!(get(a), get(b));
         }
         prop_assert_eq!(single.stats.tasks_run, pooled.stats.tasks_run);
@@ -80,7 +82,7 @@ proptest! {
         let o2 = vec![*n2.last().expect("non-empty")];
         let r1 = run_single_thread(&g1, &o1);
         let r2 = run_single_thread(&g2, &o2);
-        prop_assert_eq!(get(&r1.outputs[0]), get(&r2.outputs[0]));
+        prop_assert_eq!(get(&r1.outputs()[0]), get(&r2.outputs()[0]));
         // Dedup can only shrink the graph.
         prop_assert!(g1.len() <= g2.len());
     }
@@ -99,7 +101,7 @@ proptest! {
             }));
         }
         let r = run_pool(&g, &[nodes[0]], 2, Duration::ZERO);
-        prop_assert_eq!(get(&r.outputs[0]), spec.sources[0]);
+        prop_assert_eq!(get(&r.outputs()[0]), spec.sources[0]);
         prop_assert_eq!(counter.load(Ordering::SeqCst), 1);
         prop_assert_eq!(r.stats.pruned(), g.len() - 1);
     }
@@ -110,6 +112,6 @@ proptest! {
         let outputs = vec![*nodes.last().expect("non-empty")];
         let a = run_pool(&g, &outputs, 3, Duration::ZERO);
         let b = run_pool(&g, &outputs, 3, Duration::ZERO);
-        prop_assert_eq!(get(&a.outputs[0]), get(&b.outputs[0]));
+        prop_assert_eq!(get(&a.outputs()[0]), get(&b.outputs()[0]));
     }
 }

@@ -75,6 +75,75 @@ fn all_null_numeric_column() {
 }
 
 #[test]
+fn all_nan_numeric_column() {
+    // NaN values (not nulls): every statistic over them is undefined,
+    // but plot, plot_correlation, and plot_missing must all stay sound.
+    let df = DataFrame::new(vec![
+        ("nan".into(), Column::from_f64(vec![f64::NAN; 25])),
+        ("y".into(), Column::from_f64((0..25).map(|i| i as f64).collect())),
+    ])
+    .unwrap();
+    let cfg = Config::default();
+    let a = plot(&df, &["nan"], &cfg).unwrap();
+    assert!(a.status.is_ok());
+    assert!(a.get("stats").is_some());
+    let b = plot(&df, &["nan", "y"], &cfg).unwrap();
+    assert!(!b.intermediates.is_empty());
+    let corr = plot_correlation(&df, &[], &cfg).unwrap();
+    let Some(Inter::Correlation(m)) = corr.get("correlation_matrix:Pearson") else { panic!() };
+    assert_eq!(m.get_by_name("nan", "y").unwrap(), None);
+    let missing = plot_missing(&df, &["nan"], &cfg).unwrap();
+    assert!(missing.get("compare_histogram:y").is_some());
+}
+
+#[test]
+fn zero_row_frame_correlation_and_missing() {
+    let df = DataFrame::new(vec![
+        ("a".into(), Column::from_f64(vec![])),
+        ("b".into(), Column::from_f64(vec![])),
+    ])
+    .unwrap();
+    let cfg = Config::default();
+    // Two numeric columns with zero rows: every coefficient undefined.
+    let corr = plot_correlation(&df, &[], &cfg).unwrap();
+    let Some(Inter::Correlation(m)) = corr.get("correlation_matrix:Pearson") else { panic!() };
+    assert_eq!(m.get_by_name("a", "b").unwrap(), None);
+    let missing = plot_missing(&df, &[], &cfg).unwrap();
+    assert!(missing.get("missing_bar_chart").is_some());
+    let html = render_analysis_html(&corr, &cfg.display);
+    assert!(html.contains("</html>"));
+}
+
+#[test]
+fn single_distinct_value_through_all_entry_points() {
+    let df = DataFrame::new(vec![
+        ("k".into(), Column::from_f64(vec![3.25; 40])),
+        ("c".into(), Column::from_strs(&["only"; 40])),
+        ("v".into(), Column::from_f64((0..40).map(|i| i as f64).collect())),
+    ])
+    .unwrap();
+    let cfg = Config::default();
+    // Univariate on a one-distinct-value column: histogram collapses to
+    // a single bin without panicking.
+    let a = plot(&df, &["k"], &cfg).unwrap();
+    let Some(Inter::Histogram { counts, .. }) = a.get("histogram") else { panic!() };
+    assert_eq!(counts.iter().sum::<u64>(), 40);
+    // Bivariate constant-vs-varying and categorical-vs-numeric.
+    assert!(!plot(&df, &["k", "v"], &cfg).unwrap().intermediates.is_empty());
+    assert!(!plot(&df, &["c", "v"], &cfg).unwrap().intermediates.is_empty());
+    // Correlation against a constant is undefined, not a crash.
+    let corr = plot_correlation(&df, &[], &cfg).unwrap();
+    let Some(Inter::Correlation(m)) = corr.get("correlation_matrix:Pearson") else { panic!() };
+    assert_eq!(m.get_by_name("k", "v").unwrap(), None);
+    // Missing analysis of a fully-populated constant column.
+    let missing = plot_missing(&df, &["k"], &cfg).unwrap();
+    assert!(missing.get("compare_histogram:v").is_some());
+    // A full report over the degenerate frame stays healthy.
+    let r = create_report(&df, &cfg).unwrap();
+    assert!(r.failed_sections().is_empty());
+}
+
+#[test]
 fn constant_columns() {
     let df = DataFrame::new(vec![
         ("k".into(), Column::from_f64(vec![7.5; 30])),

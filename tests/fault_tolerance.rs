@@ -1,0 +1,157 @@
+//! Fault-tolerance integration tests through the public API.
+//!
+//! The acceptance bar: a `create_report` run where one column's kernels
+//! are rigged to fail still completes, renders every other section,
+//! reports the failure in the diagnostics panel, and counts the failure
+//! in `ExecStats` — on both the single-thread and the pool scheduler.
+
+use eda_core::{create_report, plot, Config, SectionStatus};
+use eda_dataframe::{Column, DataFrame};
+use eda_render::layout::render_report_html;
+use eda_taskgraph::{inject, FaultInjector, FaultMode, FaultPlan, FaultTarget};
+
+fn frame() -> DataFrame {
+    let n = 240;
+    DataFrame::new(vec![
+        (
+            "price".into(),
+            Column::from_opt_f64(
+                (0..n)
+                    .map(|i| if i % 24 == 0 { None } else { Some(50.0 + ((i * 31) % 900) as f64) })
+                    .collect(),
+            ),
+        ),
+        ("size".into(), Column::from_f64((0..n).map(|i| 10.0 + ((i * 7) % 120) as f64).collect())),
+        ("city".into(), Column::from_string((0..n).map(|i| format!("c{}", i % 5)).collect())),
+    ])
+    .unwrap()
+}
+
+fn config_with_workers(workers: usize) -> Config {
+    Config::from_pairs(vec![("engine.workers", &workers.to_string() as &str)]).unwrap()
+}
+
+/// The acceptance-criteria run, parameterized over the scheduler.
+fn poisoned_column_still_yields_partial_report(workers: usize) {
+    let df = frame();
+    let cfg = config_with_workers(workers);
+    let _guard = inject::arm(FaultInjector::panic_on("freq:city"));
+
+    let report = create_report(&df, &cfg).expect("degraded, not failed");
+
+    // The failure is counted and attributed.
+    assert!(report.stats.tasks_failed >= 1, "{:?}", report.stats);
+    assert!(!report.stats.fully_succeeded());
+
+    // The poisoned column's section is degraded with a root cause…
+    let city = report.variables.iter().find(|v| v.name == "city").unwrap();
+    match &city.status {
+        SectionStatus::Failed { root_task, error, .. } => {
+            assert!(root_task.contains("freq:city"), "{root_task}");
+            assert!(error.contains("panicked"), "{error}");
+        }
+        SectionStatus::Ok => panic!("city section should have degraded"),
+    }
+
+    // …while every other column's section is fully computed.
+    for name in ["price", "size"] {
+        let var = report.variables.iter().find(|v| v.name == name).unwrap();
+        assert!(var.status.is_ok(), "{name} should be healthy");
+        assert!(var.intermediates.iter().count() > 0, "{name} lost its charts");
+    }
+    assert!(report.correlations_status.is_ok());
+    assert_eq!(report.correlations.len(), 3);
+    assert!(report.missing_status.is_ok());
+
+    // The rendered page carries the diagnostics panel plus live charts.
+    let html = render_report_html(&report, &cfg.display);
+    assert!(html.contains("eda-error"));
+    assert!(html.contains("section unavailable"));
+    assert!(html.contains("freq:city"));
+    assert!(html.matches("<svg").count() > 5, "healthy sections must still render");
+}
+
+#[test]
+fn poisoned_column_partial_report_single_thread() {
+    poisoned_column_still_yields_partial_report(1);
+}
+
+#[test]
+fn poisoned_column_partial_report_pool() {
+    poisoned_column_still_yields_partial_report(4);
+}
+
+#[test]
+fn plot_degrades_instead_of_erroring() {
+    let df = frame();
+    let cfg = Config::default();
+    let _guard = inject::arm(FaultInjector::panic_on("moments:price"));
+    let a = plot(&df, &["price"], &cfg).expect("degraded analysis, not Err");
+    match &a.status {
+        SectionStatus::Failed { root_task, .. } => {
+            assert!(root_task.contains("moments:price"), "{root_task}")
+        }
+        SectionStatus::Ok => panic!("analysis should have degraded"),
+    }
+    assert!(a.intermediates.iter().count() == 0);
+    // Untouched columns are unaffected by the armed injector's target.
+    let b = plot(&df, &["city"], &cfg).unwrap();
+    assert!(b.status.is_ok());
+}
+
+#[test]
+fn stalled_task_times_out_under_deadline() {
+    let df = frame();
+    let cfg = Config::from_pairs(vec![("engine.task_deadline_ms", "40")]).unwrap();
+    let _guard = inject::arm(FaultInjector::stall_on(
+        "sorted_values:price",
+        std::time::Duration::from_millis(120),
+    ));
+    let report = create_report(&df, &cfg).expect("timeout degrades, not fails");
+    assert!(report.stats.tasks_timed_out >= 1, "{:?}", report.stats);
+    let price = report.variables.iter().find(|v| v.name == "price").unwrap();
+    match &price.status {
+        SectionStatus::Failed { error, .. } => assert!(error.contains("deadline"), "{error}"),
+        SectionStatus::Ok => panic!("price should have timed out"),
+    }
+    let city = report.variables.iter().find(|v| v.name == "city").unwrap();
+    assert!(city.status.is_ok());
+}
+
+#[test]
+fn garbage_payload_fails_the_consumer_not_the_run() {
+    // Enough rows for several partitions, so the per-partition histogram
+    // map tasks feed a real tree-reduce task: that consumer — not the
+    // whole run — is what chokes on the garbage payload.
+    let n = 20_000;
+    let df = DataFrame::new(vec![
+        ("price".into(), Column::from_f64((0..n).map(|i| 50.0 + ((i * 31) % 900) as f64).collect())),
+        ("city".into(), Column::from_string((0..n).map(|i| format!("c{}", i % 5)).collect())),
+    ])
+    .unwrap();
+    let cfg = Config::default();
+    let _guard = inject::arm(FaultInjector::new(vec![FaultPlan {
+        target: FaultTarget::NameContains("histogram:price".into()),
+        mode: FaultMode::Garbage,
+    }]));
+    let report = create_report(&df, &cfg).expect("garbage degrades, not fails");
+    assert!(report.stats.tasks_failed >= 1, "{:?}", report.stats);
+    // The histogram reduce consumed the garbage: price degrades…
+    let price = report.variables.iter().find(|v| v.name == "price").unwrap();
+    assert!(!price.status.is_ok());
+    // …but sections that never touch the histogram survive.
+    assert!(report.missing_status.is_ok());
+    let city = report.variables.iter().find(|v| v.name == "city").unwrap();
+    assert!(city.status.is_ok());
+}
+
+#[test]
+fn unarmed_runs_are_untouched() {
+    let df = frame();
+    for workers in [1usize, 4] {
+        let cfg = config_with_workers(workers);
+        let report = create_report(&df, &cfg).unwrap();
+        assert!(report.stats.fully_succeeded(), "{:?}", report.stats);
+        assert!(report.failed_sections().is_empty());
+    }
+}

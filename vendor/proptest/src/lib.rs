@@ -1,0 +1,727 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate-registry access, so the workspace
+//! vendors a small, deterministic property-testing engine with the same
+//! macro and combinator surface the test suites use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat) {..} }`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! * `any::<T>()`, numeric range strategies, tuple strategies
+//! * `Just`, `prop_oneof!` (plain and weighted), `.prop_map`, `.prop_filter`
+//! * `prop::collection::vec`, `prop::option::of`, `prop::sample::select`
+//! * `&str` regex-class strategies of the form `"[class]{m,n}"`
+//!
+//! Differences from real proptest: failing cases are reported but not
+//! shrunk, regression files are ignored, and case generation is a pure
+//! function of the test name and case index (stable across runs).
+
+pub mod test_runner {
+    //! Deterministic RNG driving case generation.
+
+    /// SplitMix64-based generator. Each test case gets a stream derived
+    //  from the test name and case index, so failures are reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed directly.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Derive the generator for one (test, case) pair.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, n)`. Panics if `n == 0`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+#[doc(hidden)]
+pub fn run_cases<F>(name: &str, config: ProptestConfig, mut case_fn: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(name, case);
+        if let Err(msg) = case_fn(&mut rng) {
+            panic!("proptest '{name}' failed at case {case}/{}: {msg}", config.cases);
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Object-safe core (`sample`) plus `Sized`-gated combinators, so
+    /// `Box<dyn Strategy<Value = V>>` works for heterogeneous unions.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<W, F: Fn(Self::Value) -> W>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discard values failing `pred`, resampling (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, reason, pred }
+        }
+
+        /// Erase the concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, W, F: Fn(S::Value) -> W> Strategy for Map<S, F> {
+        type Value = W;
+        fn sample(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 consecutive samples", self.reason);
+        }
+    }
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms. Weights must sum > 0.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = (rng.next_u64() % self.total as u64) as u32;
+            for (weight, strat) in &self.arms {
+                if pick < *weight {
+                    return strat.sample(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// Types with a default "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        /// Mostly raw bit patterns (wild magnitudes, infinities, NaNs),
+        /// with occasional hand-picked special values.
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            const SPECIALS: [f64; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MAX,
+                f64::MIN_POSITIVE,
+            ];
+            if rng.next_u64().is_multiple_of(8) {
+                SPECIALS[rng.below(SPECIALS.len())]
+            } else {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+
+    /// The `any::<T>()` strategy object.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+
+    /// `&str` regex-class strategies: `"[class]{m,n}"` (or `{n}`).
+    ///
+    /// Supports literal characters, `a-z` ranges, backslash escapes, and
+    /// `\PC` ("any printable"). Anything else is rejected loudly — this
+    /// is an offline stub, not a regex engine.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min_len, max_len) = parse_class_pattern(self);
+            let len = min_len + rng.below(max_len - min_len + 1);
+            (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+        }
+    }
+
+    fn bad_pattern(pattern: &str) -> ! {
+        panic!("unsupported regex pattern {pattern:?} (offline proptest stub supports only \"[class]{{m,n}}\")")
+    }
+
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let inner = pattern.strip_prefix('[').unwrap_or_else(|| bad_pattern(pattern));
+        let (class, reps) = inner.split_once(']').unwrap_or_else(|| bad_pattern(pattern));
+        let reps = reps
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| bad_pattern(pattern));
+        let (min_len, max_len): (usize, usize) = match reps.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().unwrap_or_else(|_| bad_pattern(pattern)),
+                hi.parse().unwrap_or_else(|_| bad_pattern(pattern)),
+            ),
+            None => {
+                let n = reps.parse().unwrap_or_else(|_| bad_pattern(pattern));
+                (n, n)
+            }
+        };
+        let mut alphabet: Vec<char> = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC`: anything not in Unicode category C (i.e.
+                        // printable). Approximate with printable ASCII plus
+                        // a spread of non-ASCII printables.
+                        if chars.next() != Some('C') {
+                            bad_pattern(pattern);
+                        }
+                        alphabet.extend((0x20u8..=0x7E).map(char::from));
+                        alphabet.extend(['é', 'ß', 'λ', 'Ж', '中', '‑', '✓']);
+                    }
+                    Some(esc) => alphabet.push(esc),
+                    None => bad_pattern(pattern),
+                },
+                lo if chars.peek() == Some(&'-') => {
+                    chars.next();
+                    match chars.next() {
+                        Some(hi) => alphabet.extend((lo..=hi).filter(|c| c.is_ascii())),
+                        // Trailing '-' is a literal.
+                        None => {
+                            alphabet.push(lo);
+                            alphabet.push('-');
+                        }
+                    }
+                }
+                c => alphabet.push(c),
+            }
+        }
+        if alphabet.is_empty() || min_len > max_len {
+            bad_pattern(pattern);
+        }
+        (alphabet, min_len, max_len)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive length specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with random length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.max_exclusive - self.size.min;
+            let len = self.size.min + if span > 0 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generate vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option::of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `None` about a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// `Some` from `inner` most of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::select`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed, non-empty list.
+    pub struct Select<T: Clone> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.below(self.choices.len())].clone()
+        }
+    }
+
+    /// Pick uniformly from `choices`.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select() needs at least one choice");
+        Select { choices }
+    }
+}
+
+/// Define property tests. Mirrors proptest's surface: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), $cfg, |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    (move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body; failure fails the case with context
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), left,
+            ));
+        }
+    }};
+}
+
+/// Choose between strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `use proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` module path used as `prop::collection::vec` etc.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let strat = (0i64..10).prop_map(|v| v * 2);
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_resamples() {
+        let strat = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn oneof_weighted_hits_all_arms() {
+        let strat = prop_oneof![3 => Just(1), 1 => Just(2)];
+        let mut rng = TestRng::from_seed(11);
+        let draws: Vec<i32> = (0..200).map(|_| strat.sample(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+        let ones = draws.iter().filter(|&&v| v == 1).count();
+        assert!(ones > 100, "weighting ignored: {ones}/200");
+    }
+
+    #[test]
+    fn regex_class_strategy_respects_shape() {
+        let strat = "[a-c_]{2,4}";
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..100 {
+            let s = Strategy::sample(&strat, &mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_')));
+        }
+    }
+
+    #[test]
+    fn printable_class_excludes_controls() {
+        let strat = "[\\PC]{0,20}";
+        let mut rng = TestRng::from_seed(17);
+        for _ in 0..100 {
+            let s = Strategy::sample(&strat, &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_select() {
+        let strat = prop::collection::vec(prop::option::of(0u8..4), 1..6);
+        let mut rng = TestRng::from_seed(19);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+        let sel = prop::sample::select(vec![10, 20]);
+        let draws: Vec<i32> = (0..50).map(|_| sel.sample(&mut rng)).collect();
+        assert!(draws.contains(&10) && draws.contains(&20));
+    }
+
+    // The macro-generated shape itself, including config and multiple
+    // parameters.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generated_case(x in 0i64..50, flip in any::<bool>()) {
+            prop_assert!(x >= 0);
+            if flip {
+                prop_assert_eq!(x + 1, 1 + x);
+            }
+            prop_assert_ne!(x, -1);
+        }
+    }
+}
