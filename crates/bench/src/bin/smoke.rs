@@ -1,0 +1,105 @@
+//! The profiled smoke run: one `plot(df)` over the bitcoin-shaped
+//! dataset with tracing on, exporting the Chrome trace (and optionally a
+//! flamegraph collapsed-stack file and a per-stage-timing JSON) plus the
+//! derived metrics the Performance tab shows.
+//!
+//! Usage:
+//! `cargo run -p eda-bench --release --bin smoke -- --smoke --trace /tmp/trace.json`
+//!
+//! * `--smoke` — shrink the dataset to the CI-friendly size (50k rows).
+//! * `--rows <n>` — explicit row count (default 1,000,000; `--smoke` wins).
+//! * `--trace <path>` — write the Chrome `trace_event` JSON here.
+//! * `--stacks <path>` — write inferno-style collapsed stacks here.
+//! * `--json <path>` — write `BENCH_smoke.json` per-stage timings here.
+//!
+//! Also measures the same run with profiling off and prints the tracing
+//! overhead, backing the "≤ 5% when off" acceptance bar.
+
+use eda_bench::{arg_f64, arg_flag, arg_str, fmt_secs, machine_context, measure, print_table};
+use eda_core::{plot, Config};
+use eda_datagen::bitcoin::bitcoin_spec;
+use eda_datagen::generate;
+
+fn main() {
+    let rows = if arg_flag("--smoke") { 50_000 } else { arg_f64("--rows", 1_000_000.0) as usize };
+    println!("smoke profile: plot(df) on bitcoin[{rows} rows], engine.profile=true");
+    println!("{}", machine_context());
+    println!();
+
+    let df = generate(&bitcoin_spec(rows), 42);
+
+    let profiled = Config::from_pairs(vec![("engine.profile", "true")]).expect("knob exists");
+    let (analysis, traced_time) =
+        measure(|| plot(&df, &[], &profiled).expect("overview analysis"));
+    let stats = analysis.stats.as_ref().expect("stats recorded");
+    let trace = stats.trace.as_ref().expect("profiled run carries a trace");
+
+    if let Some(path) = arg_str("--trace") {
+        std::fs::write(&path, trace.to_chrome_trace()).expect("write chrome trace");
+        println!("chrome trace written to {path} (open via chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = arg_str("--stacks") {
+        std::fs::write(&path, trace.to_collapsed_stacks()).expect("write collapsed stacks");
+        println!("collapsed stacks written to {path}");
+    }
+    if let Some(path) = arg_str("--json") {
+        std::fs::write(&path, stage_timing_json(trace, rows)).expect("write stage json");
+        println!("per-stage timings written to {path}");
+    }
+
+    println!();
+    let cp = trace.critical_path();
+    let util = trace.worker_utilization();
+    let mut rows_out = vec![
+        vec!["wall time".into(), fmt_secs(stats.elapsed)],
+        vec!["tasks run / failed / skipped".into(),
+            format!("{} / {} / {}", stats.tasks_run, stats.tasks_failed, stats.tasks_skipped)],
+        vec!["CSE hits + pruned".into(), format!("{} + {}", stats.cse_hits, stats.pruned())],
+        vec!["critical path".into(), format!("{} over {} tasks", fmt_secs(cp.total), cp.tasks.len())],
+        vec!["mean worker utilization".into(),
+            format!("{:.0}%", 100.0 * util.iter().sum::<f64>() / util.len().max(1) as f64)],
+    ];
+    for span in trace.top_k(5) {
+        rows_out.push(vec![
+            format!("slow: {}", span.name),
+            format!("{} on w{}", fmt_secs(span.duration()), span.worker),
+        ]);
+    }
+    print_table(&["Metric", "Value"], &rows_out);
+
+    // Overhead check: the same workload with profiling off.
+    let (_, plain_time) = measure(|| plot(&df, &[], &Config::default()).expect("plain run"));
+    let overhead =
+        (traced_time.as_secs_f64() / plain_time.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+    println!();
+    println!(
+        "traced {} vs untraced {} ({overhead:+.1}% tracing overhead on this run)",
+        fmt_secs(traced_time),
+        fmt_secs(plain_time)
+    );
+}
+
+/// Hand-rolled `BENCH_smoke.json` body: per-stage (task-name) total time
+/// in microseconds, plus run metadata.
+fn stage_timing_json(trace: &eda_taskgraph::RunTrace, rows: usize) -> String {
+    use std::collections::BTreeMap;
+    let mut stages: BTreeMap<&str, u128> = BTreeMap::new();
+    for span in trace.executed() {
+        // Aggregate by kernel family (`hist:price` → `hist`).
+        let stage = span.name.split(':').next().unwrap_or(&span.name);
+        *stages.entry(stage).or_insert(0) += span.duration().as_micros();
+    }
+    let mut out = format!(
+        "{{\"experiment\":\"smoke\",\"rows\":{rows},\"workers\":{},\"elapsed_us\":{},\"stages_us\":{{",
+        trace.workers,
+        trace.elapsed.as_micros()
+    );
+    for (i, (stage, us)) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{stage}\":{us}"));
+    }
+    out.push_str("}}");
+    out
+}

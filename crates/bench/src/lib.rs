@@ -48,6 +48,17 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Parse a `--name <value>` string argument.
+pub fn arg_str(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
 /// Format a duration as seconds with sensible precision.
 pub fn fmt_secs(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -117,6 +128,7 @@ mod tests {
     fn args_default_when_absent() {
         assert_eq!(arg_f64("--definitely-not-passed", 1.5), 1.5);
         assert!(!arg_flag("--definitely-not-passed"));
+        assert_eq!(arg_str("--definitely-not-passed"), None);
     }
 
     #[test]

@@ -156,7 +156,14 @@ fn degraded(task: TaskKind, stats: Option<ExecStats>, err: EdaError) -> EdaResul
         EdaError::TaskFailed { task, .. } | EdaError::Timeout { task, .. } => task.clone(),
         _ => return Err(err),
     };
-    let elapsed = stats.as_ref().map(|s| s.elapsed).unwrap_or_default();
+    // Prefer the failing task's own span duration (profiled runs) over
+    // the coarse whole-run elapsed.
+    let elapsed = stats
+        .as_ref()
+        .and_then(|s| s.trace.as_ref())
+        .and_then(|t| t.elapsed_of(&root_task))
+        .or_else(|| stats.as_ref().map(|s| s.elapsed))
+        .unwrap_or_default();
     Ok(Analysis {
         task,
         intermediates: Intermediates::new(),

@@ -88,6 +88,7 @@ impl<'a> ComputeContext<'a> {
             per_task_latency: std::time::Duration::ZERO,
             deadline: self.deadline(),
             observer: self.progress.as_ref().map(Arc::clone),
+            trace: self.config.engine.profile,
         };
         // workers <= 1 means the in-place topological scheduler: no pool
         // to spin up, and fault-tolerance behaviour stays identical.
@@ -125,9 +126,14 @@ impl<'a> ComputeContext<'a> {
     }
 
     /// Execute under an explicit engine (used by the engine-comparison
-    /// benchmark, Figure 6a).
+    /// benchmark, Figure 6a). Honours `engine.profile` so benchmark runs
+    /// can emit traces too.
     pub fn execute_with(&mut self, engine: Engine, outputs: &[NodeId]) -> Vec<Payload> {
-        let result = engine.execute(&self.graph, outputs);
+        let opts = ExecOptions {
+            trace: self.config.engine.profile,
+            ..ExecOptions::default()
+        };
+        let result = engine.execute_opts(&self.graph, outputs, &opts);
         let payloads = result.outputs();
         self.last_stats = Some(result.stats);
         payloads

@@ -188,6 +188,10 @@ pub struct EngineConfig {
     /// skipped; the rest of the run completes and the report degrades
     /// gracefully.
     pub task_deadline_ms: u64,
+    /// Record a per-task trace of the run and render a "Performance" tab
+    /// in HTML output (worker Gantt, slowest tasks, critical path). Off
+    /// by default: untraced runs skip span recording entirely.
+    pub profile: bool,
 }
 
 /// Figure-size parameters consumed by the render layer.
@@ -279,6 +283,7 @@ impl Default for Config {
                 eager_finish: true,
                 sample_rows: 0,
                 task_deadline_ms: 0,
+                profile: false,
             },
             display: DisplayConfig { width: 450, height: 300 },
         }
@@ -375,6 +380,7 @@ impl Config {
             "engine.task_deadline_ms" => {
                 self.engine.task_deadline_ms = usize_of(key, value)? as u64
             }
+            "engine.profile" => self.engine.profile = bool_of(key, value)?,
             "display.width" => self.display.width = usize_of(key, value)?.max(50),
             "display.height" => self.display.height = usize_of(key, value)?.max(50),
             _ => {

@@ -56,6 +56,7 @@ pub const PARAMS: &[ParamSpec] = &[
     ParamSpec { key: "engine.eager_finish", default: "true", description: "Run small-data finishing steps eagerly (two-phase pipeline)" },
     ParamSpec { key: "engine.sample_rows", default: "0", description: "Compute on ~this many sampled rows when the frame is larger (0 = exact)" },
     ParamSpec { key: "engine.task_deadline_ms", default: "0", description: "Per-task wall-clock budget in ms; over-budget tasks degrade their section (0 = unlimited)" },
+    ParamSpec { key: "engine.profile", default: "false", description: "Trace every task and add a Performance tab (worker Gantt, slowest tasks) to HTML output" },
     ParamSpec { key: "display.width", default: "450", description: "Figure width in pixels" },
     ParamSpec { key: "display.height", default: "300", description: "Figure height in pixels" },
 ];
@@ -79,6 +80,7 @@ mod tests {
                 "0.5"
             } else if p.key.ends_with("share_computations")
                 || p.key.ends_with("eager_finish")
+                || p.key.ends_with("profile")
                 || p.key.ends_with("violin.enabled")
                 || p.key == "violin.enabled"
             {

@@ -284,6 +284,24 @@ impl Report {
         // Keep the correlation module's labels helper honest.
         debug_assert!(correlation::matrix_labels(&Intermediates::new()).is_empty());
 
+        // On profiled runs, replace each failed section's coarse run-level
+        // elapsed with the root-cause task's own span duration.
+        let refine = |status: SectionStatus| -> SectionStatus {
+            match (&stats.trace, status) {
+                (Some(trace), SectionStatus::Failed { error, root_task, elapsed }) => {
+                    let elapsed = trace.elapsed_of(&root_task).unwrap_or(elapsed);
+                    SectionStatus::Failed { error, root_task, elapsed }
+                }
+                (_, s) => s,
+            }
+        };
+        let overview_status = refine(overview_status);
+        let correlations_status = refine(correlations_status);
+        let missing_status = refine(missing_status);
+        for v in &mut variables {
+            v.status = refine(v.status.clone());
+        }
+
         Ok(Report {
             overview,
             overview_status,

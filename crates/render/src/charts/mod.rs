@@ -7,6 +7,7 @@
 mod bars;
 mod boxes;
 mod curves;
+pub mod gantt;
 mod matrix;
 mod missingviz;
 mod points;

@@ -11,7 +11,9 @@ use eda_core::config::DisplayConfig;
 use eda_core::intermediate::Inter;
 use eda_core::report::Report;
 use eda_core::Insight;
+use eda_taskgraph::ExecStats;
 
+use crate::charts::gantt::{fmt_dur, gantt, top_k_table};
 use crate::charts::render_chart;
 use crate::svg::Svg;
 
@@ -90,6 +92,47 @@ pub fn diagnostics_panel(status: &SectionStatus) -> String {
     }
 }
 
+/// The "Performance" panel of a profiled run: worker Gantt, top-K
+/// slowest tasks, and the derived metrics (critical path, utilization,
+/// queue-wait histogram, estimated CSE/prune savings). Empty when the
+/// run carried no trace (`engine.profile` off).
+pub fn performance_panel(stats: &ExecStats, display: &DisplayConfig) -> String {
+    let Some(trace) = &stats.trace else {
+        return String::new();
+    };
+    let mut html = String::new();
+    html.push_str(&gantt(trace, display.width.max(600), display.height.max(120)));
+    html.push_str("<h4>Slowest tasks</h4>");
+    html.push_str(&top_k_table(trace, 10));
+
+    let cp = trace.critical_path();
+    let avoided = stats.cse_hits + stats.pruned();
+    let mut rows = format!(
+        "<h4>Run metrics</h4><table class=\"eda-stats\">\
+         <tr><td>critical path</td><td>{} across {} tasks</td></tr>\
+         <tr><td>estimated CSE/prune savings</td><td>{} ({} tasks avoided)</td></tr>",
+        fmt_dur(cp.total),
+        cp.tasks.len(),
+        fmt_dur(trace.estimated_savings(avoided)),
+        avoided,
+    );
+    for (w, util) in trace.worker_utilization().iter().enumerate() {
+        rows.push_str(&format!(
+            "<tr><td>worker w{w} utilization</td><td>{:.0}%</td></tr>",
+            util * 100.0
+        ));
+    }
+    rows.push_str("</table>");
+    html.push_str(&rows);
+
+    html.push_str("<h4>Queue wait</h4><table class=\"eda-stats\">");
+    for (bucket, count) in trace.queue_wait_histogram() {
+        html.push_str(&format!("<tr><td>{bucket}</td><td>{count}</td></tr>"));
+    }
+    html.push_str("</table>");
+    html
+}
+
 /// Human-readable tab title from an intermediate name
 /// (`compare_histogram:price` → `Compare Histogram: price`).
 fn tab_title(name: &str) -> String {
@@ -117,11 +160,17 @@ fn tab_title(name: &str) -> String {
 /// Render one analysis as a standalone HTML page (title, insights box,
 /// tabbed charts — the front end of the paper's Figure 1).
 pub fn render_analysis_html(analysis: &Analysis, display: &DisplayConfig) -> String {
-    let tabs: Vec<(String, String)> = analysis
+    let mut tabs: Vec<(String, String)> = analysis
         .intermediates
         .iter()
         .map(|(name, inter)| (tab_title(name), render_chart(name, inter, display)))
         .collect();
+    if let Some(stats) = &analysis.stats {
+        let perf = performance_panel(stats, display);
+        if !perf.is_empty() {
+            tabs.push(("Performance".to_string(), perf));
+        }
+    }
     format!(
         "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{:?}</title>{STYLE}</head><body><h1>{:?}</h1>{}{}{}</body></html>",
         analysis.task,
@@ -189,6 +238,12 @@ pub fn render_report_html(report: &Report, display: &DisplayConfig) -> String {
         .map(|(name, inter)| (tab_title(name), render_chart(name, inter, display)))
         .collect();
     body.push_str(&tab_panel("missing", &tabs));
+
+    let perf = performance_panel(&report.stats, display);
+    if !perf.is_empty() {
+        body.push_str("<h2>Performance</h2>");
+        body.push_str(&perf);
+    }
 
     body.push_str(&format!(
         "<p><small>computed {} tasks ({} shared away) in {:.3}s on {} workers</small></p>",
@@ -301,6 +356,38 @@ mod tests {
         assert!(html.contains("task &lt;x&gt; panicked"));
         assert!(html.contains("freq:city"));
         assert!(html.contains("0.012"));
+    }
+
+    #[test]
+    fn profiled_analysis_gets_performance_tab() {
+        let df = frame();
+        let cfg = Config::from_pairs(vec![("engine.profile", "true")]).unwrap();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        let html = render_analysis_html(&a, &cfg.display);
+        assert!(html.contains("Performance"));
+        assert!(html.contains("Worker timeline"));
+        assert!(html.contains("Slowest tasks"));
+        assert!(html.contains("critical path"));
+        // One Gantt lane label per worker.
+        let workers = a.stats.as_ref().unwrap().workers;
+        for w in 0..workers {
+            assert!(html.contains(&format!(">w{w}<")), "missing lane w{w}");
+        }
+        // Unprofiled runs carry no trace and get no tab.
+        let plain = plot(&df, &["price"], &Config::default()).unwrap();
+        assert!(plain.stats.as_ref().unwrap().trace.is_none());
+        assert!(!render_analysis_html(&plain, &cfg.display).contains("Performance"));
+    }
+
+    #[test]
+    fn profiled_report_gets_performance_section() {
+        let df = frame();
+        let cfg = Config::from_pairs(vec![("engine.profile", "true")]).unwrap();
+        let r = create_report(&df, &cfg).unwrap();
+        let html = render_report_html(&r, &cfg.display);
+        assert!(html.contains("<h2>Performance</h2>"));
+        assert!(html.contains("Worker timeline"));
+        assert!(html.contains("Queue wait"));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 use std::time::Duration;
 
 use crate::graph::{NodeId, TaskGraph};
-use crate::scheduler::{run_pool, run_single_thread, ExecResult};
+use crate::scheduler::{
+    run_pool_opts, run_single_thread_opts, ExecOptions, ExecResult,
+};
+use crate::trace::RunTrace;
 
 /// How a task graph gets executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,13 +58,27 @@ impl Engine {
 
     /// Execute `outputs` of `graph` under this engine's model.
     pub fn execute(&self, graph: &TaskGraph, outputs: &[NodeId]) -> ExecResult {
+        self.execute_opts(graph, outputs, &ExecOptions::default())
+    }
+
+    /// [`Engine::execute`] with explicit [`ExecOptions`] (deadline,
+    /// observer, tracing). `opts.per_task_latency` is overridden by
+    /// [`Engine::HeavyScheduler`]'s own overhead.
+    pub fn execute_opts(
+        &self,
+        graph: &TaskGraph,
+        outputs: &[NodeId],
+        opts: &ExecOptions,
+    ) -> ExecResult {
         match *self {
-            Engine::LazyParallel { workers } => {
-                run_pool(graph, outputs, workers, Duration::ZERO)
-            }
-            Engine::SingleThread => run_single_thread(graph, outputs),
+            Engine::LazyParallel { workers } => run_pool_opts(graph, outputs, workers, opts),
+            Engine::SingleThread => run_single_thread_opts(graph, outputs, opts),
             Engine::HeavyScheduler { workers, overhead_us } => {
-                run_pool(graph, outputs, workers, Duration::from_micros(overhead_us))
+                let opts = ExecOptions {
+                    per_task_latency: Duration::from_micros(overhead_us),
+                    ..opts.clone()
+                };
+                run_pool_opts(graph, outputs, workers, &opts)
             }
             Engine::EagerPerOp { workers } => {
                 // One execution per output: shared dependencies rerun each
@@ -74,16 +91,31 @@ impl Engine {
                     workers,
                     ..Default::default()
                 };
+                // Per-output sub-runs each produce their own trace; offset
+                // every sub-run's spans by its start within the merged
+                // timeline so the Gantt view shows the sequential shape.
+                let mut sub_traces = Vec::new();
                 for &out in outputs {
-                    let r = run_pool(graph, &[out], workers, Duration::ZERO);
+                    let sub_started = started.elapsed();
+                    let r = run_pool_opts(graph, &[out], workers, opts);
                     stats.tasks_run += r.stats.tasks_run;
                     stats.live_nodes += r.stats.live_nodes;
                     stats.tasks_failed += r.stats.tasks_failed;
                     stats.tasks_skipped += r.stats.tasks_skipped;
                     stats.tasks_timed_out += r.stats.tasks_timed_out;
+                    if let Some(t) = &r.stats.trace {
+                        sub_traces.push((sub_started, RunTrace::clone(t)));
+                    }
                     all_outcomes.extend(r.outcomes);
                 }
                 stats.elapsed = started.elapsed();
+                if opts.trace {
+                    stats.trace = Some(std::sync::Arc::new(RunTrace::merge_sequential(
+                        sub_traces,
+                        workers,
+                        stats.elapsed,
+                    )));
+                }
                 ExecResult { outcomes: all_outcomes, stats }
             }
         }

@@ -47,6 +47,7 @@ pub mod outcome;
 pub mod partition;
 pub mod scheduler;
 pub mod stats;
+pub mod trace;
 
 pub use engine::Engine;
 pub use graph::{NodeId, Payload, TaskGraph};
@@ -55,3 +56,4 @@ pub use key::TaskKey;
 pub use outcome::{TaskError, TaskFailure, TaskOutcome};
 pub use partition::{ChunkMeta, PartitionedFrame};
 pub use stats::ExecStats;
+pub use trace::{LogLevel, RunTrace, SpanStatus, TaskSpan};

@@ -31,6 +31,7 @@ use crate::graph::{NodeId, Payload, TaskGraph};
 use crate::inject::{FaultMode, Garbage};
 use crate::outcome::{TaskError, TaskFailure, TaskOutcome};
 use crate::stats::ExecStats;
+use crate::trace::{self, LogLevel, RunTrace, SpanStatus, TaskSpan};
 
 /// Observer invoked after every completed task with
 /// `(completed, total_live)` — backs the front-end progress bar of the
@@ -51,6 +52,10 @@ pub struct ExecOptions {
     pub deadline: Option<Duration>,
     /// Called after every completed task with `(completed, total_live)`.
     pub observer: Option<ProgressObserver>,
+    /// Record a [`TaskSpan`] per dispatched task and attach the merged
+    /// [`RunTrace`] to `ExecStats`. Off by default: untraced runs branch
+    /// around every recording site and allocate nothing.
+    pub trace: bool,
 }
 
 /// Result of one execution: an outcome per requested output (same
@@ -95,6 +100,7 @@ pub fn run_single_thread_opts(
     let started = Instant::now();
     let order = graph.topo_order(outputs);
     let mut results: Vec<Option<TaskOutcome>> = vec![None; graph.len()];
+    let mut span_buf: Vec<TaskSpan> = Vec::new();
     for (done, &id) in order.iter().enumerate() {
         let inputs: Vec<TaskOutcome> = graph
             .task(id)
@@ -102,7 +108,11 @@ pub fn run_single_thread_opts(
             .iter()
             .map(|&d| results[d].clone().expect("dependency computed"))
             .collect();
-        results[id] = Some(execute_node(graph, id, &inputs, opts));
+        let (outcome, timing) = execute_node(graph, id, &inputs, opts, started);
+        if let Some(timing) = timing {
+            span_buf.push(make_span(graph, id, 0, timing, &outcome));
+        }
+        results[id] = Some(outcome);
         if let Some(obs) = &opts.observer {
             obs(done + 1, order.len());
         }
@@ -111,12 +121,17 @@ pub fn run_single_thread_opts(
         .iter()
         .map(|&id| results[id].clone().expect("output computed"))
         .collect();
+    let elapsed = started.elapsed();
+    let run_trace = opts
+        .trace
+        .then(|| Arc::new(RunTrace::from_buffers(vec![span_buf], 1, elapsed)));
     let stats = tally(
         order.iter().map(|&id| results[id].as_ref().expect("live node computed")),
         order.len(),
         graph,
         1,
-        started.elapsed(),
+        elapsed,
+        run_trace,
     );
     ExecResult { outcomes, stats }
 }
@@ -150,7 +165,12 @@ pub fn run_pool_observed(
     per_task_latency: Duration,
     observer: Option<ProgressObserver>,
 ) -> ExecResult {
-    run_pool_opts(graph, outputs, workers, &ExecOptions { per_task_latency, deadline: None, observer })
+    run_pool_opts(
+        graph,
+        outputs,
+        workers,
+        &ExecOptions { per_task_latency, observer, ..ExecOptions::default() },
+    )
 }
 
 /// [`run_pool`] with explicit [`ExecOptions`].
@@ -165,9 +185,12 @@ pub fn run_pool_opts(
     let live = graph.reachable(outputs);
     let live_count = live.iter().filter(|&&b| b).count();
     if live_count == 0 {
+        let trace = opts
+            .trace
+            .then(|| Arc::new(RunTrace::from_buffers(Vec::new(), workers, started.elapsed())));
         return ExecResult {
             outcomes: Vec::new(),
-            stats: tally(std::iter::empty(), 0, graph, workers, started.elapsed()),
+            stats: tally(std::iter::empty(), 0, graph, workers, started.elapsed(), trace),
         };
     }
     let dependents = graph.live_dependents(&live);
@@ -186,12 +209,17 @@ pub fn run_pool_opts(
         }
     }
 
+    // Each worker owns its span buffer (no lock on the recording path);
+    // buffers come back through the join handles and merge afterwards.
+    let mut span_buffers: Vec<Vec<TaskSpan>> = Vec::new();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        let mut handles = Vec::with_capacity(workers);
+        for worker_id in 0..workers {
             let ready_rx = ready_rx.clone();
             let done_tx = done_tx.clone();
             let results = Arc::clone(&results);
-            scope.spawn(move || {
+            handles.push(scope.spawn(move || {
+                let mut span_buf: Vec<TaskSpan> = Vec::new();
                 while let Ok(id) = ready_rx.recv() {
                     // Dependencies completed (with whatever outcome)
                     // before this node became ready.
@@ -206,13 +234,17 @@ pub fn run_pool_opts(
                                 .expect("dependency computed before dependent")
                         })
                         .collect();
-                    let outcome = execute_node(graph, id, &inputs, opts);
+                    let (outcome, timing) = execute_node(graph, id, &inputs, opts, started);
+                    if let Some(timing) = timing {
+                        span_buf.push(make_span(graph, id, worker_id, timing, &outcome));
+                    }
                     *results[id].lock() = Some(outcome);
                     if done_tx.send(id).is_err() {
                         break;
                     }
                 }
-            });
+                span_buf
+            }));
         }
 
         // Coordinator: track completions, release newly ready tasks.
@@ -234,6 +266,9 @@ pub fn run_pool_opts(
         }
         // Closing the channel terminates the workers.
         drop(ready_tx);
+        for handle in handles {
+            span_buffers.push(handle.join().expect("worker thread panicked"));
+        }
     });
 
     let outcomes = outputs
@@ -246,19 +281,29 @@ pub fn run_pool_opts(
         .filter(|&(_, &l)| l)
         .map(|(id, _)| results[id].lock().clone().expect("live node computed"))
         .collect();
-    let stats = tally(live_outcomes.iter(), live_count, graph, workers, started.elapsed());
+    let elapsed = started.elapsed();
+    let run_trace =
+        opts.trace.then(|| Arc::new(RunTrace::from_buffers(span_buffers, workers, elapsed)));
+    let stats = tally(live_outcomes.iter(), live_count, graph, workers, elapsed, run_trace);
     ExecResult { outcomes, stats }
 }
 
+/// `(start, end, payload_bytes)` of one dispatched task, as offsets from
+/// the run origin. Only produced when tracing is on.
+type SpanTiming = (Duration, Duration, usize);
+
 /// Run one node given its input outcomes: skip on failed inputs,
 /// otherwise execute under `catch_unwind`, applying any injected fault
-/// and the optional deadline.
+/// and the optional deadline. When `opts.trace` is set, the second
+/// element carries the span timing for [`make_span`]; it is `None` on
+/// untraced runs so the hot path allocates nothing.
 fn execute_node(
     graph: &TaskGraph,
     id: NodeId,
     inputs: &[TaskOutcome],
     opts: &ExecOptions,
-) -> TaskOutcome {
+    origin: Instant,
+) -> (TaskOutcome, Option<SpanTiming>) {
     let task = graph.task(id);
     // An upstream failure poisons only this subtree: record a skip
     // pointing at the transitive root cause and move on. The skip
@@ -266,17 +311,27 @@ fn execute_node(
     // depth.
     if let Some(err) = inputs.iter().find_map(|o| o.error()) {
         let (root_cause, root_name) = err.root_cause();
-        return TaskOutcome::Failed(Arc::new(TaskError {
-            task: id,
-            name: task.name.clone(),
-            failure: TaskFailure::Skipped {
-                root_cause,
-                root_name: root_name.to_string(),
-                root_failure: err.root_description(),
-            },
-            elapsed: err.elapsed,
-        }));
+        let timing = opts.trace.then(|| {
+            let now = origin.elapsed();
+            (now, now, 0)
+        });
+        return (
+            TaskOutcome::Failed(Arc::new(TaskError {
+                task: id,
+                name: task.name.clone(),
+                failure: TaskFailure::Skipped {
+                    root_cause,
+                    root_name: root_name.to_string(),
+                    root_failure: err.root_description(),
+                },
+                elapsed: err.elapsed,
+            })),
+            timing,
+        );
     }
+    // The span opens before the injected scheduling latency so heavy-
+    // scheduler traces show the overhead they model.
+    let span_start = opts.trace.then(|| origin.elapsed());
     if opts.per_task_latency > Duration::ZERO {
         spin_for(opts.per_task_latency);
     }
@@ -294,7 +349,7 @@ fn execute_node(
         None => (task.run)(&payloads),
     });
     let elapsed = started.elapsed();
-    match result {
+    let outcome = match result {
         Ok(payload) => match opts.deadline {
             Some(budget) if elapsed > budget => TaskOutcome::Failed(Arc::new(TaskError {
                 task: id,
@@ -310,6 +365,49 @@ fn execute_node(
             failure: TaskFailure::Panicked(message),
             elapsed,
         })),
+    };
+    if trace::log_enabled(LogLevel::Debug) {
+        trace::log(
+            LogLevel::Debug,
+            "eda::sched",
+            format_args!(
+                "task={} node={} status={} dur_us={}",
+                task.name,
+                id,
+                SpanStatus::of(&outcome).label(),
+                elapsed.as_micros()
+            ),
+        );
+    }
+    let timing = span_start.map(|start| {
+        let end = origin.elapsed();
+        let bytes = outcome.payload().map(trace::estimate_payload_bytes).unwrap_or(0);
+        (start, end, bytes)
+    });
+    (outcome, timing)
+}
+
+/// Build the [`TaskSpan`] for one dispatched task. `queue_wait` is
+/// derived later (in [`RunTrace::from_buffers`]) from dependency
+/// completion times, so it is zero here.
+fn make_span(
+    graph: &TaskGraph,
+    id: NodeId,
+    worker: usize,
+    (start, end, payload_bytes): SpanTiming,
+    outcome: &TaskOutcome,
+) -> TaskSpan {
+    let task = graph.task(id);
+    TaskSpan {
+        node: id,
+        name: task.name.clone(),
+        worker,
+        start,
+        end,
+        queue_wait: Duration::ZERO,
+        status: SpanStatus::of(outcome),
+        payload_bytes,
+        deps: task.deps.clone(),
     }
 }
 
@@ -345,13 +443,15 @@ fn catch_task_panic<F: FnOnce() -> Payload>(f: F) -> Result<Payload, String> {
     })
 }
 
-/// Fold per-node outcomes into [`ExecStats`].
+/// Fold per-node outcomes into [`ExecStats`], attaching the run trace
+/// when one was recorded.
 fn tally<'a>(
     live_outcomes: impl Iterator<Item = &'a TaskOutcome>,
     live_count: usize,
     graph: &TaskGraph,
     workers: usize,
     elapsed: Duration,
+    trace: Option<Arc<RunTrace>>,
 ) -> ExecStats {
     let mut stats = ExecStats {
         live_nodes: live_count,
@@ -359,6 +459,7 @@ fn tally<'a>(
         cse_hits: graph.cse_hits(),
         workers,
         elapsed,
+        trace,
         ..ExecStats::default()
     };
     for outcome in live_outcomes {
@@ -370,6 +471,23 @@ fn tally<'a>(
                 TaskFailure::Skipped { .. } => stats.tasks_skipped += 1,
             },
         }
+    }
+    if trace::log_enabled(LogLevel::Info) {
+        trace::log(
+            LogLevel::Info,
+            "eda::sched",
+            format_args!(
+                "run workers={} live={} run={} failed={} skipped={} timed_out={} cse_hits={} elapsed_us={}",
+                stats.workers,
+                stats.live_nodes,
+                stats.tasks_run,
+                stats.tasks_failed,
+                stats.tasks_skipped,
+                stats.tasks_timed_out,
+                stats.cse_hits,
+                stats.elapsed.as_micros()
+            ),
+        );
     }
     stats
 }

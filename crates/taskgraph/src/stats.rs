@@ -2,9 +2,14 @@
 //!
 //! Every run reports what the scheduler actually did — how many tasks ran,
 //! how many insertions were shared away, wall time — so the ablation
-//! benchmarks can attribute speedups to specific optimizations.
+//! benchmarks can attribute speedups to specific optimizations. Runs
+//! executed with [`crate::scheduler::ExecOptions::trace`] additionally
+//! carry a full per-task [`RunTrace`].
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::trace::RunTrace;
 
 /// Summary of one graph execution.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -27,12 +32,19 @@ pub struct ExecStats {
     pub tasks_skipped: usize,
     /// Tasks that finished but blew their per-task deadline.
     pub tasks_timed_out: usize,
+    /// Per-task spans, recorded only when the run was traced
+    /// ([`crate::scheduler::ExecOptions::trace`]); `None` otherwise so
+    /// untraced runs stay allocation-free.
+    pub trace: Option<Arc<RunTrace>>,
 }
 
 impl ExecStats {
-    /// Nodes skipped by dead-node pruning.
+    /// Nodes skipped by dead-node pruning. Saturating: retries and
+    /// engine-level stat merging can legitimately push `live_nodes` past
+    /// `total_nodes` (EagerPerOp sums live counts across sub-runs), and
+    /// "no pruning" is the honest answer then — not an underflow panic.
     pub fn pruned(&self) -> usize {
-        self.total_nodes - self.live_nodes
+        self.total_nodes.saturating_sub(self.live_nodes)
     }
 
     /// Whether every live task produced a payload.
@@ -49,5 +61,13 @@ mod tests {
     fn pruned_counts() {
         let s = ExecStats { live_nodes: 7, total_nodes: 10, ..Default::default() };
         assert_eq!(s.pruned(), 3);
+    }
+
+    #[test]
+    fn pruned_saturates_when_live_exceeds_total() {
+        // EagerPerOp merges live counts across per-output sub-runs, so a
+        // shared dependency is "live" more than once.
+        let s = ExecStats { live_nodes: 12, total_nodes: 10, ..Default::default() };
+        assert_eq!(s.pruned(), 0);
     }
 }

@@ -1,0 +1,664 @@
+//! Per-task tracing and run metrics.
+//!
+//! The paper's performance claim rests on *which* tasks a run executes
+//! and how well the pool keeps its workers busy; aggregate
+//! [`crate::stats::ExecStats`] counters cannot show either. This module
+//! records one [`TaskSpan`] per dispatched task — node, name, worker,
+//! start/end offsets from the run origin, outcome, payload-size
+//! estimate — into a plain per-worker `Vec` (each worker owns its
+//! buffer, so recording takes no lock), merges the buffers into a
+//! [`RunTrace`] attached to `ExecStats`, and derives everything a perf
+//! PR needs to attribute a speedup:
+//!
+//! * exporters — Chrome `trace_event` JSON ([`RunTrace::to_chrome_trace`],
+//!   loadable in `chrome://tracing` / Perfetto) and collapsed-stack lines
+//!   ([`RunTrace::to_collapsed_stacks`]) for inferno-style flamegraphs;
+//! * derived metrics — critical path, per-worker utilization, queue-wait
+//!   histogram, top-K slowest tasks, CSE/prune savings in estimated task
+//!   time;
+//! * structured logs — a `RUST_LOG`-style `EDA_LOG` env filter gating
+//!   compact `key=value` lines from the schedulers.
+//!
+//! Tracing is off unless [`crate::scheduler::ExecOptions::trace`] is set:
+//! the schedulers branch around every recording site, so untraced runs
+//! pay one predictable-false branch per task and allocate nothing.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use crate::graph::{NodeId, Payload};
+use crate::outcome::{TaskFailure, TaskOutcome};
+
+/// How a span's task ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// The task produced a payload.
+    Ok,
+    /// The task panicked.
+    Failed,
+    /// The task finished but blew its deadline.
+    TimedOut,
+    /// The task never ran (upstream failure); zero-duration span.
+    Skipped,
+}
+
+impl SpanStatus {
+    /// Stable lowercase label used by exporters and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Failed => "failed",
+            SpanStatus::TimedOut => "timed_out",
+            SpanStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Whether the task actually dispatched (ran on a worker). Skips are
+    /// bookkeeping, not execution.
+    pub fn executed(&self) -> bool {
+        !matches!(self, SpanStatus::Skipped)
+    }
+
+    /// Classify a task outcome.
+    pub fn of(outcome: &TaskOutcome) -> SpanStatus {
+        match outcome {
+            TaskOutcome::Ok(_) => SpanStatus::Ok,
+            TaskOutcome::Failed(err) => match err.failure {
+                TaskFailure::Panicked(_) => SpanStatus::Failed,
+                TaskFailure::TimedOut { .. } => SpanStatus::TimedOut,
+                TaskFailure::Skipped { .. } => SpanStatus::Skipped,
+            },
+        }
+    }
+}
+
+/// One dispatched task, as seen by the scheduler.
+///
+/// All times are offsets from the run origin (the instant the scheduler
+/// started), so spans from different workers share one clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Graph node.
+    pub node: NodeId,
+    /// Task name (op label), e.g. `"histogram:price"`.
+    pub name: String,
+    /// Worker that ran the task (`0` on the single-thread scheduler).
+    pub worker: usize,
+    /// Offset from run origin at which the task started.
+    pub start: Duration,
+    /// Offset from run origin at which the task ended.
+    pub end: Duration,
+    /// Time the task spent ready but waiting for a worker: start minus
+    /// the latest dependency completion (or run origin for sources).
+    pub queue_wait: Duration,
+    /// How the task ended.
+    pub status: SpanStatus,
+    /// Estimated size of the produced payload in bytes (0 when none).
+    pub payload_bytes: usize,
+    /// Dependency nodes (for critical-path and queue-wait derivation).
+    pub deps: Vec<NodeId>,
+}
+
+impl TaskSpan {
+    /// Wall-clock duration of the span.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The merged trace of one run: every span plus run-level context.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunTrace {
+    /// All spans, sorted by node id (which is also topological order).
+    pub spans: Vec<TaskSpan>,
+    /// Worker count the run was configured with.
+    pub workers: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// The critical path through a run: the dependency chain whose span
+/// durations sum highest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CriticalPath {
+    /// Summed task time along the path.
+    pub total: Duration,
+    /// Task names along the path, dependencies first.
+    pub tasks: Vec<String>,
+}
+
+/// Upper edges (exclusive) of the queue-wait histogram buckets; the last
+/// bucket is unbounded. Log-scaled: waits span micro- to milliseconds.
+pub const QUEUE_WAIT_EDGES: [(Duration, &str); 6] = [
+    (Duration::from_micros(10), "<10µs"),
+    (Duration::from_micros(100), "<100µs"),
+    (Duration::from_millis(1), "<1ms"),
+    (Duration::from_millis(10), "<10ms"),
+    (Duration::from_millis(100), "<100ms"),
+    (Duration::MAX, "≥100ms"),
+];
+
+impl RunTrace {
+    /// Merge per-worker span buffers into one trace, deriving each
+    /// span's queue wait from its dependencies' completion times.
+    pub fn from_buffers(
+        buffers: Vec<Vec<TaskSpan>>,
+        workers: usize,
+        elapsed: Duration,
+    ) -> RunTrace {
+        let mut spans: Vec<TaskSpan> = buffers.into_iter().flatten().collect();
+        spans.sort_by_key(|s| s.node);
+        let ends: HashMap<NodeId, Duration> =
+            spans.iter().map(|s| (s.node, s.end)).collect();
+        for span in &mut spans {
+            let ready = span
+                .deps
+                .iter()
+                .filter_map(|d| ends.get(d).copied())
+                .max()
+                .unwrap_or(Duration::ZERO);
+            span.queue_wait = span.start.saturating_sub(ready);
+        }
+        RunTrace { spans, workers, elapsed }
+    }
+
+    /// Concatenate the traces of sequential sub-runs (the EagerPerOp
+    /// engine runs one graph per output), shifting each sub-run's spans
+    /// by the offset at which it started.
+    pub fn merge_sequential(
+        parts: Vec<(Duration, RunTrace)>,
+        workers: usize,
+        elapsed: Duration,
+    ) -> RunTrace {
+        let mut spans = Vec::new();
+        for (offset, part) in parts {
+            for mut span in part.spans {
+                span.start += offset;
+                span.end += offset;
+                spans.push(span);
+            }
+        }
+        spans.sort_by_key(|s| (s.start, s.node));
+        RunTrace { spans, workers, elapsed }
+    }
+
+    /// Spans that actually dispatched (everything but skips).
+    pub fn executed(&self) -> impl Iterator<Item = &TaskSpan> {
+        self.spans.iter().filter(|s| s.status.executed())
+    }
+
+    /// The span of the named task, if present (first match).
+    pub fn span_named(&self, name: &str) -> Option<&TaskSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Wall-clock duration of the named task's span, if traced.
+    pub fn elapsed_of(&self, name: &str) -> Option<Duration> {
+        self.span_named(name).map(TaskSpan::duration)
+    }
+
+    /// The `k` slowest executed tasks, longest first.
+    pub fn top_k(&self, k: usize) -> Vec<&TaskSpan> {
+        let mut spans: Vec<&TaskSpan> = self.executed().collect();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.duration()));
+        spans.truncate(k);
+        spans
+    }
+
+    /// Busy fraction per worker id (`busy task time / run elapsed`),
+    /// indexed `0..workers`.
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        let mut busy = vec![Duration::ZERO; self.workers.max(1)];
+        for span in self.executed() {
+            if let Some(b) = busy.get_mut(span.worker) {
+                *b += span.duration();
+            }
+        }
+        let total = self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        busy.iter().map(|b| (b.as_secs_f64() / total).min(1.0)).collect()
+    }
+
+    /// Queue-wait histogram over the fixed log-scaled
+    /// [`QUEUE_WAIT_EDGES`] buckets: `(label, count)` per bucket.
+    pub fn queue_wait_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts = vec![0usize; QUEUE_WAIT_EDGES.len()];
+        for span in self.executed() {
+            let bucket = QUEUE_WAIT_EDGES
+                .iter()
+                .position(|(edge, _)| span.queue_wait < *edge)
+                .unwrap_or(QUEUE_WAIT_EDGES.len() - 1);
+            counts[bucket] += 1;
+        }
+        QUEUE_WAIT_EDGES.iter().map(|(_, l)| *l).zip(counts).collect()
+    }
+
+    /// The critical path: longest dependency chain by summed span
+    /// duration. Node ids ascend in dependency order, so one forward
+    /// pass suffices.
+    pub fn critical_path(&self) -> CriticalPath {
+        let mut best: HashMap<NodeId, (Duration, NodeId)> = HashMap::new();
+        let mut tail: Option<NodeId> = None;
+        let mut tail_total = Duration::ZERO;
+        for span in &self.spans {
+            let (dep_total, dep) = span
+                .deps
+                .iter()
+                .filter_map(|d| best.get(d).map(|&(t, _)| (t, *d)))
+                .max_by_key(|&(t, _)| t)
+                .unwrap_or((Duration::ZERO, span.node));
+            let total = dep_total + span.duration();
+            best.insert(span.node, (total, dep));
+            if total >= tail_total {
+                tail_total = total;
+                tail = Some(span.node);
+            }
+        }
+        let names: HashMap<NodeId, &str> =
+            self.spans.iter().map(|s| (s.node, s.name.as_str())).collect();
+        let mut tasks = Vec::new();
+        let mut cursor = tail;
+        while let Some(node) = cursor {
+            tasks.push(names.get(&node).copied().unwrap_or("?").to_string());
+            let (_, dep) = best[&node];
+            cursor = if dep == node { None } else { Some(dep) };
+        }
+        tasks.reverse();
+        CriticalPath { total: tail_total, tasks }
+    }
+
+    /// Mean duration of executed spans (zero when none ran).
+    pub fn mean_task_time(&self) -> Duration {
+        let (mut sum, mut n) = (Duration::ZERO, 0u32);
+        for span in self.executed() {
+            sum += span.duration();
+            n += 1;
+        }
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            sum / n
+        }
+    }
+
+    /// Estimated task time the optimizer saved, in wall-task-seconds:
+    /// `avoided_tasks × mean task time`. This turns the node-count
+    /// `cse_hits` / pruned counters into the paper's actual currency —
+    /// computation time not spent.
+    pub fn estimated_savings(&self, avoided_tasks: usize) -> Duration {
+        let mean = self.mean_task_time();
+        mean.checked_mul(avoided_tasks as u32).unwrap_or(Duration::MAX)
+    }
+
+    /// Export as Chrome `trace_event` JSON (the object form with a
+    /// `traceEvents` array), loadable in `chrome://tracing` or Perfetto.
+    ///
+    /// Executed spans become complete (`"ph":"X"`) events — one per task
+    /// that ran, failed, or timed out — with worker as the thread id.
+    /// Skipped tasks become instant (`"ph":"i"`) events so the viewer
+    /// still shows where the graph was cut.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for span in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let name = json_escape(&span.name);
+            let ts = span.start.as_micros();
+            if span.status.executed() {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur},\"pid\":1,\"tid\":{tid},\"args\":{{\"node\":{node},\
+                     \"status\":\"{status}\",\"queue_wait_us\":{qw},\"payload_bytes\":{pb}}}}}",
+                    dur = span.duration().as_micros(),
+                    tid = span.worker,
+                    node = span.node,
+                    status = span.status.label(),
+                    qw = span.queue_wait.as_micros(),
+                    pb = span.payload_bytes,
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"s\":\"t\",\"pid\":1,\"tid\":{tid},\"args\":{{\"node\":{node},\
+                     \"status\":\"skipped\"}}}}",
+                    tid = span.worker,
+                    node = span.node,
+                );
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Export as collapsed-stack lines (`frame;frame weight`), the input
+    /// format of inferno / flamegraph.pl. Tasks aggregate by name under
+    /// a `run` root frame; weights are microseconds of task time.
+    pub fn to_collapsed_stacks(&self) -> String {
+        let mut by_name: HashMap<&str, u128> = HashMap::new();
+        for span in self.executed() {
+            *by_name.entry(span.name.as_str()).or_insert(0) +=
+                span.duration().as_micros();
+        }
+        let mut lines: Vec<(&str, u128)> = by_name.into_iter().collect();
+        lines.sort();
+        let mut out = String::new();
+        for (name, micros) in lines {
+            // Frame separators are `;`; scrub them from task names.
+            let frame = name.replace(';', ",");
+            let _ = writeln!(out, "run;{frame} {micros}");
+        }
+        out
+    }
+}
+
+/// Estimate the in-memory size of a payload in bytes.
+///
+/// Payloads are type-erased, so this downcasts against the common kernel
+/// payload shapes and falls back to the fat-pointer size for everything
+/// else — an *estimate* for profiling, not an accounting tool.
+pub fn estimate_payload_bytes(p: &Payload) -> usize {
+    if let Some(v) = p.downcast_ref::<Vec<f64>>() {
+        v.len() * 8
+    } else if let Some(v) = p.downcast_ref::<Vec<i64>>() {
+        v.len() * 8
+    } else if let Some(v) = p.downcast_ref::<Vec<u64>>() {
+        v.len() * 8
+    } else if let Some(v) = p.downcast_ref::<Vec<usize>>() {
+        v.len() * 8
+    } else if let Some(v) = p.downcast_ref::<Vec<bool>>() {
+        v.len()
+    } else if let Some(v) = p.downcast_ref::<Vec<(f64, f64)>>() {
+        v.len() * 16
+    } else if let Some(v) = p.downcast_ref::<Vec<String>>() {
+        v.iter().map(|s| s.len() + 24).sum()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.len() + 24
+    } else if p.downcast_ref::<f64>().is_some()
+        || p.downcast_ref::<i64>().is_some()
+        || p.downcast_ref::<u64>().is_some()
+        || p.downcast_ref::<usize>().is_some()
+    {
+        8
+    } else {
+        std::mem::size_of::<Payload>()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging with a RUST_LOG-style env filter.
+// ---------------------------------------------------------------------------
+
+/// Log verbosity, ordered. Controlled by the `EDA_LOG` environment
+/// variable (`error`..`trace`, or `target=level` items separated by
+/// commas, of which the level parts apply); unset or `off` disables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Logging disabled.
+    Off = 0,
+    /// Failures only.
+    Error = 1,
+    /// Suspicious but recoverable conditions.
+    Warn = 2,
+    /// One line per run.
+    Info = 3,
+    /// One line per task.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl LogLevel {
+    fn parse(s: &str) -> Option<LogLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(LogLevel::Off),
+            "error" => Some(LogLevel::Error),
+            "warn" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            "trace" => Some(LogLevel::Trace),
+            _ => None,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        }
+    }
+}
+
+fn max_level() -> LogLevel {
+    static LEVEL: OnceLock<LogLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let Ok(spec) = std::env::var("EDA_LOG") else { return LogLevel::Off };
+        // RUST_LOG-style: comma-separated `level` or `target=level`
+        // items; the most verbose level wins (targets all live in this
+        // workspace, so per-target filtering adds nothing here).
+        spec.split(',')
+            .filter_map(|item| {
+                let level = item.rsplit('=').next().unwrap_or(item);
+                LogLevel::parse(level)
+            })
+            .max()
+            .unwrap_or(LogLevel::Off)
+    })
+}
+
+/// Whether a message at `level` would be emitted. Callers use this to
+/// skip formatting entirely on the hot path.
+pub fn log_enabled(level: LogLevel) -> bool {
+    level <= max_level() && level != LogLevel::Off
+}
+
+/// Emit one compact structured line to stderr:
+/// `eda level=<level> target=<target> <message>`, where `message` is
+/// `key=value` pairs by convention.
+pub fn log(level: LogLevel, target: &str, message: std::fmt::Arguments<'_>) {
+    if log_enabled(level) {
+        eprintln!("eda level={} target={} {}", level.label(), target, message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn span(node: NodeId, name: &str, worker: usize, start_us: u64, end_us: u64, deps: Vec<NodeId>) -> TaskSpan {
+        TaskSpan {
+            node,
+            name: name.into(),
+            worker,
+            start: Duration::from_micros(start_us),
+            end: Duration::from_micros(end_us),
+            queue_wait: Duration::ZERO,
+            status: SpanStatus::Ok,
+            payload_bytes: 0,
+            deps,
+        }
+    }
+
+    fn diamond_trace() -> RunTrace {
+        // a(0..100) -> b(110..300 on w0), c(120..200 on w1) -> d(310..400)
+        RunTrace::from_buffers(
+            vec![
+                vec![span(0, "a", 0, 0, 100, vec![]), span(1, "b", 0, 110, 300, vec![0])],
+                vec![span(2, "c", 1, 120, 200, vec![0]), span(3, "d", 1, 310, 400, vec![1, 2])],
+            ],
+            2,
+            Duration::from_micros(400),
+        )
+    }
+
+    #[test]
+    fn queue_wait_derived_from_dep_ends() {
+        let t = diamond_trace();
+        let by_name = |n: &str| t.span_named(n).unwrap();
+        assert_eq!(by_name("a").queue_wait, Duration::ZERO);
+        assert_eq!(by_name("b").queue_wait, Duration::from_micros(10));
+        assert_eq!(by_name("c").queue_wait, Duration::from_micros(20));
+        assert_eq!(by_name("d").queue_wait, Duration::from_micros(10)); // after b at 300
+    }
+
+    #[test]
+    fn critical_path_follows_slow_branch() {
+        let t = diamond_trace();
+        let cp = t.critical_path();
+        assert_eq!(cp.tasks, vec!["a", "b", "d"]);
+        // 100 + 190 + 90
+        assert_eq!(cp.total, Duration::from_micros(380));
+    }
+
+    #[test]
+    fn top_k_is_sorted_desc() {
+        let t = diamond_trace();
+        let top = t.top_k(2);
+        assert_eq!(top[0].name, "b"); // 190us
+        assert_eq!(top[1].name, "a"); // 100us
+    }
+
+    #[test]
+    fn utilization_per_worker() {
+        let t = diamond_trace();
+        let u = t.worker_utilization();
+        assert_eq!(u.len(), 2);
+        // w0 busy 100+190 of 400; w1 busy 80+90 of 400.
+        assert!((u[0] - 290.0 / 400.0).abs() < 1e-9, "{u:?}");
+        assert!((u[1] - 170.0 / 400.0).abs() < 1e-9, "{u:?}");
+    }
+
+    #[test]
+    fn queue_wait_histogram_buckets() {
+        let t = diamond_trace();
+        let hist = t.queue_wait_histogram();
+        assert_eq!(hist.len(), QUEUE_WAIT_EDGES.len());
+        assert_eq!(hist.iter().map(|(_, c)| c).sum::<usize>(), 4);
+        // All waits are 0-20us: first two buckets.
+        assert_eq!(hist[0].1 + hist[1].1, 4);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let t = diamond_trace();
+        let json = t.to_chrome_trace();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 0);
+        // Balanced braces (hand-rolled JSON sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn skipped_spans_export_as_instants() {
+        let mut t = diamond_trace();
+        t.spans[3].status = SpanStatus::Skipped;
+        let json = t.to_chrome_trace();
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+    }
+
+    #[test]
+    fn collapsed_stacks_aggregate_by_name() {
+        let mut t = diamond_trace();
+        t.spans.push(span(4, "b", 0, 500, 600, vec![]));
+        let folded = t.to_collapsed_stacks();
+        let line = folded.lines().find(|l| l.starts_with("run;b ")).unwrap();
+        assert_eq!(line, "run;b 290"); // 190 + 100
+        assert!(folded.lines().all(|l| l.starts_with("run;")));
+    }
+
+    #[test]
+    fn savings_scale_with_mean_task_time() {
+        let t = diamond_trace();
+        // mean = (100+190+80+90)/4 = 115us
+        assert_eq!(t.mean_task_time(), Duration::from_micros(115));
+        assert_eq!(t.estimated_savings(3), Duration::from_micros(345));
+    }
+
+    #[test]
+    fn payload_size_estimates() {
+        let v: Payload = Arc::new(vec![1.0f64; 10]);
+        assert_eq!(estimate_payload_bytes(&v), 80);
+        let b: Payload = Arc::new(vec![true; 5]);
+        assert_eq!(estimate_payload_bytes(&b), 5);
+        let s: Payload = Arc::new(String::from("abc"));
+        assert_eq!(estimate_payload_bytes(&s), 27);
+        let scalar: Payload = Arc::new(7i64);
+        assert_eq!(estimate_payload_bytes(&scalar), 8);
+        struct Opaque;
+        let o: Payload = Arc::new(Opaque);
+        assert_eq!(estimate_payload_bytes(&o), std::mem::size_of::<Payload>());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn merge_sequential_offsets_spans() {
+        let part = RunTrace::from_buffers(
+            vec![vec![span(0, "a", 0, 0, 100, vec![])]],
+            1,
+            Duration::from_micros(100),
+        );
+        let merged = RunTrace::merge_sequential(
+            vec![(Duration::ZERO, part.clone()), (Duration::from_micros(500), part)],
+            1,
+            Duration::from_micros(600),
+        );
+        assert_eq!(merged.spans.len(), 2);
+        assert_eq!(merged.spans[1].start, Duration::from_micros(500));
+        assert_eq!(merged.spans[1].end, Duration::from_micros(600));
+    }
+
+    #[test]
+    fn log_levels_ordered_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Debug);
+        assert_eq!(LogLevel::parse("DEBUG"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("nope"), None);
+    }
+
+    /// The collector-side clock helper: offsets are measured from one
+    /// origin Instant.
+    #[test]
+    fn spans_nest_within_elapsed_by_construction() {
+        let origin = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        let start = origin.elapsed();
+        let end = origin.elapsed();
+        assert!(start <= end);
+    }
+}

@@ -146,6 +146,30 @@ fn garbage_payload_fails_the_consumer_not_the_run() {
 }
 
 #[test]
+fn injected_stall_dominates_the_profile() {
+    // Tracing × fault-injection interop: a stalled kernel must surface
+    // as the longest span and be named in the top-K slowest table.
+    let df = frame();
+    let cfg = Config::from_pairs(vec![("engine.profile", "true")]).unwrap();
+    let stall = std::time::Duration::from_millis(60);
+    let _guard = inject::arm(FaultInjector::stall_on("moments:price", stall));
+
+    let report = create_report(&df, &cfg).expect("stall without deadline still completes");
+    let trace = report.stats.trace.as_ref().expect("profiled run carries a trace");
+
+    let top = trace.top_k(5);
+    assert!(!top.is_empty());
+    assert!(top[0].name.contains("moments:price"), "stalled task should rank first: {top:?}");
+    assert!(top[0].duration() >= stall, "span {:?} shorter than the stall", top[0].duration());
+
+    // The rendered top-K table names the stalled task first.
+    let html = render_report_html(&report, &cfg.display);
+    let perf = html.find("<h2>Performance</h2>").expect("performance section");
+    let slow = html[perf..].find("moments:price").expect("stalled task in top-K table");
+    assert!(slow > 0);
+}
+
+#[test]
 fn unarmed_runs_are_untouched() {
     let df = frame();
     for workers in [1usize, 4] {
