@@ -15,10 +15,13 @@
 //! Also measures the same run with profiling off and prints the tracing
 //! overhead, backing the "≤ 5% when off" acceptance bar.
 
-use eda_bench::{arg_f64, arg_flag, arg_str, fmt_secs, machine_context, measure, print_table};
+use eda_bench::{
+    arg_f64, arg_flag, arg_str, fmt_secs, machine_context, measure, peak_rss_bytes, print_table,
+};
 use eda_core::{plot, Config};
 use eda_datagen::bitcoin::bitcoin_spec;
 use eda_datagen::generate;
+use eda_taskgraph::PartitionedFrame;
 
 fn main() {
     let rows = if arg_flag("--smoke") { 50_000 } else { arg_f64("--rows", 1_000_000.0) as usize };
@@ -27,6 +30,12 @@ fn main() {
     println!();
 
     let df = generate(&bitcoin_spec(rows), 42);
+
+    // Partition stage in isolation: zero-copy views make this O(columns)
+    // per partition, so it should read as microseconds even at full scale.
+    let (pf, partition_time) = measure(|| PartitionedFrame::from_frame(&df, 16));
+    let npartitions = pf.npartitions();
+    drop(pf);
 
     let profiled = Config::from_pairs(vec![("engine.profile", "true")]).expect("knob exists");
     let (analysis, traced_time) =
@@ -43,7 +52,7 @@ fn main() {
         println!("collapsed stacks written to {path}");
     }
     if let Some(path) = arg_str("--json") {
-        std::fs::write(&path, stage_timing_json(trace, rows)).expect("write stage json");
+        std::fs::write(&path, stage_timing_json(trace, rows, partition_time)).expect("write stage json");
         println!("per-stage timings written to {path}");
     }
 
@@ -58,6 +67,8 @@ fn main() {
         vec!["critical path".into(), format!("{} over {} tasks", fmt_secs(cp.total), cp.tasks.len())],
         vec!["mean worker utilization".into(),
             format!("{:.0}%", 100.0 * util.iter().sum::<f64>() / util.len().max(1) as f64)],
+        vec![format!("partition into {npartitions} (zero-copy)"), fmt_secs(partition_time)],
+        vec!["peak RSS".into(), format!("{:.1} MiB", peak_rss_bytes() as f64 / (1 << 20) as f64)],
     ];
     for span in trace.top_k(5) {
         rows_out.push(vec![
@@ -81,7 +92,11 @@ fn main() {
 
 /// Hand-rolled `BENCH_smoke.json` body: per-stage (task-name) total time
 /// in microseconds, plus run metadata.
-fn stage_timing_json(trace: &eda_taskgraph::RunTrace, rows: usize) -> String {
+fn stage_timing_json(
+    trace: &eda_taskgraph::RunTrace,
+    rows: usize,
+    partition_time: std::time::Duration,
+) -> String {
     use std::collections::BTreeMap;
     let mut stages: BTreeMap<&str, u128> = BTreeMap::new();
     for span in trace.executed() {
@@ -90,9 +105,11 @@ fn stage_timing_json(trace: &eda_taskgraph::RunTrace, rows: usize) -> String {
         *stages.entry(stage).or_insert(0) += span.duration().as_micros();
     }
     let mut out = format!(
-        "{{\"experiment\":\"smoke\",\"rows\":{rows},\"workers\":{},\"elapsed_us\":{},\"stages_us\":{{",
+        "{{\"experiment\":\"smoke\",\"rows\":{rows},\"workers\":{},\"elapsed_us\":{},\"partition_stage_us\":{},\"peak_rss_bytes\":{},\"stages_us\":{{",
         trace.workers,
-        trace.elapsed.as_micros()
+        trace.elapsed.as_micros(),
+        partition_time.as_micros(),
+        peak_rss_bytes()
     );
     for (i, (stage, us)) in stages.iter().enumerate() {
         if i > 0 {

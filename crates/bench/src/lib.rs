@@ -98,6 +98,28 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 on platforms without procfs. Monotonic over
+/// the process lifetime — use it as a whole-run high-water mark, not a
+/// per-stage delta.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// One-line machine context printed by every experiment.
 pub fn machine_context() -> String {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -134,5 +156,15 @@ mod tests {
     #[test]
     fn machine_context_mentions_cores() {
         assert!(machine_context().contains("core"));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible() {
+        let peak = peak_rss_bytes();
+        // On Linux a running test process has a nonzero high-water mark;
+        // elsewhere the helper degrades to 0.
+        if cfg!(target_os = "linux") {
+            assert!(peak > 0);
+        }
     }
 }

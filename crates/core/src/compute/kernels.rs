@@ -94,9 +94,13 @@ pub fn moments(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -
         move |df| {
             let filtered = maybe_dropped(df, dropped.as_deref());
             let frame = filtered.as_ref().unwrap_or(df);
+            let c = col(frame, &name);
             let mut m = Moments::new();
-            for v in col(frame, &name).numeric_iter().expect("numeric").flatten() {
-                m.push(v);
+            match (c.f64_values(), c.validity()) {
+                // Null-free float window: feed the buffer to the sketch
+                // as one contiguous slice.
+                (Some(vals), None) => m.push_slice(vals),
+                _ => c.for_each_numeric(|v| m.push(v)).expect("numeric"),
             }
             pl(m)
         },
@@ -122,12 +126,14 @@ pub fn sorted_values(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&s
         move |df| {
             let filtered = maybe_dropped(df, dropped.as_deref());
             let frame = filtered.as_ref().unwrap_or(df);
-            let mut v: Vec<f64> = col(frame, &name)
-                .numeric_iter()
-                .expect("numeric")
-                .flatten()
-                .filter(|x| !x.is_nan())
-                .collect();
+            let c = col(frame, &name);
+            let mut v: Vec<f64> = Vec::with_capacity(c.len() - c.null_count());
+            c.for_each_numeric(|x| {
+                if !x.is_nan() {
+                    v.push(x);
+                }
+            })
+            .expect("numeric");
             v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
             pl(v)
         },
@@ -195,9 +201,9 @@ pub fn histogram_with_range(
                 let filtered = maybe_dropped(&frame_arc, dropped.as_deref());
                 let frame = filtered.as_ref().unwrap_or(&frame_arc);
                 let mut h = Histogram::new(mom.min, mom.max, bins);
-                for v in col(frame, &name).numeric_iter().expect("numeric").flatten() {
-                    h.push(v);
-                }
+                col(frame, &name)
+                    .for_each_numeric(|v| h.push(v))
+                    .expect("numeric");
                 pl(h)
             })
         })
@@ -369,7 +375,16 @@ pub fn null_indicator(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
         &ctx.sources.clone(),
         move |df| {
             let c = col(df, &name);
-            let v: Vec<bool> = (0..c.len()).map(|i| !c.is_valid(i)).collect();
+            // Validity scans walk the bitmap's bytes, not per-row asserts;
+            // a column without a bitmap has no nulls at all.
+            let v: Vec<bool> = match c.validity() {
+                None => vec![false; c.len()],
+                Some(bm) => {
+                    let mut v = vec![true; c.len()];
+                    bm.for_each_set(|i| v[i] = false);
+                    v
+                }
+            };
             pl(v)
         },
         |a, b| {
@@ -403,9 +418,9 @@ pub fn grouped_numeric(
         &ctx.sources.clone(),
         move |df| {
             let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
-            let cats: Vec<Option<String>> = col(df, &cn).display_iter().collect();
+            let cats = col(df, &cn).display_iter();
             let nums = col(df, &nn).numeric_iter().expect("numeric");
-            for (c, v) in cats.into_iter().zip(nums) {
+            for (c, v) in cats.zip(nums) {
                 if let (Some(c), Some(v)) = (c, v) {
                     if !v.is_nan() && keep_for_map.contains(&c) {
                         groups.entry(c).or_default().push(v);
@@ -448,9 +463,9 @@ pub fn crosstab(
         &ctx.sources.clone(),
         move |df| {
             let mut counts: HashMap<(String, String), u64> = HashMap::new();
-            let a: Vec<Option<String>> = col(df, &n1).display_iter().collect();
-            let b: Vec<Option<String>> = col(df, &n2).display_iter().collect();
-            for (x, y) in a.into_iter().zip(b) {
+            let a = col(df, &n1).display_iter();
+            let b = col(df, &n2).display_iter();
+            for (x, y) in a.zip(b) {
                 if let (Some(x), Some(y)) = (x, y) {
                     if k1.contains(&x) && k2.contains(&y) {
                         *counts.entry((x, y)).or_insert(0) += 1;
@@ -635,9 +650,9 @@ pub fn multi_line(
                     .iter()
                     .map(|k| (k.clone(), Histogram::new(mom.min, mom.max, bins)))
                     .collect();
-                let cats: Vec<Option<String>> = col(&frame, &cn).display_iter().collect();
+                let cats = col(&frame, &cn).display_iter();
                 let nums = col(&frame, &nn).numeric_iter().expect("numeric");
-                for (c, v) in cats.into_iter().zip(nums) {
+                for (c, v) in cats.zip(nums) {
                     if let (Some(c), Some(v)) = (c, v) {
                         if let Some(h) = hists.get_mut(&c) {
                             h.push(v);

@@ -1,14 +1,27 @@
-//! Packed validity bitmap.
+//! Packed validity bitmap backed by a shared, windowed buffer.
 //!
 //! Each column may carry a [`Bitmap`] marking which entries are valid
 //! (bit set) versus null (bit clear). A column without a bitmap has no
 //! nulls. One bit per value, LSB-first within each byte, matching the
 //! Arrow convention so the representation is familiar to readers.
+//!
+//! The backing bytes live in an `Arc`, and a bitmap is an `(offset, len)`
+//! bit window over them: [`Bitmap::slice`] is an O(1) pointer bump that
+//! shares the buffer with the parent, which is what makes partitioning a
+//! [`crate::DataFrame`] copy-free. Mutation (`push`/`set`/`extend_from`)
+//! is copy-on-write — it first re-packs the window into a fresh owned
+//! buffer when the current one is shared or windowed, so builders that
+//! own their bitmap pay nothing.
 
-/// A growable, packed bitset tracking value validity.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+use std::sync::Arc;
+
+/// A packed bitset tracking value validity, cheaply sliceable.
+#[derive(Debug, Clone, Default)]
 pub struct Bitmap {
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
+    /// Bit offset of the window start within `bytes`.
+    offset: usize,
+    /// Window length in bits.
     len: usize,
 }
 
@@ -21,9 +34,16 @@ impl Bitmap {
     /// A bitmap of `len` bits, all set to `value`.
     pub fn filled(len: usize, value: bool) -> Self {
         let fill = if value { 0xFF } else { 0x00 };
-        let mut bm = Bitmap { bytes: vec![fill; len.div_ceil(8)], len };
-        bm.mask_tail();
-        bm
+        let mut bytes = vec![fill; len.div_ceil(8)];
+        // Keep the unused tail clear so whole-byte scans of freshly built
+        // bitmaps never see garbage.
+        let tail = len % 8;
+        if tail != 0 {
+            if let Some(last) = bytes.last_mut() {
+                *last &= (1u8 << tail) - 1;
+            }
+        }
+        Bitmap { bytes: Arc::new(bytes), offset: 0, len }
     }
 
     /// Build from an iterator of booleans (also available through the
@@ -31,11 +51,18 @@ impl Bitmap {
     /// call sites that already have a `Bitmap` in scope).
     #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let mut bm = Bitmap::new();
+        let mut bytes = Vec::new();
+        let mut len = 0usize;
         for b in iter {
-            bm.push(b);
+            if len.is_multiple_of(8) {
+                bytes.push(0);
+            }
+            if b {
+                bytes[len / 8] |= 1 << (len % 8);
+            }
+            len += 1;
         }
-        bm
+        Bitmap { bytes: Arc::new(bytes), offset: 0, len }
     }
 
     /// Number of bits.
@@ -48,14 +75,40 @@ impl Bitmap {
         self.len == 0
     }
 
+    /// Whether two bitmaps share one backing buffer (zero-copy views of
+    /// the same allocation).
+    pub fn shares_buffer(&self, other: &Bitmap) -> bool {
+        Arc::ptr_eq(&self.bytes, &other.bytes)
+    }
+
+    /// Re-pack the window into a fresh, uniquely owned, offset-0 buffer
+    /// unless it already is one. All mutators funnel through here, so a
+    /// builder that owns its bitmap stays on the in-place fast path while
+    /// mutation of a shared view copies first (copy-on-write).
+    fn make_unique(&mut self) {
+        if self.offset == 0 && Arc::get_mut(&mut self.bytes).is_some() {
+            return;
+        }
+        let repacked = Bitmap::from_iter(self.iter());
+        self.bytes = repacked.bytes;
+        self.offset = 0;
+    }
+
     /// Append one bit.
     pub fn push(&mut self, value: bool) {
-        let (byte, bit) = (self.len / 8, self.len % 8);
-        if bit == 0 {
-            self.bytes.push(0);
+        self.make_unique();
+        let len = self.len;
+        let bytes = Arc::get_mut(&mut self.bytes).expect("unique after make_unique");
+        if len / 8 >= bytes.len() {
+            bytes.push(0);
         }
+        let slot = &mut bytes[len / 8];
+        let mask = 1u8 << (len % 8);
+        // Clear first: the byte may hold stale bits from a longer parent
+        // buffer this window was truncated from.
+        *slot &= !mask;
         if value {
-            self.bytes[byte] |= 1 << bit;
+            *slot |= mask;
         }
         self.len += 1;
     }
@@ -64,22 +117,63 @@ impl Bitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of bounds for length {}", self.len);
-        (self.bytes[i / 8] >> (i % 8)) & 1 == 1
+        let j = self.offset + i;
+        (self.bytes[j / 8] >> (j % 8)) & 1 == 1
     }
 
     /// Set bit `i` to `value`. Panics if out of bounds.
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.len, "bit index {i} out of bounds for length {}", self.len);
+        self.make_unique();
+        let bytes = Arc::get_mut(&mut self.bytes).expect("unique after make_unique");
         if value {
-            self.bytes[i / 8] |= 1 << (i % 8);
+            bytes[i / 8] |= 1 << (i % 8);
         } else {
-            self.bytes[i / 8] &= !(1 << (i % 8));
+            bytes[i / 8] &= !(1 << (i % 8));
         }
     }
 
-    /// Number of set (valid) bits.
+    /// The byte at buffer index `byte`, with any bits outside the window
+    /// masked to zero.
+    #[inline]
+    fn masked_byte(&self, byte: usize) -> u8 {
+        let mut b = self.bytes[byte];
+        let start = self.offset;
+        let end = self.offset + self.len;
+        if byte == start / 8 {
+            b &= 0xFFu8 << (start % 8);
+        }
+        if byte == (end - 1) / 8 && !end.is_multiple_of(8) {
+            b &= (1u8 << (end % 8)) - 1;
+        }
+        b
+    }
+
+    /// Number of set (valid) bits. Walks whole bytes (u64 gulps over the
+    /// interior) rather than testing bit by bit, masking only the two
+    /// window-edge bytes.
     pub fn count_set(&self) -> usize {
-        self.bytes.iter().map(|b| b.count_ones() as usize).sum()
+        if self.len == 0 {
+            return 0;
+        }
+        let first = self.offset / 8;
+        let last = (self.offset + self.len - 1) / 8;
+        if first == last {
+            return self.masked_byte(first).count_ones() as usize;
+        }
+        let mut total =
+            self.masked_byte(first).count_ones() as usize + self.masked_byte(last).count_ones() as usize;
+        let interior = &self.bytes[first + 1..last];
+        let mut chunks = interior.chunks_exact(8);
+        for w in &mut chunks {
+            total += u64::from_le_bytes(w.try_into().expect("8-byte chunk")).count_ones() as usize;
+        }
+        total += chunks
+            .remainder()
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum::<usize>();
+        total
     }
 
     /// Number of clear (null) bits.
@@ -92,27 +186,56 @@ impl Bitmap {
         self.count_set() == self.len
     }
 
-    /// Iterate over the bits.
+    /// Iterate over the bits of the window.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
-        (0..self.len).map(move |i| self.get(i))
+        let (bytes, offset) = (&self.bytes[..], self.offset);
+        (offset..offset + self.len).map(move |j| (bytes[j / 8] >> (j % 8)) & 1 == 1)
     }
 
-    /// A new bitmap restricted to `range` (half-open).
+    /// Call `f` with the window-relative index of every set bit. Skips
+    /// whole zero bytes at a time and visits set bits via trailing-zero
+    /// scans, so sparse validity costs ~n/8 byte loads instead of n bit
+    /// tests.
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        if self.len == 0 {
+            return;
+        }
+        let first = self.offset / 8;
+        let last = (self.offset + self.len - 1) / 8;
+        for byte in first..=last {
+            let mut w = self.masked_byte(byte);
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(byte * 8 + bit - self.offset);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// An O(1) zero-copy view of `len` bits starting at `start`; shares
+    /// the backing buffer with `self`.
     pub fn slice(&self, start: usize, len: usize) -> Bitmap {
         assert!(start + len <= self.len, "slice out of bounds");
-        Bitmap::from_iter((start..start + len).map(|i| self.get(i)))
+        Bitmap {
+            bytes: Arc::clone(&self.bytes),
+            offset: self.offset + start,
+            len,
+        }
     }
 
     /// Bitwise AND of two equal-length bitmaps.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch in and()");
-        let bytes = self
-            .bytes
-            .iter()
-            .zip(&other.bytes)
-            .map(|(a, b)| a & b)
-            .collect();
-        Bitmap { bytes, len: self.len }
+        if self.offset.is_multiple_of(8) && other.offset.is_multiple_of(8) {
+            let a = &self.bytes[self.offset / 8..];
+            let b = &other.bytes[other.offset / 8..];
+            let nbytes = self.len.div_ceil(8);
+            let bytes: Vec<u8> = (0..nbytes).map(|i| a[i] & b[i]).collect();
+            let mut out = Bitmap { bytes: Arc::new(bytes), offset: 0, len: self.len };
+            out.mask_tail();
+            return out;
+        }
+        Bitmap::from_iter(self.iter().zip(other.iter()).map(|(a, b)| a && b))
     }
 
     /// Append all bits of `other`.
@@ -122,17 +245,28 @@ impl Bitmap {
         }
     }
 
-    /// Clear the unused bits of the last byte so equality and popcount
-    /// stay well-defined after bulk fills.
+    /// Clear the unused bits of the last byte so whole-byte scans stay
+    /// well-defined after bulk fills. Only meaningful for owned,
+    /// offset-0 buffers.
     fn mask_tail(&mut self) {
         let tail = self.len % 8;
         if tail != 0 {
-            if let Some(last) = self.bytes.last_mut() {
+            if let Some(last) = Arc::get_mut(&mut self.bytes).and_then(|b| b.last_mut()) {
                 *last &= (1u8 << tail) - 1;
             }
         }
     }
 }
+
+/// Equality is logical — two bitmaps are equal when their windows hold
+/// the same bits, regardless of buffer sharing or window offset.
+impl PartialEq for Bitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Bitmap {}
 
 impl FromIterator<bool> for Bitmap {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
@@ -201,11 +335,76 @@ mod tests {
     }
 
     #[test]
+    fn slice_is_zero_copy_and_composes() {
+        let bm = Bitmap::from_iter((0..100).map(|i| i % 7 == 0));
+        let s = bm.slice(13, 60);
+        assert!(s.shares_buffer(&bm));
+        let s2 = s.slice(10, 20);
+        assert!(s2.shares_buffer(&bm));
+        for i in 0..20 {
+            assert_eq!(s2.get(i), (i + 23) % 7 == 0);
+        }
+        assert_eq!(s2.count_set(), (23..43).filter(|i| i % 7 == 0).count());
+    }
+
+    #[test]
+    fn count_set_on_unaligned_windows() {
+        let bits: Vec<bool> = (0..257).map(|i| i % 3 == 0).collect();
+        let bm = Bitmap::from_iter(bits.iter().copied());
+        for (start, len) in [(0, 257), (1, 250), (7, 9), (8, 64), (13, 0), (250, 7), (63, 65)] {
+            let expected = bits[start..start + len].iter().filter(|b| **b).count();
+            assert_eq!(bm.slice(start, len).count_set(), expected, "window ({start},{len})");
+        }
+    }
+
+    #[test]
+    fn for_each_set_matches_iter() {
+        let bits: Vec<bool> = (0..133).map(|i| i % 5 == 0 || i % 11 == 3).collect();
+        let bm = Bitmap::from_iter(bits.iter().copied());
+        let view = bm.slice(9, 101);
+        let mut seen = Vec::new();
+        view.for_each_set(|i| seen.push(i));
+        let expected: Vec<usize> = (0..101).filter(|&i| bits[i + 9]).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn mutating_a_view_copies_on_write() {
+        let bm = Bitmap::from_iter((0..16).map(|i| i % 2 == 0));
+        let mut view = bm.slice(4, 8);
+        view.push(true);
+        assert!(!view.shares_buffer(&bm));
+        assert_eq!(view.len(), 9);
+        assert!(view.get(8));
+        for i in 0..8 {
+            assert_eq!(view.get(i), (i + 4) % 2 == 0);
+        }
+        // Parent untouched.
+        assert_eq!(bm.len(), 16);
+        assert_eq!(bm.count_set(), 8);
+
+        let mut view2 = bm.slice(0, 8);
+        view2.set(1, true);
+        assert!(view2.get(1));
+        assert!(!bm.get(1));
+    }
+
+    #[test]
     fn and_combines() {
         let a = Bitmap::from_iter([true, true, false, false]);
         let b = Bitmap::from_iter([true, false, true, false]);
         let c = a.and(&b);
         assert_eq!(c.iter().collect::<Vec<_>>(), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn and_on_unaligned_views() {
+        let a = Bitmap::from_iter((0..40).map(|i| i % 2 == 0)).slice(3, 20);
+        let b = Bitmap::from_iter((0..40).map(|i| i % 3 == 0)).slice(5, 20);
+        let c = a.and(&b);
+        for i in 0..20 {
+            assert_eq!(c.get(i), (i + 3) % 2 == 0 && (i + 5) % 3 == 0, "bit {i}");
+        }
     }
 
     #[test]
@@ -225,6 +424,15 @@ mod tests {
         let a = Bitmap::filled(5, true);
         let b = Bitmap::from_iter([true; 5]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_is_logical_across_offsets() {
+        let bm = Bitmap::from_iter((0..32).map(|i| i % 4 == 1));
+        let view = bm.slice(4, 8);
+        let rebuilt = Bitmap::from_iter((4..12).map(|i| i % 4 == 1));
+        assert_eq!(view, rebuilt);
+        assert!(!view.shares_buffer(&rebuilt));
     }
 
     #[test]

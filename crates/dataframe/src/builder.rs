@@ -162,46 +162,19 @@ macro_rules! typed_builder {
                 }
             }
 
-            /// Freeze into an immutable column.
+            /// Freeze into an immutable column. Hands the packed values
+            /// and the lazily built bitmap straight to the column — no
+            /// `Vec<Option<_>>` staging pass.
             pub fn finish(self) -> Column {
-                match self.validity {
-                    Some(v) => {
-                        let opts: Vec<Option<$t>> = self
-                            .values
-                            .into_iter()
-                            .enumerate()
-                            .map(|(i, x)| if v.get(i) { Some(x) } else { None })
-                            .collect();
-                        Column::$variant(opts)
-                    }
-                    None => Column::$variant(
-                        self.values.into_iter().map(Some).collect::<Vec<_>>(),
-                    ),
-                }
+                Column::$variant(self.values, self.validity)
             }
         }
     };
 }
 
-// The `finish` paths above funnel through the `from_opt_*` constructors to
-// keep bitmap bookkeeping in one place; macro indirection maps each builder
-// to the right constructor via these small shims.
-#[allow(non_snake_case)]
-impl Column {
-    fn Float64Opts(v: Vec<Option<f64>>) -> Column {
-        Column::from_opt_f64(v)
-    }
-    fn Int64Opts(v: Vec<Option<i64>>) -> Column {
-        Column::from_opt_i64(v)
-    }
-    fn BoolOpts(v: Vec<Option<bool>>) -> Column {
-        Column::from_opt_bool(v)
-    }
-}
-
-typed_builder!(F64Builder, f64, 0.0, Float64Opts, "Builder for float columns.");
-typed_builder!(I64Builder, i64, 0, Int64Opts, "Builder for integer columns.");
-typed_builder!(BoolBuilder, bool, false, BoolOpts, "Builder for boolean columns.");
+typed_builder!(F64Builder, f64, 0.0, from_f64_validity, "Builder for float columns.");
+typed_builder!(I64Builder, i64, 0, from_i64_validity, "Builder for integer columns.");
+typed_builder!(BoolBuilder, bool, false, from_bool_validity, "Builder for boolean columns.");
 
 impl F64Builder {
     /// Append a value.
@@ -294,18 +267,11 @@ impl StrBuilder {
         }
     }
 
-    /// Freeze into an immutable column.
+    /// Freeze into an immutable column. Hands the packed values and the
+    /// lazily built bitmap straight to the column — no `Vec<Option<_>>`
+    /// staging pass.
     pub fn finish(self) -> Column {
-        match self.validity {
-            Some(bm) => Column::from_opt_string(
-                self.values
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, s)| if bm.get(i) { Some(s) } else { None })
-                    .collect(),
-            ),
-            None => Column::from_string(self.values),
-        }
+        Column::from_string_validity(self.values, self.validity)
     }
 }
 

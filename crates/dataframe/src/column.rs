@@ -1,19 +1,29 @@
 //! Typed columnar storage.
 //!
 //! A [`Column`] is a contiguous vector of one physical type plus an optional
-//! validity [`Bitmap`]. Columns are immutable once built; dataframes share
-//! them via `Arc`, so slicing a frame into partitions never deep-copies
-//! unless rows must actually be rearranged (filter/gather).
+//! validity [`Bitmap`]. Columns are immutable once built; the value buffer
+//! lives behind an `Arc` and each column is an `(offset, len)` window over
+//! it, so [`Column::slice`] — and therefore dataframe slicing and the whole
+//! partitioning stage — is an O(1) pointer bump that never copies rows.
+//! Only operations that genuinely rearrange rows (filter/gather/concat)
+//! allocate.
+
+use std::sync::Arc;
 
 use crate::bitmap::Bitmap;
 use crate::dtype::DataType;
 use crate::error::{Error, Result};
 use crate::value::Value;
 
-/// Values plus optional validity for one physical type.
-#[derive(Debug, Clone, PartialEq)]
+/// Values plus optional validity for one physical type: a window over a
+/// shared buffer.
+#[derive(Debug, Clone)]
 pub struct TypedData<T> {
-    pub(crate) values: Vec<T>,
+    pub(crate) values: Arc<Vec<T>>,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+    /// Validity window aligned with `[offset, offset + len)`; its own
+    /// offset bookkeeping lives inside the bitmap.
     pub(crate) validity: Option<Bitmap>,
 }
 
@@ -22,11 +32,18 @@ impl<T> TypedData<T> {
         if let Some(v) = &validity {
             assert_eq!(v.len(), values.len(), "validity length must match values");
         }
-        TypedData { values, validity }
+        let len = values.len();
+        TypedData { values: Arc::new(values), offset: 0, len, validity }
     }
 
     fn len(&self) -> usize {
-        self.values.len()
+        self.len
+    }
+
+    /// The windowed values as a plain slice.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[T] {
+        &self.values[self.offset..self.offset + self.len]
     }
 
     #[inline]
@@ -36,6 +53,36 @@ impl<T> TypedData<T> {
 
     fn null_count(&self) -> usize {
         self.validity.as_ref().map_or(0, |v| v.count_unset())
+    }
+
+    /// Zero-copy window: shares the value buffer (and validity buffer)
+    /// with `self`.
+    fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(start + len <= self.len, "slice out of bounds");
+        TypedData {
+            values: Arc::clone(&self.values),
+            offset: self.offset + start,
+            len,
+            validity: self.validity.as_ref().map(|v| v.slice(start, len)),
+        }
+    }
+
+    /// Iterate the window as `Option<&T>` without per-element bounds or
+    /// validity asserts: the no-null path is a plain slice walk.
+    pub(crate) fn opt_iter(&self) -> Box<dyn Iterator<Item = Option<&T>> + '_> {
+        let vals = self.as_slice();
+        match &self.validity {
+            None => Box::new(vals.iter().map(Some)),
+            Some(bm) => Box::new(vals.iter().zip(bm.iter()).map(|(v, ok)| ok.then_some(v))),
+        }
+    }
+}
+
+/// Equality is logical: two columns are equal when their windows hold the
+/// same values and nullity, regardless of buffer sharing or offsets.
+impl<T: PartialEq> PartialEq for TypedData<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice() && self.validity == other.validity
     }
 }
 
@@ -67,6 +114,13 @@ impl Column {
         Column::Float64(TypedData::new(data, some_if_nulls(validity)))
     }
 
+    /// A float column from raw parts: packed values plus an optional
+    /// validity bitmap (dropped when it has no nulls). Lets builders
+    /// freeze without re-staging values through `Vec<Option<_>>`.
+    pub fn from_f64_validity(values: Vec<f64>, validity: Option<Bitmap>) -> Self {
+        Column::Float64(TypedData::new(values, validity.and_then(some_if_nulls_opt)))
+    }
+
     /// A non-null integer column.
     pub fn from_i64(values: Vec<i64>) -> Self {
         Column::Int64(TypedData::new(values, None))
@@ -77,6 +131,11 @@ impl Column {
         let validity: Bitmap = values.iter().map(Option::is_some).collect();
         let data = values.into_iter().map(|v| v.unwrap_or(0)).collect();
         Column::Int64(TypedData::new(data, some_if_nulls(validity)))
+    }
+
+    /// An integer column from raw parts (see [`Column::from_f64_validity`]).
+    pub fn from_i64_validity(values: Vec<i64>, validity: Option<Bitmap>) -> Self {
+        Column::Int64(TypedData::new(values, validity.and_then(some_if_nulls_opt)))
     }
 
     /// A non-null string column from owned strings.
@@ -99,6 +158,11 @@ impl Column {
         Column::Str(TypedData::new(data, some_if_nulls(validity)))
     }
 
+    /// A string column from raw parts (see [`Column::from_f64_validity`]).
+    pub fn from_string_validity(values: Vec<String>, validity: Option<Bitmap>) -> Self {
+        Column::Str(TypedData::new(values, validity.and_then(some_if_nulls_opt)))
+    }
+
     /// A non-null boolean column.
     pub fn from_bool(values: Vec<bool>) -> Self {
         Column::Bool(TypedData::new(values, None))
@@ -109,6 +173,11 @@ impl Column {
         let validity: Bitmap = values.iter().map(Option::is_some).collect();
         let data = values.into_iter().map(|v| v.unwrap_or(false)).collect();
         Column::Bool(TypedData::new(data, some_if_nulls(validity)))
+    }
+
+    /// A boolean column from raw parts (see [`Column::from_f64_validity`]).
+    pub fn from_bool_validity(values: Vec<bool>, validity: Option<Bitmap>) -> Self {
+        Column::Bool(TypedData::new(values, validity.and_then(some_if_nulls_opt)))
     }
 
     // ---- metadata ---------------------------------------------------------
@@ -159,17 +228,68 @@ impl Column {
         }
     }
 
+    /// The validity window, when the column tracks nulls.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::Float64(d) => d.validity.as_ref(),
+            Column::Int64(d) => d.validity.as_ref(),
+            Column::Str(d) => d.validity.as_ref(),
+            Column::Bool(d) => d.validity.as_ref(),
+        }
+    }
+
     /// The validity bitmap as a materialized mask (all-true when absent).
     pub fn validity_mask(&self) -> Bitmap {
-        let validity = match self {
-            Column::Float64(d) => &d.validity,
-            Column::Int64(d) => &d.validity,
-            Column::Str(d) => &d.validity,
-            Column::Bool(d) => &d.validity,
-        };
-        match validity {
+        match self.validity() {
             Some(v) => v.clone(),
             None => Bitmap::filled(self.len(), true),
+        }
+    }
+
+    /// Whether two columns are zero-copy windows over one shared value
+    /// buffer (`Arc` pointer identity, not value equality).
+    pub fn shares_buffer(&self, other: &Column) -> bool {
+        match (self, other) {
+            (Column::Float64(a), Column::Float64(b)) => Arc::ptr_eq(&a.values, &b.values),
+            (Column::Int64(a), Column::Int64(b)) => Arc::ptr_eq(&a.values, &b.values),
+            (Column::Str(a), Column::Str(b)) => Arc::ptr_eq(&a.values, &b.values),
+            (Column::Bool(a), Column::Bool(b)) => Arc::ptr_eq(&a.values, &b.values),
+            _ => false,
+        }
+    }
+
+    // ---- typed window access ----------------------------------------------
+
+    /// The windowed float values (nulls hold a placeholder; consult
+    /// [`Column::validity`]). `None` for non-float columns.
+    pub fn f64_values(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64(d) => Some(d.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The windowed integer values. `None` for non-integer columns.
+    pub fn i64_values(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64(d) => Some(d.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The windowed string values. `None` for non-string columns.
+    pub fn str_values(&self) -> Option<&[String]> {
+        match self {
+            Column::Str(d) => Some(d.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The windowed boolean values. `None` for non-bool columns.
+    pub fn bool_values(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool(d) => Some(d.as_slice()),
+            _ => None,
         }
     }
 
@@ -181,10 +301,10 @@ impl Column {
             return Err(Error::IndexOutOfBounds { index: i, len: self.len() });
         }
         Ok(match self {
-            Column::Float64(d) if d.is_valid(i) => Value::Float(d.values[i]),
-            Column::Int64(d) if d.is_valid(i) => Value::Int(d.values[i]),
-            Column::Str(d) if d.is_valid(i) => Value::Str(d.values[i].clone()),
-            Column::Bool(d) if d.is_valid(i) => Value::Bool(d.values[i]),
+            Column::Float64(d) if d.is_valid(i) => Value::Float(d.as_slice()[i]),
+            Column::Int64(d) if d.is_valid(i) => Value::Int(d.as_slice()[i]),
+            Column::Str(d) if d.is_valid(i) => Value::Str(d.as_slice()[i].clone()),
+            Column::Bool(d) if d.is_valid(i) => Value::Bool(d.as_slice()[i]),
             _ => Value::Null,
         })
     }
@@ -192,24 +312,44 @@ impl Column {
     // ---- typed iteration --------------------------------------------------
 
     /// Iterate all rows as `Option<f64>` (ints widened); non-numeric columns
-    /// yield an error.
+    /// yield an error. Walks the windowed buffer directly — the no-null
+    /// path is a plain slice iteration.
     pub fn numeric_iter(&self) -> Result<Box<dyn Iterator<Item = Option<f64>> + '_>> {
         match self {
-            Column::Float64(d) => Ok(Box::new(
-                d.values
-                    .iter()
-                    .enumerate()
-                    .map(move |(i, v)| if d.is_valid(i) { Some(*v) } else { None }),
-            )),
-            Column::Int64(d) => Ok(Box::new(d.values.iter().enumerate().map(move |(i, v)| {
-                if d.is_valid(i) {
-                    Some(*v as f64)
-                } else {
-                    None
-                }
-            }))),
+            Column::Float64(d) => Ok(Box::new(d.opt_iter().map(|o| o.copied()))),
+            Column::Int64(d) => Ok(Box::new(d.opt_iter().map(|o| o.map(|v| *v as f64)))),
             other => Err(Error::TypeMismatch {
                 context: "numeric_iter".into(),
+                expected: "numeric",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Call `f` with every valid numeric value (ints widened), in row
+    /// order. The no-null case is a tight slice loop; with nulls, the
+    /// validity bitmap is walked byte-at-a-time (whole zero bytes are
+    /// skipped). Errors on non-numeric columns.
+    pub fn for_each_numeric(&self, mut f: impl FnMut(f64)) -> Result<()> {
+        match self {
+            Column::Float64(d) => {
+                let vals = d.as_slice();
+                match &d.validity {
+                    None => vals.iter().for_each(|&v| f(v)),
+                    Some(bm) => bm.for_each_set(|i| f(vals[i])),
+                }
+                Ok(())
+            }
+            Column::Int64(d) => {
+                let vals = d.as_slice();
+                match &d.validity {
+                    None => vals.iter().for_each(|&v| f(v as f64)),
+                    Some(bm) => bm.for_each_set(|i| f(vals[i] as f64)),
+                }
+                Ok(())
+            }
+            other => Err(Error::TypeMismatch {
+                context: "for_each_numeric".into(),
                 expected: "numeric",
                 got: other.dtype().name(),
             }),
@@ -219,19 +359,15 @@ impl Column {
     /// Collect valid numeric values (ints widened) into a vector,
     /// dropping nulls. Errors on non-numeric columns.
     pub fn numeric_nonnull(&self) -> Result<Vec<f64>> {
-        Ok(self.numeric_iter()?.flatten().collect())
+        let mut out = Vec::with_capacity(self.len() - self.null_count());
+        self.for_each_numeric(|v| out.push(v))?;
+        Ok(out)
     }
 
     /// Iterate all rows as `Option<&str>`; non-string columns yield an error.
     pub fn str_iter(&self) -> Result<Box<dyn Iterator<Item = Option<&str>> + '_>> {
         match self {
-            Column::Str(d) => Ok(Box::new(d.values.iter().enumerate().map(move |(i, v)| {
-                if d.is_valid(i) {
-                    Some(v.as_str())
-                } else {
-                    None
-                }
-            }))),
+            Column::Str(d) => Ok(Box::new(d.opt_iter().map(|o| o.map(String::as_str)))),
             other => Err(Error::TypeMismatch {
                 context: "str_iter".into(),
                 expected: "str",
@@ -243,13 +379,7 @@ impl Column {
     /// Iterate all rows as `Option<bool>`; non-bool columns yield an error.
     pub fn bool_iter(&self) -> Result<Box<dyn Iterator<Item = Option<bool>> + '_>> {
         match self {
-            Column::Bool(d) => Ok(Box::new(d.values.iter().enumerate().map(move |(i, v)| {
-                if d.is_valid(i) {
-                    Some(*v)
-                } else {
-                    None
-                }
-            }))),
+            Column::Bool(d) => Ok(Box::new(d.opt_iter().map(|o| o.copied()))),
             other => Err(Error::TypeMismatch {
                 context: "bool_iter".into(),
                 expected: "bool",
@@ -261,37 +391,47 @@ impl Column {
     /// Every row rendered to its display string (`None` for nulls).
     /// Works for all column types; used by categorical kernels so that a
     /// numeric column explicitly treated as categorical still works.
-    pub fn display_iter(&self) -> impl Iterator<Item = Option<String>> + '_ {
-        (0..self.len()).map(move |i| {
-            if self.is_valid(i) {
-                Some(match self {
-                    Column::Float64(d) => format_float(d.values[i]),
-                    Column::Int64(d) => d.values[i].to_string(),
-                    Column::Str(d) => d.values[i].clone(),
-                    Column::Bool(d) => d.values[i].to_string(),
-                })
-            } else {
-                None
-            }
-        })
+    pub fn display_iter(&self) -> Box<dyn Iterator<Item = Option<String>> + '_> {
+        match self {
+            Column::Float64(d) => Box::new(d.opt_iter().map(|o| o.map(|v| format_float(*v)))),
+            Column::Int64(d) => Box::new(d.opt_iter().map(|o| o.map(|v| v.to_string()))),
+            Column::Str(d) => Box::new(d.opt_iter().map(|o| o.cloned())),
+            Column::Bool(d) => Box::new(d.opt_iter().map(|o| o.map(|v| v.to_string()))),
+        }
     }
 
     // ---- transformations --------------------------------------------------
 
-    /// Copy rows `[start, start + len)` into a new column.
+    /// Zero-copy view of rows `[start, start + len)`: O(1), shares the
+    /// value and validity buffers with `self`.
     pub fn slice(&self, start: usize, len: usize) -> Column {
         assert!(start + len <= self.len(), "slice out of bounds");
-        fn slice_data<T: Clone>(d: &TypedData<T>, start: usize, len: usize) -> TypedData<T> {
-            TypedData {
-                values: d.values[start..start + len].to_vec(),
-                validity: d.validity.as_ref().map(|v| v.slice(start, len)),
-            }
+        match self {
+            Column::Float64(d) => Column::Float64(d.slice(start, len)),
+            Column::Int64(d) => Column::Int64(d.slice(start, len)),
+            Column::Str(d) => Column::Str(d.slice(start, len)),
+            Column::Bool(d) => Column::Bool(d.slice(start, len)),
+        }
+    }
+
+    /// Deep-copy rows `[start, start + len)` into a freshly allocated
+    /// column (the pre-zero-copy behaviour). Kept for benchmarking the
+    /// copying baseline and for tests that need an independent buffer.
+    pub fn slice_copy(&self, start: usize, len: usize) -> Column {
+        assert!(start + len <= self.len(), "slice out of bounds");
+        fn copy_data<T: Clone>(d: &TypedData<T>, start: usize, len: usize) -> TypedData<T> {
+            TypedData::new(
+                d.as_slice()[start..start + len].to_vec(),
+                d.validity
+                    .as_ref()
+                    .map(|v| Bitmap::from_iter(v.slice(start, len).iter())),
+            )
         }
         match self {
-            Column::Float64(d) => Column::Float64(slice_data(d, start, len)),
-            Column::Int64(d) => Column::Int64(slice_data(d, start, len)),
-            Column::Str(d) => Column::Str(slice_data(d, start, len)),
-            Column::Bool(d) => Column::Bool(slice_data(d, start, len)),
+            Column::Float64(d) => Column::Float64(copy_data(d, start, len)),
+            Column::Int64(d) => Column::Int64(copy_data(d, start, len)),
+            Column::Str(d) => Column::Str(copy_data(d, start, len)),
+            Column::Bool(d) => Column::Bool(copy_data(d, start, len)),
         }
     }
 
@@ -305,17 +445,16 @@ impl Column {
             });
         }
         fn filter_data<T: Clone>(d: &TypedData<T>, mask: &Bitmap) -> TypedData<T> {
+            let vals = d.as_slice();
             let mut values = Vec::with_capacity(mask.count_set());
             let mut validity = d.validity.as_ref().map(|_| Bitmap::new());
-            for i in 0..d.values.len() {
-                if mask.get(i) {
-                    values.push(d.values[i].clone());
-                    if let (Some(out), Some(v)) = (&mut validity, &d.validity) {
-                        out.push(v.get(i));
-                    }
+            mask.for_each_set(|i| {
+                values.push(vals[i].clone());
+                if let (Some(out), Some(v)) = (&mut validity, &d.validity) {
+                    out.push(v.get(i));
                 }
-            }
-            TypedData { values, validity }
+            });
+            TypedData::new(values, validity)
         }
         Ok(match self {
             Column::Float64(d) => Column::Float64(filter_data(d, mask)),
@@ -338,8 +477,8 @@ impl Column {
                 });
             }
         }
-        // Concatenate through Values to stay simple; concat is only used on
-        // small reduce-side data, never in the hot per-partition path.
+        // Concat is only used on small reduce-side data, never in the hot
+        // per-partition path, so plain appends are fine.
         let total: usize = parts.iter().map(|p| p.len()).sum();
         let any_null = parts.iter().any(|p| p.null_count() > 0);
         macro_rules! concat_typed {
@@ -348,7 +487,7 @@ impl Column {
                 let mut validity = if any_null { Some(Bitmap::new()) } else { None };
                 for p in parts {
                     if let Column::$variant(d) = p {
-                        values.extend(d.values.iter().cloned());
+                        values.extend(d.as_slice().iter().cloned());
                         if let Some(v) = &mut validity {
                             match &d.validity {
                                 Some(src) => v.extend_from(src),
@@ -361,7 +500,7 @@ impl Column {
                         }
                     }
                 }
-                Column::$variant(TypedData { values, validity })
+                Column::$variant(TypedData::new(values, validity))
             }};
         }
         Ok(match dtype {
@@ -401,6 +540,11 @@ fn some_if_nulls(bm: Bitmap) -> Option<Bitmap> {
     }
 }
 
+/// [`some_if_nulls`] shaped for `Option::and_then`.
+fn some_if_nulls_opt(bm: Bitmap) -> Option<Bitmap> {
+    some_if_nulls(bm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +573,34 @@ mod tests {
         assert_eq!(c.null_count(), 0);
         // Equivalent to a plain column.
         assert_eq!(c, Column::from_i64(vec![1, 2]));
+    }
+
+    #[test]
+    fn raw_parts_constructors_match_opt_constructors() {
+        let validity = Bitmap::from_iter([true, false, true]);
+        assert_eq!(
+            Column::from_f64_validity(vec![1.0, 0.0, 3.0], Some(validity.clone())),
+            Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)])
+        );
+        assert_eq!(
+            Column::from_i64_validity(vec![1, 0, 3], Some(validity.clone())),
+            Column::from_opt_i64(vec![Some(1), None, Some(3)])
+        );
+        assert_eq!(
+            Column::from_string_validity(
+                vec!["a".into(), String::new(), "c".into()],
+                Some(validity.clone())
+            ),
+            Column::from_opt_string(vec![Some("a".into()), None, Some("c".into())])
+        );
+        assert_eq!(
+            Column::from_bool_validity(vec![true, false, true], Some(validity)),
+            Column::from_opt_bool(vec![Some(true), None, Some(true)])
+        );
+        // An all-set bitmap is dropped, same as the Vec<Option<_>> path.
+        let c = Column::from_i64_validity(vec![1, 2], Some(Bitmap::filled(2, true)));
+        assert_eq!(c, Column::from_i64(vec![1, 2]));
+        assert!(c.validity().is_none());
     }
 
     #[test]
@@ -469,13 +641,51 @@ mod tests {
     }
 
     #[test]
-    fn slice_copies_rows_and_validity() {
+    fn slice_views_rows_and_validity() {
         let c = Column::from_opt_i64(vec![Some(0), None, Some(2), Some(3), None]);
         let s = c.slice(1, 3);
         assert_eq!(s.len(), 3);
         assert_eq!(s.get(0).unwrap(), Value::Null);
         assert_eq!(s.get(1).unwrap(), Value::Int(2));
         assert_eq!(s.null_count(), 1);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_composes() {
+        let c = Column::from_opt_f64((0..100).map(|i| Some(i as f64)).collect());
+        let s = c.slice(10, 50);
+        assert!(s.shares_buffer(&c));
+        let s2 = s.slice(5, 20);
+        assert!(s2.shares_buffer(&c));
+        assert_eq!(s2.get(0).unwrap(), Value::Float(15.0));
+        assert_eq!(s2.f64_values().unwrap(), c.f64_values().unwrap()[15..35].to_vec());
+        // A deep copy does not share.
+        let deep = c.slice_copy(10, 50);
+        assert!(!deep.shares_buffer(&c));
+        assert_eq!(deep, s);
+    }
+
+    #[test]
+    fn slice_copy_matches_slice_with_nulls() {
+        let c = Column::from_opt_i64((0..40).map(|i| (i % 3 != 0).then_some(i)).collect());
+        let view = c.slice(7, 21);
+        let copy = c.slice_copy(7, 21);
+        assert_eq!(view, copy);
+        assert_eq!(view.null_count(), copy.null_count());
+        for i in 0..21 {
+            assert_eq!(view.get(i).unwrap(), copy.get(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn for_each_numeric_respects_window_and_nulls() {
+        let c = Column::from_opt_i64((0..20).map(|i| (i % 4 != 1).then_some(i)).collect());
+        let view = c.slice(3, 10);
+        let mut seen = Vec::new();
+        view.for_each_numeric(|v| seen.push(v)).unwrap();
+        let expected: Vec<f64> = (3..13).filter(|i| i % 4 != 1).map(|i| i as f64).collect();
+        assert_eq!(seen, expected);
+        assert!(Column::from_strs(&["x"]).for_each_numeric(|_| {}).is_err());
     }
 
     #[test]
@@ -511,6 +721,15 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out.null_count(), 1);
         assert_eq!(out.get(2).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn concat_of_views_restores_values() {
+        let c = Column::from_opt_i64((0..30).map(|i| (i % 5 != 2).then_some(i)).collect());
+        let left = c.slice(0, 13);
+        let right = c.slice(13, 17);
+        let back = Column::concat(&[&left, &right]).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -6,7 +6,6 @@ use std::path::Path;
 
 use crate::error::Result;
 use crate::frame::DataFrame;
-use crate::value::Value;
 
 /// Serialize a frame to CSV text.
 pub fn write_csv_string(df: &DataFrame) -> String {
@@ -14,16 +13,22 @@ pub fn write_csv_string(df: &DataFrame) -> String {
     let header: Vec<String> = df.names().iter().map(|n| escape(n)).collect();
     out.push_str(&header.join(","));
     out.push('\n');
-    for row in 0..df.nrows() {
-        for (i, name) in df.names().iter().enumerate() {
+    // One display iterator per column, advanced in lockstep: each walks
+    // its column's buffer window directly instead of paying a name lookup
+    // plus bounds check for every cell.
+    let mut cols: Vec<_> = df
+        .iter()
+        .map(|(_, c)| (c.dtype() == crate::dtype::DataType::Str, c.display_iter()))
+        .collect();
+    for _ in 0..df.nrows() {
+        for (i, (is_str, cells)) in cols.iter_mut().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let value = df.get(row, name).expect("in-bounds cell");
-            match value {
-                Value::Null => {}
-                Value::Str(s) => out.push_str(&escape(&s)),
-                other => out.push_str(&other.to_string()),
+            match cells.next().expect("iterator covers nrows") {
+                None => {}
+                Some(cell) if *is_str => out.push_str(&escape(&cell)),
+                Some(cell) => out.push_str(&cell),
             }
         }
         out.push('\n');
@@ -53,6 +58,7 @@ mod tests {
     use super::*;
     use crate::column::Column;
     use crate::csv::reader::{read_csv_str, CsvOptions};
+    use crate::value::Value;
 
     fn sample() -> DataFrame {
         DataFrame::new(vec![

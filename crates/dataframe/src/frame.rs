@@ -218,13 +218,28 @@ impl DataFrame {
         self.slice(0, n)
     }
 
-    /// Copy rows `[start, start + len)` into a new frame.
+    /// Zero-copy view of rows `[start, start + len)`: O(#columns) pointer
+    /// bumps — every column window shares its value and validity buffers
+    /// with `self`, so partitioning a frame never duplicates the dataset.
     pub fn slice(&self, start: usize, len: usize) -> DataFrame {
         assert!(start + len <= self.nrows, "slice out of bounds");
         let columns = self
             .columns
             .iter()
             .map(|c| Arc::new(c.slice(start, len)))
+            .collect();
+        DataFrame { names: self.names.clone(), columns, nrows: len }
+    }
+
+    /// Deep-copy rows `[start, start + len)` into freshly allocated
+    /// columns (the pre-zero-copy behaviour). Kept for benchmarking the
+    /// copying baseline and for tests that need independent buffers.
+    pub fn slice_copy(&self, start: usize, len: usize) -> DataFrame {
+        assert!(start + len <= self.nrows, "slice out of bounds");
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.slice_copy(start, len)))
             .collect();
         DataFrame { names: self.names.clone(), columns, nrows: len }
     }
@@ -419,6 +434,19 @@ mod tests {
         assert_eq!(df.head(100).nrows(), 4);
         let s = df.slice(1, 2);
         assert_eq!(s.get(0, "a").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn slice_shares_buffers_slice_copy_does_not() {
+        let df = sample();
+        let view = df.slice(1, 3);
+        let copy = df.slice_copy(1, 3);
+        for name in ["a", "b", "c"] {
+            let src = df.column(name).unwrap();
+            assert!(view.column(name).unwrap().shares_buffer(src), "{name} view shares");
+            assert!(!copy.column(name).unwrap().shares_buffer(src), "{name} copy owns");
+            assert_eq!(view.column(name).unwrap(), copy.column(name).unwrap());
+        }
     }
 
     #[test]

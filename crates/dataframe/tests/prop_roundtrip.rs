@@ -121,6 +121,51 @@ proptest! {
     }
 
     #[test]
+    fn zero_copy_slice_equals_copying_slice(
+        floats in prop::collection::vec(
+            prop_oneof![3 => any::<f64>().prop_filter("finite", |v| v.is_finite()).prop_map(Some),
+                        1 => Just(None)],
+            1..100,
+        ),
+        ints in prop::collection::vec(arb_opt_i64(), 1..100),
+        texts in prop::collection::vec(arb_opt_string(), 1..100),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let n = floats.len().min(ints.len()).min(texts.len());
+        let df = DataFrame::new(vec![
+            ("f".into(), Column::from_opt_f64(floats[..n].to_vec())),
+            ("i".into(), Column::from_opt_i64(ints[..n].to_vec())),
+            ("s".into(), Column::from_opt_string(texts[..n].to_vec())),
+        ]).unwrap();
+        let start = ((n as f64) * start_frac) as usize;
+        let len = (((n - start) as f64) * len_frac) as usize;
+
+        let view = df.slice(start, len);
+        let copy = df.slice_copy(start, len);
+
+        // The zero-copy view is value- and validity-equivalent to the
+        // deep copy (logical equality covers both).
+        prop_assert_eq!(&view, &copy);
+        for row in 0..len {
+            for name in ["f", "i", "s"] {
+                prop_assert_eq!(
+                    view.get(row, name).unwrap(),
+                    df.get(start + row, name).unwrap()
+                );
+            }
+        }
+
+        // ...but only the view shares the source buffers (Arc identity);
+        // the copy owns fresh ones.
+        for name in ["f", "i", "s"] {
+            let src = df.column(name).unwrap();
+            prop_assert!(view.column(name).unwrap().shares_buffer(src));
+            prop_assert!(!copy.column(name).unwrap().shares_buffer(src));
+        }
+    }
+
+    #[test]
     fn slice_composition(
         vals in prop::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 2..60),
     ) {

@@ -236,7 +236,11 @@ pub fn kendall_tau_prepped(
     Some(numer / denom.sqrt())
 }
 
-/// Naive O(n²) tau-b used to validate the fast path in tests.
+/// Independent O(n log n) tau-b cross-check used to validate the fast
+/// path in tests. Formerly an O(n²) double loop over all pairs; now it
+/// counts discordant pairs as inversions with a Fenwick (binary indexed)
+/// tree over rank-compressed y values — the same pair counts as the
+/// double loop, via a mechanism shared with neither Knight merge path.
 #[doc(hidden)]
 pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Option<f64> {
     let (xs, ys) = complete_pairs(x, y);
@@ -244,31 +248,108 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Option<f64> {
     if n < 2 {
         return None;
     }
-    let (mut concordant, mut discordant, mut tx, mut ty) = (0i64, 0i64, 0u64, 0u64);
-    for i in 0..n {
-        for j in i + 1..n {
-            let dx = xs[i] - xs[j];
-            let dy = ys[i] - ys[j];
-            if dx == 0.0 && dy == 0.0 {
-                tx += 1;
-                ty += 1;
-            } else if dx == 0.0 {
-                tx += 1;
-            } else if dy == 0.0 {
-                ty += 1;
-            } else if dx * dy > 0.0 {
-                concordant += 1;
-            } else {
-                discordant += 1;
-            }
+
+    // Order by (x, y) — the same primary sort Knight uses, so within an
+    // x-tie group y never strictly decreases and within-group pairs are
+    // never counted as inversions.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("no NaNs")
+            .then(ys[a].partial_cmp(&ys[b]).expect("no NaNs"))
+    });
+
+    // Tie-pair counts from run lengths: n1 over x, n2 over y, n3 joint.
+    let n0 = pairs(n as u64);
+    let mut n1 = 0u64;
+    let mut n3 = 0u64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
         }
+        n1 += pairs((j - i + 1) as u64);
+        let mut k = i;
+        while k <= j {
+            let mut m = k;
+            while m < j && ys[idx[m + 1]] == ys[idx[k]] {
+                m += 1;
+            }
+            n3 += pairs((m - k + 1) as u64);
+            k = m + 1;
+        }
+        i = j + 1;
     }
-    let n0 = (n * (n - 1) / 2) as f64;
-    let denom = (n0 - tx as f64) * (n0 - ty as f64);
+
+    // Rank-compress y and count y tie pairs from the sorted copy.
+    let mut distinct: Vec<f64> = ys.clone();
+    distinct.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mut n2 = 0u64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && distinct[j + 1] == distinct[i] {
+            j += 1;
+        }
+        n2 += pairs((j - i + 1) as u64);
+        i = j + 1;
+    }
+    distinct.dedup();
+
+    // Discordant pairs: walk in (x, y) order, and for each element count
+    // the already-seen elements with a strictly larger y rank.
+    let mut tree = Fenwick::new(distinct.len());
+    let mut discordant = 0u64;
+    for (seen, &p) in idx.iter().enumerate() {
+        let rank = distinct
+            .binary_search_by(|v| v.partial_cmp(&ys[p]).expect("no NaNs"))
+            .expect("rank exists");
+        discordant += seen as u64 - tree.prefix_count(rank);
+        tree.add(rank);
+    }
+
+    // Same integer identities as the double loop: C + D + (n1 + n2 - n3)
+    // covers every pair, so C - D falls out exactly. Signed arithmetic —
+    // the degenerate all-tied case drives the partial sums negative.
+    let concordant = n0 as i64 - n1 as i64 - n2 as i64 + n3 as i64 - discordant as i64;
+    let denom = ((n0 - n1) as f64) * ((n0 - n2) as f64);
     if denom <= 0.0 {
         return None;
     }
-    Some((concordant - discordant) as f64 / denom.sqrt())
+    Some((concordant - discordant as i64) as f64 / denom.sqrt())
+}
+
+/// Fenwick tree over element counts, 0-indexed ranks.
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(size: usize) -> Self {
+        Fenwick { tree: vec![0; size + 1] }
+    }
+
+    /// Increment the count at `rank`.
+    fn add(&mut self, rank: usize) {
+        let mut i = rank + 1;
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of inserted elements with rank ≤ `rank`.
+    fn prefix_count(&self, rank: usize) -> u64 {
+        let mut i = rank + 1;
+        let mut total = 0;
+        while i > 0 {
+            total += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +468,68 @@ mod tests {
             kendall_tau_prepped(&[2.0, 2.0], &[1.0, 3.0], &xp, yp.tie_pairs),
             None
         );
+    }
+
+    /// O(n²) double loop kept only as a test oracle for the two
+    /// O(n log n) production paths (merge-sort and Fenwick).
+    fn kendall_tau_quadratic(x: &[f64], y: &[f64]) -> Option<f64> {
+        let (xs, ys) = complete_pairs(x, y);
+        let n = xs.len();
+        if n < 2 {
+            return None;
+        }
+        let (mut concordant, mut discordant, mut tx, mut ty) = (0i64, 0i64, 0u64, 0u64);
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = xs[i] - xs[j];
+                let dy = ys[i] - ys[j];
+                if dx == 0.0 && dy == 0.0 {
+                    tx += 1;
+                    ty += 1;
+                } else if dx == 0.0 {
+                    tx += 1;
+                } else if dy == 0.0 {
+                    ty += 1;
+                } else if dx * dy > 0.0 {
+                    concordant += 1;
+                } else {
+                    discordant += 1;
+                }
+            }
+        }
+        let n0 = (n * (n - 1) / 2) as f64;
+        let denom = (n0 - tx as f64) * (n0 - ty as f64);
+        if denom <= 0.0 {
+            return None;
+        }
+        Some((concordant - discordant) as f64 / denom.sqrt())
+    }
+
+    #[test]
+    fn fenwick_reference_matches_quadratic_oracle() {
+        let x: Vec<f64> = (0..300).map(|i| ((i * 37 + 11) % 23) as f64).collect();
+        let y: Vec<f64> = (0..300).map(|i| ((i * 53 + 7) % 19) as f64).collect();
+        let fenwick = kendall_tau_naive(&x, &y).unwrap();
+        let oracle = kendall_tau_quadratic(&x, &y).unwrap();
+        assert!((fenwick - oracle).abs() < 1e-12, "{fenwick} vs {oracle}");
+        let xc: Vec<f64> = (0..150).map(|i| ((i * 97 + 13) % 541) as f64 / 7.0).collect();
+        let yc: Vec<f64> = (0..150).map(|i| ((i * 31 + 29) % 769) as f64 / 11.0).collect();
+        let fenwick = kendall_tau_naive(&xc, &yc).unwrap();
+        let oracle = kendall_tau_quadratic(&xc, &yc).unwrap();
+        assert!((fenwick - oracle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fenwick_reference_degenerate_cases() {
+        assert_eq!(kendall_tau_naive(&[], &[]), None);
+        assert_eq!(kendall_tau_naive(&[1.0], &[1.0]), None);
+        // All-tied sides must return None without underflowing the
+        // signed pair identities.
+        assert_eq!(kendall_tau_naive(&[2.0, 2.0], &[1.0, 3.0]), None);
+        assert_eq!(kendall_tau_naive(&[2.0, 2.0, 2.0], &[2.0, 2.0, 2.0]), None);
+        let x = [1.0, f64::NAN, 2.0, 3.0];
+        let y = [1.0, 99.0, 2.0, 3.0];
+        assert!((kendall_tau_naive(&x, &y).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -46,10 +46,18 @@ impl Moments {
     /// Accumulate every value of a slice.
     pub fn from_slice(values: &[f64]) -> Self {
         let mut m = Moments::new();
-        for &v in values {
-            m.push(v);
-        }
+        m.push_slice(values);
         m
+    }
+
+    /// Accumulate every value of a slice. The kernel layer hands columnar
+    /// windows here directly — no per-value dynamic dispatch, no staging
+    /// copy of the window.
+    #[inline]
+    pub fn push_slice(&mut self, values: &[f64]) {
+        for &v in values {
+            self.push(v);
+        }
     }
 
     /// Accumulate one value.

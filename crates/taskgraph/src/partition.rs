@@ -22,6 +22,11 @@ use crate::key::TaskKey;
 pub struct ChunkMeta {
     /// Rows per partition.
     pub sizes: Vec<usize>,
+    /// Cumulative row offsets: `offsets[i]` is the first row of partition
+    /// `i`, and `offsets[npartitions()]` equals `total_rows`. Stored at
+    /// precompute time so [`ChunkMeta::range`] is O(1) instead of
+    /// re-summing a prefix of `sizes` on every call.
+    pub offsets: Vec<usize>,
     /// Total rows.
     pub total_rows: usize,
 }
@@ -33,17 +38,19 @@ impl ChunkMeta {
         let n = npartitions.max(1);
         let total = df.nrows();
         if total == 0 {
-            return ChunkMeta { sizes: vec![0], total_rows: 0 };
+            return ChunkMeta { sizes: vec![0], offsets: vec![0, 0], total_rows: 0 };
         }
         let chunk = total.div_ceil(n);
         let mut sizes = Vec::new();
+        let mut offsets = vec![0];
         let mut start = 0;
         while start < total {
             let len = chunk.min(total - start);
             sizes.push(len);
             start += len;
+            offsets.push(start);
         }
-        ChunkMeta { sizes, total_rows: total }
+        ChunkMeta { sizes, offsets, total_rows: total }
     }
 
     /// Number of partitions.
@@ -51,10 +58,10 @@ impl ChunkMeta {
         self.sizes.len()
     }
 
-    /// Half-open row range of partition `i`.
+    /// Half-open row range of partition `i`. O(1): reads the cumulative
+    /// offsets stored at precompute time.
     pub fn range(&self, i: usize) -> (usize, usize) {
-        let start: usize = self.sizes[..i].iter().sum();
-        (start, start + self.sizes[i])
+        (self.offsets[i], self.offsets[i + 1])
     }
 }
 
@@ -72,7 +79,9 @@ pub struct PartitionedFrame {
 }
 
 impl PartitionedFrame {
-    /// Split `df` according to precomputed metadata.
+    /// Split `df` according to precomputed metadata. Each partition is a
+    /// zero-copy window over `df`'s column buffers — O(columns) pointer
+    /// bumps per partition, never a row copy.
     pub fn from_meta(df: &DataFrame, meta: ChunkMeta) -> PartitionedFrame {
         let mut partitions = Vec::with_capacity(meta.npartitions());
         for i in 0..meta.npartitions() {
@@ -197,6 +206,43 @@ mod tests {
             .unwrap();
         let p1_first = pf.partitions[1].get(0, "x").unwrap();
         assert_eq!(p0_last.as_f64().unwrap() + 1.0, p1_first.as_f64().unwrap());
+    }
+
+    #[test]
+    fn precompute_offsets_are_cumulative() {
+        let meta = ChunkMeta::precompute(&frame(10), 3);
+        assert_eq!(meta.offsets, vec![0, 4, 8, 10]);
+        for i in 0..meta.npartitions() {
+            let naive: usize = meta.sizes[..i].iter().sum();
+            assert_eq!(meta.range(i), (naive, naive + meta.sizes[i]));
+        }
+        let empty = ChunkMeta::precompute(&frame(0), 4);
+        assert_eq!(empty.range(0), (0, 0));
+    }
+
+    #[test]
+    fn partitioning_performs_zero_row_copies() {
+        // Acceptance: every partition column is an Arc-shared window over
+        // the source frame's buffers — pointer identity, not value copies.
+        let df = DataFrame::new(vec![
+            ("x".into(), Column::from_i64((0..1000).collect())),
+            (
+                "y".into(),
+                Column::from_opt_f64(
+                    (0..1000).map(|i| (i % 7 != 0).then_some(i as f64)).collect(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let pf = PartitionedFrame::from_frame(&df, 8);
+        assert_eq!(pf.npartitions(), 8);
+        for part in &pf.partitions {
+            for name in ["x", "y"] {
+                let src = df.column(name).unwrap();
+                let view = part.column(name).unwrap();
+                assert!(view.shares_buffer(src), "partition column {name} must share the frame's buffer");
+            }
+        }
     }
 
     #[test]
