@@ -534,4 +534,70 @@ mod tests {
             stats.tasks_run
         );
     }
+
+    #[test]
+    fn repeated_plot_reuses_cached_intermediates() {
+        let df = frame();
+        let cfg = Config::default();
+        let cold = plot(&df, &["price"], &cfg).unwrap();
+        let warm = plot(&df, &["price"], &cfg).unwrap();
+        assert_eq!(cold.intermediates, warm.intermediates);
+        let cold_stats = cold.stats.unwrap();
+        let warm_stats = warm.stats.unwrap();
+        assert!(warm_stats.cache_hits > 0, "second call over the same frame must hit");
+        assert!(
+            warm_stats.tasks_run < cold_stats.tasks_run,
+            "warm {} vs cold {}",
+            warm_stats.tasks_run,
+            cold_stats.tasks_run
+        );
+        assert!(warm_stats.cache_bytes_saved > 0);
+    }
+
+    #[test]
+    fn make_unique_invalidates_cached_results() {
+        let mut df = frame();
+        let cfg = Config::default();
+        plot(&df, &["size"], &cfg).unwrap();
+        // Copy-on-write: the column moves to fresh buffers, so the frame
+        // fingerprint changes and none of the warm entries may serve.
+        df.make_unique("size").unwrap();
+        let after = plot(&df, &["size"], &cfg).unwrap();
+        let stats = after.stats.unwrap();
+        assert_eq!(stats.cache_hits, 0, "stale entries must not survive make_unique");
+    }
+
+    #[test]
+    fn disabled_cache_output_is_identical() {
+        let df = frame();
+        let cached_cfg = Config::default();
+        let uncached_cfg =
+            Config::from_pairs(vec![("engine.cache_budget_bytes", "0")]).unwrap();
+        // Warm the cache, then compare a cache-served analysis against the
+        // uncached path bit for bit.
+        plot(&df, &["price", "size"], &cached_cfg).unwrap();
+        let cached = plot(&df, &["price", "size"], &cached_cfg).unwrap();
+        let uncached = plot(&df, &["price", "size"], &uncached_cfg).unwrap();
+        assert_eq!(
+            crate::json::intermediates_to_json(&cached.intermediates),
+            crate::json::intermediates_to_json(&uncached.intermediates)
+        );
+        let stats = uncached.stats.unwrap();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn cache_spans_sections_of_create_report() {
+        // plot() warms per-column intermediates; the full report then
+        // reuses them — the cross-call sharing the cache exists for.
+        let df = frame();
+        let cfg = Config::default();
+        plot(&df, &["price"], &cfg).unwrap();
+        let report = crate::report::Report::create(&df, &cfg).unwrap();
+        assert!(
+            report.stats.cache_hits > 0,
+            "report must reuse intermediates computed by the earlier plot call"
+        );
+    }
 }

@@ -7,12 +7,14 @@
 //! * `plot_correlation(df, x, y)` → scatter plot with a regression line.
 //!
 //! This module is the paper's worked example of the two-phase boundary
-//! (§5.2): the column gathers and Pearson co-moments run in the parallel
-//! graph; the `m×m` matrix assembly and filtering happen eagerly because
-//! `n >> m` makes scheduler involvement pure overhead. The
-//! `engine.eager_finish` config flips that boundary for the ablation
-//! benchmark — `false` pushes the per-pair coefficient computations into
-//! the graph as tasks.
+//! (§5.2). The heavy work — column gathers, per-column preparation
+//! (ranks + Kendall sort state), and one matrix-fill task per method —
+//! runs inside the graph, where it parallelizes across columns and is
+//! served by the cross-call result cache on repeat calls; only the cheap
+//! insight filtering stays eager. The `engine.eager_finish = false`
+//! ablation pushes even the per-pair coefficient computations into the
+//! graph as individual tasks, demonstrating why `n >> m` makes that
+//! granularity pure scheduler overhead.
 
 use eda_stats::corr::{
     kendall_prep, kendall_tau, kendall_tau_prepped, pearson, spearman_from_ranks, CorrMatrix,
@@ -109,43 +111,60 @@ fn cell(method: CorrMethod, a: &ColumnPrep, b: &ColumnPrep) -> Option<f64> {
     }
 }
 
-/// Fill the three matrices from prepared columns (shared by
-/// `plot_correlation(df)` and the report's correlation section).
-pub fn matrices_from_preps(names: &[String], preps: &[ColumnPrep]) -> Vec<CorrMatrix> {
-    let m = names.len();
+/// Plan one shared `corr_prep` node for a column: the gathered values
+/// fed through [`ColumnPrep::prepare`]. Shared (CSE) between the matrix
+/// path and the per-pair ablation path.
+pub fn plan_corr_prep(ctx: &mut ComputeContext<'_>, name: &str) -> NodeId {
+    let gather = kernels::numeric_gather(ctx, name);
+    let params = ctx.params(TaskKey::params(&format!("corrprep:{name}")));
+    ctx.graph.op("corr_prep", params, vec![gather], |inputs| {
+        pl(ColumnPrep::prepare(un::<Vec<f64>>(&inputs[0]).clone()))
+    })
+}
+
+/// Plan the three correlation matrices as graph tasks: per-column prep
+/// nodes feed one node per method that fills its whole `m×m` matrix.
+/// The heavy O(n log n) per-column preparation and the per-pair
+/// coefficients run *inside* the graph — parallel across columns, and
+/// served by the cross-call result cache on repeat calls — while the
+/// cheap insight filtering stays eager. Returns one node per
+/// [`CorrMethod::ALL`] entry, each with a [`CorrMatrix`] payload.
+pub fn plan_matrix_nodes(ctx: &mut ComputeContext<'_>, names: &[String]) -> Vec<NodeId> {
+    let preps: Vec<NodeId> = names.iter().map(|n| plan_corr_prep(ctx, n)).collect();
     CorrMethod::ALL
         .iter()
         .map(|&method| {
-            let mut cells = vec![None; m * m];
-            for i in 0..m {
-                cells[i * m + i] = Some(1.0);
-                for j in (i + 1)..m {
-                    let r = cell(method, &preps[i], &preps[j]);
-                    cells[i * m + j] = r;
-                    cells[j * m + i] = r;
+            let labels = names.to_vec();
+            let params =
+                ctx.params(TaskKey::params(&format!("corrmatrix:{}", method.name())));
+            ctx.graph.op("corr_matrix", params, preps.clone(), move |inputs| {
+                let preps: Vec<&ColumnPrep> =
+                    inputs.iter().map(un::<ColumnPrep>).collect();
+                let m = preps.len();
+                let mut cells = vec![None; m * m];
+                for i in 0..m {
+                    cells[i * m + i] = Some(1.0);
+                    for j in (i + 1)..m {
+                        let r = cell(method, preps[i], preps[j]);
+                        cells[i * m + j] = r;
+                        cells[j * m + i] = r;
+                    }
                 }
-            }
-            CorrMatrix { labels: names.to_vec(), method, cells }
+                pl(CorrMatrix { labels: labels.clone(), method, cells })
+            })
         })
         .collect()
 }
 
-/// Two-phase path: gather columns in the graph; prepare each column once
-/// and fill all three matrices eagerly on the reduced data.
+/// Two-phase path: gathers, preps, and matrix fills all run in the graph;
+/// only the insight filtering happens eagerly afterwards.
 fn matrices_two_phase(
     ctx: &mut ComputeContext<'_>,
     names: &[String],
 ) -> EdaResult<Vec<CorrMatrix>> {
-    let gathers: Vec<NodeId> = names
-        .iter()
-        .map(|n| kernels::numeric_gather(ctx, n))
-        .collect();
-    let outs = ctx.execute_checked(&gathers)?;
-    let preps: Vec<ColumnPrep> = outs
-        .iter()
-        .map(|p| ColumnPrep::prepare(un::<Vec<f64>>(p).clone()))
-        .collect();
-    Ok(matrices_from_preps(names, &preps))
+    let nodes = plan_matrix_nodes(ctx, names);
+    let outs = ctx.execute_checked(&nodes)?;
+    Ok(outs.iter().map(|p| un::<CorrMatrix>(p).clone()).collect())
 }
 
 /// All-graph path (ablation): per-column prep nodes (shared) feed one
@@ -154,16 +173,7 @@ fn matrices_all_graph(
     ctx: &mut ComputeContext<'_>,
     names: &[String],
 ) -> EdaResult<Vec<CorrMatrix>> {
-    let prep_nodes: Vec<NodeId> = names
-        .iter()
-        .map(|n| {
-            let gather = kernels::numeric_gather(ctx, n);
-            let params = ctx.params(TaskKey::params(&format!("corrprep:{n}")));
-            ctx.graph.op("corr_prep", params, vec![gather], |inputs| {
-                pl(ColumnPrep::prepare(un::<Vec<f64>>(&inputs[0]).clone()))
-            })
-        })
-        .collect();
+    let prep_nodes: Vec<NodeId> = names.iter().map(|n| plan_corr_prep(ctx, n)).collect();
     let m = names.len();
     let mut pair_nodes: Vec<(usize, usize, CorrMethod, NodeId)> = Vec::new();
     for (mi, &method) in CorrMethod::ALL.iter().enumerate() {

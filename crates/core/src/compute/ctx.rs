@@ -14,10 +14,52 @@ use eda_taskgraph::outcome::TaskOutcome;
 use eda_taskgraph::scheduler::{
     run_pool_opts, run_single_thread_opts, ExecOptions, ProgressObserver,
 };
-use eda_taskgraph::{Engine, ExecStats, NodeId, PartitionedFrame, TaskGraph};
+use eda_taskgraph::{
+    CacheHandle, Engine, ExecStats, NodeId, PartitionedFrame, PayloadSizer, ResultCache,
+    TaskGraph,
+};
 
 use crate::config::Config;
 use crate::error::{EdaError, EdaResult};
+
+/// The process-wide result cache shared by every EDA call. Entries are
+/// keyed by `(frame fingerprint, task key)`, so a second `plot` or
+/// `create_report` over the same frame reuses the first call's
+/// intermediates. Changing `engine.cache_budget_bytes` replaces the cache
+/// with a fresh one of the new budget.
+fn session_cache(budget: usize) -> Arc<ResultCache> {
+    static CACHE: std::sync::Mutex<Option<(usize, Arc<ResultCache>)>> =
+        std::sync::Mutex::new(None);
+    let mut guard = CACHE.lock().expect("cache registry lock");
+    match &*guard {
+        Some((b, cache)) if *b == budget => Arc::clone(cache),
+        _ => {
+            let cache = Arc::new(ResultCache::new(budget));
+            *guard = Some((budget, Arc::clone(&cache)));
+            cache
+        }
+    }
+}
+
+/// Domain sizer for the byte-budgeted cache: the taskgraph's structural
+/// estimate only knows primitive containers and charges a pointer-sized
+/// floor for opaque payloads, so the multi-megabyte correlation
+/// intermediates would be billed as ~16 bytes each and never evict.
+fn payload_sizer() -> PayloadSizer {
+    use crate::compute::correlation::ColumnPrep;
+    use eda_stats::corr::CorrMatrix;
+    Arc::new(|p: &Payload| {
+        if let Some(prep) = p.downcast_ref::<ColumnPrep>() {
+            let kendall = prep.kendall.as_ref().map_or(0, |k| k.perm.len() * 4 + 8);
+            return Some((prep.values.len() + prep.ranks.len()) * 8 + kendall);
+        }
+        if let Some(m) = p.downcast_ref::<CorrMatrix>() {
+            let labels: usize = m.labels.iter().map(|l| l.len() + 24).sum();
+            return Some(m.cells.len() * 16 + labels);
+        }
+        None
+    })
+}
 
 /// Graph-building and execution state for one dataframe.
 pub struct ComputeContext<'a> {
@@ -35,6 +77,9 @@ pub struct ComputeContext<'a> {
     pub last_stats: Option<ExecStats>,
     /// Optional progress observer (the Figure 1 progress bar).
     pub progress: Option<ProgressObserver>,
+    /// Result cache override; `None` uses the process-wide session cache.
+    /// Tests inject a private cache here for deterministic warm/cold runs.
+    pub cache_override: Option<Arc<ResultCache>>,
 }
 
 impl<'a> ComputeContext<'a> {
@@ -56,7 +101,16 @@ impl<'a> ComputeContext<'a> {
         };
         // Stage 2 begins: partition sources enter the graph.
         let sources = pf.source_nodes(&mut graph);
-        ComputeContext { df, config, pf, graph, sources, last_stats: None, progress: None }
+        ComputeContext {
+            df,
+            config,
+            pf,
+            graph,
+            sources,
+            last_stats: None,
+            progress: None,
+            cache_override: None,
+        }
     }
 
     /// Attach a progress observer; each executed task reports
@@ -64,6 +118,29 @@ impl<'a> ComputeContext<'a> {
     pub fn with_progress(mut self, observer: ProgressObserver) -> Self {
         self.progress = Some(observer);
         self
+    }
+
+    /// Use a private result cache instead of the process-wide one.
+    pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache_override = Some(cache);
+        self
+    }
+
+    /// Cache handle for this frame, or `None` when caching is disabled
+    /// (`engine.cache_budget_bytes = 0`). The fingerprint is the frame's
+    /// identity hash — already computed as the partition dataset id.
+    fn cache_handle(&self) -> Option<CacheHandle> {
+        match self.config.engine.cache_budget_bytes {
+            0 => None,
+            budget => {
+                let cache = self
+                    .cache_override
+                    .as_ref()
+                    .map(Arc::clone)
+                    .unwrap_or_else(|| session_cache(budget));
+                Some(CacheHandle::new(cache, self.pf.dataset_id).with_sizer(payload_sizer()))
+            }
+        }
     }
 
     /// Parameter-hash base mixing in the config, so config changes never
@@ -89,6 +166,7 @@ impl<'a> ComputeContext<'a> {
             deadline: self.deadline(),
             observer: self.progress.as_ref().map(Arc::clone),
             trace: self.config.engine.profile,
+            cache: self.cache_handle(),
         };
         // workers <= 1 means the in-place topological scheduler: no pool
         // to spin up, and fault-tolerance behaviour stays identical.

@@ -192,6 +192,13 @@ pub struct EngineConfig {
     /// in HTML output (worker Gantt, slowest tasks, critical path). Off
     /// by default: untraced runs skip span recording entirely.
     pub profile: bool,
+    /// Byte budget for the process-wide cross-call result cache. Derived
+    /// task results are memoized keyed by `(frame fingerprint, task key)`,
+    /// so repeated EDA calls over the same frame skip recomputation; least
+    /// recently used entries are evicted past the budget. `0` disables
+    /// caching entirely — runs are then bit-identical to the pre-cache
+    /// engine.
+    pub cache_budget_bytes: usize,
 }
 
 /// Figure-size parameters consumed by the render layer.
@@ -284,6 +291,7 @@ impl Default for Config {
                 sample_rows: 0,
                 task_deadline_ms: 0,
                 profile: false,
+                cache_budget_bytes: 256 << 20,
             },
             display: DisplayConfig { width: 450, height: 300 },
         }
@@ -381,6 +389,9 @@ impl Config {
                 self.engine.task_deadline_ms = usize_of(key, value)? as u64
             }
             "engine.profile" => self.engine.profile = bool_of(key, value)?,
+            "engine.cache_budget_bytes" => {
+                self.engine.cache_budget_bytes = usize_of(key, value)?
+            }
             "display.width" => self.display.width = usize_of(key, value)?.max(50),
             "display.height" => self.display.height = usize_of(key, value)?.max(50),
             _ => {
@@ -397,9 +408,12 @@ impl Config {
     /// used in task keys so that differently-configured computations never
     /// share graph nodes.
     pub fn compute_hash(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
+        use eda_taskgraph::key::Fnv1a;
         use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
+        // FNV with a fixed seed, like the task keys it feeds into: the
+        // hash must come out identical in every process or cross-call
+        // cache keys would never line up after a restart.
+        let mut h = Fnv1a::new();
         self.hist.bins.hash(&mut h);
         self.kde.grid.hash(&mut h);
         self.qq.points.hash(&mut h);

@@ -57,6 +57,7 @@ pub const PARAMS: &[ParamSpec] = &[
     ParamSpec { key: "engine.sample_rows", default: "0", description: "Compute on ~this many sampled rows when the frame is larger (0 = exact)" },
     ParamSpec { key: "engine.task_deadline_ms", default: "0", description: "Per-task wall-clock budget in ms; over-budget tasks degrade their section (0 = unlimited)" },
     ParamSpec { key: "engine.profile", default: "false", description: "Trace every task and add a Performance tab (worker Gantt, slowest tasks) to HTML output" },
+    ParamSpec { key: "engine.cache_budget_bytes", default: "268435456", description: "Byte budget for the cross-call result cache; LRU-evicted past it (0 = caching off)" },
     ParamSpec { key: "display.width", default: "450", description: "Figure width in pixels" },
     ParamSpec { key: "display.height", default: "300", description: "Figure height in pixels" },
 ];

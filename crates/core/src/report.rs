@@ -17,7 +17,7 @@ use eda_taskgraph::outcome::TaskOutcome;
 use eda_taskgraph::ExecStats;
 
 use crate::api::SectionStatus;
-use crate::compute::correlation::{self, matrices_from_preps, numeric_columns, ColumnPrep};
+use crate::compute::correlation::{self, numeric_columns};
 use crate::compute::ctx::{un, ComputeContext};
 use crate::compute::kernels::{self, ColMeta};
 use crate::compute::overview::{assemble_overview, plan_overview};
@@ -127,10 +127,14 @@ impl Report {
             .collect();
 
         let corr_names = numeric_columns(&ctx);
-        let corr_gathers: Vec<_> = corr_names
-            .iter()
-            .map(|n| kernels::numeric_gather(&mut ctx, n))
-            .collect();
+        // One matrix node per method: the O(n log n) per-column prep and
+        // the per-pair coefficients run inside the graph (parallel and
+        // cacheable); only insight filtering stays eager.
+        let corr_nodes: Vec<_> = if corr_names.len() >= 2 {
+            correlation::plan_matrix_nodes(&mut ctx, &corr_names)
+        } else {
+            Vec::new()
+        };
 
         let missing_metas: Vec<_> = names
             .iter()
@@ -155,7 +159,7 @@ impl Report {
             })
             .collect();
         let corr_start = outputs.len();
-        outputs.extend(&corr_gathers);
+        outputs.extend(&corr_nodes);
         let missing_start = outputs.len();
         outputs.extend(&missing_metas);
         outputs.extend(&missing_indicators);
@@ -210,16 +214,10 @@ impl Report {
         }
 
         let (correlations, correlations_status) = if corr_names.len() >= 2 {
-            match section_payloads(&outcomes[corr_start..corr_start + corr_gathers.len()]) {
+            match section_payloads(&outcomes[corr_start..corr_start + corr_nodes.len()]) {
                 Ok(outs) => {
-                    // Shared per-column preparation (ranks + Kendall sort
-                    // state), then all three matrices from the preps — the
-                    // same shared path as plot_correlation(df).
-                    let preps: Vec<ColumnPrep> = outs
-                        .iter()
-                        .map(|p| ColumnPrep::prepare(un::<Vec<f64>>(p).clone()))
-                        .collect();
-                    let matrices: Vec<CorrMatrix> = matrices_from_preps(&corr_names, &preps);
+                    let matrices: Vec<CorrMatrix> =
+                        outs.iter().map(|p| un::<CorrMatrix>(p).clone()).collect();
                     for m in &matrices {
                         for (a, b, r) in m.strong_pairs(config.insight.correlation) {
                             if let Some(i) = crate::insights::correlation_insight(
@@ -411,17 +409,23 @@ mod tests {
     #[test]
     fn single_graph_shares_across_sections() {
         // The overview histogram and the variable-section histogram of the
-        // same column are one node: CSE hits must be substantial.
+        // same column are one node: CSE hits must be substantial. The
+        // cross-call cache is disabled so the comparison isolates CSE —
+        // otherwise the second run over the same frame would be served
+        // from the first run's cached intermediates.
         let df = frame();
-        let cfg = Config::default();
+        let cfg = Config::from_pairs(vec![("engine.cache_budget_bytes", "0")]).unwrap();
         let report = Report::create(&df, &cfg).unwrap();
         assert!(
             report.stats.cse_hits > 0,
             "report graph should share computations"
         );
         // With sharing disabled the same report runs more tasks.
-        let no_share =
-            Config::from_pairs(vec![("engine.share_computations", "false")]).unwrap();
+        let no_share = Config::from_pairs(vec![
+            ("engine.share_computations", "false"),
+            ("engine.cache_budget_bytes", "0"),
+        ])
+        .unwrap();
         let unshared = Report::create(&df, &no_share).unwrap();
         assert!(
             unshared.stats.tasks_run > report.stats.tasks_run,

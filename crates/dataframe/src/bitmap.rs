@@ -81,6 +81,17 @@ impl Bitmap {
         Arc::ptr_eq(&self.bytes, &other.bytes)
     }
 
+    /// Identity triple for fingerprinting: backing-buffer address plus the
+    /// bit window. Two bitmaps with equal triples are the same view of the
+    /// same allocation.
+    pub(crate) fn identity_parts(&self) -> (u64, u64, u64) {
+        (
+            Arc::as_ptr(&self.bytes) as *const u8 as u64,
+            self.offset as u64,
+            self.len as u64,
+        )
+    }
+
     /// Re-pack the window into a fresh, uniquely owned, offset-0 buffer
     /// unless it already is one. All mutators funnel through here, so a
     /// builder that owns its bitmap stays on the in-place fast path while

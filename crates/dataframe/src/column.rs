@@ -13,6 +13,7 @@ use std::sync::Arc;
 use crate::bitmap::Bitmap;
 use crate::dtype::DataType;
 use crate::error::{Error, Result};
+use crate::fingerprint::Fnv;
 use crate::value::Value;
 
 /// Values plus optional validity for one physical type: a window over a
@@ -256,6 +257,122 @@ impl Column {
             (Column::Bool(a), Column::Bool(b)) => Arc::ptr_eq(&a.values, &b.values),
             _ => false,
         }
+    }
+
+    // ---- fingerprints ------------------------------------------------------
+
+    /// O(1) identity fingerprint: buffer pointer + window + dtype +
+    /// validity identity + a small head/tail content sample. Two columns
+    /// sharing one buffer window fingerprint identically; any copy-on-write
+    /// re-pack ([`Column::make_unique`]) lands in a fresh allocation and so
+    /// necessarily changes the fingerprint. The content sample guards
+    /// against allocator address reuse. See [`crate::fingerprint`] for the
+    /// scheme's rationale.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.fingerprint_into(&mut h, false);
+        h.finish()
+    }
+
+    /// O(rows) content fingerprint: hashes every value and the full
+    /// validity window, ignoring buffer identity. Two logically equal
+    /// columns fingerprint identically even when their buffers are foreign
+    /// to each other (e.g. the same CSV read twice into fresh allocations).
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.fingerprint_into(&mut h, true);
+        h.finish()
+    }
+
+    /// Shared fingerprint walk. `full` selects the content hash; otherwise
+    /// identity + sample.
+    pub(crate) fn fingerprint_into(&self, h: &mut Fnv, full: bool) {
+        fn ident<T>(h: &mut Fnv, d: &TypedData<T>) {
+            h.write_u64(Arc::as_ptr(&d.values) as *const u8 as u64);
+            h.write_u64(d.offset as u64);
+            h.write_u64(d.len as u64);
+        }
+        /// Hash up to four values from each end of the window (`full`
+        /// hashes all of them).
+        fn sample<T>(h: &mut Fnv, d: &TypedData<T>, full: bool, mut write: impl FnMut(&mut Fnv, &T)) {
+            let vals = d.as_slice();
+            if full || vals.len() <= 8 {
+                for v in vals {
+                    write(h, v);
+                }
+            } else {
+                for v in &vals[..4] {
+                    write(h, v);
+                }
+                for v in &vals[vals.len() - 4..] {
+                    write(h, v);
+                }
+            }
+        }
+        let tag = match self {
+            Column::Float64(_) => 1u64,
+            Column::Int64(_) => 2,
+            Column::Str(_) => 3,
+            Column::Bool(_) => 4,
+        };
+        h.write_u64(tag);
+        match self {
+            Column::Float64(d) => {
+                if !full {
+                    ident(h, d);
+                }
+                sample(h, d, full, |h, v| h.write_u64(v.to_bits()));
+            }
+            Column::Int64(d) => {
+                if !full {
+                    ident(h, d);
+                }
+                sample(h, d, full, |h, v| h.write_u64(*v as u64));
+            }
+            Column::Str(d) => {
+                if !full {
+                    ident(h, d);
+                }
+                sample(h, d, full, |h, v| {
+                    h.write_u64(v.len() as u64);
+                    h.write(v.as_bytes());
+                });
+            }
+            Column::Bool(d) => {
+                if !full {
+                    ident(h, d);
+                }
+                sample(h, d, full, |h, v| h.write_u64(*v as u64));
+            }
+        }
+        match self.validity() {
+            None => h.write_u64(0),
+            Some(v) if full => {
+                h.write_u64(1);
+                h.write_u64(v.len() as u64);
+                for (i, bit) in v.iter().enumerate() {
+                    if bit {
+                        h.write_u64(i as u64);
+                    }
+                }
+            }
+            Some(v) => {
+                let (ptr, offset, len) = v.identity_parts();
+                h.write_u64(1);
+                h.write_u64(ptr);
+                h.write_u64(offset);
+                h.write_u64(len);
+            }
+        }
+    }
+
+    /// Re-pack the window into freshly allocated, uniquely owned buffers
+    /// (values and validity). This is the copy-on-write step before
+    /// mutating shared data: the new buffers live at new addresses, so the
+    /// column's [`Column::fingerprint`] changes and any cache entries
+    /// computed from the old identity can no longer match.
+    pub fn make_unique(&mut self) {
+        *self = self.slice_copy(0, self.len());
     }
 
     // ---- typed window access ----------------------------------------------
@@ -759,5 +876,57 @@ mod tests {
         assert!(c.validity_mask().all_set());
         let c2 = Column::from_opt_i64(vec![Some(1), None]);
         assert_eq!(c2.validity_mask().count_unset(), 1);
+    }
+
+    #[test]
+    fn fingerprint_stable_for_same_view() {
+        let c = Column::from_opt_f64((0..100).map(|i| (i % 9 != 0).then_some(i as f64)).collect());
+        assert_eq!(c.fingerprint(), c.fingerprint());
+        // A clone shares the buffers, so identity is preserved.
+        assert_eq!(c.clone().fingerprint(), c.fingerprint());
+        // A shared-buffer slice of the same window fingerprints equally...
+        assert_eq!(c.slice(0, c.len()).fingerprint(), c.fingerprint());
+        // ...but a different window does not.
+        assert_ne!(c.slice(1, 50).fingerprint(), c.fingerprint());
+        assert_ne!(c.slice(0, 50).fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_separate_allocations() {
+        // Logically equal but separately constructed columns live in
+        // different buffers: identity fingerprints differ, content
+        // fingerprints agree.
+        let a = Column::from_i64((0..50).collect());
+        let b = Column::from_i64((0..50).collect());
+        assert_eq!(a, b);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        // Content fingerprints see value differences wherever they are.
+        let c = Column::from_i64((0..49).chain([99]).collect());
+        assert_ne!(b.content_fingerprint(), c.content_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_dtype_and_validity() {
+        let f = Column::from_f64(vec![1.0, 2.0, 3.0]);
+        let i = Column::from_i64(vec![1, 2, 3]);
+        assert_ne!(f.content_fingerprint(), i.content_fingerprint());
+        let no_null = Column::from_opt_i64(vec![Some(1), Some(2)]);
+        let with_null = Column::from_opt_i64(vec![Some(1), None]);
+        assert_ne!(no_null.content_fingerprint(), with_null.content_fingerprint());
+    }
+
+    #[test]
+    fn make_unique_changes_fingerprint_not_value() {
+        let c = Column::from_opt_f64((0..40).map(|i| (i % 7 != 0).then_some(i as f64)).collect());
+        let before = c.fingerprint();
+        let mut copy = c.clone();
+        assert_eq!(copy.fingerprint(), before);
+        copy.make_unique();
+        assert_eq!(copy, c, "copy-on-write must preserve the logical value");
+        assert!(!copy.shares_buffer(&c), "make_unique must detach the buffer");
+        assert_ne!(copy.fingerprint(), before, "a detached buffer is new identity");
+        // Content fingerprints ignore identity and still agree.
+        assert_eq!(copy.content_fingerprint(), c.content_fingerprint());
     }
 }

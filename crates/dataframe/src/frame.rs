@@ -99,6 +99,35 @@ impl DataFrame {
             .collect()
     }
 
+    /// O(columns) identity fingerprint of the whole frame: column names
+    /// folded with each column's [`Column::fingerprint`]. Two frames built
+    /// over the same buffers (clones, full-window views) fingerprint
+    /// identically; replacing or copy-on-write-detaching any column
+    /// ([`Column::make_unique`]) changes it. This is what keys the
+    /// cross-call result cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv::new();
+        h.write_u64(self.nrows as u64);
+        h.write_u64(self.columns.len() as u64);
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            h.write_u64(name.len() as u64);
+            h.write(name.as_bytes());
+            col.fingerprint_into(&mut h, false);
+        }
+        h.finish()
+    }
+
+    /// Copy-on-write detach of one column: re-packs its window into fresh
+    /// uniquely owned buffers (see [`Column::make_unique`]), which changes
+    /// the frame's [`DataFrame::fingerprint`]. The step before mutating a
+    /// column that may share buffers with other frames or cached results.
+    pub fn make_unique(&mut self, name: &str) -> Result<()> {
+        let i = self.index_of(name)?;
+        let col = Arc::make_mut(&mut self.columns[i]);
+        col.make_unique();
+        Ok(())
+    }
+
     /// Whether a column of this name exists.
     pub fn has_column(&self, name: &str) -> bool {
         self.names.iter().any(|n| n == name)
@@ -503,5 +532,28 @@ mod tests {
     #[test]
     fn memory_size_positive() {
         assert!(sample().memory_size() > 0);
+    }
+
+    #[test]
+    fn frame_fingerprint_tracks_identity() {
+        let df = sample();
+        assert_eq!(df.fingerprint(), df.fingerprint());
+        // Clones share every buffer → same identity.
+        assert_eq!(df.clone().fingerprint(), df.fingerprint());
+        // A separately built equal frame lives in fresh buffers.
+        assert_ne!(sample().fingerprint(), df.fingerprint());
+        // Slices are different windows.
+        assert_ne!(df.slice(0, 2).fingerprint(), df.fingerprint());
+    }
+
+    #[test]
+    fn make_unique_changes_frame_fingerprint() {
+        let df = sample();
+        let mut detached = df.clone();
+        let before = detached.fingerprint();
+        detached.make_unique("a").unwrap();
+        assert_ne!(detached.fingerprint(), before);
+        assert_eq!(detached, df, "detaching preserves the logical value");
+        assert!(detached.make_unique("nope").is_err());
     }
 }

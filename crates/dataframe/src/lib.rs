@@ -39,6 +39,7 @@ pub mod csv;
 pub mod display;
 pub mod dtype;
 pub mod error;
+pub(crate) mod fingerprint;
 pub mod frame;
 pub mod value;
 

@@ -18,6 +18,9 @@ fn status_fill(status: SpanStatus) -> &'static str {
         SpanStatus::Failed => theme::HIGHLIGHT,
         SpanStatus::TimedOut => theme::SECONDARY,
         SpanStatus::Skipped => theme::GRID,
+        // Zero-width in the Gantt anyway; the axis color keeps the legend
+        // distinct from executed/failed work if one ever gets painted.
+        SpanStatus::Cached => theme::AXIS,
     }
 }
 
@@ -118,7 +121,7 @@ pub fn top_k_table(trace: &RunTrace, k: usize) -> String {
 }
 
 /// Format an estimated payload size (`640 B`, `12.5 KB`, `3.2 MB`).
-fn fmt_bytes(bytes: usize) -> String {
+pub fn fmt_bytes(bytes: usize) -> String {
     if bytes < 1024 {
         format!("{bytes} B")
     } else if bytes < 1024 * 1024 {

@@ -13,7 +13,7 @@ use eda_core::report::Report;
 use eda_core::Insight;
 use eda_taskgraph::ExecStats;
 
-use crate::charts::gantt::{fmt_dur, gantt, top_k_table};
+use crate::charts::gantt::{fmt_bytes, fmt_dur, gantt, top_k_table};
 use crate::charts::render_chart;
 use crate::svg::Svg;
 
@@ -116,6 +116,19 @@ pub fn performance_panel(stats: &ExecStats, display: &DisplayConfig) -> String {
         fmt_dur(trace.estimated_savings(avoided)),
         avoided,
     );
+    if stats.cache_hits + stats.cache_misses > 0 {
+        rows.push_str(&format!(
+            "<tr><td>result cache</td><td>{} hits / {} misses ({:.0}% hit rate)</td></tr>\
+             <tr><td>cache bytes served</td><td>{}</td></tr>\
+             <tr><td>cache evictions</td><td>{}</td></tr>",
+            stats.cache_hits,
+            stats.cache_misses,
+            100.0 * stats.cache_hits as f64
+                / (stats.cache_hits + stats.cache_misses) as f64,
+            fmt_bytes(stats.cache_bytes_saved),
+            stats.cache_evictions,
+        ));
+    }
     for (w, util) in trace.worker_utilization().iter().enumerate() {
         rows.push_str(&format!(
             "<tr><td>worker w{w} utilization</td><td>{:.0}%</td></tr>",
@@ -377,6 +390,30 @@ mod tests {
         let plain = plot(&df, &["price"], &Config::default()).unwrap();
         assert!(plain.stats.as_ref().unwrap().trace.is_none());
         assert!(!render_analysis_html(&plain, &cfg.display).contains("Performance"));
+    }
+
+    #[test]
+    fn performance_tab_reports_cache_counters() {
+        let df = frame();
+        let cfg = Config::from_pairs(vec![("engine.profile", "true")]).unwrap();
+        // Warm call, then a profiled warm call that must show hits.
+        plot(&df, &["price"], &cfg).unwrap();
+        let warm = plot(&df, &["price"], &cfg).unwrap();
+        assert!(warm.stats.as_ref().unwrap().cache_hits > 0);
+        let html = render_analysis_html(&warm, &cfg.display);
+        assert!(html.contains("result cache"), "cache row missing");
+        assert!(html.contains("hit rate"));
+        assert!(html.contains("cache bytes served"));
+        assert!(html.contains("cache evictions"));
+        // Disabled cache: no probes, so the rows disappear.
+        let off = Config::from_pairs(vec![
+            ("engine.profile", "true"),
+            ("engine.cache_budget_bytes", "0"),
+        ])
+        .unwrap();
+        let plain = plot(&df, &["price"], &off).unwrap();
+        let html = render_analysis_html(&plain, &off.display);
+        assert!(!html.contains("result cache"));
     }
 
     #[test]

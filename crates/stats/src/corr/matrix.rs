@@ -1,6 +1,7 @@
 //! Correlation matrices over named column sets.
 
-use super::CorrMethod;
+use super::{spearman::spearman_from_ranks, CorrMethod};
+use crate::rank::ranks;
 
 /// A symmetric correlation matrix with column labels.
 ///
@@ -26,11 +27,31 @@ impl CorrMatrix {
         method: CorrMethod,
     ) -> CorrMatrix {
         let m = columns.len();
+        // Spearman over a NaN-free column pair is Pearson over the
+        // columns' own ranks, so rank each complete column once —
+        // O(m·n log n) ranking instead of O(m²·n log n). A column with
+        // NaNs keeps `None` here and its pairs fall back to the per-pair
+        // path, which re-ranks over each pair's complete subset (the
+        // two paths only coincide when nothing is dropped).
+        let col_ranks: Vec<Option<Vec<f64>>> = if method == CorrMethod::Spearman {
+            columns
+                .iter()
+                .map(|(_, v)| (!v.iter().any(|x| x.is_nan())).then(|| ranks(v)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut cells = vec![None; m * m];
         for i in 0..m {
             cells[i * m + i] = Some(1.0);
             for j in (i + 1)..m {
-                let r = method.compute(&columns[i].1, &columns[j].1);
+                let r = match method {
+                    CorrMethod::Spearman => match (&col_ranks[i], &col_ranks[j]) {
+                        (Some(ri), Some(rj)) => spearman_from_ranks(ri, rj),
+                        _ => method.compute(&columns[i].1, &columns[j].1),
+                    },
+                    _ => method.compute(&columns[i].1, &columns[j].1),
+                };
                 cells[i * m + j] = r;
                 cells[j * m + i] = r;
             }

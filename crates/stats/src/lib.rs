@@ -50,5 +50,5 @@ pub use histogram::Histogram;
 pub use kde::kde_grid;
 pub use moments::Moments;
 pub use qq::{normal_qq_points, normal_quantile};
-pub use quantile::{quantile_sorted, BoxPlot};
+pub use quantile::{quantile_sorted, quantiles_nth, BoxPlot};
 pub use regression::LinearFit;

@@ -35,6 +35,55 @@ pub fn quantiles(values: &[f64], qs: &[f64]) -> Vec<Option<f64>> {
     qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect()
 }
 
+/// Evaluate a *small* set of quantiles without sorting: each rank the
+/// type-7 interpolation touches is placed by `select_nth_unstable_by`
+/// over the not-yet-partitioned suffix — O(n·k) for k quantiles instead
+/// of O(n log n), a win when k is the handful a five-number summary
+/// needs. Results are identical to [`quantiles`].
+pub fn quantiles_nth(values: &[f64], qs: &[f64]) -> Vec<Option<f64>> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return vec![None; qs.len()];
+    }
+    let n = v.len();
+    let rank_pair = |q: f64| {
+        let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+        (pos.floor() as usize, pos.ceil() as usize, pos)
+    };
+    let mut ranks: Vec<usize> = Vec::with_capacity(qs.len() * 2);
+    for &q in qs {
+        let (lo, hi, _) = rank_pair(q);
+        ranks.push(lo);
+        ranks.push(hi);
+    }
+    ranks.sort_unstable();
+    ranks.dedup();
+    // Ascending ranks: once rank r is selected, everything left of it is
+    // ≤ v[r], so the next selection only scans the suffix after r.
+    let mut start = 0usize;
+    for &r in &ranks {
+        if start >= n {
+            break;
+        }
+        v[start..]
+            .select_nth_unstable_by(r - start, |a, b| {
+                a.partial_cmp(b).expect("no NaNs after filter")
+            });
+        start = r + 1;
+    }
+    qs.iter()
+        .map(|&q| {
+            let (lo, hi, pos) = rank_pair(q);
+            if lo == hi {
+                Some(v[lo])
+            } else {
+                let frac = pos - lo as f64;
+                Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+            }
+        })
+        .collect()
+}
+
 /// Tukey box-plot statistics with 1.5·IQR whiskers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoxPlot {
@@ -61,9 +110,48 @@ pub struct BoxPlot {
 
 impl BoxPlot {
     /// Build from raw values. Returns `None` for empty (or all-NaN) input.
+    ///
+    /// Quartiles come from [`quantiles_nth`] and the whiskers/outliers
+    /// from one linear scan, so this never fully sorts the data — only
+    /// the (few) outliers get sorted to keep the same output order as
+    /// [`Self::from_sorted`].
     pub fn from_values(values: &[f64], max_outliers: usize) -> Option<BoxPlot> {
-        let sorted = sorted_values(values);
-        Self::from_sorted(&sorted, max_outliers)
+        let clean: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+        if clean.is_empty() {
+            return None;
+        }
+        let qs = quantiles_nth(&clean, &[0.25, 0.5, 0.75]);
+        let (q1, median, q3) = (qs[0]?, qs[1]?, qs[2]?);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let mut whisker_low = f64::INFINITY;
+        let mut whisker_high = f64::NEG_INFINITY;
+        let mut outliers = Vec::new();
+        for &v in &clean {
+            if v < lo_fence || v > hi_fence {
+                outliers.push(v);
+            } else {
+                whisker_low = whisker_low.min(v);
+                whisker_high = whisker_high.max(v);
+            }
+        }
+        let n_outliers = outliers.len();
+        outliers.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+        outliers.truncate(max_outliers);
+        Some(BoxPlot {
+            q1,
+            median,
+            q3,
+            iqr,
+            // The fences always bracket at least one value (they bracket
+            // the quartiles), so the whiskers are finite here.
+            whisker_low,
+            whisker_high,
+            outliers,
+            n_outliers,
+            n: clean.len(),
+        })
     }
 
     /// Build from pre-sorted values (ascending, no NaNs).
@@ -157,6 +245,38 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_nth_matches_full_sort() {
+        // Deterministic pseudo-random data (LCG), including NaNs.
+        let mut x = 0x2545_f491u64;
+        let vals: Vec<f64> = (0..500)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if i % 37 == 0 {
+                    f64::NAN
+                } else {
+                    (x >> 40) as f64 / 1e3
+                }
+            })
+            .collect();
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0];
+        assert_eq!(quantiles_nth(&vals, &qs), quantiles(&vals, &qs));
+    }
+
+    #[test]
+    fn quantiles_nth_edge_cases() {
+        assert_eq!(quantiles_nth(&[], &[0.5]), vec![None]);
+        assert_eq!(quantiles_nth(&[f64::NAN], &[0.5]), vec![None]);
+        assert_eq!(quantiles_nth(&[7.0], &[0.0, 0.5, 1.0]), vec![Some(7.0); 3]);
+        // Interpolation between ranks, same as the sorted path.
+        assert_eq!(quantiles_nth(&[4.0, 1.0, 3.0, 2.0], &[0.25]), vec![Some(1.75)]);
+        // Duplicate and unsorted quantile requests.
+        assert_eq!(
+            quantiles_nth(&[5.0, 1.0, 3.0], &[1.0, 0.5, 0.5]),
+            vec![Some(5.0), Some(3.0), Some(3.0)]
+        );
+    }
+
+    #[test]
     fn boxplot_no_outliers() {
         let bp = BoxPlot::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0], 10).unwrap();
         assert_eq!(bp.median, 3.0);
@@ -187,6 +307,20 @@ mod tests {
         let bp = BoxPlot::from_values(&vals, 5).unwrap();
         assert_eq!(bp.n_outliers, 20);
         assert_eq!(bp.outliers.len(), 5);
+    }
+
+    #[test]
+    fn boxplot_from_values_matches_from_sorted() {
+        let mut x = 0x9e37_79b9u64;
+        let vals: Vec<f64> = (0..300)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 45) as f64) - 250_000.0
+            })
+            .collect();
+        let selected = BoxPlot::from_values(&vals, 7).unwrap();
+        let sorted = BoxPlot::from_sorted(&sorted_values(&vals), 7).unwrap();
+        assert_eq!(selected, sorted);
     }
 
     #[test]

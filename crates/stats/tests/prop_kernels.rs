@@ -3,11 +3,12 @@
 //! range/invariance properties of the coefficients.
 
 use eda_stats::corr::{kendall_tau, kendall_tau_naive, pearson, spearman, PearsonPartial};
+use eda_stats::corr::{CorrMatrix, CorrMethod};
 use eda_stats::freq::FreqTable;
 use eda_stats::histogram::Histogram;
 use eda_stats::hypothesis::ks_distance;
 use eda_stats::moments::Moments;
-use eda_stats::quantile::{quantile_sorted, sorted_values, BoxPlot};
+use eda_stats::quantile::{quantile_sorted, quantiles, quantiles_nth, sorted_values, BoxPlot};
 use eda_stats::rank::ranks;
 use proptest::prelude::*;
 
@@ -187,5 +188,57 @@ proptest! {
         // Identity of indiscernibles (one direction).
         let self_d = ks_distance(&a, &a).unwrap();
         prop_assert!(self_d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_nth_agrees_with_full_sort(values in data(0), qs in prop::collection::vec(0.0f64..=1.0, 1..8)) {
+        prop_assert_eq!(quantiles_nth(&values, &qs), quantiles(&values, &qs));
+    }
+
+    #[test]
+    fn spearman_matrix_rank_once_equals_per_pair(
+        cols in prop::collection::vec(data(3), 2..5),
+    ) {
+        // Equal-length NaN-free columns: the matrix's rank-once fast path
+        // must agree with re-ranking every pair from scratch.
+        let n = cols.iter().map(Vec::len).min().unwrap();
+        let named: Vec<(String, Vec<f64>)> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (format!("c{i}"), c[..n].to_vec()))
+            .collect();
+        let m = CorrMatrix::compute(&named, CorrMethod::Spearman);
+        for i in 0..named.len() {
+            for j in (i + 1)..named.len() {
+                let per_pair = spearman(&named[i].1, &named[j].1);
+                let fast = m.get(i, j);
+                match (fast, per_pair) {
+                    (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+                    (a, b) => prop_assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spearman_matrix_with_nulls_matches_per_pair(
+        cols in prop::collection::vec(prop::collection::vec(prop::option::of(finite_f64()), 4..60), 2..4),
+    ) {
+        // Columns with NaN-marked nulls take the pairwise-complete
+        // fallback; cells must equal the direct per-pair computation.
+        let n = cols.iter().map(Vec::len).min().unwrap();
+        let named: Vec<(String, Vec<f64>)> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (format!("c{i}"), c[..n].iter().map(|v| v.unwrap_or(f64::NAN)).collect())
+            })
+            .collect();
+        let m = CorrMatrix::compute(&named, CorrMethod::Spearman);
+        for i in 0..named.len() {
+            for j in (i + 1)..named.len() {
+                prop_assert_eq!(m.get(i, j), spearman(&named[i].1, &named[j].1));
+            }
+        }
     }
 }

@@ -103,6 +103,10 @@ impl Engine {
                     stats.tasks_failed += r.stats.tasks_failed;
                     stats.tasks_skipped += r.stats.tasks_skipped;
                     stats.tasks_timed_out += r.stats.tasks_timed_out;
+                    stats.cache_hits += r.stats.cache_hits;
+                    stats.cache_misses += r.stats.cache_misses;
+                    stats.cache_evictions += r.stats.cache_evictions;
+                    stats.cache_bytes_saved += r.stats.cache_bytes_saved;
                     if let Some(t) = &r.stats.trace {
                         sub_traces.push((sub_started, RunTrace::clone(t)));
                     }

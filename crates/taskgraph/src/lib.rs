@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cluster;
 pub mod engine;
 pub mod graph;
@@ -49,6 +50,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod trace;
 
+pub use cache::{CacheHandle, PayloadSizer, ResultCache};
 pub use engine::Engine;
 pub use graph::{NodeId, Payload, TaskGraph};
 pub use inject::{FaultInjector, FaultMode, FaultPlan, FaultTarget};

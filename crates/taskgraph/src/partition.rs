@@ -91,7 +91,11 @@ impl PartitionedFrame {
         PartitionedFrame {
             partitions,
             meta,
-            dataset_id: next_dataset_id(),
+            // Fingerprint, not a process counter: re-partitioning the same
+            // frame in a later call reproduces the same dataset id, so
+            // source TaskKeys — and everything derived from them — line up
+            // across calls and the cross-call result cache can hit.
+            dataset_id: df.fingerprint(),
         }
     }
 
@@ -149,12 +153,6 @@ pub fn payload_frame(p: &Payload) -> Arc<DataFrame> {
     p.downcast_ref::<Arc<DataFrame>>()
         .expect("payload holds Arc<DataFrame>")
         .clone()
-}
-
-fn next_dataset_id() -> u64 {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static COUNTER: AtomicU64 = AtomicU64::new(1);
-    COUNTER.fetch_add(1, Ordering::Relaxed)
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 use parking_lot::Mutex;
 
+use crate::cache::CacheHandle;
 use crate::graph::{NodeId, Payload, TaskGraph};
 use crate::inject::{FaultMode, Garbage};
 use crate::outcome::{TaskError, TaskFailure, TaskOutcome};
@@ -56,6 +57,12 @@ pub struct ExecOptions {
     /// [`RunTrace`] to `ExecStats`. Off by default: untraced runs branch
     /// around every recording site and allocate nothing.
     pub trace: bool,
+    /// Cross-run result cache plus the current data fingerprint. When
+    /// set, both schedulers probe the cache before dispatch (a hit
+    /// short-circuits the node and transitively satisfies its
+    /// dependents) and insert successful derived results after. `None`
+    /// executes everything, bit-identical to the pre-cache behaviour.
+    pub cache: Option<CacheHandle>,
 }
 
 /// Result of one execution: an outcome per requested output (same
@@ -91,6 +98,94 @@ pub fn run_single_thread(graph: &TaskGraph, outputs: &[NodeId]) -> ExecResult {
     run_single_thread_opts(graph, outputs, &ExecOptions::default())
 }
 
+/// Cache-aware liveness plan: which nodes this run must touch, and which
+/// of those are already satisfied by the cross-run cache.
+struct CachePlan {
+    /// `(payload, byte estimate)` for nodes answered by the cache.
+    hits: Vec<Option<(Payload, usize)>>,
+    /// Nodes this run needs. Unlike [`TaskGraph::reachable`], the reverse
+    /// walk *stops* at cache hits, so a hit transitively satisfies its
+    /// whole upstream cone — those dependencies are not live and never
+    /// dispatch.
+    live: Vec<bool>,
+    /// Number of cache hits among live nodes.
+    hit_count: usize,
+    /// Number of probed-but-absent derived nodes.
+    misses: usize,
+    /// Estimated payload bytes served from the cache.
+    bytes_saved: usize,
+}
+
+impl CachePlan {
+    /// Probe the cache along a reverse DFS from `outputs`. Only derived
+    /// nodes (with dependencies) are probed: sources hold their payload
+    /// by construction, so caching them buys nothing and would pin input
+    /// data in the cache.
+    fn build(graph: &TaskGraph, outputs: &[NodeId], handle: &CacheHandle) -> CachePlan {
+        let mut plan = CachePlan {
+            hits: (0..graph.len()).map(|_| None).collect(),
+            live: vec![false; graph.len()],
+            hit_count: 0,
+            misses: 0,
+            bytes_saved: 0,
+        };
+        let probe = handle.cache.enabled();
+        let mut stack: Vec<NodeId> = outputs.to_vec();
+        while let Some(id) = stack.pop() {
+            if plan.live[id] {
+                continue;
+            }
+            plan.live[id] = true;
+            let task = graph.task(id);
+            if probe && !task.deps.is_empty() {
+                if let Some(found) = handle.cache.get(handle.fingerprint, task.key) {
+                    plan.hit_count += 1;
+                    plan.bytes_saved += found.1;
+                    plan.hits[id] = Some(found);
+                    continue; // upstream cone satisfied; don't traverse
+                }
+                plan.misses += 1;
+            }
+            stack.extend(task.deps.iter().copied());
+        }
+        plan
+    }
+
+    /// Zero-width span for a cache hit (start == end == `at`).
+    fn span(&self, graph: &TaskGraph, id: NodeId, worker: usize, at: Duration) -> TaskSpan {
+        let task = graph.task(id);
+        TaskSpan {
+            node: id,
+            name: task.name.clone(),
+            worker,
+            start: at,
+            end: at,
+            queue_wait: Duration::ZERO,
+            status: SpanStatus::Cached,
+            payload_bytes: self.hits[id].as_ref().map_or(0, |(_, b)| *b),
+            deps: task.deps.clone(),
+        }
+    }
+}
+
+/// Insert a successful derived result into the cache, returning the
+/// evictions it forced. Only `Ok` outcomes of nodes with dependencies are
+/// admitted — failed, timed-out, and skipped tasks never populate the
+/// cache, so fault-injected runs cannot poison later ones.
+fn cache_insert(handle: &CacheHandle, graph: &TaskGraph, id: NodeId, outcome: &TaskOutcome) -> usize {
+    let task = graph.task(id);
+    if task.deps.is_empty() {
+        return 0;
+    }
+    match outcome {
+        TaskOutcome::Ok(payload) => {
+            let bytes = handle.payload_bytes(payload);
+            handle.cache.insert(handle.fingerprint, task.key, Arc::clone(payload), bytes)
+        }
+        TaskOutcome::Failed(_) => 0,
+    }
+}
+
 /// [`run_single_thread`] with explicit [`ExecOptions`].
 pub fn run_single_thread_opts(
     graph: &TaskGraph,
@@ -98,10 +193,27 @@ pub fn run_single_thread_opts(
     opts: &ExecOptions,
 ) -> ExecResult {
     let started = Instant::now();
-    let order = graph.topo_order(outputs);
+    let plan = opts.cache.as_ref().map(|h| CachePlan::build(graph, outputs, h));
+    let order: Vec<NodeId> = match &plan {
+        Some(p) => (0..graph.len()).filter(|&i| p.live[i]).collect(),
+        None => graph.topo_order(outputs),
+    };
     let mut results: Vec<Option<TaskOutcome>> = vec![None; graph.len()];
     let mut span_buf: Vec<TaskSpan> = Vec::new();
+    let mut evictions = 0usize;
     for (done, &id) in order.iter().enumerate() {
+        if let Some(p) = &plan {
+            if let Some((payload, _)) = &p.hits[id] {
+                if opts.trace {
+                    span_buf.push(p.span(graph, id, 0, started.elapsed()));
+                }
+                results[id] = Some(TaskOutcome::Ok(Arc::clone(payload)));
+                if let Some(obs) = &opts.observer {
+                    obs(done + 1, order.len());
+                }
+                continue;
+            }
+        }
         let inputs: Vec<TaskOutcome> = graph
             .task(id)
             .deps
@@ -111,6 +223,9 @@ pub fn run_single_thread_opts(
         let (outcome, timing) = execute_node(graph, id, &inputs, opts, started);
         if let Some(timing) = timing {
             span_buf.push(make_span(graph, id, 0, timing, &outcome));
+        }
+        if let Some(handle) = &opts.cache {
+            evictions += cache_insert(handle, graph, id, &outcome);
         }
         results[id] = Some(outcome);
         if let Some(obs) = &opts.observer {
@@ -125,7 +240,7 @@ pub fn run_single_thread_opts(
     let run_trace = opts
         .trace
         .then(|| Arc::new(RunTrace::from_buffers(vec![span_buf], 1, elapsed)));
-    let stats = tally(
+    let mut stats = tally(
         order.iter().map(|&id| results[id].as_ref().expect("live node computed")),
         order.len(),
         graph,
@@ -133,7 +248,20 @@ pub fn run_single_thread_opts(
         elapsed,
         run_trace,
     );
+    apply_cache_stats(&mut stats, plan.as_ref(), evictions);
     ExecResult { outcomes, stats }
+}
+
+/// Fold a run's cache activity into its stats. Hit nodes carry `Ok`
+/// outcomes, so `tally` counted them as executed; reclassify them.
+fn apply_cache_stats(stats: &mut ExecStats, plan: Option<&CachePlan>, evictions: usize) {
+    if let Some(p) = plan {
+        stats.tasks_run = stats.tasks_run.saturating_sub(p.hit_count);
+        stats.cache_hits = p.hit_count;
+        stats.cache_misses = p.misses;
+        stats.cache_bytes_saved = p.bytes_saved;
+        stats.cache_evictions = evictions;
+    }
 }
 
 /// Execute over a pool of `workers` threads.
@@ -182,7 +310,11 @@ pub fn run_pool_opts(
 ) -> ExecResult {
     let workers = workers.max(1);
     let started = Instant::now();
-    let live = graph.reachable(outputs);
+    let plan = opts.cache.as_ref().map(|h| CachePlan::build(graph, outputs, h));
+    let live = match &plan {
+        Some(p) => p.live.clone(),
+        None => graph.reachable(outputs),
+    };
     let live_count = live.iter().filter(|&&b| b).count();
     if live_count == 0 {
         let trace = opts
@@ -202,22 +334,48 @@ pub fn run_pool_opts(
     let (ready_tx, ready_rx) = channel::unbounded::<NodeId>();
     let (done_tx, done_rx) = channel::unbounded::<NodeId>();
 
+    // Cache hits complete before anything dispatches: store their
+    // payloads, record zero-width spans, and release their dependents'
+    // indegrees so the hit transitively satisfies its subtree.
+    let mut precompleted = 0usize;
+    let mut hit_spans: Vec<TaskSpan> = Vec::new();
+    let evictions = std::sync::atomic::AtomicUsize::new(0);
+    if let Some(p) = &plan {
+        for id in 0..graph.len() {
+            if let Some((payload, _)) = &p.hits[id] {
+                *results[id].lock() = Some(TaskOutcome::Ok(Arc::clone(payload)));
+                if opts.trace {
+                    hit_spans.push(p.span(graph, id, 0, started.elapsed()));
+                }
+                precompleted += 1;
+                if let Some(obs) = &opts.observer {
+                    obs(precompleted, live_count);
+                }
+                for &dep in &dependents[id] {
+                    indegrees[dep] -= 1;
+                }
+            }
+        }
+    }
+    let is_hit = |id: NodeId| plan.as_ref().is_some_and(|p| p.hits[id].is_some());
+
     // Seed the ready queue.
     for (id, &is_live) in live.iter().enumerate() {
-        if is_live && indegrees[id] == 0 {
+        if is_live && indegrees[id] == 0 && !is_hit(id) {
             ready_tx.send(id).expect("queue open");
         }
     }
 
     // Each worker owns its span buffer (no lock on the recording path);
     // buffers come back through the join handles and merge afterwards.
-    let mut span_buffers: Vec<Vec<TaskSpan>> = Vec::new();
+    let mut span_buffers: Vec<Vec<TaskSpan>> = vec![hit_spans];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for worker_id in 0..workers {
             let ready_rx = ready_rx.clone();
             let done_tx = done_tx.clone();
             let results = Arc::clone(&results);
+            let evictions = &evictions;
             handles.push(scope.spawn(move || {
                 let mut span_buf: Vec<TaskSpan> = Vec::new();
                 while let Ok(id) = ready_rx.recv() {
@@ -238,6 +396,12 @@ pub fn run_pool_opts(
                     if let Some(timing) = timing {
                         span_buf.push(make_span(graph, id, worker_id, timing, &outcome));
                     }
+                    if let Some(handle) = &opts.cache {
+                        let n = cache_insert(handle, graph, id, &outcome);
+                        if n > 0 {
+                            evictions.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
                     *results[id].lock() = Some(outcome);
                     if done_tx.send(id).is_err() {
                         break;
@@ -249,8 +413,9 @@ pub fn run_pool_opts(
 
         // Coordinator: track completions, release newly ready tasks.
         // Failed tasks complete like any other (their outcome is the
-        // error), so counting is unaffected by faults.
-        let mut completed = 0usize;
+        // error), so counting is unaffected by faults. Cache hits were
+        // pre-completed above.
+        let mut completed = precompleted;
         while completed < live_count {
             let id = done_rx.recv().expect("workers alive");
             completed += 1;
@@ -284,7 +449,12 @@ pub fn run_pool_opts(
     let elapsed = started.elapsed();
     let run_trace =
         opts.trace.then(|| Arc::new(RunTrace::from_buffers(span_buffers, workers, elapsed)));
-    let stats = tally(live_outcomes.iter(), live_count, graph, workers, elapsed, run_trace);
+    let mut stats = tally(live_outcomes.iter(), live_count, graph, workers, elapsed, run_trace);
+    apply_cache_stats(
+        &mut stats,
+        plan.as_ref(),
+        evictions.load(std::sync::atomic::Ordering::Relaxed),
+    );
     ExecResult { outcomes, stats }
 }
 
@@ -795,6 +965,172 @@ mod tests {
         let err = r.outcomes[0].error().expect("sum skipped");
         assert_eq!(err.root_cause().1, "inc");
         assert_eq!(r.stats.tasks_timed_out, 1);
+    }
+
+    fn cache_opts(cache: &Arc<crate::cache::ResultCache>) -> ExecOptions {
+        ExecOptions {
+            cache: Some(CacheHandle::new(Arc::clone(cache), 0xDA7A)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn warm_run_hits_cache_and_skips_upstream() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let opts = cache_opts(&cache);
+
+        let (g, out) = diamond();
+        let cold = run_single_thread_opts(&g, &[out], &opts);
+        assert_eq!(get(&cold.outputs()[0]), 31);
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.cache_misses, 3); // b, c, d (source not probed)
+        assert_eq!(cache.len(), 3);
+
+        // Rebuild the same graph: keys are structural so they match, and
+        // the source closure must never fire on the warm run.
+        let runs = Arc::new(AtomicUsize::new(0));
+        let mut g2 = TaskGraph::new();
+        let r2 = Arc::clone(&runs);
+        let a = g2.source("a", TaskKey::leaf("a", 0), move || {
+            r2.fetch_add(1, Ordering::SeqCst);
+            int(10)
+        });
+        let b = g2.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+        let c = g2.op("dbl", 0, vec![a], |d| int(get(&d[0]) * 2));
+        let d = g2.op("sum", 0, vec![b, c], |d| int(get(&d[0]) + get(&d[1])));
+
+        let warm = run_single_thread_opts(&g2, &[d], &opts);
+        assert_eq!(get(&warm.outputs()[0]), 31);
+        // The terminal hit satisfies the whole cone: nothing executes.
+        assert_eq!(warm.stats.cache_hits, 1);
+        assert_eq!(warm.stats.tasks_run, 0);
+        assert!(warm.stats.cache_bytes_saved > 0);
+        assert_eq!(runs.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn pool_warm_run_matches_single_thread() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let opts = cache_opts(&cache);
+        let (g, out) = diamond();
+        let cold = run_pool_opts(&g, &[out], 3, &opts);
+        assert_eq!(get(&cold.outputs()[0]), 31);
+        assert_eq!(cold.stats.cache_misses, 3);
+
+        let (g2, out2) = diamond();
+        let warm = run_pool_opts(&g2, &[out2], 3, &opts);
+        assert_eq!(get(&warm.outputs()[0]), 31);
+        assert_eq!(warm.stats.cache_hits, 1);
+        assert_eq!(warm.stats.tasks_run, 0);
+    }
+
+    #[test]
+    fn partial_hit_reruns_only_the_missing_suffix() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let opts = cache_opts(&cache);
+        // Cold run computes only `inc`.
+        let mut g = TaskGraph::new();
+        let a = g.source("a", TaskKey::leaf("a", 0), || int(10));
+        let b = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+        run_single_thread_opts(&g, &[b], &opts);
+
+        // Warm run wants the full diamond: `inc` hits, `dbl` needs the
+        // source so the source re-executes, `sum` is a miss.
+        let (g2, out) = diamond();
+        let warm = run_single_thread_opts(&g2, &[out], &opts);
+        assert_eq!(get(&warm.outputs()[0]), 31);
+        assert_eq!(warm.stats.cache_hits, 1); // inc
+        assert_eq!(warm.stats.cache_misses, 2); // dbl, sum
+        assert_eq!(warm.stats.tasks_run, 3); // a, dbl, sum
+    }
+
+    #[test]
+    fn different_fingerprints_do_not_share_entries() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let (g, out) = diamond();
+        let opts_a = ExecOptions {
+            cache: Some(CacheHandle::new(Arc::clone(&cache), 1)),
+            ..Default::default()
+        };
+        run_single_thread_opts(&g, &[out], &opts_a);
+
+        let opts_b = ExecOptions {
+            cache: Some(CacheHandle::new(Arc::clone(&cache), 2)),
+            ..Default::default()
+        };
+        let (g2, out2) = diamond();
+        let r = run_single_thread_opts(&g2, &[out2], &opts_b);
+        assert_eq!(r.stats.cache_hits, 0, "entries are namespaced by data fingerprint");
+        assert_eq!(r.stats.tasks_run, 4);
+    }
+
+    #[test]
+    fn failed_and_skipped_tasks_never_populate_the_cache() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let opts = cache_opts(&cache);
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::panic_on("dbl"));
+        let r = run_single_thread_opts(&g, &[out], &opts);
+        assert!(r.outcomes[0].is_failed());
+        // `inc` succeeded and was cached; `dbl` failed and `sum` was
+        // skipped — neither may be served from the cache later.
+        assert_eq!(cache.len(), 1);
+
+        let (g2, out2) = diamond();
+        let warm = run_single_thread_opts(&g2, &[out2], &opts);
+        assert_eq!(get(&warm.outputs()[0]), 31, "healthy rerun recomputes the failed cone");
+        assert_eq!(warm.stats.cache_hits, 1); // inc only
+    }
+
+    #[test]
+    fn pool_never_caches_faulted_tasks() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let opts = cache_opts(&cache);
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::panic_on("dbl"));
+        let r = run_pool_opts(&g, &[out], 2, &opts);
+        assert!(r.outcomes[0].is_failed());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_cache_is_inert() {
+        let cache = Arc::new(crate::cache::ResultCache::new(0));
+        let opts = cache_opts(&cache);
+        let (g, out) = diamond();
+        let r1 = run_single_thread_opts(&g, &[out], &opts);
+        let (g2, out2) = diamond();
+        let r2 = run_single_thread_opts(&g2, &[out2], &opts);
+        for r in [&r1, &r2] {
+            assert_eq!(get(&r.outputs()[0]), 31);
+            assert_eq!(r.stats.tasks_run, 4);
+            assert_eq!(r.stats.cache_hits, 0);
+            assert_eq!(r.stats.cache_misses, 0);
+        }
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_tasks_appear_as_cached_spans_in_trace() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let opts = ExecOptions {
+            cache: Some(CacheHandle::new(Arc::clone(&cache), 7)),
+            trace: true,
+            ..Default::default()
+        };
+        let (g, out) = diamond();
+        run_single_thread_opts(&g, &[out], &opts);
+        let (g2, out2) = diamond();
+        let warm = run_pool_opts(&g2, &[out2], 2, &opts);
+        let trace = warm.stats.trace.as_ref().expect("traced run");
+        let cached: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.status == crate::trace::SpanStatus::Cached)
+            .collect();
+        assert_eq!(cached.len(), 1);
+        assert_eq!(cached[0].name, "sum");
+        assert_eq!(cached[0].start, cached[0].end, "cached spans are zero-width");
     }
 
     #[test]

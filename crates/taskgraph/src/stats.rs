@@ -32,6 +32,16 @@ pub struct ExecStats {
     pub tasks_skipped: usize,
     /// Tasks that finished but blew their per-task deadline.
     pub tasks_timed_out: usize,
+    /// Tasks satisfied by the cross-call result cache without executing
+    /// ([`crate::cache::ResultCache`]).
+    pub cache_hits: usize,
+    /// Cache probes that found nothing; the task then executed normally.
+    pub cache_misses: usize,
+    /// Entries evicted during this run to respect the cache byte budget.
+    pub cache_evictions: usize,
+    /// Estimated payload bytes served from the cache instead of being
+    /// recomputed.
+    pub cache_bytes_saved: usize,
     /// Per-task spans, recorded only when the run was traced
     /// ([`crate::scheduler::ExecOptions::trace`]); `None` otherwise so
     /// untraced runs stay allocation-free.

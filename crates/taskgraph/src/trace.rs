@@ -42,6 +42,9 @@ pub enum SpanStatus {
     TimedOut,
     /// The task never ran (upstream failure); zero-duration span.
     Skipped,
+    /// The task's payload came from the cross-call result cache; the
+    /// task body never ran. Zero-width span.
+    Cached,
 }
 
 impl SpanStatus {
@@ -52,13 +55,14 @@ impl SpanStatus {
             SpanStatus::Failed => "failed",
             SpanStatus::TimedOut => "timed_out",
             SpanStatus::Skipped => "skipped",
+            SpanStatus::Cached => "cached",
         }
     }
 
-    /// Whether the task actually dispatched (ran on a worker). Skips are
-    /// bookkeeping, not execution.
+    /// Whether the task actually dispatched (ran on a worker). Skips and
+    /// cache hits are bookkeeping, not execution.
     pub fn executed(&self) -> bool {
-        !matches!(self, SpanStatus::Skipped)
+        !matches!(self, SpanStatus::Skipped | SpanStatus::Cached)
     }
 
     /// Classify a task outcome.
@@ -296,8 +300,10 @@ impl RunTrace {
     ///
     /// Executed spans become complete (`"ph":"X"`) events — one per task
     /// that ran, failed, or timed out — with worker as the thread id.
-    /// Skipped tasks become instant (`"ph":"i"`) events so the viewer
-    /// still shows where the graph was cut.
+    /// Cache hits also export as `"ph":"X"` events, but zero-width and
+    /// tagged `"status":"cached"`, so the viewer shows what the cache
+    /// short-circuited. Skipped tasks become instant (`"ph":"i"`) events
+    /// so the viewer still shows where the graph was cut.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
@@ -308,7 +314,7 @@ impl RunTrace {
             first = false;
             let name = json_escape(&span.name);
             let ts = span.start.as_micros();
-            if span.status.executed() {
+            if span.status.executed() || span.status == SpanStatus::Cached {
                 let _ = write!(
                     out,
                     "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{ts},\
@@ -586,6 +592,21 @@ mod tests {
         let json = t.to_chrome_trace();
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
         assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+    }
+
+    #[test]
+    fn cached_spans_export_as_zero_width_complete_events() {
+        let mut t = diamond_trace();
+        t.spans[1].status = SpanStatus::Cached;
+        t.spans[1].end = t.spans[1].start; // hits are zero-width
+        let json = t.to_chrome_trace();
+        // Still a complete event (timeline-visible), tagged cached, dur 0.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"status\":\"cached\""));
+        assert!(json.contains("\"dur\":0"));
+        // Cache hits are not "executed": they add no worker busy time.
+        assert!(!SpanStatus::Cached.executed());
+        assert_eq!(SpanStatus::Cached.label(), "cached");
     }
 
     #[test]

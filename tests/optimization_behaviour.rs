@@ -16,9 +16,15 @@ fn dataset() -> DataFrame {
 #[test]
 fn report_shares_computations_across_sections() {
     let df = dataset();
-    let shared = create_report(&df, &Config::default()).unwrap();
-    let unshared_cfg =
-        Config::from_pairs(vec![("engine.share_computations", "false")]).unwrap();
+    // Cache off: this test compares task counts with and without CSE, and
+    // the cross-call result cache would serve the second report wholesale.
+    let shared_cfg = Config::from_pairs(vec![("engine.cache_budget_bytes", "0")]).unwrap();
+    let shared = create_report(&df, &shared_cfg).unwrap();
+    let unshared_cfg = Config::from_pairs(vec![
+        ("engine.share_computations", "false"),
+        ("engine.cache_budget_bytes", "0"),
+    ])
+    .unwrap();
     let unshared = create_report(&df, &unshared_cfg).unwrap();
 
     assert!(shared.stats.cse_hits > 20, "cse hits: {}", shared.stats.cse_hits);
