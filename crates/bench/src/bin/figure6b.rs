@@ -44,8 +44,8 @@ fn main() {
     print_table(&["Rows", "PP", "DataPrep", "Faster"], &rows_out);
 
     // Linearity check: time per row should be roughly constant.
-    let per_row_first = series.first().map(|(r, _, d)| d / *r as f64).unwrap_or(0.0);
-    let per_row_last = series.last().map(|(r, _, d)| d / *r as f64).unwrap_or(0.0);
+    let per_row_first = series.first().map_or(0.0, |(r, _, d)| d / *r as f64);
+    let per_row_last = series.last().map_or(0.0, |(r, _, d)| d / *r as f64);
     println!();
     println!(
         "linearity: DataPrep ns/row first point {:.0}, last point {:.0} (paper: both tools linear)",

@@ -30,7 +30,11 @@ use crate::error::{EdaError, EdaResult};
 fn session_cache(budget: usize) -> Arc<ResultCache> {
     static CACHE: std::sync::Mutex<Option<(usize, Arc<ResultCache>)>> =
         std::sync::Mutex::new(None);
-    let mut guard = CACHE.lock().expect("cache registry lock");
+    // Recover a poisoned registry lock: the map is a (budget, cache)
+    // pair that is valid at every store, so a thread that panicked while
+    // holding the lock cannot have left it torn. Degrading to the
+    // existing cache beats cascading the panic into every later call.
+    let mut guard = CACHE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
     match &*guard {
         Some((b, cache)) if *b == budget => Arc::clone(cache),
         _ => {
@@ -135,9 +139,7 @@ impl<'a> ComputeContext<'a> {
             budget => {
                 let cache = self
                     .cache_override
-                    .as_ref()
-                    .map(Arc::clone)
-                    .unwrap_or_else(|| session_cache(budget));
+                    .as_ref().map_or_else(|| session_cache(budget), Arc::clone);
                 Some(CacheHandle::new(cache, self.pf.dataset_id).with_sizer(payload_sizer()))
             }
         }

@@ -62,8 +62,7 @@ pub fn howto_for(chart: &str) -> HowToGuide {
     let keys: &[&str] = CHART_PARAMS
         .iter()
         .find(|(c, _)| *c == chart)
-        .map(|(_, keys)| *keys)
-        .unwrap_or(&[]);
+        .map_or(&[], |(_, keys)| *keys);
     HowToGuide {
         chart: chart.to_string(),
         entries: keys

@@ -63,10 +63,7 @@ pub fn detect(column: &Column, low_cardinality_threshold: usize) -> SemanticType
 /// value, so wide-cardinality columns bail out quickly.
 fn distinct_at_most(column: &Column, k: usize) -> bool {
     let mut seen: Vec<i64> = Vec::with_capacity(k + 1);
-    let iter = match column.numeric_iter() {
-        Ok(it) => it,
-        Err(_) => return false,
-    };
+    let Ok(iter) = column.numeric_iter() else { return false };
     for v in iter.flatten() {
         let as_int = v as i64;
         if !seen.contains(&as_int) {

@@ -98,6 +98,10 @@ impl From<&eda_taskgraph::TaskError> for EdaError {
                     e.name
                 ),
             },
+            TaskFailure::Internal(message) => EdaError::TaskFailed {
+                task: e.name.clone(),
+                message: format!("scheduler invariant violated: {message}"),
+            },
         }
     }
 }

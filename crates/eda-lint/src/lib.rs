@@ -1,0 +1,162 @@
+//! `eda-lint`: machine-checked project invariants for the workspace.
+//!
+//! The task-graph core makes promises the compiler cannot check: cache
+//! keys must hash identically in every process ([`crate::rules::l1`]),
+//! scheduler dispatch and stats kernels must not panic because panics
+//! there become silent partial reports ([`crate::rules::l2`]), the
+//! scheduler and result cache must acquire their mutexes in a consistent
+//! global order ([`crate::rules::l3`]), and `unsafe` must explain itself
+//! ([`crate::rules::l4`]). Each rule walks the lexed token stream of
+//! every workspace source file and emits `file:line` diagnostics with a
+//! stable rule ID; the binary exits nonzero when any rule fires.
+//!
+//! Rules are suppressed site-by-site with a marker comment on the same
+//! line or the line above:
+//!
+//! ```text
+//! // eda-lint: allow(EDA-L2) — documented infallible-caller convenience
+//! pub fn outputs(&self) -> Vec<Payload> { ... }
+//! ```
+//!
+//! The analysis is token-level, not AST-level (the offline build
+//! environment has no `syn`): rules match token patterns and use brace
+//! matching for scope, which covers every invariant here without a full
+//! parser. Known approximations are documented per rule.
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::fmt;
+
+/// Stable identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Hash containers with nondeterministic iteration/seeding in cache
+    /// key and fingerprint construction paths.
+    L1Determinism,
+    /// `unwrap()` / `expect()` / `panic!`-family in scheduler, cache, and
+    /// stats hot paths.
+    L2NoPanic,
+    /// Inconsistent lock acquisition order (potential deadlock cycle).
+    L3LockOrder,
+    /// `unsafe` without a `// SAFETY:` comment.
+    L4SafetyComment,
+}
+
+impl RuleId {
+    /// The stable string form used in diagnostics and allow-markers.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::L1Determinism => "EDA-L1",
+            RuleId::L2NoPanic => "EDA-L2",
+            RuleId::L3LockOrder => "EDA-L3",
+            RuleId::L4SafetyComment => "EDA-L4",
+        }
+    }
+
+    /// Parse `EDA-L2` / `L2` (as written in allow-markers).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim().trim_start_matches("EDA-") {
+            "L1" => Some(RuleId::L1Determinism),
+            "L2" => Some(RuleId::L2NoPanic),
+            "L3" => Some(RuleId::L3LockOrder),
+            "L4" => Some(RuleId::L4SafetyComment),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding: rule, location, and a human explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// An in-memory source file handed to the analyses (decoupled from the
+/// filesystem so fixture tests can synthesize trees).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators; rules scope on it.
+    pub rel: String,
+    pub content: String,
+}
+
+/// Which paths each rule covers. [`Config::default`] encodes this
+/// workspace's invariant map; fixture tests build their own.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Files whose hashing must be deterministic across processes
+    /// (cache-key / fingerprint construction). Prefix match.
+    pub determinism_paths: Vec<String>,
+    /// Crates where nondeterministically-seeded hashers are banned
+    /// everywhere, not just in key files. Prefix match.
+    pub determinism_crates: Vec<String>,
+    /// Hot paths that must not contain `unwrap`/`expect`/`panic!`.
+    /// Prefix match.
+    pub panic_free_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            determinism_paths: vec![
+                "crates/taskgraph/src/key.rs".into(),
+                "crates/dataframe/src/fingerprint.rs".into(),
+            ],
+            determinism_crates: vec![
+                "crates/taskgraph/src/".into(),
+                "crates/dataframe/src/".into(),
+            ],
+            panic_free_paths: vec![
+                "crates/taskgraph/src/scheduler.rs".into(),
+                "crates/taskgraph/src/cache.rs".into(),
+                "crates/taskgraph/src/engine.rs".into(),
+                "crates/taskgraph/src/graph.rs".into(),
+                "crates/taskgraph/src/key.rs".into(),
+                "crates/stats/src/".into(),
+            ],
+        }
+    }
+}
+
+/// Run every rule over `files` and return the surviving diagnostics,
+/// sorted by `(file, line, rule)`. Allow-markers are already applied.
+pub fn analyze(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
+    let lexed: Vec<workspace::FileLex> = files.iter().map(workspace::FileLex::build).collect();
+    let mut diags = Vec::new();
+    for file in &lexed {
+        diags.extend(rules::l1::check(file, config));
+        diags.extend(rules::l2::check(file, config));
+        diags.extend(rules::l4::check(file));
+    }
+    diags.extend(rules::l3::check(&lexed));
+    // Apply allow-markers: a marker on line N suppresses findings on N
+    // and N+1 (i.e. markers sit on the offending line or just above it).
+    diags.retain(|d| {
+        let allowed = lexed
+            .iter()
+            .find(|f| f.rel == d.file)
+            .is_some_and(|f| f.is_allowed(d.rule, d.line));
+        !allowed
+    });
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags
+}

@@ -1,0 +1,108 @@
+//! The `eda-lint` binary: lint the workspace, print diagnostics, exit
+//! nonzero when any rule fires.
+//!
+//! ```text
+//! cargo run -p eda-lint              # lint the enclosing workspace
+//! cargo run -p eda-lint -- --locks   # also dump the extracted lock graph
+//! cargo run -p eda-lint -- --root X  # lint a different tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eda_lint::{analyze, workspace, Config, RuleId};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut dump_locks = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--locks" => dump_locks = true,
+            "--help" | "-h" => {
+                println!(
+                    "eda-lint: workspace invariant checks\n\n\
+                     USAGE: eda-lint [--root DIR] [--locks]\n\n\
+                     Rules:\n  \
+                     EDA-L1  no nondeterministic hash containers in cache-key paths\n  \
+                     EDA-L2  no unwrap/expect/panic! in scheduler/cache/stats hot paths\n  \
+                     EDA-L3  consistent lock acquisition order (deadlock freedom)\n  \
+                     EDA-L4  every `unsafe` carries a `// SAFETY:` comment\n\n\
+                     Suppress one site with `// eda-lint: allow(EDA-L2) <why>` on the\n\
+                     offending line or the line above."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("eda-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace containing this crate when run via
+    // `cargo run -p eda-lint` (manifest dir is crates/eda-lint), else
+    // the current directory.
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|m| PathBuf::from(m).join("../.."))
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let files = match workspace::collect_workspace(&root) {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("eda-lint: cannot read workspace at {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!("eda-lint: no sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    if dump_locks {
+        let lexed: Vec<workspace::FileLex> =
+            files.iter().map(workspace::FileLex::build).collect();
+        let graph = eda_lint::rules::l3::extract(&lexed);
+        println!("lock graph: {} lock name(s), {} edge(s)", graph.locks.len(), graph.edges.len());
+        for (lock, (file, line)) in &graph.locks {
+            println!("  lock `{lock}` (first seen {file}:{line})");
+        }
+        for e in &graph.edges {
+            match &e.via {
+                Some(via) => println!(
+                    "  edge `{}` -> `{}` at {}:{} via `{via}`",
+                    e.from, e.to, e.file, e.line
+                ),
+                None => println!("  edge `{}` -> `{}` at {}:{}", e.from, e.to, e.file, e.line),
+            }
+        }
+    }
+
+    let diags = analyze(&files, &Config::default());
+    for d in &diags {
+        println!("{d}");
+    }
+    let count_of = |rule: RuleId| diags.iter().filter(|d| d.rule == rule).count();
+    if diags.is_empty() {
+        println!(
+            "eda-lint: clean — {} file(s), 0 violations (L1 determinism, L2 panic-free, \
+             L3 lock order, L4 unsafe hygiene)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "eda-lint: {} violation(s) in {} file(s) — L1: {}, L2: {}, L3: {}, L4: {}",
+            diags.len(),
+            files.len(),
+            count_of(RuleId::L1Determinism),
+            count_of(RuleId::L2NoPanic),
+            count_of(RuleId::L3LockOrder),
+            count_of(RuleId::L4SafetyComment),
+        );
+        ExitCode::FAILURE
+    }
+}

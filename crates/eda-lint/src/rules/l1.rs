@@ -1,0 +1,109 @@
+//! EDA-L1 — cache-key determinism.
+//!
+//! Invariant: `TaskKey` and frame-fingerprint construction must produce
+//! the same `u64` in every process, or a cache that outlives one run
+//! (today the session [`ResultCache`], tomorrow an on-disk cache) goes
+//! silently cold — or worse, collides. Two things break this quietly:
+//!
+//! * `std::collections::HashMap` / `HashSet` have unspecified iteration
+//!   order, so folding their contents into a hash is run-dependent.
+//! * `DefaultHasher` / `RandomState` are seeded per-process by design.
+//!
+//! In the configured determinism paths (key/fingerprint construction),
+//! all four identifiers are banned: keys must be built from fixed-seed
+//! FNV-1a over explicitly-ordered inputs. In the wider determinism
+//! crates, only the randomly-seeded hashers are banned (a `HashMap` used
+//! purely for lookup is fine there).
+
+use crate::workspace::FileLex;
+use crate::{Config, Diagnostic, RuleId};
+
+/// Identifiers with nondeterministic iteration order.
+const ORDER_DEPENDENT: &[&str] = &["HashMap", "HashSet"];
+/// Identifiers with per-process random seeding.
+const RANDOM_SEEDED: &[&str] = &["DefaultHasher", "RandomState"];
+
+/// Run EDA-L1 over one file.
+pub fn check(file: &FileLex, config: &Config) -> Vec<Diagnostic> {
+    let in_key_path = file.in_paths(&config.determinism_paths);
+    let in_crate = file.in_paths(&config.determinism_crates);
+    if !in_key_path && !in_crate {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for tok in &file.lexed.tokens {
+        if tok.kind != crate::lexer::TokKind::Ident || file.is_masked(tok.line) {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if in_key_path && ORDER_DEPENDENT.contains(&name) {
+            diags.push(Diagnostic {
+                rule: RuleId::L1Determinism,
+                file: file.rel.clone(),
+                line: tok.line,
+                message: format!(
+                    "`{name}` in a cache-key construction path: iteration order is \
+                     unspecified, so anything folded out of it is run-dependent; use a \
+                     `BTreeMap`/sorted `Vec` or hash explicitly-ordered inputs"
+                ),
+            });
+        } else if RANDOM_SEEDED.contains(&name) {
+            diags.push(Diagnostic {
+                rule: RuleId::L1Determinism,
+                file: file.rel.clone(),
+                line: tok.line,
+                message: format!(
+                    "`{name}` is seeded per-process: hashes built from it differ across \
+                     runs, which breaks cross-process cache keys; use the fixed-seed \
+                     FNV-1a hasher (`taskgraph::key::Fnv1a` / `dataframe` `Fnv`)"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(rel: &str, content: &str) -> Vec<Diagnostic> {
+        let file = FileLex::build(&SourceFile { rel: rel.into(), content: content.into() });
+        check(&file, &Config::default())
+    }
+
+    #[test]
+    fn hashmap_in_key_path_fires() {
+        let d = run("crates/taskgraph/src/key.rs", "use std::collections::HashMap;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::L1Determinism);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_outside_key_path_is_fine() {
+        assert!(run("crates/taskgraph/src/cache.rs", "use std::collections::HashMap;\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn default_hasher_fires_crate_wide() {
+        let d = run(
+            "crates/dataframe/src/frame.rs",
+            "use std::collections::hash_map::DefaultHasher;\n",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_crates_unscoped() {
+        assert!(run("crates/render/src/svg.rs", "let h = DefaultHasher::new();\n").is_empty());
+    }
+
+    #[test]
+    fn mentions_in_comments_do_not_fire() {
+        assert!(run("crates/taskgraph/src/key.rs", "// unlike HashMap or DefaultHasher\n")
+            .is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! EDA-L2 — panic-free hot paths.
+//!
+//! Invariant: scheduler dispatch, the result cache, and the stats kernels
+//! run inside worker threads where a panic is not a crash but a silently
+//! degraded report (`catch_unwind` converts it to a `Failed` outcome).
+//! That safety net is for *kernel* bugs; infrastructure code reaching for
+//! `unwrap()`/`expect()`/`panic!` turns recoverable conditions (poisoned
+//! locks, closed channels, absent map entries) into degraded output with
+//! no error path. In the configured hot paths those calls are banned;
+//! genuinely infallible sites carry an `eda-lint: allow(EDA-L2)` marker
+//! with a justification, and test items are exempt.
+
+use crate::lexer::TokKind;
+use crate::workspace::FileLex;
+use crate::{Config, Diagnostic, RuleId};
+
+/// Methods that panic on the error/none arm.
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
+/// Macros that unconditionally panic.
+const PANICKING_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run EDA-L2 over one file.
+pub fn check(file: &FileLex, config: &Config) -> Vec<Diagnostic> {
+    if file.is_test_or_bench() || !file.in_paths(&config.panic_free_paths) {
+        return Vec::new();
+    }
+    let toks = &file.lexed.tokens;
+    let mut diags = Vec::new();
+    for i in 0..toks.len() {
+        let tok = &toks[i];
+        if tok.kind != TokKind::Ident || file.is_masked(tok.line) {
+            continue;
+        }
+        let name = tok.text.as_str();
+        // `.unwrap(` / `.expect(` — method position only, so identifiers
+        // like `unwrap_or` or a local named `expect` never match.
+        if PANICKING_METHODS.contains(&name)
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            diags.push(Diagnostic {
+                rule: RuleId::L2NoPanic,
+                file: file.rel.clone(),
+                line: tok.line,
+                message: format!(
+                    "`.{name}()` in a panic-free hot path: a failure here degrades the \
+                     whole report instead of surfacing a `TaskError`; return an error, \
+                     recover, or mark the site `// eda-lint: allow(EDA-L2) <why>`"
+                ),
+            });
+        }
+        // `panic!(` family — macro position only.
+        if PANICKING_MACROS.contains(&name)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && (i == 0 || !toks[i - 1].is_punct('.'))
+        {
+            diags.push(Diagnostic {
+                rule: RuleId::L2NoPanic,
+                file: file.rel.clone(),
+                line: tok.line,
+                message: format!(
+                    "`{name}!` in a panic-free hot path: panics here become silently \
+                     degraded reports; construct a `TaskError`/`Error` instead, or mark \
+                     the site `// eda-lint: allow(EDA-L2) <why>`"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(content: &str) -> Vec<Diagnostic> {
+        let file = FileLex::build(&SourceFile {
+            rel: "crates/taskgraph/src/scheduler.rs".into(),
+            content: content.into(),
+        });
+        check(&file, &Config::default())
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire() {
+        let d = run("fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n}\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+    }
+
+    #[test]
+    fn panic_macros_fire() {
+        let d = run("fn f() {\n    panic!(\"boom\");\n    unreachable!();\n}\n");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_and_friends_do_not_fire() {
+        assert!(run("fn f() {\n    x.unwrap_or(0);\n    y.unwrap_or_else(|| 1);\n    z.unwrap_or_default();\n}\n").is_empty());
+    }
+
+    #[test]
+    fn test_items_exempt() {
+        assert!(run("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(); }\n}\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_exempt() {
+        assert!(run("fn f() {\n    let s = \"call .unwrap() or panic!\";\n    // .unwrap()\n}\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_unscoped() {
+        let file = FileLex::build(&SourceFile {
+            rel: "crates/render/src/svg.rs".into(),
+            content: "fn f() { x.unwrap(); }\n".into(),
+        });
+        assert!(check(&file, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn bench_crate_exempt() {
+        let file = FileLex::build(&SourceFile {
+            rel: "crates/bench/src/bin/smoke.rs".into(),
+            content: "fn f() { x.unwrap(); }\n".into(),
+        });
+        // Not in panic_free_paths anyway, but exemption is explicit.
+        assert!(check(&file, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn stats_kernels_are_in_scope() {
+        let file = FileLex::build(&SourceFile {
+            rel: "crates/stats/src/moments.rs".into(),
+            content: "fn f() { x.unwrap(); }\n".into(),
+        });
+        assert_eq!(check(&file, &Config::default()).len(), 1);
+    }
+}

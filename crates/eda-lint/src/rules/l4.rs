@@ -1,0 +1,137 @@
+//! EDA-L4 — `unsafe` must explain itself.
+//!
+//! Invariant: every `unsafe` block and `unsafe impl` carries a
+//! `// SAFETY:` comment within the three lines above it (or trailing on
+//! the same line) stating the proof obligation being discharged.
+//! `unsafe fn` *declarations* are exempt — there the obligation sits
+//! with each caller, which is where the comment belongs. The workspace
+//! has very little `unsafe` (the counting global allocators in
+//! `crates/bench`); the rule keeps it that way by making each new site
+//! cost a written justification.
+
+use crate::lexer::TokKind;
+use crate::workspace::FileLex;
+use crate::{Diagnostic, RuleId};
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: u32 = 3;
+
+/// `(first_line, last_line)` spans of logical comments: runs of
+/// line comments on consecutive lines merge into one block, so a
+/// multi-line `// SAFETY: ...` explanation covers a site counted from
+/// the block's last line.
+fn comment_blocks(file: &FileLex) -> Vec<(u32, u32, bool)> {
+    let mut blocks: Vec<(u32, u32, bool)> = Vec::new();
+    for c in &file.lexed.comments {
+        let has_safety = c.text.contains("SAFETY:");
+        match blocks.last_mut() {
+            Some((_, last, safety)) if c.line == *last + 1 => {
+                *last = c.end_line;
+                *safety |= has_safety;
+            }
+            _ => blocks.push((c.line, c.end_line, has_safety)),
+        }
+    }
+    blocks
+}
+
+/// Run EDA-L4 over one file.
+pub fn check(file: &FileLex) -> Vec<Diagnostic> {
+    let blocks = comment_blocks(file);
+    let mut diags = Vec::new();
+    let toks = &file.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" || file.is_masked(tok.line) {
+            continue;
+        }
+        // `unsafe fn` declares an obligation for callers; the comment
+        // belongs at each call site, not on the signature.
+        if toks
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Ident && (t.text == "fn" || t.text == "extern"))
+        {
+            continue;
+        }
+        // Covered by a `SAFETY:` comment block ending on the same line
+        // (a trailing comment) or within the window of lines just above.
+        let covered = blocks.iter().any(|&(_, end, safety)| {
+            safety && end <= tok.line && end + SAFETY_WINDOW >= tok.line
+        });
+        if !covered {
+            diags.push(Diagnostic {
+                rule: RuleId::L4SafetyComment,
+                file: file.rel.clone(),
+                line: tok.line,
+                message: "`unsafe` without a `// SAFETY:` comment — state the proof \
+                          obligation being discharged within the 3 lines above the site"
+                    .into(),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(content: &str) -> Vec<Diagnostic> {
+        let file = FileLex::build(&SourceFile {
+            rel: "crates/x/src/lib.rs".into(),
+            content: content.into(),
+        });
+        check(&file)
+    }
+
+    #[test]
+    fn bare_unsafe_fires() {
+        let d = run("fn f() {\n    unsafe { do_it() }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].rule, RuleId::L4SafetyComment);
+    }
+
+    #[test]
+    fn safety_comment_above_covers() {
+        assert!(run("fn f() {\n    // SAFETY: ptr is valid for reads\n    unsafe { do_it() }\n}\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn multi_line_safety_block_covers_from_its_last_line() {
+        let src = "fn f() {\n    // SAFETY: ptr is valid for reads because\n    // the caller checked the bounds\n    // and the slice is alive.\n    unsafe { do_it() }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_same_line_comment_covers() {
+        assert!(run("fn f() {\n    unsafe { do_it() } // SAFETY: checked above\n}\n").is_empty());
+    }
+
+    #[test]
+    fn comment_too_far_above_does_not_cover() {
+        let src = "// SAFETY: stale\n\n\n\n\nfn f() {\n    unsafe { go() }\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_not_a_site() {
+        assert!(run("fn f() {\n    let s = \"unsafe\";\n    // unsafe\n}\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment_too() {
+        let d = run("unsafe impl Send for X {}\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_declaration_is_callers_obligation() {
+        assert!(run("unsafe fn f() {}\n").is_empty());
+        // ...but an unsafe *block* inside it still needs a comment.
+        let d = run("unsafe fn f() {\n    unsafe { go() }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! The rule passes. Each module exposes `check(...) -> Vec<Diagnostic>`;
+//! scoping (which paths a rule covers) comes from [`crate::Config`], and
+//! test-item masking / allow-markers are applied by the caller
+//! ([`crate::analyze`]) and [`crate::workspace::FileLex`].
+
+pub mod l1;
+pub mod l2;
+pub mod l3;
+pub mod l4;

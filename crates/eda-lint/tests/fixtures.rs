@@ -1,0 +1,107 @@
+//! Fixture tests: one deliberately-violating file per rule, analyzed
+//! under a rel path that puts it in the rule's scope, asserting the
+//! exact rule IDs and line spans. A final test self-applies the linter
+//! to the real workspace and requires it clean — `cargo test` fails the
+//! moment a hot-path unwrap or an AB/BA lock order lands on `main`.
+
+use eda_lint::{analyze, Config, Diagnostic, RuleId, SourceFile};
+
+fn run_fixture(rel: &str, content: &str) -> Vec<Diagnostic> {
+    let files = vec![SourceFile { rel: rel.into(), content: content.into() }];
+    analyze(&files, &Config::default())
+}
+
+fn lines_of(diags: &[Diagnostic], rule: RuleId) -> Vec<u32> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn l1_fixture_flags_order_and_seed_dependent_hashing() {
+    let diags = run_fixture(
+        "crates/taskgraph/src/key.rs",
+        include_str!("fixtures/l1_determinism.rs"),
+    );
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.rule == RuleId::L1Determinism), "{diags:?}");
+    let lines = lines_of(&diags, RuleId::L1Determinism);
+    // The HashMap parameter type, the HashSet local, and both
+    // DefaultHasher mentions are all sites.
+    for expected in [6u32, 7, 9, 16, 18] {
+        assert!(lines.contains(&expected), "missing line {expected} in {lines:?}");
+    }
+    assert!(diags.iter().all(|d| d.message.contains("EDA-L1") || !d.message.is_empty()));
+}
+
+#[test]
+fn l2_fixture_flags_panic_family_but_not_unwrap_or() {
+    let diags = run_fixture(
+        "crates/taskgraph/src/scheduler.rs",
+        include_str!("fixtures/l2_panics.rs"),
+    );
+    assert!(diags.iter().all(|d| d.rule == RuleId::L2NoPanic), "{diags:?}");
+    let lines = lines_of(&diags, RuleId::L2NoPanic);
+    // .unwrap(), .expect(), panic!, unreachable!, todo!
+    assert_eq!(lines, vec![6, 7, 9, 19, 21], "{diags:?}");
+    // `.unwrap_or(0)` on line 13 and the `#[cfg(test)]` unwrap are not
+    // sites.
+    assert!(!lines.contains(&13));
+    assert!(lines.iter().all(|&l| l < 24));
+}
+
+#[test]
+fn l2_fixture_outside_hot_paths_is_ignored() {
+    let diags = run_fixture(
+        "crates/report/src/render.rs",
+        include_str!("fixtures/l2_panics.rs"),
+    );
+    assert!(lines_of(&diags, RuleId::L2NoPanic).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l3_fixture_detects_ab_ba_lock_cycle() {
+    let diags = run_fixture(
+        "crates/taskgraph/src/core_sync.rs",
+        include_str!("fixtures/l3_lock_cycle.rs"),
+    );
+    let cycle: Vec<&Diagnostic> =
+        diags.iter().filter(|d| d.rule == RuleId::L3LockOrder).collect();
+    assert_eq!(cycle.len(), 1, "{diags:?}");
+    let d = cycle[0];
+    assert!(d.message.contains("queue") && d.message.contains("cache"), "{}", d.message);
+    // Anchored at one of the acquisition sites inside the two methods.
+    assert!((15..=23).contains(&d.line), "line {}", d.line);
+}
+
+#[test]
+fn l4_fixture_flags_undocumented_unsafe_only() {
+    let diags = run_fixture("crates/core/src/util.rs", include_str!("fixtures/l4_unsafe.rs"));
+    assert!(diags.iter().all(|d| d.rule == RuleId::L4SafetyComment), "{diags:?}");
+    // The bare block (line 6) and the `unsafe impl` (line 17) fire; the
+    // SAFETY-documented block on line 12 does not.
+    assert_eq!(lines_of(&diags, RuleId::L4SafetyComment), vec![6, 17], "{diags:?}");
+}
+
+#[test]
+fn allow_marker_suppresses_a_fixture_finding() {
+    let src = "pub fn f(v: Option<u64>) -> u64 {\n    \
+               // eda-lint: allow(EDA-L2) fixture: documented invariant\n    \
+               v.unwrap()\n}\n";
+    let diags = run_fixture("crates/taskgraph/src/scheduler.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let files = eda_lint::workspace::collect_workspace(&root).expect("collect workspace");
+    assert!(files.len() > 50, "walker found only {} files", files.len());
+    let diags = analyze(&files, &Config::default());
+    assert!(
+        diags.is_empty(),
+        "workspace must stay lint-clean, found:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

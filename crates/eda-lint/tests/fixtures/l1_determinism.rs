@@ -1,0 +1,21 @@
+//! EDA-L1 fixture: order- and seed-dependent hashing in a cache-key
+//! construction path. Analyzed under the rel path
+//! `crates/taskgraph/src/key.rs`, where every container below is banned.
+//! Not compiled — lexed by the fixture test.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+
+pub fn key_of(params: &HashMap<String, u64>) -> u64 {
+    // Iteration order of a HashMap is seed-dependent: two processes
+    // disagree on this fold, so the "same" task gets different keys.
+    let mut acc = 0u64;
+    for (name, value) in params {
+        acc = acc.rotate_left(7) ^ value ^ name.len() as u64;
+    }
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(acc);
+    let mut hasher = DefaultHasher::new();
+    std::hash::Hash::hash(&acc, &mut hasher);
+    acc
+}

@@ -1,0 +1,32 @@
+//! EDA-L2 fixture: panic-family calls in a scheduler hot path. Analyzed
+//! under the rel path `crates/taskgraph/src/scheduler.rs`. Not compiled
+//! — lexed by the fixture test.
+
+pub fn dispatch(results: &[Option<u64>], id: usize) -> u64 {
+    let value = results[id].unwrap();
+    let doubled = results.get(id).expect("node computed").map(|v| v * 2);
+    if doubled.is_none() {
+        panic!("no result for node {id}");
+    }
+    // Method position only: a local named `unwrap_or` style helper or an
+    // `unwrap_or(..)` call must NOT fire the rule.
+    let fallback = results[id].unwrap_or(0);
+    value + fallback
+}
+
+pub fn not_yet(id: usize) -> u64 {
+    if id > 10 {
+        unreachable!("ids are dense");
+    }
+    todo!("implement dispatch for {id}")
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may unwrap freely.
+    #[test]
+    fn masked() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! EDA-L3 fixture: two functions acquiring the same pair of mutexes in
+//! opposite orders — the classic AB/BA deadlock. Analyzed under a rel
+//! path inside `crates/taskgraph/src/`. Not compiled — lexed by the
+//! fixture test.
+
+use std::sync::Mutex;
+
+pub struct Core {
+    queue: Mutex<Vec<u64>>,
+    cache: Mutex<Vec<u64>>,
+}
+
+impl Core {
+    pub fn enqueue_then_admit(&self, v: u64) {
+        let mut queue = self.queue.lock().unwrap();
+        let mut cache = self.cache.lock().unwrap();
+        queue.push(v);
+        cache.push(v);
+    }
+
+    pub fn admit_then_enqueue(&self, v: u64) {
+        let mut cache = self.cache.lock().unwrap();
+        let mut queue = self.queue.lock().unwrap();
+        cache.push(v);
+        queue.push(v);
+    }
+}

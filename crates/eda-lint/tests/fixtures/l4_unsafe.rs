@@ -1,0 +1,17 @@
+//! EDA-L4 fixture: `unsafe` without a safety comment. Analyzed under
+//! any workspace rel path (the rule is global). Not compiled — lexed by
+//! the fixture test.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}
+
+// SAFETY: `bytes` is non-empty per the caller contract, so the pointer
+// is valid for one byte of read.
+pub fn read_first_documented(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

@@ -24,12 +24,7 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
 
     // Sort indices by (x, y).
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_unstable_by(|&a, &b| {
-        xs[a]
-            .partial_cmp(&xs[b])
-            .expect("no NaNs")
-            .then(ys[a].partial_cmp(&ys[b]).expect("no NaNs"))
-    });
+    idx.sort_unstable_by(|&a, &b| xs[a].total_cmp(&xs[b]).then(ys[a].total_cmp(&ys[b])));
 
     let n0 = pairs(n as u64);
 
@@ -60,7 +55,7 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
 
     // Tie counts in y.
     let mut sorted_y: Vec<f64> = ys.clone();
-    sorted_y.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    sorted_y.sort_unstable_by(f64::total_cmp);
     let mut n2 = 0u64;
     {
         let mut i = 0;
@@ -156,11 +151,7 @@ pub fn kendall_prep(values: &[f64]) -> Option<KendallPrep> {
         return None;
     }
     let mut perm: Vec<u32> = (0..values.len() as u32).collect();
-    perm.sort_by(|&a, &b| {
-        values[a as usize]
-            .partial_cmp(&values[b as usize])
-            .expect("no NaNs")
-    });
+    perm.sort_by(|&a, &b| values[a as usize].total_cmp(&values[b as usize]));
     let mut tie_pairs = 0u64;
     let mut i = 0;
     while i < perm.len() {
@@ -212,7 +203,7 @@ pub fn kendall_tau_prepped(
                 seq.push(y[p as usize]);
             }
             let group = &mut seq[start..];
-            group.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            group.sort_unstable_by(|a, b| a.total_cmp(b));
             let mut k = 0;
             while k < group.len() {
                 let mut m = k;
@@ -253,12 +244,7 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Option<f64> {
     // x-tie group y never strictly decreases and within-group pairs are
     // never counted as inversions.
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_unstable_by(|&a, &b| {
-        xs[a]
-            .partial_cmp(&xs[b])
-            .expect("no NaNs")
-            .then(ys[a].partial_cmp(&ys[b]).expect("no NaNs"))
-    });
+    idx.sort_unstable_by(|&a, &b| xs[a].total_cmp(&xs[b]).then(ys[a].total_cmp(&ys[b])));
 
     // Tie-pair counts from run lengths: n1 over x, n2 over y, n3 joint.
     let n0 = pairs(n as u64);
@@ -285,7 +271,7 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Option<f64> {
 
     // Rank-compress y and count y tie pairs from the sorted copy.
     let mut distinct: Vec<f64> = ys.clone();
-    distinct.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    distinct.sort_unstable_by(f64::total_cmp);
     let mut n2 = 0u64;
     let mut i = 0;
     while i < n {
@@ -303,9 +289,11 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Option<f64> {
     let mut tree = Fenwick::new(distinct.len());
     let mut discordant = 0u64;
     for (seen, &p) in idx.iter().enumerate() {
+        // Every y is in `distinct` by construction; the insertion
+        // point is the same rank, so a miss cannot miscount.
         let rank = distinct
-            .binary_search_by(|v| v.partial_cmp(&ys[p]).expect("no NaNs"))
-            .expect("rank exists");
+            .binary_search_by(|v| v.total_cmp(&ys[p]))
+            .unwrap_or_else(|pos| pos);
         discordant += seen as u64 - tree.prefix_count(rank);
         tree.add(rank);
     }

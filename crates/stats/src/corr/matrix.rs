@@ -108,7 +108,7 @@ impl CorrMatrix {
                 }
             }
         }
-        out.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).expect("finite r"));
+        out.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
         out
     }
 }

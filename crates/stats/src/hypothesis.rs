@@ -58,8 +58,8 @@ pub fn ks_distance(a: &[f64], b: &[f64]) -> Option<f64> {
     if sa.is_empty() || sb.is_empty() {
         return None;
     }
-    sa.sort_unstable_by(|x, y| x.partial_cmp(y).expect("no NaNs"));
-    sb.sort_unstable_by(|x, y| x.partial_cmp(y).expect("no NaNs"));
+    sa.sort_unstable_by(f64::total_cmp);
+    sb.sort_unstable_by(f64::total_cmp);
     let (na, nb) = (sa.len() as f64, sb.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;

@@ -170,9 +170,11 @@ pub fn nullity_dendrogram(columns: &[(String, Vec<bool>)]) -> Vec<DendrogramMerg
                 }
             }
         }
-        let (i, j, d) = best.expect("at least two active clusters");
-        let a = clusters[i].take().expect("active");
-        let b = clusters[j].take().expect("active");
+        // `m - 1` merge rounds over `m` initial clusters always leave an
+        // active pair; if that invariant ever breaks, stop merging early
+        // (a truncated dendrogram) rather than panic mid-report.
+        let Some((i, j, d)) = best else { break };
+        let (Some(a), Some(b)) = (clusters[i].take(), clusters[j].take()) else { break };
         let size = a.len() + b.len();
         merges.push(DendrogramMerge { left: ids[i], right: ids[j], distance: d, size });
         let mut merged = a;

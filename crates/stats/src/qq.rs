@@ -108,7 +108,9 @@ pub fn normal_qq_points(values: &[f64], max_points: usize) -> Vec<(f64, f64)> {
             // Hazen plotting positions over the reduced point set.
             let p = (i as f64 + 0.5) / k as f64;
             let theoretical = mean + std * normal_quantile(p);
-            let sample = crate::quantile::quantile_sorted(&sorted, p).expect("non-empty");
+            // `sorted` is non-empty (n >= 2 above); a NaN point is
+            // dropped by the renderer if the invariant ever breaks.
+            let sample = crate::quantile::quantile_sorted(&sorted, p).unwrap_or(f64::NAN);
             (theoretical, sample)
         })
         .collect()

@@ -25,7 +25,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
 /// Sort a copy of `values` (NaNs dropped) ascending.
 pub fn sorted_values(values: &[f64]) -> Vec<f64> {
     let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
-    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+    v.sort_unstable_by(f64::total_cmp);
     v
 }
 
@@ -65,10 +65,7 @@ pub fn quantiles_nth(values: &[f64], qs: &[f64]) -> Vec<Option<f64>> {
         if start >= n {
             break;
         }
-        v[start..]
-            .select_nth_unstable_by(r - start, |a, b| {
-                a.partial_cmp(b).expect("no NaNs after filter")
-            });
+        v[start..].select_nth_unstable_by(r - start, |a, b| a.total_cmp(b));
         start = r + 1;
     }
     qs.iter()
@@ -137,7 +134,7 @@ impl BoxPlot {
             }
         }
         let n_outliers = outliers.len();
-        outliers.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+        outliers.sort_unstable_by(f64::total_cmp);
         outliers.truncate(max_outliers);
         Some(BoxPlot {
             q1,

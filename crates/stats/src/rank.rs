@@ -7,7 +7,7 @@
 pub fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).filter(|&i| !values[i].is_nan()).collect();
-    idx.sort_unstable_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaNs"));
+    idx.sort_unstable_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![f64::NAN; n];
     let mut i = 0;
     while i < idx.len() {

@@ -2,6 +2,10 @@
 //! every mergeable sketch, agreement of fast vs naive algorithms, and
 //! range/invariance properties of the coefficients.
 
+// Test code asserts freely; the package-level unwrap/expect deny
+// targets shipped code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use eda_stats::corr::{kendall_tau, kendall_tau_naive, pearson, spearman, PearsonPartial};
 use eda_stats::corr::{CorrMatrix, CorrMethod};
 use eda_stats::freq::FreqTable;

@@ -154,7 +154,9 @@ impl ResultCache {
             else {
                 break;
             };
-            let entry = inner.map.remove(&victim).expect("victim present");
+            let Some(entry) = inner.map.remove(&victim) else {
+                break;
+            };
             inner.total_bytes -= entry.bytes;
             evicted += 1;
         }

@@ -36,6 +36,9 @@
 //!   (Figure 6(c)); see DESIGN.md for the substitution rationale.
 
 #![warn(missing_docs)]
+// Test code asserts; the crate-wide unwrap/expect deny (see
+// Cargo.toml [lints]) applies to shipped code only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod cluster;

@@ -35,6 +35,11 @@ pub enum TaskFailure {
         /// diagnostics built from a skip still name the actual reason.
         root_failure: String,
     },
+    /// A scheduler invariant was violated (a dependency result missing
+    /// at dispatch, a closed work queue, a worker lost mid-run). The
+    /// run degrades to a partial result instead of panicking; the
+    /// message names the broken invariant.
+    Internal(String),
 }
 
 /// A failed task: which node, its name, what went wrong, and how long it
@@ -71,6 +76,7 @@ impl TaskError {
                 format!("exceeded its {budget:?} deadline (took {elapsed:?})")
             }
             TaskFailure::Skipped { root_failure, .. } => root_failure.clone(),
+            TaskFailure::Internal(msg) => format!("scheduler invariant violated: {msg}"),
         }
     }
 }
@@ -90,6 +96,11 @@ impl fmt::Display for TaskError {
                 f,
                 "task '{}' (node {}) skipped: upstream task '{}' (node {}) {}",
                 self.name, self.task, root_name, root_cause, root_failure
+            ),
+            TaskFailure::Internal(msg) => write!(
+                f,
+                "task '{}' (node {}) failed on a scheduler invariant: {}",
+                self.name, self.task, msg
             ),
         }
     }

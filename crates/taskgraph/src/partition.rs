@@ -141,6 +141,9 @@ impl PartitionedFrame {
     /// `rechunk` issue.
     pub fn rechunk(&self, n: usize) -> PartitionedFrame {
         let refs: Vec<&DataFrame> = self.partitions.iter().map(|p| p.as_ref()).collect();
+        // Partitions of one frame share its schema by construction, so
+        // vstack cannot fail here.
+        #[allow(clippy::expect_used)]
         let whole = DataFrame::vstack(&refs).expect("partitions share a schema");
         let mut out = PartitionedFrame::from_frame(&whole, n);
         out.dataset_id = self.dataset_id; // same data, same identity
@@ -150,6 +153,9 @@ impl PartitionedFrame {
 
 /// Extract the `Arc<DataFrame>` stored in a partition source payload.
 pub fn payload_frame(p: &Payload) -> Arc<DataFrame> {
+    // Partition sources always store Arc<DataFrame>; a mismatch is a
+    // caller bug worth failing loudly on (documented contract).
+    #[allow(clippy::expect_used)]
     p.downcast_ref::<Arc<DataFrame>>()
         .expect("payload holds Arc<DataFrame>")
         .clone()

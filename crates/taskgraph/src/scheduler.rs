@@ -79,7 +79,8 @@ impl ExecResult {
     /// error if any requested output failed — the infallible-caller
     /// convenience; fault-aware callers should inspect `outcomes`.
     pub fn outputs(&self) -> Vec<Payload> {
-        self.outcomes.iter().map(|o| o.clone().unwrap()).collect()
+        // eda-lint: allow(EDA-L2) documented infallible-caller convenience; fault-aware callers use `outcomes`
+        self.outcomes.iter().map(|o| o.clone().unwrap()).collect() // TaskOutcome::unwrap, documented panic
     }
 
     /// The first failed output's error, if any.
@@ -168,6 +169,19 @@ impl CachePlan {
     }
 }
 
+/// A `Failed` outcome recording a broken scheduler invariant at `id`
+/// (a dependency result missing at dispatch, a closed work queue, a
+/// lost worker). Schedulers return these instead of panicking so a
+/// violated invariant degrades to a partial report with a named cause.
+fn internal_failure(graph: &TaskGraph, id: NodeId, msg: &str) -> TaskOutcome {
+    TaskOutcome::Failed(Arc::new(TaskError {
+        task: id,
+        name: graph.task(id).name.clone(),
+        failure: TaskFailure::Internal(msg.to_string()),
+        elapsed: Duration::ZERO,
+    }))
+}
+
 /// Insert a successful derived result into the cache, returning the
 /// evictions it forced. Only `Ok` outcomes of nodes with dependencies are
 /// admitted — failed, timed-out, and skipped tasks never populate the
@@ -218,7 +232,11 @@ pub fn run_single_thread_opts(
             .task(id)
             .deps
             .iter()
-            .map(|&d| results[d].clone().expect("dependency computed"))
+            .map(|&d| {
+                results[d].clone().unwrap_or_else(|| {
+                    internal_failure(graph, d, "dependency result missing at dispatch")
+                })
+            })
             .collect();
         let (outcome, timing) = execute_node(graph, id, &inputs, opts, started);
         if let Some(timing) = timing {
@@ -234,14 +252,18 @@ pub fn run_single_thread_opts(
     }
     let outcomes = outputs
         .iter()
-        .map(|&id| results[id].clone().expect("output computed"))
+        .map(|&id| {
+            results[id]
+                .clone()
+                .unwrap_or_else(|| internal_failure(graph, id, "requested output never completed"))
+        })
         .collect();
     let elapsed = started.elapsed();
     let run_trace = opts
         .trace
         .then(|| Arc::new(RunTrace::from_buffers(vec![span_buf], 1, elapsed)));
     let mut stats = tally(
-        order.iter().map(|&id| results[id].as_ref().expect("live node computed")),
+        order.iter().filter_map(|&id| results[id].as_ref()),
         order.len(),
         graph,
         1,
@@ -359,10 +381,13 @@ pub fn run_pool_opts(
     }
     let is_hit = |id: NodeId| plan.as_ref().is_some_and(|p| p.hits[id].is_some());
 
-    // Seed the ready queue.
+    // Seed the ready queue. The channel cannot be closed here (we still
+    // hold a receiver), but if it ever were, record the failure instead
+    // of panicking — the disconnect path below finishes the run.
     for (id, &is_live) in live.iter().enumerate() {
-        if is_live && indegrees[id] == 0 && !is_hit(id) {
-            ready_tx.send(id).expect("queue open");
+        if is_live && indegrees[id] == 0 && !is_hit(id) && ready_tx.send(id).is_err() {
+            *results[id].lock() =
+                Some(internal_failure(graph, id, "work queue closed while seeding"));
         }
     }
 
@@ -380,16 +405,21 @@ pub fn run_pool_opts(
                 let mut span_buf: Vec<TaskSpan> = Vec::new();
                 while let Ok(id) = ready_rx.recv() {
                     // Dependencies completed (with whatever outcome)
-                    // before this node became ready.
+                    // before this node became ready. A missing result is
+                    // a readiness-invariant violation; it flows into the
+                    // normal skip propagation instead of panicking.
                     let inputs: Vec<TaskOutcome> = graph
                         .task(id)
                         .deps
                         .iter()
                         .map(|&d| {
-                            results[d]
-                                .lock()
-                                .clone()
-                                .expect("dependency computed before dependent")
+                            results[d].lock().clone().unwrap_or_else(|| {
+                                internal_failure(
+                                    graph,
+                                    d,
+                                    "dependency result missing at dispatch",
+                                )
+                            })
                         })
                         .collect();
                     let (outcome, timing) = execute_node(graph, id, &inputs, opts, started);
@@ -410,6 +440,9 @@ pub fn run_pool_opts(
                 span_buf
             }));
         }
+        // Workers hold the only remaining senders: if every worker dies,
+        // `done_rx.recv()` disconnects instead of hanging forever.
+        drop(done_tx);
 
         // Coordinator: track completions, release newly ready tasks.
         // Failed tasks complete like any other (their outcome is the
@@ -417,34 +450,48 @@ pub fn run_pool_opts(
         // pre-completed above.
         let mut completed = precompleted;
         while completed < live_count {
-            let id = done_rx.recv().expect("workers alive");
+            let Ok(id) = done_rx.recv() else {
+                // Every worker is gone — only possible if one died
+                // outside `catch_unwind`. Degrade to a partial run:
+                // unfinished nodes become `Internal` failures below.
+                break;
+            };
             completed += 1;
             if let Some(obs) = &opts.observer {
                 obs(completed, live_count);
             }
             for &dep in &dependents[id] {
                 indegrees[dep] -= 1;
-                if indegrees[dep] == 0 {
-                    ready_tx.send(dep).expect("queue open");
+                if indegrees[dep] == 0 && ready_tx.send(dep).is_err() {
+                    // Workers already gone; the recv above disconnects
+                    // on the next iteration and ends the run.
+                    *results[dep].lock() =
+                        Some(internal_failure(graph, dep, "work queue closed mid-run"));
                 }
             }
         }
         // Closing the channel terminates the workers.
         drop(ready_tx);
         for handle in handles {
-            span_buffers.push(handle.join().expect("worker thread panicked"));
+            // A lost worker loses its span buffer, not the run.
+            if let Ok(buf) = handle.join() {
+                span_buffers.push(buf);
+            }
         }
     });
 
+    let unfinished = |id: NodeId| {
+        internal_failure(graph, id, "task never completed (scheduler degraded to a partial run)")
+    };
     let outcomes = outputs
         .iter()
-        .map(|&id| results[id].lock().clone().expect("output computed"))
+        .map(|&id| results[id].lock().clone().unwrap_or_else(|| unfinished(id)))
         .collect();
     let live_outcomes: Vec<TaskOutcome> = live
         .iter()
         .enumerate()
         .filter(|&(_, &l)| l)
-        .map(|(id, _)| results[id].lock().clone().expect("live node computed"))
+        .map(|(id, _)| results[id].lock().clone().unwrap_or_else(|| unfinished(id)))
         .collect();
     let elapsed = started.elapsed();
     let run_trace =
@@ -505,11 +552,21 @@ fn execute_node(
     if opts.per_task_latency > Duration::ZERO {
         spin_for(opts.per_task_latency);
     }
-    let payloads: Vec<Payload> =
-        inputs.iter().map(|o| Arc::clone(o.payload().expect("no failed inputs"))).collect();
+    // The failed-input check above guarantees every input carries a
+    // payload; if that invariant ever breaks, fail this node instead of
+    // panicking the worker.
+    let Some(payloads) = inputs
+        .iter()
+        .map(|o| o.payload().map(Arc::clone))
+        .collect::<Option<Vec<Payload>>>()
+    else {
+        let timing = span_start.map(|start| (start, origin.elapsed(), 0));
+        return (internal_failure(graph, id, "input outcome lost its payload"), timing);
+    };
     let fault = graph.fault_injector().and_then(|inj| inj.decide(id, &task.name));
     let started = Instant::now();
     let result = catch_task_panic(|| match fault {
+        // eda-lint: allow(EDA-L2) deliberate injected fault, caught by catch_unwind above
         Some(FaultMode::Panic) => panic!("injected fault: panic"),
         Some(FaultMode::Stall(d)) => {
             std::thread::sleep(d);
@@ -551,7 +608,7 @@ fn execute_node(
     }
     let timing = span_start.map(|start| {
         let end = origin.elapsed();
-        let bytes = outcome.payload().map(trace::estimate_payload_bytes).unwrap_or(0);
+        let bytes = outcome.payload().map_or(0, trace::estimate_payload_bytes);
         (start, end, bytes)
     });
     (outcome, timing)
@@ -636,7 +693,7 @@ fn tally<'a>(
         match outcome {
             TaskOutcome::Ok(_) => stats.tasks_run += 1,
             TaskOutcome::Failed(err) => match err.failure {
-                TaskFailure::Panicked(_) => stats.tasks_failed += 1,
+                TaskFailure::Panicked(_) | TaskFailure::Internal(_) => stats.tasks_failed += 1,
                 TaskFailure::TimedOut { .. } => stats.tasks_timed_out += 1,
                 TaskFailure::Skipped { .. } => stats.tasks_skipped += 1,
             },

@@ -70,7 +70,7 @@ impl SpanStatus {
         match outcome {
             TaskOutcome::Ok(_) => SpanStatus::Ok,
             TaskOutcome::Failed(err) => match err.failure {
-                TaskFailure::Panicked(_) => SpanStatus::Failed,
+                TaskFailure::Panicked(_) | TaskFailure::Internal(_) => SpanStatus::Failed,
                 TaskFailure::TimedOut { .. } => SpanStatus::TimedOut,
                 TaskFailure::Skipped { .. } => SpanStatus::Skipped,
             },

@@ -2,6 +2,10 @@
 //! strategy computes the same values on randomly shaped DAGs, CSE never
 //! changes results, and dead-node pruning never executes unreachable work.
 
+// Test code asserts freely; the package-level unwrap/expect deny
+// targets shipped code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

@@ -5,6 +5,10 @@
 //! nest within `ExecStats.elapsed`, and the Chrome-trace JSON survives a
 //! serde-free hand parse.
 
+// Test code asserts freely; the package-level unwrap/expect deny
+// targets shipped code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The real `loom` exhaustively enumerates thread interleavings of a
+//! closure under the C11 memory model. This registry-free stand-in keeps
+//! the same API surface but checks by *stress iteration*: [`model`] runs
+//! the closure many times on real OS threads, and [`thread::spawn`] /
+//! [`thread::yield_now`] inject scheduling perturbation so distinct
+//! interleavings are actually explored. That trades exhaustiveness for
+//! availability — a failing schedule is found probabilistically rather
+//! than by enumeration — while keeping the model tests source-compatible
+//! with the real tool: swap the dependency and the same tests become
+//! exhaustive.
+//!
+//! Iteration count comes from `EDA_LOOM_ITERS` (default 64). Raise it in
+//! CI for deeper exploration; set it to 1 for smoke runs.
+
+/// Run `f` repeatedly, once per stress iteration. Panics inside `f`
+/// (assertion failures, poisoned locks, deadlocked joins surfacing as
+/// panics) propagate and fail the test, matching `loom::model`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = std::env::var("EDA_LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64);
+    for _ in 0..iters {
+        f();
+    }
+}
+
+/// Thread primitives with extra scheduling perturbation.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Like `std::thread::spawn`, but yields once on entry so sibling
+    /// threads race from a staggered start instead of running to
+    /// completion in spawn order.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            std::thread::yield_now();
+            f()
+        })
+    }
+}
+
+/// Synchronization primitives. Real `loom` wraps these in checked
+/// versions; the stand-in uses the `std` originals, so lock semantics
+/// (poisoning included) match production code exactly.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicIsize, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_the_default_iteration_count() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&runs);
+        super::model(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(runs.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn spawned_threads_join_with_results() {
+        super::model(|| {
+            let h = super::thread::spawn(|| 21 * 2);
+            assert_eq!(h.join().expect("joined"), 42);
+        });
+    }
+}
