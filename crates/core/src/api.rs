@@ -147,13 +147,76 @@ fn check_columns(function: &'static str, columns: &[&str], max: usize) -> EdaRes
     Ok(())
 }
 
+/// Admission control (`engine.max_concurrent_runs`): claim a slot on the
+/// process-wide gate, blocking in its bounded queue when the process is
+/// at capacity and shedding with [`EdaError::Overloaded`] past the queue
+/// bound. `None` (no permit to hold) when the knob is off.
+fn admit(config: &Config) -> EdaResult<Option<eda_taskgraph::AdmissionPermit>> {
+    match crate::compute::ctx::admission_gate(config.engine.max_concurrent_runs) {
+        None => Ok(None),
+        Some(gate) => match gate.try_admit() {
+            Ok(permit) => Ok(Some(permit)),
+            Err(over) => {
+                Err(EdaError::Overloaded { running: over.running, queued: over.queued })
+            }
+        },
+    }
+}
+
+/// Whether a section failure is a memory-budget refusal — the trigger of
+/// the degradation ladder. The phrase is pinned by `EdaError`'s (and the
+/// scheduler's) budget Display forms, including skip messages that chain
+/// through a budget-failed root.
+fn over_budget(status: &SectionStatus) -> bool {
+    matches!(status, SectionStatus::Failed { error, .. } if error.contains("memory budget"))
+}
+
+/// The degradation ladder's fallback input: a systematic quarter-sample
+/// (never below 256 rows), plus the approximation notice for the output.
+/// `None` when the frame is already too small to shrink meaningfully —
+/// the budget failure then stands as diagnostics.
+fn budget_sample(df: &DataFrame) -> Option<(DataFrame, crate::insights::Insight)> {
+    let target = (df.nrows() / 4).max(256);
+    if df.nrows() <= target {
+        return None;
+    }
+    let sampled = df.stride(df.nrows().div_ceil(target));
+    let note = crate::insights::approximated_insight(sampled.nrows(), df.nrows());
+    Some((sampled, note))
+}
+
+/// Run an analysis; when it degrades on the run memory budget, retry once
+/// over a sampled frame and flag the approximate output. A retry that
+/// still fails leaves the original diagnostics in place.
+fn with_budget_ladder(
+    df: &DataFrame,
+    run: impl Fn(&DataFrame) -> EdaResult<Analysis>,
+) -> EdaResult<Analysis> {
+    let analysis = run(df)?;
+    if !over_budget(&analysis.status) {
+        return Ok(analysis);
+    }
+    let Some((small, note)) = budget_sample(df) else {
+        return Ok(analysis);
+    };
+    let mut retry = run(&small)?;
+    if retry.status.is_ok() {
+        retry.insights.insert(0, note);
+        return Ok(retry);
+    }
+    Ok(analysis)
+}
+
 /// Degrade a task-level failure into an `Analysis` with a `Failed`
 /// status (graceful degradation: the caller still gets stats and a
 /// renderable diagnostics panel). Planning errors — unknown column, bad
 /// config, wrong arity — pass through as `Err` unchanged.
 fn degraded(task: TaskKind, stats: Option<ExecStats>, err: EdaError) -> EdaResult<Analysis> {
     let root_task = match &err {
-        EdaError::TaskFailed { task, .. } | EdaError::Timeout { task, .. } => task.clone(),
+        EdaError::TaskFailed { task, .. }
+        | EdaError::Timeout { task, .. }
+        | EdaError::Cancelled { task, .. }
+        | EdaError::BudgetExceeded { task, .. } => task.clone(),
         _ => return Err(err),
     };
     // Prefer the failing task's own span duration (profiled runs) over
@@ -177,12 +240,13 @@ fn degraded(task: TaskKind, stats: Option<ExecStats>, err: EdaError) -> EdaResul
 /// bivariate (2) analysis.
 pub fn plot(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
     check_columns("plot", columns, 2)?;
+    let _permit = admit(config)?;
     let sampled = maybe_sample(df, config);
     let (df, note) = match &sampled {
         Some((s, n)) => (s, Some(n.clone())),
         None => (df, None),
     };
-    let mut analysis = plot_inner(df, columns, config)?;
+    let mut analysis = with_budget_ladder(df, |df| plot_inner(df, columns, config))?;
     if let Some(note) = note {
         analysis.insights.insert(0, note);
     }
@@ -258,6 +322,15 @@ pub fn plot_correlation(
     config: &Config,
 ) -> EdaResult<Analysis> {
     check_columns("plot_correlation", columns, 2)?;
+    let _permit = admit(config)?;
+    with_budget_ladder(df, |df| plot_correlation_inner(df, columns, config))
+}
+
+fn plot_correlation_inner(
+    df: &DataFrame,
+    columns: &[&str],
+    config: &Config,
+) -> EdaResult<Analysis> {
     let mut ctx = ComputeContext::new(df, config);
     let (task, computed) = match columns {
         [] => (
@@ -290,6 +363,11 @@ pub fn plot_correlation(
 /// of one column's missing rows on the rest (1), or on one column (2).
 pub fn plot_missing(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
     check_columns("plot_missing", columns, 2)?;
+    let _permit = admit(config)?;
+    with_budget_ladder(df, |df| plot_missing_inner(df, columns, config))
+}
+
+fn plot_missing_inner(df: &DataFrame, columns: &[&str], config: &Config) -> EdaResult<Analysis> {
     let mut ctx = ComputeContext::new(df, config);
     let (task, computed) = match columns {
         [] => (
@@ -328,28 +406,56 @@ pub fn plot_timeseries(
     value: &str,
     config: &Config,
 ) -> EdaResult<Analysis> {
+    let _permit = admit(config)?;
     let sampled = maybe_sample(df, config);
     let (df, note) = match &sampled {
         Some((s, n)) => (s, Some(n.clone())),
         None => (df, None),
     };
+    let mut analysis =
+        with_budget_ladder(df, |df| plot_timeseries_inner(df, time, value, config))?;
+    if let Some(note) = note {
+        analysis.insights.insert(0, note);
+    }
+    Ok(analysis)
+}
+
+fn plot_timeseries_inner(
+    df: &DataFrame,
+    time: &str,
+    value: &str,
+    config: &Config,
+) -> EdaResult<Analysis> {
     let mut ctx = ComputeContext::new(df, config);
     let task = TaskKind::TimeSeries(time.to_string(), value.to_string());
-    let (intermediates, mut insights) = match timeseries::compute_timeseries(&mut ctx, time, value)
-    {
+    let (intermediates, insights) = match timeseries::compute_timeseries(&mut ctx, time, value) {
         Ok(parts) => parts,
         Err(e) => return degraded(task, ctx.last_stats, e),
     };
-    if let Some(note) = note {
-        insights.insert(0, note);
-    }
     Ok(Analysis { task, intermediates, insights, stats: ctx.last_stats, status: SectionStatus::Ok })
 }
 
 /// `create_report(df, config)`: the full profile report. See
 /// [`crate::report`].
+///
+/// Governed like the `plot*` calls: admission-controlled
+/// (`engine.max_concurrent_runs`) and budget-laddered — a report whose
+/// sections degrade on the run memory budget is recomputed once over a
+/// sampled frame and flagged approximate.
 pub fn create_report(df: &DataFrame, config: &Config) -> EdaResult<crate::report::Report> {
-    crate::report::Report::create(df, config)
+    let _permit = admit(config)?;
+    let report = crate::report::Report::create(df, config)?;
+    let budget_failed = report.failed_sections().iter().any(|(_, s)| over_budget(s));
+    if budget_failed {
+        if let Some((small, note)) = budget_sample(df) {
+            let mut retry = crate::report::Report::create(&small, config)?;
+            if !retry.failed_sections().iter().any(|(_, s)| over_budget(s)) {
+                retry.insights.insert(0, note);
+                return Ok(retry);
+            }
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

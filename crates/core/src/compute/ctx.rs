@@ -14,9 +14,10 @@ use eda_taskgraph::outcome::TaskOutcome;
 use eda_taskgraph::scheduler::{
     run_pool_opts, run_single_thread_opts, ExecOptions, ProgressObserver,
 };
+use eda_taskgraph::govern::{self, CancelToken, MemoryGauge, RetryPolicy};
 use eda_taskgraph::{
-    CacheHandle, Engine, ExecStats, NodeId, PartitionedFrame, PayloadSizer, ResultCache,
-    TaskGraph,
+    AdmissionGate, CacheHandle, Engine, ExecStats, NodeId, PartitionedFrame, PayloadSizer,
+    ResultCache, TaskGraph,
 };
 
 use crate::config::Config;
@@ -41,6 +42,26 @@ fn session_cache(budget: usize) -> Arc<ResultCache> {
             let cache = Arc::new(ResultCache::new(budget));
             *guard = Some((budget, Arc::clone(&cache)));
             cache
+        }
+    }
+}
+
+/// The process-wide admission gate (`engine.max_concurrent_runs`).
+/// Mirrors [`session_cache`]: one gate per configured capacity, replaced
+/// when the capacity changes. Returns `None` when admission is off.
+pub(crate) fn admission_gate(capacity: usize) -> Option<Arc<AdmissionGate>> {
+    if capacity == 0 {
+        return None;
+    }
+    static GATE: std::sync::Mutex<Option<(usize, Arc<AdmissionGate>)>> =
+        std::sync::Mutex::new(None);
+    let mut guard = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    match &*guard {
+        Some((c, gate)) if *c == capacity => Some(Arc::clone(gate)),
+        _ => {
+            let gate = AdmissionGate::new(capacity);
+            *guard = Some((capacity, Arc::clone(&gate)));
+            Some(gate)
         }
     }
 }
@@ -84,11 +105,25 @@ pub struct ComputeContext<'a> {
     /// Result cache override; `None` uses the process-wide session cache.
     /// Tests inject a private cache here for deterministic warm/cold runs.
     pub cache_override: Option<Arc<ResultCache>>,
+    /// Run-wide cancel token: present when a handle armed one
+    /// ([`govern::armed_token`]) or `engine.run_deadline_ms` is set.
+    /// Shared by every `execute` call of this context, so the whole
+    /// report run stops together.
+    pub cancel: Option<CancelToken>,
+    /// Run-wide memory gauge (`engine.memory_budget_bytes`), `None` when
+    /// the budget is off. Charges accumulate across `execute` calls.
+    pub gauge: Option<MemoryGauge>,
 }
 
 impl<'a> ComputeContext<'a> {
     /// Precompute the partition layout and set up an empty graph.
     pub fn new(df: &'a DataFrame, config: &'a Config) -> ComputeContext<'a> {
+        // Hook the dependency-free stats kernels up to the scheduler's
+        // cooperative-cancellation probe, once per process. With no
+        // governed run active the probe reads a thread-local `None` and
+        // answers false, so ungoverned runs are unaffected.
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| eda_stats::interrupt::register(govern::interrupted));
         // Stage 1 of Figure 4: precompute chunk-size information.
         // "Dask is slow on tiny data" (§5.2): scheduling many partitions
         // of a small frame is pure overhead, so the partition count is
@@ -105,6 +140,24 @@ impl<'a> ComputeContext<'a> {
         };
         // Stage 2 begins: partition sources enter the graph.
         let sources = pf.source_nodes(&mut graph);
+        // The run token merges the two cancellation sources: a token the
+        // caller armed via an `AnalysisHandle` (cancel()-able from
+        // another thread) and the whole-run deadline. The deadline
+        // anchors here — context creation is the start of the run.
+        let run_deadline = match config.engine.run_deadline_ms {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        };
+        let cancel = match (govern::armed_token(), run_deadline) {
+            (Some(t), Some(budget)) => Some(t.capped(budget)),
+            (Some(t), None) => Some(t),
+            (None, Some(budget)) => Some(CancelToken::with_deadline(budget)),
+            (None, None) => None,
+        };
+        let gauge = match config.engine.memory_budget_bytes {
+            0 => None,
+            budget => Some(MemoryGauge::new(budget)),
+        };
         ComputeContext {
             df,
             config,
@@ -114,6 +167,8 @@ impl<'a> ComputeContext<'a> {
             last_stats: None,
             progress: None,
             cache_override: None,
+            cancel,
+            gauge,
         }
     }
 
@@ -169,6 +224,13 @@ impl<'a> ComputeContext<'a> {
             observer: self.progress.as_ref().map(Arc::clone),
             trace: self.config.engine.profile,
             cache: self.cache_handle(),
+            cancel: self.cancel.clone(),
+            gauge: self.gauge.clone(),
+            retry: RetryPolicy::retries(self.config.engine.task_retries),
+            // Budgets must price payloads by their real footprint even
+            // when the result cache is off, so the domain sizer is always
+            // passed alongside the gauge.
+            sizer: self.gauge.is_some().then(payload_sizer),
         };
         // workers <= 1 means the in-place topological scheduler: no pool
         // to spin up, and fault-tolerance behaviour stays identical.

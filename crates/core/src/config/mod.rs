@@ -199,6 +199,27 @@ pub struct EngineConfig {
     /// caching entirely — runs are then bit-identical to the pre-cache
     /// engine.
     pub cache_budget_bytes: usize,
+    /// Per-run memory budget in bytes (0 = unlimited). The scheduler
+    /// charges each materialized task result against a run-wide gauge;
+    /// a charge that would exceed the budget fails that task with
+    /// `BudgetExceeded` and the public API degrades the affected section
+    /// to a sampled, approximate re-run instead of exhausting memory.
+    pub memory_budget_bytes: usize,
+    /// Whole-run wall-clock deadline in milliseconds (0 = unlimited).
+    /// Unlike `task_deadline_ms` this cancels the *run*: in-flight
+    /// kernels observe the cancellation at morsel boundaries and stop,
+    /// workers are reclaimed, and remaining tasks are cancelled.
+    pub run_deadline_ms: u64,
+    /// Retries for transiently-failing tasks (0 = no retries). A task
+    /// whose failure classifies as transient is re-executed up to this
+    /// many times with deterministic exponential backoff before the
+    /// failure is recorded.
+    pub task_retries: usize,
+    /// Maximum analyses executing concurrently in this process
+    /// (0 = unlimited). Excess callers queue (bounded at twice this
+    /// value) and are admitted as slots free; past the queue bound,
+    /// calls are shed immediately with `Overloaded`.
+    pub max_concurrent_runs: usize,
 }
 
 /// Figure-size parameters consumed by the render layer.
@@ -292,6 +313,10 @@ impl Default for Config {
                 task_deadline_ms: 0,
                 profile: false,
                 cache_budget_bytes: 256 << 20,
+                memory_budget_bytes: 0,
+                run_deadline_ms: 0,
+                task_retries: 0,
+                max_concurrent_runs: 0,
             },
             display: DisplayConfig { width: 450, height: 300 },
         }
@@ -391,6 +416,16 @@ impl Config {
             "engine.profile" => self.engine.profile = bool_of(key, value)?,
             "engine.cache_budget_bytes" => {
                 self.engine.cache_budget_bytes = usize_of(key, value)?
+            }
+            "engine.memory_budget_bytes" => {
+                self.engine.memory_budget_bytes = usize_of(key, value)?
+            }
+            "engine.run_deadline_ms" => {
+                self.engine.run_deadline_ms = usize_of(key, value)? as u64
+            }
+            "engine.task_retries" => self.engine.task_retries = usize_of(key, value)?,
+            "engine.max_concurrent_runs" => {
+                self.engine.max_concurrent_runs = usize_of(key, value)?
             }
             "display.width" => self.display.width = usize_of(key, value)?.max(50),
             "display.height" => self.display.height = usize_of(key, value)?.max(50),

@@ -58,6 +58,10 @@ pub const PARAMS: &[ParamSpec] = &[
     ParamSpec { key: "engine.task_deadline_ms", default: "0", description: "Per-task wall-clock budget in ms; over-budget tasks degrade their section (0 = unlimited)" },
     ParamSpec { key: "engine.profile", default: "false", description: "Trace every task and add a Performance tab (worker Gantt, slowest tasks) to HTML output" },
     ParamSpec { key: "engine.cache_budget_bytes", default: "268435456", description: "Byte budget for the cross-call result cache; LRU-evicted past it (0 = caching off)" },
+    ParamSpec { key: "engine.memory_budget_bytes", default: "0", description: "Per-run memory budget; over-budget tasks degrade to a sampled approximation (0 = unlimited)" },
+    ParamSpec { key: "engine.run_deadline_ms", default: "0", description: "Whole-run wall-clock deadline in ms; cancels in-flight work cooperatively (0 = unlimited)" },
+    ParamSpec { key: "engine.task_retries", default: "0", description: "Retries for transiently-failing tasks, with exponential backoff (0 = none)" },
+    ParamSpec { key: "engine.max_concurrent_runs", default: "0", description: "Max analyses running at once; queued past that, shed past a bounded queue (0 = unlimited)" },
     ParamSpec { key: "display.width", default: "450", description: "Figure width in pixels" },
     ParamSpec { key: "display.height", default: "300", description: "Figure height in pixels" },
 ];

@@ -46,6 +46,36 @@ pub enum EdaError {
         /// The configured budget.
         budget: std::time::Duration,
     },
+    /// The run was cancelled — by `AnalysisHandle::cancel()` or because
+    /// the whole-run deadline (`engine.run_deadline_ms`) fired.
+    Cancelled {
+        /// The task whose cancellation was observed first.
+        task: String,
+        /// Why the run stopped ("cancellation requested" /
+        /// "run deadline exceeded").
+        reason: String,
+    },
+    /// A task's result did not fit the run memory budget
+    /// (`engine.memory_budget_bytes`). The public API reacts by
+    /// re-running the affected analysis over a sampled frame.
+    BudgetExceeded {
+        /// The task whose result charge was refused.
+        task: String,
+        /// Bytes the refused charge requested.
+        requested: usize,
+        /// Bytes already charged when the refusal happened.
+        used: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The process is at `engine.max_concurrent_runs` and the admission
+    /// queue is full; the call was shed without running.
+    Overloaded {
+        /// Analyses running when the call was shed.
+        running: usize,
+        /// Callers already queued when the call was shed.
+        queued: usize,
+    },
 }
 
 impl fmt::Display for EdaError {
@@ -66,6 +96,19 @@ impl fmt::Display for EdaError {
             EdaError::Timeout { task, budget } => {
                 write!(f, "task {task:?} exceeded its {budget:?} deadline")
             }
+            EdaError::Cancelled { task, reason } => {
+                write!(f, "analysis cancelled at task {task:?}: {reason}")
+            }
+            EdaError::BudgetExceeded { task, requested, used, budget } => write!(
+                f,
+                "task {task:?} exceeded the run memory budget: \
+                 {requested} bytes requested, {used} of {budget} bytes used"
+            ),
+            EdaError::Overloaded { running, queued } => write!(
+                f,
+                "analysis shed: {running} runs active and {queued} queued \
+                 (engine.max_concurrent_runs)"
+            ),
         }
     }
 }
@@ -97,6 +140,15 @@ impl From<&eda_taskgraph::TaskError> for EdaError {
                     "{root_failure} (dependent task {:?} was skipped)",
                     e.name
                 ),
+            },
+            TaskFailure::Cancelled(reason) => {
+                EdaError::Cancelled { task: e.name.clone(), reason: reason.to_string() }
+            }
+            TaskFailure::BudgetExceeded { budget, used, requested } => EdaError::BudgetExceeded {
+                task: e.name.clone(),
+                requested: *requested,
+                used: *used,
+                budget: *budget,
             },
             TaskFailure::Internal(message) => EdaError::TaskFailed {
                 task: e.name.clone(),
@@ -176,6 +228,36 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn governance_failures_convert_and_display() {
+        use eda_taskgraph::{CancelReason, TaskError, TaskFailure};
+        use std::time::Duration;
+        let cancelled = TaskError {
+            task: 1,
+            name: "hist:price".into(),
+            failure: TaskFailure::Cancelled(CancelReason::DeadlineExceeded),
+            elapsed: Duration::ZERO,
+        };
+        let e = EdaError::from(&cancelled);
+        assert!(matches!(&e, EdaError::Cancelled { task, .. } if task == "hist:price"));
+        assert!(e.to_string().contains("run deadline exceeded"), "{e}");
+
+        let over = TaskError {
+            task: 2,
+            name: "corr:matrix".into(),
+            failure: TaskFailure::BudgetExceeded { budget: 100, used: 90, requested: 64 },
+            elapsed: Duration::ZERO,
+        };
+        let e = EdaError::from(&over);
+        // The "memory budget" phrase is load-bearing: the degradation
+        // ladder in the public API detects budget failures through it.
+        assert!(e.to_string().contains("memory budget"), "{e}");
+
+        let shed = EdaError::Overloaded { running: 2, queued: 4 };
+        let s = shed.to_string();
+        assert!(s.contains("2 runs") && s.contains("4 queued"), "{s}");
     }
 
     #[test]

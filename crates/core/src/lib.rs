@@ -44,6 +44,7 @@ pub mod compute;
 pub mod config;
 pub mod dtype;
 pub mod error;
+pub mod handle;
 pub mod insights;
 pub mod intermediate;
 pub mod json;
@@ -54,6 +55,7 @@ pub use api::{
     TaskKind,
 };
 pub use config::Config;
+pub use handle::{create_report_handle, plot_handle, AnalysisHandle};
 pub use dtype::SemanticType;
 pub use error::{EdaError, EdaResult};
 pub use insights::{Insight, InsightKind};

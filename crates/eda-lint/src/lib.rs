@@ -129,6 +129,7 @@ impl Default for Config {
                 "crates/taskgraph/src/scheduler.rs".into(),
                 "crates/taskgraph/src/cache.rs".into(),
                 "crates/taskgraph/src/engine.rs".into(),
+                "crates/taskgraph/src/govern.rs".into(),
                 "crates/taskgraph/src/graph.rs".into(),
                 "crates/taskgraph/src/key.rs".into(),
                 "crates/stats/src/".into(),

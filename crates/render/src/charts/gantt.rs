@@ -15,12 +15,15 @@ use crate::theme;
 fn status_fill(status: SpanStatus) -> &'static str {
     match status {
         SpanStatus::Ok => theme::PRIMARY,
-        SpanStatus::Failed => theme::HIGHLIGHT,
+        // A retried span ultimately succeeded; its color tracks Ok so the
+        // timeline reads by final outcome (the count lives in the metrics).
+        SpanStatus::Retried => theme::PRIMARY,
+        SpanStatus::Failed | SpanStatus::BudgetExceeded => theme::HIGHLIGHT,
         SpanStatus::TimedOut => theme::SECONDARY,
         SpanStatus::Skipped => theme::GRID,
         // Zero-width in the Gantt anyway; the axis color keeps the legend
         // distinct from executed/failed work if one ever gets painted.
-        SpanStatus::Cached => theme::AXIS,
+        SpanStatus::Cached | SpanStatus::Cancelled => theme::AXIS,
     }
 }
 

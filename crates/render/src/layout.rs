@@ -38,6 +38,9 @@ h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; border-bottom: 1
 .eda-error { background: #FDF0EF; border: 1px solid #C0392B; border-radius: 4px;
   padding: 8px 12px; font-size: 12px; color: #7B241C; margin: 8px 0; }
 .eda-error b { color: #C0392B; }
+.eda-approx { background: #FFF8E6; border: 1px solid #D4A017; border-radius: 4px;
+  padding: 8px 12px; font-size: 12px; color: #7A5C00; margin: 8px 0; }
+.eda-approx b { color: #B8860B; }
 </style>"#;
 
 /// A tabbed panel: one tab per `(title, html)` pair.
@@ -75,6 +78,19 @@ pub fn insights_list(insights: &[Insight]) -> String {
     }
     html.push_str("</ul>");
     html
+}
+
+/// The "approximate" banner shown when an analysis was computed on a
+/// sample — either the `engine.sample_rows` extension or the memory
+/// budget's degradation ladder. Empty when the output is exact.
+pub fn approx_banner(insights: &[Insight]) -> String {
+    match insights.iter().find(|i| i.kind == eda_core::InsightKind::Approximated) {
+        Some(note) => format!(
+            r#"<div class="eda-approx"><b>approximate</b> — {}</div>"#,
+            Svg::escape(&note.message)
+        ),
+        None => String::new(),
+    }
 }
 
 /// Diagnostics panel for a degraded section: the error, the task that
@@ -116,6 +132,32 @@ pub fn performance_panel(stats: &ExecStats, display: &DisplayConfig) -> String {
         fmt_dur(trace.estimated_savings(avoided)),
         avoided,
     );
+    // Governance rows only appear when governance actually did something,
+    // keeping ungoverned output identical to the pre-governance layout.
+    if stats.tasks_cancelled > 0 {
+        rows.push_str(&format!(
+            "<tr class=\"highlight\"><td>tasks cancelled</td><td>{}</td></tr>",
+            stats.tasks_cancelled
+        ));
+    }
+    if stats.tasks_retried > 0 {
+        rows.push_str(&format!(
+            "<tr><td>tasks retried</td><td>{}</td></tr>",
+            stats.tasks_retried
+        ));
+    }
+    if stats.tasks_budget_exceeded > 0 {
+        rows.push_str(&format!(
+            "<tr class=\"highlight\"><td>tasks over memory budget</td><td>{}</td></tr>",
+            stats.tasks_budget_exceeded
+        ));
+    }
+    if stats.mem_peak_bytes > 0 {
+        rows.push_str(&format!(
+            "<tr><td>peak charged memory</td><td>{}</td></tr>",
+            fmt_bytes(stats.mem_peak_bytes)
+        ));
+    }
     if stats.cache_hits + stats.cache_misses > 0 {
         rows.push_str(&format!(
             "<tr><td>result cache</td><td>{} hits / {} misses ({:.0}% hit rate)</td></tr>\
@@ -185,9 +227,10 @@ pub fn render_analysis_html(analysis: &Analysis, display: &DisplayConfig) -> Str
         }
     }
     format!(
-        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{:?}</title>{STYLE}</head><body><h1>{:?}</h1>{}{}{}</body></html>",
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{:?}</title>{STYLE}</head><body><h1>{:?}</h1>{}{}{}{}</body></html>",
         analysis.task,
         analysis.task,
+        approx_banner(&analysis.insights),
         diagnostics_panel(&analysis.status),
         insights_list(&analysis.insights),
         tab_panel("analysis", &tabs)
@@ -200,6 +243,7 @@ pub fn render_analysis_html(analysis: &Analysis, display: &DisplayConfig) -> Str
 pub fn render_report_html(report: &Report, display: &DisplayConfig) -> String {
     let mut body = String::new();
     body.push_str("<h1>DataPrep.EDA Report</h1>");
+    body.push_str(&approx_banner(&report.insights));
     body.push_str(&insights_list(&report.insights));
 
     body.push_str("<h2>Overview</h2>");
@@ -425,6 +469,45 @@ mod tests {
         assert!(html.contains("<h2>Performance</h2>"));
         assert!(html.contains("Worker timeline"));
         assert!(html.contains("Queue wait"));
+    }
+
+    #[test]
+    fn approx_banner_appears_only_for_sampled_output() {
+        let df = frame();
+        // frame() has 150 rows; sample to ~40 → approximated insight.
+        let cfg = Config::from_pairs(vec![("engine.sample_rows", "40")]).unwrap();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        let html = render_analysis_html(&a, &cfg.display);
+        assert!(html.contains("eda-approx"), "banner missing");
+        assert!(html.contains("statistics are approximate"));
+        // Exact runs carry no banner.
+        let exact = plot(&df, &["price"], &Config::default()).unwrap();
+        let html = render_analysis_html(&exact, &Config::default().display);
+        assert!(!html.contains("eda-approx\""));
+    }
+
+    #[test]
+    fn performance_tab_reports_governance_counters_only_when_active() {
+        let df = frame();
+        let cfg = Config::from_pairs(vec![("engine.profile", "true")]).unwrap();
+        let a = plot(&df, &["price"], &cfg).unwrap();
+        let html = render_analysis_html(&a, &cfg.display);
+        // Ungoverned runs: no governance rows at all.
+        for row in ["tasks cancelled", "tasks retried", "tasks over memory budget", "peak charged memory"] {
+            assert!(!html.contains(row), "unexpected row {row:?}");
+        }
+        // A profiled run with a memory budget shows the gauge peak.
+        // Cache off so tasks really execute (cache-served payloads are
+        // never charged — they are already resident).
+        let governed = Config::from_pairs(vec![
+            ("engine.profile", "true"),
+            ("engine.cache_budget_bytes", "0"),
+            ("engine.memory_budget_bytes", "1073741824"),
+        ])
+        .unwrap();
+        let a = plot(&df, &["price"], &governed).unwrap();
+        let html = render_analysis_html(&a, &governed.display);
+        assert!(html.contains("peak charged memory"), "gauge row missing");
     }
 
     #[test]

@@ -43,6 +43,13 @@ impl CorrMatrix {
         };
         let mut cells = vec![None; m * m];
         for i in 0..m {
+            // Each pair costs O(n) .. O(n log n); the pair boundary is the
+            // natural morsel for cooperative interruption on wide frames.
+            // Remaining cells stay `None` — the bailed result is discarded
+            // by the governed scheduler.
+            if crate::interrupt::interrupted() {
+                break;
+            }
             cells[i * m + i] = Some(1.0);
             for j in (i + 1)..m {
                 let r = match method {

@@ -92,9 +92,14 @@ impl Histogram {
         self.counts[idx] += 1;
     }
 
-    /// Accumulate many values.
+    /// Accumulate many values. Polls the cooperative-interruption probe
+    /// every [`crate::interrupt::CHECK_INTERVAL`] values and bails early
+    /// when it fires (the partial grid is discarded by the scheduler).
     pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
-        for v in values {
+        for (i, v) in values.into_iter().enumerate() {
+            if i % crate::interrupt::CHECK_INTERVAL == 0 && crate::interrupt::interrupted() {
+                return;
+            }
             self.push(v);
         }
     }

@@ -1,0 +1,68 @@
+//! Cooperative-interruption probe for hot kernels.
+//!
+//! `eda-stats` is a dependency-free kernel crate, but its kernels run
+//! inside governed scheduler tasks that can be cancelled mid-flight
+//! (`eda-taskgraph::govern`). Rather than depending on the scheduler,
+//! the crate exposes a process-wide probe slot: the runtime layer
+//! registers a check function once ([`register`]), and kernels poll
+//! [`interrupted`] at morsel boundaries — every few thousand elements —
+//! bailing early when it fires. The partial result a bailed kernel
+//! returns is discarded by the scheduler (the task is recorded
+//! `Cancelled`/`TimedOut`), so correctness never depends on it.
+//!
+//! With nothing registered the probe is a single lock-free load
+//! returning `false`, so standalone kernel use pays essentially nothing.
+
+use std::sync::OnceLock;
+
+/// The registered probe: write-once, then lock-free to read.
+static PROBE: OnceLock<fn() -> bool> = OnceLock::new();
+
+/// How many elements a kernel processes between probes. Chosen so the
+/// probe overhead is invisible (one call per ~4k elements) while
+/// cancellation latency stays well under a millisecond for any kernel.
+pub const CHECK_INTERVAL: usize = 4096;
+
+/// Register the interruption probe. Only the first registration in a
+/// process takes effect (later ones are ignored), so a probe observed
+/// once stays valid forever — kernels never race a change.
+pub fn register(probe: fn() -> bool) {
+    let _ = PROBE.set(probe);
+}
+
+/// Whether the current task has been asked to stop. `false` when no
+/// probe is registered (standalone kernel use).
+#[inline]
+pub fn interrupted() -> bool {
+    PROBE.get().is_some_and(|probe| probe())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Per-thread interruption flag for tests: registering a global
+        /// probe would leak into sibling tests running in the same
+        /// process, so the test probe consults this thread-local
+        /// instead.
+        pub static TEST_INTERRUPT: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// The probe test code registers: interrupted iff this thread's
+    /// flag is set.
+    pub fn test_probe() -> bool {
+        TEST_INTERRUPT.with(Cell::get)
+    }
+
+    #[test]
+    fn probe_is_consulted_per_thread() {
+        register(test_probe);
+        assert!(!interrupted());
+        TEST_INTERRUPT.with(|f| f.set(true));
+        assert!(interrupted());
+        TEST_INTERRUPT.with(|f| f.set(false));
+        assert!(!interrupted());
+    }
+}

@@ -37,6 +37,7 @@ pub mod corr;
 pub mod freq;
 pub mod histogram;
 pub mod hypothesis;
+pub mod interrupt;
 pub mod kde;
 pub mod missing;
 pub mod moments;

@@ -52,11 +52,18 @@ impl Moments {
 
     /// Accumulate every value of a slice. The kernel layer hands columnar
     /// windows here directly — no per-value dynamic dispatch, no staging
-    /// copy of the window.
+    /// copy of the window. Polls the cooperative-interruption probe
+    /// every [`crate::interrupt::CHECK_INTERVAL`] values and bails early
+    /// when it fires (the scheduler discards the partial accumulator).
     #[inline]
     pub fn push_slice(&mut self, values: &[f64]) {
-        for &v in values {
-            self.push(v);
+        for chunk in values.chunks(crate::interrupt::CHECK_INTERVAL) {
+            if crate::interrupt::interrupted() {
+                return;
+            }
+            for &v in chunk {
+                self.push(v);
+            }
         }
     }
 
@@ -293,6 +300,25 @@ mod tests {
         let mut right = Moments::new();
         right.merge(&a);
         assert_eq!(right, a);
+    }
+
+    #[test]
+    fn interrupted_push_slice_bails_at_chunk_boundary() {
+        use crate::interrupt::{self, tests::TEST_INTERRUPT};
+        interrupt::register(interrupt::tests::test_probe);
+        let data = vec![1.0; interrupt::CHECK_INTERVAL * 3];
+
+        // Probe clear: the full slice accumulates.
+        let mut full = Moments::new();
+        full.push_slice(&data);
+        assert_eq!(full.count, data.len() as u64);
+
+        // Probe set: the kernel bails before the first chunk.
+        TEST_INTERRUPT.with(|f| f.set(true));
+        let mut bailed = Moments::new();
+        bailed.push_slice(&data);
+        TEST_INTERRUPT.with(|f| f.set(false));
+        assert_eq!(bailed.count, 0);
     }
 
     #[test]

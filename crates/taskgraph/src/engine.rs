@@ -107,6 +107,12 @@ impl Engine {
                     stats.cache_misses += r.stats.cache_misses;
                     stats.cache_evictions += r.stats.cache_evictions;
                     stats.cache_bytes_saved += r.stats.cache_bytes_saved;
+                    stats.tasks_cancelled += r.stats.tasks_cancelled;
+                    stats.tasks_retried += r.stats.tasks_retried;
+                    stats.tasks_budget_exceeded += r.stats.tasks_budget_exceeded;
+                    // Sub-runs share one gauge, so its peak is a running
+                    // maximum, not a sum.
+                    stats.mem_peak_bytes = stats.mem_peak_bytes.max(r.stats.mem_peak_bytes);
                     if let Some(t) = &r.stats.trace {
                         sub_traces.push((sub_started, RunTrace::clone(t)));
                     }

@@ -1,0 +1,571 @@
+//! Resource governance: cancellation tokens, memory gauges, retry
+//! policies, and admission control.
+//!
+//! The paper's engine assumes each `plot*` call may consume the whole
+//! machine; a multi-tenant deployment cannot. This module makes a run a
+//! *governable unit*:
+//!
+//! - [`CancelToken`] — cooperative cancellation observed between
+//!   scheduler dispatches and at morsel boundaries inside kernels (via
+//!   the thread-local [`interrupted`] probe). A token can carry a
+//!   deadline so `engine.run_deadline_ms` actually stops in-flight work
+//!   instead of merely marking tasks timed out after the fact.
+//! - [`MemoryGauge`] — per-run payload-byte accounting against a budget.
+//!   A task whose output would blow the budget fails with
+//!   `TaskFailure::BudgetExceeded` and degrades its section; the process
+//!   never OOMs.
+//! - [`RetryPolicy`] — deterministic exponential backoff for transient
+//!   task failures.
+//! - [`AdmissionGate`] — a process-wide semaphore with a bounded wait
+//!   queue; runs beyond the queue bound are shed immediately instead of
+//!   piling up.
+//!
+//! Everything here is panic-free (enforced by eda-lint L2): governance
+//! code runs on the failure path, where a panic would turn a degraded
+//! section into a dead process.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// Why a task observed cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (e.g. `AnalysisHandle::cancel`).
+    Requested,
+    /// The token's deadline passed (`engine.run_deadline_ms`).
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::Requested => write!(f, "cancellation requested"),
+            CancelReason::DeadlineExceeded => write!(f, "run deadline exceeded"),
+        }
+    }
+}
+
+/// A cooperative cancellation token.
+///
+/// Clones share the same flag; [`capped`](CancelToken::capped) derives a
+/// token that additionally expires at a deadline while still observing
+/// the parent's flag. Checking is wait-free (one atomic load plus an
+/// `Instant` comparison), cheap enough for kernel inner loops.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh token that auto-cancels after `budget`.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken::new().capped(budget)
+    }
+
+    /// A token sharing this one's flag that additionally expires
+    /// `budget` from now (the earlier of the two deadlines wins).
+    pub fn capped(&self, budget: Duration) -> Self {
+        let at = Instant::now().checked_add(budget);
+        let deadline = match (self.deadline, at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        CancelToken { flag: Arc::clone(&self.flag), deadline }
+    }
+
+    /// Trip the flag. Every clone (and every capped child) observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Why this token is cancelled, or `None` if it is still live.
+    /// An explicit request takes precedence over a deadline.
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        if self.flag.load(Ordering::Acquire) {
+            return Some(CancelReason::Requested);
+        }
+        match self.deadline {
+            Some(at) if Instant::now() >= at => Some(CancelReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has fired (request or deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled().is_some()
+    }
+}
+
+thread_local! {
+    /// Token of the task currently executing on this thread, installed by
+    /// the scheduler around the task body so kernels deep in the call
+    /// stack can poll it without plumbing.
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+
+    /// Token armed for adoption by the next run constructed on this
+    /// thread (mirrors `inject::arm` for fault plans): the public API
+    /// builds its `ComputeContext` many layers below `AnalysisHandle`,
+    /// so the handle arms the token here before calling in.
+    static ARMED: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Install `token` as this thread's current task token for the duration
+/// of the returned guard (the previous token is restored on drop).
+pub fn set_current(token: CancelToken) -> CurrentGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(token)));
+    CurrentGuard { prev }
+}
+
+/// Restores the previously-current token on drop.
+pub struct CurrentGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Whether the current task's token (if any) has fired. This is the
+/// morsel-boundary probe: kernels call it every few thousand elements
+/// and bail early; the scheduler then discards the partial result.
+/// Always `false` outside a governed task.
+pub fn interrupted() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled))
+}
+
+/// Sleep in small steps until the current token fires or `max` elapses.
+/// Used by `inject::FaultMode::Wedge` to model a stuck task that still
+/// observes cancellation, and usable by any cooperative wait.
+pub fn wait_interrupted(max: Duration) {
+    let start = Instant::now();
+    let step = Duration::from_millis(1);
+    while start.elapsed() < max && !interrupted() {
+        std::thread::sleep(step);
+    }
+}
+
+/// Arm `token` for adoption by the next governed run constructed on this
+/// thread. Returns a guard that restores the previous armed token.
+pub fn arm_token(token: CancelToken) -> TokenArmGuard {
+    let prev = ARMED.with(|a| a.replace(Some(token)));
+    TokenArmGuard { prev }
+}
+
+/// Restores the previously-armed token on drop.
+pub struct TokenArmGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for TokenArmGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ARMED.with(|a| *a.borrow_mut() = prev);
+    }
+}
+
+/// The token armed on this thread, if any (does not consume it: every
+/// run started while the guard lives adopts the same token).
+pub fn armed_token() -> Option<CancelToken> {
+    ARMED.with(|a| a.borrow().clone())
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting
+// ---------------------------------------------------------------------------
+
+/// A charge the gauge refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetDenial {
+    /// The run's byte budget.
+    pub budget: usize,
+    /// Bytes already charged when the denial happened.
+    pub used: usize,
+    /// The charge that was refused.
+    pub requested: usize,
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    budget: usize,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    denials: AtomicUsize,
+}
+
+/// Per-run payload-byte accounting against `engine.memory_budget_bytes`.
+///
+/// This is the task-scoped sibling of the bench binaries' tracking
+/// allocator: instead of hooking the global allocator (too invasive for
+/// library use), the scheduler charges each task's *output payload*
+/// estimate as it completes. Charges are never released mid-run — the
+/// gauge bounds the run's cumulative materialized footprint, which is
+/// what grows without bound on wide frames.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryGauge {
+    inner: Arc<GaugeInner>,
+}
+
+impl MemoryGauge {
+    /// A gauge with the given byte budget. A zero budget refuses every
+    /// non-zero charge (callers gate on config instead of passing 0).
+    pub fn new(budget: usize) -> Self {
+        MemoryGauge { inner: Arc::new(GaugeInner { budget, ..Default::default() }) }
+    }
+
+    /// Charge `bytes` against the budget, or report the denial without
+    /// charging anything.
+    pub fn try_charge(&self, bytes: usize) -> Result<(), BudgetDenial> {
+        let mut used = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let next = used.saturating_add(bytes);
+            if next > self.inner.budget {
+                self.inner.denials.fetch_add(1, Ordering::Relaxed);
+                return Err(BudgetDenial {
+                    budget: self.inner.budget,
+                    used,
+                    requested: bytes,
+                });
+            }
+            match self.inner.used.compare_exchange_weak(
+                used,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(observed) => used = observed,
+            }
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// The byte budget this gauge enforces.
+    pub fn budget(&self) -> usize {
+        self.inner.budget
+    }
+
+    /// How many charges have been refused.
+    pub fn denials(&self) -> usize {
+        self.inner.denials.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Deterministic exponential backoff for transient task failures.
+///
+/// Attempt `k` (1-based) sleeps `base_backoff * 2^(k-1)`, capped at
+/// [`RetryPolicy::MAX_BACKOFF`]. No jitter: reproducibility matters more
+/// here than thundering-herd avoidance (retries are per-task within one
+/// process, not a distributed fleet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-executions allowed per task after the first failure
+    /// (`engine.task_retries`). Zero disables retry entirely.
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 0, base_backoff: Duration::from_millis(1) }
+    }
+}
+
+impl RetryPolicy {
+    /// Ceiling on any single backoff sleep.
+    pub const MAX_BACKOFF: Duration = Duration::from_millis(250);
+
+    /// A policy allowing `max_retries` re-executions with the default
+    /// 1 ms base backoff.
+    pub fn retries(max_retries: usize) -> Self {
+        RetryPolicy { max_retries, ..Default::default() }
+    }
+
+    /// The sleep before retry attempt `attempt` (1-based).
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16) as u32;
+        self.base_backoff
+            .checked_mul(1u32 << shift)
+            .map_or(Self::MAX_BACKOFF, |d| d.min(Self::MAX_BACKOFF))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// The gate refused admission: the run queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Runs currently executing.
+    pub running: usize,
+    /// Runs already queued waiting for a slot.
+    pub queued: usize,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    running: usize,
+    waiting: usize,
+}
+
+/// Process-wide semaphore bounding concurrent runs
+/// (`engine.max_concurrent_runs`) with a bounded wait queue.
+///
+/// Up to `capacity` runs execute at once; up to `max_queue` more block
+/// waiting for a slot (backpressure); anything beyond that is shed with
+/// [`Overloaded`] so latency stays bounded under a request flood.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    capacity: usize,
+    max_queue: usize,
+    state: Mutex<GateState>,
+    slot_freed: Condvar,
+}
+
+impl AdmissionGate {
+    /// A gate admitting `capacity` concurrent runs and queueing at most
+    /// `2 * capacity` more. A zero capacity is clamped to one.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        let capacity = capacity.max(1);
+        Self::with_queue(capacity, capacity * 2)
+    }
+
+    /// A gate with an explicit queue bound.
+    pub fn with_queue(capacity: usize, max_queue: usize) -> Arc<Self> {
+        Arc::new(AdmissionGate {
+            capacity: capacity.max(1),
+            max_queue,
+            state: Mutex::new(GateState::default()),
+            slot_freed: Condvar::new(),
+        })
+    }
+
+    /// Acquire a run slot, blocking while the queue has room; shed with
+    /// [`Overloaded`] when it does not. The slot is released when the
+    /// returned permit drops.
+    pub fn try_admit(self: &Arc<Self>) -> Result<AdmissionPermit, Overloaded> {
+        let mut state = self.state.lock();
+        if state.running >= self.capacity {
+            if state.waiting >= self.max_queue {
+                return Err(Overloaded { running: state.running, queued: state.waiting });
+            }
+            state.waiting += 1;
+            while state.running >= self.capacity {
+                state = self.slot_freed.wait(state);
+            }
+            state.waiting -= 1;
+        }
+        state.running += 1;
+        Ok(AdmissionPermit { gate: Arc::clone(self) })
+    }
+
+    /// Runs currently holding a slot.
+    pub fn running(&self) -> usize {
+        self.state.lock().running
+    }
+
+    /// Runs currently queued for a slot.
+    pub fn queued(&self) -> usize {
+        self.state.lock().waiting
+    }
+}
+
+/// An admitted run's slot; dropping it frees the slot and wakes one
+/// queued run.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock();
+        state.running = state.running.saturating_sub(1);
+        drop(state);
+        self.gate.slot_freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn token_cancel_propagates_to_clones_and_children() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        let child = t.capped(Duration::from_secs(60));
+        assert_eq!(t.cancelled(), None);
+        clone.cancel();
+        assert_eq!(t.cancelled(), Some(CancelReason::Requested));
+        assert_eq!(child.cancelled(), Some(CancelReason::Requested));
+    }
+
+    #[test]
+    fn token_deadline_fires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.cancelled(), Some(CancelReason::DeadlineExceeded));
+        // Explicit request beats deadline in the report.
+        t.cancel();
+        assert_eq!(t.cancelled(), Some(CancelReason::Requested));
+    }
+
+    #[test]
+    fn capped_keeps_earlier_deadline() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        let child = t.capped(Duration::from_secs(60));
+        assert_eq!(child.cancelled(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn current_token_probe() {
+        assert!(!interrupted());
+        let t = CancelToken::new();
+        let guard = set_current(t.clone());
+        assert!(!interrupted());
+        t.cancel();
+        assert!(interrupted());
+        drop(guard);
+        assert!(!interrupted());
+    }
+
+    #[test]
+    fn current_guard_restores_previous() {
+        let outer = CancelToken::new();
+        outer.cancel();
+        let _g1 = set_current(outer);
+        assert!(interrupted());
+        {
+            let _g2 = set_current(CancelToken::new());
+            assert!(!interrupted());
+        }
+        assert!(interrupted());
+    }
+
+    #[test]
+    fn armed_token_is_adoptable_and_restored() {
+        assert!(armed_token().is_none());
+        let t = CancelToken::new();
+        {
+            let _g = arm_token(t.clone());
+            let adopted = armed_token();
+            assert!(adopted.is_some());
+            t.cancel();
+            assert!(adopted.is_some_and(|a| a.is_cancelled()));
+        }
+        assert!(armed_token().is_none());
+    }
+
+    #[test]
+    fn wait_interrupted_returns_on_cancel() {
+        let t = CancelToken::new();
+        t.cancel();
+        let _g = set_current(t);
+        let start = Instant::now();
+        wait_interrupted(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn gauge_charges_and_denies() {
+        let g = MemoryGauge::new(100);
+        assert!(g.try_charge(60).is_ok());
+        assert!(g.try_charge(40).is_ok());
+        let denial = g.try_charge(1);
+        assert_eq!(denial, Err(BudgetDenial { budget: 100, used: 100, requested: 1 }));
+        assert_eq!(g.used(), 100);
+        assert_eq!(g.peak(), 100);
+        assert_eq!(g.denials(), 1);
+    }
+
+    #[test]
+    fn gauge_is_shared_across_clones() {
+        let g = MemoryGauge::new(10);
+        let h = g.clone();
+        assert!(h.try_charge(10).is_ok());
+        assert!(g.try_charge(1).is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy { max_retries: 5, base_backoff: Duration::from_millis(2) };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(1000), RetryPolicy::MAX_BACKOFF);
+    }
+
+    #[test]
+    fn gate_admits_up_to_capacity_then_sheds_past_queue() {
+        let gate = AdmissionGate::with_queue(1, 0);
+        let permit = gate.try_admit();
+        assert!(permit.is_ok());
+        // Queue bound is zero, so a second concurrent run is shed.
+        assert_eq!(gate.try_admit().map(|_| ()), Err(Overloaded { running: 1, queued: 0 }));
+        drop(permit);
+        assert!(gate.try_admit().is_ok());
+    }
+
+    #[test]
+    fn gate_queues_and_wakes_waiters() {
+        let gate = AdmissionGate::with_queue(1, 4);
+        let order = Arc::new(AtomicUsize::new(0));
+        let first = gate.try_admit();
+        assert!(first.is_ok());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let order = Arc::clone(&order);
+                std::thread::spawn(move || {
+                    let permit = gate.try_admit();
+                    assert!(permit.is_ok());
+                    order.fetch_add(1, Ordering::SeqCst)
+                })
+            })
+            .collect();
+        // Waiters block until the first permit drops.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(order.load(Ordering::SeqCst), 0);
+        drop(first);
+        for h in handles {
+            assert!(h.join().is_ok());
+        }
+        assert_eq!(order.load(Ordering::SeqCst), 3);
+        assert_eq!(gate.running(), 0);
+    }
+}

@@ -37,6 +37,21 @@ pub enum FaultMode {
     /// Return a payload of a type no consumer expects (models a
     /// corrupted intermediate; dependents blow up on downcast).
     Garbage,
+    /// Panic with an "injected fault: transient" message for the first
+    /// `failures` matching dispatches of this plan, then let the task
+    /// run normally (models a flaky kernel; exercises
+    /// [`crate::govern::RetryPolicy`]).
+    TransientPanic {
+        /// How many matching dispatches fail before the task heals.
+        failures: usize,
+    },
+    /// Wedge the task: spin (observing the current
+    /// [`crate::govern::CancelToken`]) for up to the given duration
+    /// before running the real task. Unlike [`FaultMode::Stall`], a
+    /// wedged task wakes as soon as its token fires, which is exactly
+    /// what the deadline-reclamation machinery needs to be tested
+    /// against.
+    Wedge(Duration),
 }
 
 /// Which dispatches a plan applies to.
@@ -65,6 +80,9 @@ pub struct FaultPlan {
 #[derive(Debug, Default)]
 pub struct FaultInjector {
     plans: Vec<FaultPlan>,
+    /// Per-plan trigger counts (parallel to `plans`), so bounded modes
+    /// like [`FaultMode::TransientPanic`] know when to stop firing.
+    hits: Vec<AtomicUsize>,
     dispatched: AtomicUsize,
     triggered: AtomicUsize,
 }
@@ -72,7 +90,8 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Build an injector from explicit plans.
     pub fn new(plans: Vec<FaultPlan>) -> Arc<Self> {
-        Arc::new(FaultInjector { plans, ..Default::default() })
+        let hits = plans.iter().map(|_| AtomicUsize::new(0)).collect();
+        Arc::new(FaultInjector { plans, hits, ..Default::default() })
     }
 
     /// Convenience: panic every task whose name contains `substr`.
@@ -100,20 +119,51 @@ impl FaultInjector {
         }])
     }
 
+    /// Convenience: tasks whose name contains `substr` fail transiently
+    /// for their first `failures` dispatches, then heal.
+    pub fn transient_on(substr: &str, failures: usize) -> Arc<Self> {
+        Self::new(vec![FaultPlan {
+            target: FaultTarget::NameContains(substr.to_string()),
+            mode: FaultMode::TransientPanic { failures },
+        }])
+    }
+
+    /// Convenience: wedge tasks whose name contains `substr` for up to
+    /// `max` (they wake early if their cancel token fires).
+    pub fn wedge_on(substr: &str, max: Duration) -> Arc<Self> {
+        Self::new(vec![FaultPlan {
+            target: FaultTarget::NameContains(substr.to_string()),
+            mode: FaultMode::Wedge(max),
+        }])
+    }
+
     /// Called by schedulers at each dispatch: returns the fault to
-    /// apply, if any, and advances the dispatch counter.
+    /// apply, if any, and advances the dispatch counter. Re-executions
+    /// (retries) count as fresh dispatches, which is what lets a
+    /// [`FaultMode::TransientPanic`] plan exhaust itself and the retry
+    /// succeed.
     pub fn decide(&self, node: NodeId, name: &str) -> Option<FaultMode> {
         let n = self.dispatched.fetch_add(1, Ordering::SeqCst);
-        for plan in &self.plans {
+        for (i, plan) in self.plans.iter().enumerate() {
             let hit = match &plan.target {
                 FaultTarget::Nth(k) => *k == n,
                 FaultTarget::Node(id) => *id == node,
                 FaultTarget::NameContains(s) => name.contains(s.as_str()),
             };
-            if hit {
-                self.triggered.fetch_add(1, Ordering::SeqCst);
-                return Some(plan.mode.clone());
+            if !hit {
+                continue;
             }
+            if let FaultMode::TransientPanic { failures } = &plan.mode {
+                // Bounded plan: fire only for its first `failures` hits.
+                let seen = self.hits.get(i).map_or(0, |h| h.fetch_add(1, Ordering::SeqCst));
+                if seen >= *failures {
+                    continue;
+                }
+            } else if let Some(h) = self.hits.get(i) {
+                h.fetch_add(1, Ordering::SeqCst);
+            }
+            self.triggered.fetch_add(1, Ordering::SeqCst);
+            return Some(plan.mode.clone());
         }
         None
     }
@@ -198,6 +248,24 @@ mod tests {
         }]);
         assert_eq!(inj.decide(6, "x"), None);
         assert!(matches!(inj.decide(7, "x"), Some(FaultMode::Stall(_))));
+    }
+
+    #[test]
+    fn transient_plan_exhausts_after_configured_failures() {
+        let inj = FaultInjector::transient_on("flaky", 2);
+        assert!(matches!(inj.decide(0, "flaky:a"), Some(FaultMode::TransientPanic { .. })));
+        assert!(matches!(inj.decide(0, "flaky:a"), Some(FaultMode::TransientPanic { .. })));
+        // Third matching dispatch: the plan is spent, the task heals.
+        assert_eq!(inj.decide(0, "flaky:a"), None);
+        assert_eq!(inj.decide(1, "steady"), None);
+        assert_eq!(inj.triggered(), 2);
+    }
+
+    #[test]
+    fn wedge_plan_matches_by_name() {
+        let inj = FaultInjector::wedge_on("slow", Duration::from_secs(3));
+        assert!(matches!(inj.decide(0, "slow:x"), Some(FaultMode::Wedge(_))));
+        assert_eq!(inj.decide(1, "fast:y"), None);
     }
 
     #[test]

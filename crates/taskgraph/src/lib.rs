@@ -22,8 +22,12 @@
 //!   ([`outcome::TaskOutcome`]), skip dependents of failed nodes instead of
 //!   aborting the run, and support per-task deadlines.
 //! * [`inject`] — a deterministic fault-injection harness (panic / stall /
-//!   garbage payload at a chosen task) used to test the fault tolerance
-//!   end to end.
+//!   garbage payload / transient failure / wedge at a chosen task) used to
+//!   test the fault tolerance end to end.
+//! * [`govern`] — resource governance: cooperative cancellation tokens,
+//!   per-run memory gauges, retry-with-backoff policies, and a
+//!   process-wide admission gate, all inert unless attached via
+//!   [`scheduler::ExecOptions`].
 //! * [`engine::Engine`] — the engine variants compared in the paper's
 //!   Figure 6(a): `LazyParallel` (Dask), `EagerPerOp` (Modin: one graph per
 //!   output, no cross-output sharing), `HeavyScheduler` (Koalas/PySpark:
@@ -43,6 +47,7 @@
 pub mod cache;
 pub mod cluster;
 pub mod engine;
+pub mod govern;
 pub mod graph;
 pub mod inject;
 pub mod key;
@@ -55,6 +60,10 @@ pub mod trace;
 
 pub use cache::{CacheHandle, PayloadSizer, ResultCache};
 pub use engine::Engine;
+pub use govern::{
+    AdmissionGate, AdmissionPermit, CancelReason, CancelToken, MemoryGauge, Overloaded,
+    RetryPolicy,
+};
 pub use graph::{NodeId, Payload, TaskGraph};
 pub use inject::{FaultInjector, FaultMode, FaultPlan, FaultTarget};
 pub use key::TaskKey;

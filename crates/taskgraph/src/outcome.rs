@@ -10,6 +10,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::govern::CancelReason;
 use crate::graph::{NodeId, Payload};
 
 /// Why a task produced no payload.
@@ -35,11 +36,38 @@ pub enum TaskFailure {
         /// diagnostics built from a skip still name the actual reason.
         root_failure: String,
     },
+    /// The run was cancelled ([`crate::govern::CancelToken`]) before or
+    /// while this task executed; any partial result was discarded.
+    Cancelled(CancelReason),
+    /// Charging this task's output against the run's memory budget
+    /// ([`crate::govern::MemoryGauge`]) was refused; the payload was
+    /// dropped and the section degrades instead of the process OOMing.
+    BudgetExceeded {
+        /// The run's byte budget.
+        budget: usize,
+        /// Bytes already charged by earlier tasks.
+        used: usize,
+        /// The refused charge (this task's estimated payload bytes).
+        requested: usize,
+    },
     /// A scheduler invariant was violated (a dependency result missing
     /// at dispatch, a closed work queue, a worker lost mid-run). The
     /// run degrades to a partial result instead of panicking; the
     /// message names the broken invariant.
     Internal(String),
+}
+
+impl TaskFailure {
+    /// Whether this failure is worth retrying ([`crate::govern::RetryPolicy`]).
+    ///
+    /// The contract is message-based: a panic whose payload mentions
+    /// `transient` (the marker `inject::FaultMode::TransientPanic` and
+    /// flaky-I/O kernels embed) is transient; everything else —
+    /// deterministic panics, deadline/budget violations, cancellations,
+    /// skips — is permanent and retrying would only repeat the failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TaskFailure::Panicked(msg) if msg.contains("transient"))
+    }
 }
 
 /// A failed task: which node, its name, what went wrong, and how long it
@@ -76,6 +104,10 @@ impl TaskError {
                 format!("exceeded its {budget:?} deadline (took {elapsed:?})")
             }
             TaskFailure::Skipped { root_failure, .. } => root_failure.clone(),
+            TaskFailure::Cancelled(reason) => format!("cancelled: {reason}"),
+            TaskFailure::BudgetExceeded { budget, used, requested } => format!(
+                "exceeded the run memory budget ({requested} requested, {used} of {budget} bytes used)"
+            ),
             TaskFailure::Internal(msg) => format!("scheduler invariant violated: {msg}"),
         }
     }
@@ -96,6 +128,16 @@ impl fmt::Display for TaskError {
                 f,
                 "task '{}' (node {}) skipped: upstream task '{}' (node {}) {}",
                 self.name, self.task, root_name, root_cause, root_failure
+            ),
+            TaskFailure::Cancelled(reason) => write!(
+                f,
+                "task '{}' (node {}) cancelled: {}",
+                self.name, self.task, reason
+            ),
+            TaskFailure::BudgetExceeded { budget, used, requested } => write!(
+                f,
+                "task '{}' (node {}) exceeded the run memory budget: charge of {} bytes refused ({} of {} bytes already used)",
+                self.name, self.task, requested, used, budget
             ),
             TaskFailure::Internal(msg) => write!(
                 f,
@@ -211,6 +253,35 @@ mod tests {
         assert_eq!(skipped.root_cause(), (1, "hist"));
         let direct = err(TaskFailure::Panicked("x".into()));
         assert_eq!(direct.root_cause(), (3, "moments:price"));
+    }
+
+    #[test]
+    fn display_cancelled_names_reason() {
+        let e = err(TaskFailure::Cancelled(CancelReason::DeadlineExceeded));
+        let s = e.to_string();
+        assert!(s.contains("cancelled") && s.contains("run deadline exceeded"), "{s}");
+    }
+
+    #[test]
+    fn display_budget_exceeded_mentions_memory_budget() {
+        let e = err(TaskFailure::BudgetExceeded { budget: 100, used: 90, requested: 20 });
+        let s = e.to_string();
+        assert!(s.contains("memory budget") && s.contains("20"), "{s}");
+        assert!(e.root_description().contains("memory budget"), "{}", e.root_description());
+    }
+
+    #[test]
+    fn transient_classification_is_message_based() {
+        assert!(TaskFailure::Panicked("injected fault: transient kernel failure".into())
+            .is_transient());
+        assert!(!TaskFailure::Panicked("boom".into()).is_transient());
+        assert!(!TaskFailure::Cancelled(CancelReason::Requested).is_transient());
+        assert!(!TaskFailure::BudgetExceeded { budget: 1, used: 0, requested: 2 }.is_transient());
+        assert!(!TaskFailure::TimedOut {
+            budget: Duration::from_millis(1),
+            elapsed: Duration::from_millis(2),
+        }
+        .is_transient());
     }
 
     #[test]

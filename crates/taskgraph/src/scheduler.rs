@@ -27,7 +27,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 use parking_lot::Mutex;
 
-use crate::cache::CacheHandle;
+use crate::cache::{CacheHandle, PayloadSizer};
+use crate::govern::{self, CancelToken, MemoryGauge, RetryPolicy};
 use crate::graph::{NodeId, Payload, TaskGraph};
 use crate::inject::{FaultMode, Garbage};
 use crate::outcome::{TaskError, TaskFailure, TaskOutcome};
@@ -63,6 +64,26 @@ pub struct ExecOptions {
     /// dependents) and insert successful derived results after. `None`
     /// executes everything, bit-identical to the pre-cache behaviour.
     pub cache: Option<CacheHandle>,
+    /// Run-level cancellation token ([`crate::govern`]). Checked before
+    /// every dispatch and installed as the thread's current token around
+    /// each task body (merged with the per-task `deadline`, if any) so
+    /// kernels can bail at morsel boundaries. `None` disables every
+    /// check, bit-identical to pre-governance behaviour.
+    pub cancel: Option<CancelToken>,
+    /// Per-run memory budget gauge: each completed task's payload bytes
+    /// are charged against it, and a refused charge fails the task with
+    /// `TaskFailure::BudgetExceeded` (dropping the payload) instead of
+    /// letting the run's footprint grow unbounded. `None` disables
+    /// accounting entirely.
+    pub gauge: Option<MemoryGauge>,
+    /// Retry policy for transient failures ([`TaskFailure::is_transient`]).
+    /// The default (zero retries) executes every task exactly once.
+    pub retry: RetryPolicy,
+    /// Domain-aware payload pricing for the memory gauge. When set it is
+    /// consulted first (before the cache's sizer and the generic
+    /// estimator) so budgets see real payload sizes even when the result
+    /// cache is disabled. `None` changes nothing.
+    pub sizer: Option<PayloadSizer>,
 }
 
 /// Result of one execution: an outcome per requested output (same
@@ -185,8 +206,19 @@ fn internal_failure(graph: &TaskGraph, id: NodeId, msg: &str) -> TaskOutcome {
 /// Insert a successful derived result into the cache, returning the
 /// evictions it forced. Only `Ok` outcomes of nodes with dependencies are
 /// admitted — failed, timed-out, and skipped tasks never populate the
-/// cache, so fault-injected runs cannot poison later ones.
-fn cache_insert(handle: &CacheHandle, graph: &TaskGraph, id: NodeId, outcome: &TaskOutcome) -> usize {
+/// cache, so fault-injected runs cannot poison later ones. A run whose
+/// cancel token has fired, or whose memory gauge has refused a charge,
+/// stops inserting entirely: kernels may be bailing at morsel boundaries
+/// by then, and a degraded run must never seed later healthy ones.
+fn cache_insert(opts: &ExecOptions, graph: &TaskGraph, id: NodeId, outcome: &TaskOutcome) -> usize {
+    let Some(handle) = &opts.cache else {
+        return 0;
+    };
+    if opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+        || opts.gauge.as_ref().is_some_and(|g| g.denials() > 0)
+    {
+        return 0;
+    }
     let task = graph.task(id);
     if task.deps.is_empty() {
         return 0;
@@ -215,6 +247,7 @@ pub fn run_single_thread_opts(
     let mut results: Vec<Option<TaskOutcome>> = vec![None; graph.len()];
     let mut span_buf: Vec<TaskSpan> = Vec::new();
     let mut evictions = 0usize;
+    let mut retried_tasks = 0usize;
     for (done, &id) in order.iter().enumerate() {
         if let Some(p) = &plan {
             if let Some((payload, _)) = &p.hits[id] {
@@ -238,13 +271,12 @@ pub fn run_single_thread_opts(
                 })
             })
             .collect();
-        let (outcome, timing) = execute_node(graph, id, &inputs, opts, started);
+        let (outcome, timing, retries) = execute_node(graph, id, &inputs, opts, started);
+        retried_tasks += usize::from(retries > 0);
         if let Some(timing) = timing {
-            span_buf.push(make_span(graph, id, 0, timing, &outcome));
+            span_buf.push(make_span(graph, id, 0, timing, &outcome, retries));
         }
-        if let Some(handle) = &opts.cache {
-            evictions += cache_insert(handle, graph, id, &outcome);
-        }
+        evictions += cache_insert(opts, graph, id, &outcome);
         results[id] = Some(outcome);
         if let Some(obs) = &opts.observer {
             obs(done + 1, order.len());
@@ -270,8 +302,17 @@ pub fn run_single_thread_opts(
         elapsed,
         run_trace,
     );
+    stats.tasks_retried = retried_tasks;
     apply_cache_stats(&mut stats, plan.as_ref(), evictions);
+    apply_gauge_stats(&mut stats, opts);
     ExecResult { outcomes, stats }
+}
+
+/// Record the run's memory high-water mark when a gauge was attached.
+fn apply_gauge_stats(stats: &mut ExecStats, opts: &ExecOptions) {
+    if let Some(gauge) = &opts.gauge {
+        stats.mem_peak_bytes = gauge.peak();
+    }
 }
 
 /// Fold a run's cache activity into its stats. Hit nodes carry `Ok`
@@ -362,6 +403,7 @@ pub fn run_pool_opts(
     let mut precompleted = 0usize;
     let mut hit_spans: Vec<TaskSpan> = Vec::new();
     let evictions = std::sync::atomic::AtomicUsize::new(0);
+    let retried_tasks = std::sync::atomic::AtomicUsize::new(0);
     if let Some(p) = &plan {
         for id in 0..graph.len() {
             if let Some((payload, _)) = &p.hits[id] {
@@ -401,6 +443,7 @@ pub fn run_pool_opts(
             let done_tx = done_tx.clone();
             let results = Arc::clone(&results);
             let evictions = &evictions;
+            let retried_tasks = &retried_tasks;
             handles.push(scope.spawn(move || {
                 let mut span_buf: Vec<TaskSpan> = Vec::new();
                 while let Ok(id) = ready_rx.recv() {
@@ -422,15 +465,16 @@ pub fn run_pool_opts(
                             })
                         })
                         .collect();
-                    let (outcome, timing) = execute_node(graph, id, &inputs, opts, started);
-                    if let Some(timing) = timing {
-                        span_buf.push(make_span(graph, id, worker_id, timing, &outcome));
+                    let (outcome, timing, retries) = execute_node(graph, id, &inputs, opts, started);
+                    if retries > 0 {
+                        retried_tasks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
-                    if let Some(handle) = &opts.cache {
-                        let n = cache_insert(handle, graph, id, &outcome);
-                        if n > 0 {
-                            evictions.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
-                        }
+                    if let Some(timing) = timing {
+                        span_buf.push(make_span(graph, id, worker_id, timing, &outcome, retries));
+                    }
+                    let n = cache_insert(opts, graph, id, &outcome);
+                    if n > 0 {
+                        evictions.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
                     }
                     *results[id].lock() = Some(outcome);
                     if done_tx.send(id).is_err() {
@@ -497,11 +541,13 @@ pub fn run_pool_opts(
     let run_trace =
         opts.trace.then(|| Arc::new(RunTrace::from_buffers(span_buffers, workers, elapsed)));
     let mut stats = tally(live_outcomes.iter(), live_count, graph, workers, elapsed, run_trace);
+    stats.tasks_retried = retried_tasks.load(std::sync::atomic::Ordering::Relaxed);
     apply_cache_stats(
         &mut stats,
         plan.as_ref(),
         evictions.load(std::sync::atomic::Ordering::Relaxed),
     );
+    apply_gauge_stats(&mut stats, opts);
     ExecResult { outcomes, stats }
 }
 
@@ -509,29 +555,49 @@ pub fn run_pool_opts(
 /// the run origin. Only produced when tracing is on.
 type SpanTiming = (Duration, Duration, usize);
 
-/// Run one node given its input outcomes: skip on failed inputs,
-/// otherwise execute under `catch_unwind`, applying any injected fault
-/// and the optional deadline. When `opts.trace` is set, the second
-/// element carries the span timing for [`make_span`]; it is `None` on
-/// untraced runs so the hot path allocates nothing.
+/// Run one node given its input outcomes: short-circuit on a fired run
+/// token, skip on failed inputs, otherwise execute under `catch_unwind`
+/// (retrying transient failures per [`ExecOptions::retry`]), applying
+/// any injected fault, the optional deadline, and the optional memory
+/// gauge. When `opts.trace` is set, the second element carries the span
+/// timing for [`make_span`]; it is `None` on untraced runs so the hot
+/// path allocates nothing. The third element is how many times the task
+/// was re-executed after transient failures.
 fn execute_node(
     graph: &TaskGraph,
     id: NodeId,
     inputs: &[TaskOutcome],
     opts: &ExecOptions,
     origin: Instant,
-) -> (TaskOutcome, Option<SpanTiming>) {
+) -> (TaskOutcome, Option<SpanTiming>, usize) {
     let task = graph.task(id);
+    let zero_width = || {
+        opts.trace.then(|| {
+            let now = origin.elapsed();
+            (now, now, 0)
+        })
+    };
+    // A fired run token beats everything else: record the node as
+    // Cancelled without opening a span or touching the body, so a
+    // cancelled run drains its remaining dispatches in microseconds.
+    if let Some(reason) = opts.cancel.as_ref().and_then(CancelToken::cancelled) {
+        return (
+            TaskOutcome::Failed(Arc::new(TaskError {
+                task: id,
+                name: task.name.clone(),
+                failure: TaskFailure::Cancelled(reason),
+                elapsed: Duration::ZERO,
+            })),
+            zero_width(),
+            0,
+        );
+    }
     // An upstream failure poisons only this subtree: record a skip
     // pointing at the transitive root cause and move on. The skip
     // inherits the root's elapsed so diagnostics stay meaningful at any
     // depth.
     if let Some(err) = inputs.iter().find_map(|o| o.error()) {
         let (root_cause, root_name) = err.root_cause();
-        let timing = opts.trace.then(|| {
-            let now = origin.elapsed();
-            (now, now, 0)
-        });
         return (
             TaskOutcome::Failed(Arc::new(TaskError {
                 task: id,
@@ -543,7 +609,8 @@ fn execute_node(
                 },
                 elapsed: err.elapsed,
             })),
-            timing,
+            zero_width(),
+            0,
         );
     }
     // The span opens before the injected scheduling latency so heavy-
@@ -561,47 +628,74 @@ fn execute_node(
         .collect::<Option<Vec<Payload>>>()
     else {
         let timing = span_start.map(|start| (start, origin.elapsed(), 0));
-        return (internal_failure(graph, id, "input outcome lost its payload"), timing);
+        return (internal_failure(graph, id, "input outcome lost its payload"), timing, 0);
     };
-    let fault = graph.fault_injector().and_then(|inj| inj.decide(id, &task.name));
-    let started = Instant::now();
-    let result = catch_task_panic(|| match fault {
-        // eda-lint: allow(EDA-L2) deliberate injected fault, caught by catch_unwind above
-        Some(FaultMode::Panic) => panic!("injected fault: panic"),
-        Some(FaultMode::Stall(d)) => {
-            std::thread::sleep(d);
-            (task.run)(&payloads)
+    let mut retries = 0usize;
+    let (outcome, elapsed) = loop {
+        // Re-decided each attempt: retries count as fresh dispatches, so
+        // a bounded `TransientPanic` plan exhausts itself and the retry
+        // runs the real body.
+        let fault = graph.fault_injector().and_then(|inj| inj.decide(id, &task.name));
+        // The token the body observes at morsel boundaries: the run
+        // token capped by the per-task deadline (so a blown deadline
+        // interrupts the body instead of merely being noticed after it
+        // returns), or a deadline-only token when the run is otherwise
+        // ungoverned.
+        let attempt_token = match (&opts.cancel, opts.deadline) {
+            (Some(t), Some(budget)) => Some(t.capped(budget)),
+            (Some(t), None) => Some(t.clone()),
+            (None, Some(budget)) => Some(CancelToken::with_deadline(budget)),
+            (None, None) => None,
+        };
+        let started = Instant::now();
+        let result = {
+            let _current = attempt_token.map(govern::set_current);
+            catch_task_panic(|| match &fault {
+                // eda-lint: allow(EDA-L2) deliberate injected fault, caught by catch_unwind above
+                Some(FaultMode::Panic) => panic!("injected fault: panic"),
+                Some(FaultMode::TransientPanic { .. }) => {
+                    // eda-lint: allow(EDA-L2) deliberate injected fault, caught by catch_unwind above
+                    panic!("injected fault: transient kernel failure")
+                }
+                Some(FaultMode::Stall(d)) => {
+                    std::thread::sleep(*d);
+                    (task.run)(&payloads)
+                }
+                Some(FaultMode::Wedge(max)) => {
+                    // A wedged task spins observing its token: a fired
+                    // deadline or cancellation wakes it immediately and
+                    // the real body then runs (and is classified below),
+                    // so the worker thread is reclaimed at the deadline
+                    // instead of being held for the whole wedge.
+                    govern::wait_interrupted(*max);
+                    (task.run)(&payloads)
+                }
+                Some(FaultMode::Garbage) => Arc::new(Garbage) as Payload,
+                None => (task.run)(&payloads),
+            })
+        };
+        let elapsed = started.elapsed();
+        let outcome = classify_result(graph, id, result, elapsed, opts);
+        if let TaskOutcome::Failed(err) = &outcome {
+            let run_cancelled = opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+            if err.failure.is_transient() && retries < opts.retry.max_retries && !run_cancelled {
+                retries += 1;
+                std::thread::sleep(opts.retry.backoff(retries));
+                continue;
+            }
         }
-        Some(FaultMode::Garbage) => Arc::new(Garbage) as Payload,
-        None => (task.run)(&payloads),
-    });
-    let elapsed = started.elapsed();
-    let outcome = match result {
-        Ok(payload) => match opts.deadline {
-            Some(budget) if elapsed > budget => TaskOutcome::Failed(Arc::new(TaskError {
-                task: id,
-                name: task.name.clone(),
-                failure: TaskFailure::TimedOut { budget, elapsed },
-                elapsed,
-            })),
-            _ => TaskOutcome::Ok(payload),
-        },
-        Err(message) => TaskOutcome::Failed(Arc::new(TaskError {
-            task: id,
-            name: task.name.clone(),
-            failure: TaskFailure::Panicked(message),
-            elapsed,
-        })),
+        break (outcome, elapsed);
     };
     if trace::log_enabled(LogLevel::Debug) {
         trace::log(
             LogLevel::Debug,
             "eda::sched",
             format_args!(
-                "task={} node={} status={} dur_us={}",
+                "task={} node={} status={} retries={} dur_us={}",
                 task.name,
                 id,
                 SpanStatus::of(&outcome).label(),
+                retries,
                 elapsed.as_micros()
             ),
         );
@@ -611,20 +705,87 @@ fn execute_node(
         let bytes = outcome.payload().map_or(0, trace::estimate_payload_bytes);
         (start, end, bytes)
     });
-    (outcome, timing)
+    (outcome, timing, retries)
+}
+
+/// Classify one attempt's raw result: a fired run token discards even a
+/// completed payload (kernels may have bailed mid-morsel, so it cannot
+/// be trusted), then the per-task deadline, then the memory gauge.
+fn classify_result(
+    graph: &TaskGraph,
+    id: NodeId,
+    result: Result<Payload, String>,
+    elapsed: Duration,
+    opts: &ExecOptions,
+) -> TaskOutcome {
+    let fail = |failure: TaskFailure| {
+        TaskOutcome::Failed(Arc::new(TaskError {
+            task: id,
+            name: graph.task(id).name.clone(),
+            failure,
+            elapsed,
+        }))
+    };
+    match result {
+        Ok(payload) => {
+            if let Some(reason) = opts.cancel.as_ref().and_then(CancelToken::cancelled) {
+                return fail(TaskFailure::Cancelled(reason));
+            }
+            if let Some(budget) = opts.deadline {
+                if elapsed > budget {
+                    return fail(TaskFailure::TimedOut { budget, elapsed });
+                }
+            }
+            if let Some(gauge) = &opts.gauge {
+                let bytes = payload_cost(opts, &payload);
+                if let Err(denial) = gauge.try_charge(bytes) {
+                    // The payload drops here — the whole point of the
+                    // budget is not to keep it.
+                    return fail(TaskFailure::BudgetExceeded {
+                        budget: denial.budget,
+                        used: denial.used,
+                        requested: denial.requested,
+                    });
+                }
+            }
+            TaskOutcome::Ok(payload)
+        }
+        Err(message) => fail(TaskFailure::Panicked(message)),
+    }
+}
+
+/// Bytes a payload charges against the memory gauge: the explicit
+/// governance sizer when one is set, else the cache's sizer when one is
+/// attached (keeps cache and gauge accounting consistent), else the
+/// generic estimator.
+fn payload_cost(opts: &ExecOptions, payload: &Payload) -> usize {
+    if let Some(bytes) = opts.sizer.as_ref().and_then(|s| s(payload)) {
+        return bytes;
+    }
+    opts.cache
+        .as_ref()
+        .map_or_else(|| trace::estimate_payload_bytes(payload), |h| h.payload_bytes(payload))
 }
 
 /// Build the [`TaskSpan`] for one dispatched task. `queue_wait` is
 /// derived later (in [`RunTrace::from_buffers`]) from dependency
-/// completion times, so it is zero here.
+/// completion times, so it is zero here. A task that succeeded only
+/// after transient-failure retries is marked `Retried` so traces show
+/// where the retry machinery earned its keep.
 fn make_span(
     graph: &TaskGraph,
     id: NodeId,
     worker: usize,
     (start, end, payload_bytes): SpanTiming,
     outcome: &TaskOutcome,
+    retries: usize,
 ) -> TaskSpan {
     let task = graph.task(id);
+    let status = if retries > 0 && outcome.is_ok() {
+        SpanStatus::Retried
+    } else {
+        SpanStatus::of(outcome)
+    };
     TaskSpan {
         node: id,
         name: task.name.clone(),
@@ -632,7 +793,7 @@ fn make_span(
         start,
         end,
         queue_wait: Duration::ZERO,
-        status: SpanStatus::of(outcome),
+        status,
         payload_bytes,
         deps: task.deps.clone(),
     }
@@ -696,6 +857,8 @@ fn tally<'a>(
                 TaskFailure::Panicked(_) | TaskFailure::Internal(_) => stats.tasks_failed += 1,
                 TaskFailure::TimedOut { .. } => stats.tasks_timed_out += 1,
                 TaskFailure::Skipped { .. } => stats.tasks_skipped += 1,
+                TaskFailure::Cancelled(_) => stats.tasks_cancelled += 1,
+                TaskFailure::BudgetExceeded { .. } => stats.tasks_budget_exceeded += 1,
             },
         }
     }
@@ -704,13 +867,15 @@ fn tally<'a>(
             LogLevel::Info,
             "eda::sched",
             format_args!(
-                "run workers={} live={} run={} failed={} skipped={} timed_out={} cse_hits={} elapsed_us={}",
+                "run workers={} live={} run={} failed={} skipped={} timed_out={} cancelled={} budget_exceeded={} cse_hits={} elapsed_us={}",
                 stats.workers,
                 stats.live_nodes,
                 stats.tasks_run,
                 stats.tasks_failed,
                 stats.tasks_skipped,
                 stats.tasks_timed_out,
+                stats.tasks_cancelled,
+                stats.tasks_budget_exceeded,
                 stats.cse_hits,
                 stats.elapsed.as_micros()
             ),
@@ -1188,6 +1353,239 @@ mod tests {
         assert_eq!(cached.len(), 1);
         assert_eq!(cached[0].name, "sum");
         assert_eq!(cached[0].start, cached[0].end, "cached spans are zero-width");
+    }
+
+    // ----- governance -----
+
+    #[test]
+    fn cancelled_token_short_circuits_whole_run() {
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = ExecOptions { cancel: Some(token), ..Default::default() };
+        let (g, out) = diamond();
+        for r in [
+            run_single_thread_opts(&g, &[out], &opts),
+            run_pool_opts(&g, &[out], 2, &opts),
+        ] {
+            let err = r.outcomes[0].error().expect("cancelled");
+            assert!(
+                matches!(err.failure, TaskFailure::Cancelled(crate::govern::CancelReason::Requested)),
+                "{err}"
+            );
+            assert_eq!(r.stats.tasks_run, 0);
+            assert_eq!(r.stats.tasks_cancelled, 4);
+            assert!(!r.stats.fully_succeeded());
+        }
+    }
+
+    #[test]
+    fn run_deadline_reclaims_wedged_worker() {
+        // Regression for the pre-governance semantics where a TimedOut
+        // task's body kept running (sleeping) on the worker for its full
+        // duration. A wedged task observes its attempt token, wakes at
+        // the deadline, and the worker is reclaimed in milliseconds, not
+        // the 30s wedge.
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::wedge_on("inc", Duration::from_secs(30)));
+        let opts = ExecOptions { deadline: Some(Duration::from_millis(30)), ..Default::default() };
+        let started = Instant::now();
+        let r = run_pool_opts(&g, &[out], 2, &opts);
+        let wall = started.elapsed();
+        assert!(wall < Duration::from_secs(5), "worker held for {wall:?}");
+        assert_eq!(r.stats.tasks_timed_out, 1);
+        let err = r.outcomes[0].error().expect("sum skipped");
+        assert_eq!(err.root_cause().1, "inc");
+    }
+
+    #[test]
+    fn cancel_wakes_wedged_task_mid_run() {
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::wedge_on("inc", Duration::from_secs(30)));
+        let token = CancelToken::new();
+        let opts = ExecOptions { cancel: Some(token.clone()), ..Default::default() };
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        let started = Instant::now();
+        let r = run_pool_opts(&g, &[out], 2, &opts);
+        let wall = started.elapsed();
+        canceller.join().expect("canceller");
+        assert!(wall < Duration::from_secs(5), "cancel did not reclaim the worker: {wall:?}");
+        assert!(r.stats.tasks_cancelled > 0, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn token_deadline_cancels_in_flight_run() {
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            g.source("slowleaf", TaskKey::leaf("slowleaf", i), || {
+                std::thread::sleep(Duration::from_millis(20));
+                int(1)
+            });
+        }
+        let outputs: Vec<NodeId> = (0..8).collect();
+        let token = CancelToken::with_deadline(Duration::from_millis(30));
+        let opts = ExecOptions { cancel: Some(token), ..Default::default() };
+        let r = run_single_thread_opts(&g, &outputs, &opts);
+        // The first task or two complete; once the deadline passes, the
+        // rest are recorded Cancelled(DeadlineExceeded) without running.
+        assert!(r.stats.tasks_cancelled > 0, "{:?}", r.stats);
+        assert!(r.stats.elapsed < Duration::from_millis(8 * 20), "{:?}", r.stats.elapsed);
+        let cancelled = r
+            .outcomes
+            .iter()
+            .filter_map(|o| o.error())
+            .filter(|e| {
+                matches!(
+                    e.failure,
+                    TaskFailure::Cancelled(crate::govern::CancelReason::DeadlineExceeded)
+                )
+            })
+            .count();
+        assert!(cancelled > 0);
+    }
+
+    #[test]
+    fn transient_failure_retries_and_unskips_downstream() {
+        // `inc` fails transiently once; with one retry allowed the whole
+        // downstream cone must complete as if nothing happened.
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::transient_on("inc", 1));
+        let opts = ExecOptions { retry: RetryPolicy::retries(2), ..Default::default() };
+        for r in [
+            run_single_thread_opts(&g, &[out], &opts),
+            {
+                let (mut g2, out2) = diamond();
+                g2.set_fault_injector(FaultInjector::transient_on("inc", 1));
+                run_pool_opts(&g2, &[out2], 2, &opts)
+            },
+        ] {
+            assert_eq!(get(r.outcomes[0].payload().expect("sum ok after retry")), 31);
+            assert!(r.stats.fully_succeeded(), "{:?}", r.stats);
+            assert_eq!(r.stats.tasks_retried, 1);
+            assert_eq!(r.stats.tasks_run, 4);
+        }
+    }
+
+    #[test]
+    fn transient_failure_without_retries_still_fails() {
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::transient_on("inc", 1));
+        let r = run_single_thread_opts(&g, &[out], &ExecOptions::default());
+        assert!(r.outcomes[0].is_failed());
+        assert_eq!(r.stats.tasks_retried, 0);
+        assert_eq!(r.stats.tasks_failed, 1);
+    }
+
+    #[test]
+    fn retried_tasks_appear_as_retried_spans() {
+        let (mut g, out) = diamond();
+        g.set_fault_injector(FaultInjector::transient_on("inc", 1));
+        let opts =
+            ExecOptions { retry: RetryPolicy::retries(1), trace: true, ..Default::default() };
+        let r = run_single_thread_opts(&g, &[out], &opts);
+        let trace = r.stats.trace.as_ref().expect("traced");
+        let retried: Vec<_> =
+            trace.spans.iter().filter(|s| s.status == SpanStatus::Retried).collect();
+        assert_eq!(retried.len(), 1);
+        assert_eq!(retried[0].name, "inc");
+    }
+
+    #[test]
+    fn permanent_panic_is_never_retried() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        let c2 = Arc::clone(&counter);
+        let bad = g.source("bad", TaskKey::leaf("bad", 0), move || -> Payload {
+            c2.fetch_add(1, Ordering::SeqCst);
+            panic!("deterministic bug")
+        });
+        let opts = ExecOptions { retry: RetryPolicy::retries(3), ..Default::default() };
+        let r = run_single_thread_opts(&g, &[bad], &opts);
+        assert!(r.outcomes[0].is_failed());
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "permanent failures run once");
+        assert_eq!(r.stats.tasks_retried, 0);
+    }
+
+    #[test]
+    fn budget_denial_fails_task_and_degrades_downstream() {
+        // i64 payloads estimate to 8 bytes each; a 20-byte budget admits
+        // two tasks (a=8, inc=16), denies the third (dbl), and skips the
+        // dependent sum.
+        let (g, out) = diamond();
+        let gauge = MemoryGauge::new(20);
+        let opts = ExecOptions { gauge: Some(gauge.clone()), ..Default::default() };
+        let r = run_single_thread_opts(&g, &[out], &opts);
+        let err = r.outcomes[0].error().expect("sum degraded");
+        assert!(err.root_description().contains("memory budget"), "{err}");
+        assert_eq!(r.stats.tasks_budget_exceeded, 1);
+        assert_eq!(r.stats.tasks_skipped, 1);
+        assert_eq!(r.stats.tasks_run, 2);
+        assert_eq!(r.stats.mem_peak_bytes, 16);
+        assert_eq!(gauge.denials(), 1);
+        assert!(!r.stats.fully_succeeded());
+    }
+
+    #[test]
+    fn no_gauge_means_no_budget_failures() {
+        let (g, out) = diamond();
+        let r = run_pool(&g, &[out], 2, Duration::ZERO);
+        assert_eq!(r.stats.tasks_budget_exceeded, 0);
+        assert_eq!(r.stats.mem_peak_bytes, 0);
+    }
+
+    #[test]
+    fn cancelled_run_never_populates_cache() {
+        let cache = Arc::new(crate::cache::ResultCache::new(1 << 20));
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = ExecOptions { cancel: Some(token), ..cache_opts(&cache) };
+        let (g, out) = diamond();
+        let r = run_pool_opts(&g, &[out], 2, &opts);
+        assert!(r.outcomes[0].is_failed());
+        assert!(cache.is_empty(), "cancelled runs must not seed the cache");
+    }
+
+    #[test]
+    fn budget_failed_run_stops_cache_inserts_under_eviction_pressure() {
+        // Cache byte budget and run memory budget interact: Vec<f64>
+        // payloads of 800 bytes each, a 2000-byte cache (holds two) and
+        // a 5000-byte run gauge. Six ops fit the gauge (8 + 6*800 =
+        // 4808), the last two are denied; inserts stop at the first
+        // denial, and the small cache evicts while admitting the six.
+        let vecs = |n: usize| -> Payload { Arc::new(vec![0.0f64; n]) };
+        let mut g = TaskGraph::new();
+        let src = g.source("src", TaskKey::leaf("src", 0), || int(1));
+        let ops: Vec<NodeId> =
+            (0..8).map(|i| g.op("widen", i, vec![src], move |_| vecs(100))).collect();
+        let cache = Arc::new(crate::cache::ResultCache::new(2000));
+        let gauge = MemoryGauge::new(5000);
+        let opts = ExecOptions { gauge: Some(gauge.clone()), ..cache_opts(&cache) };
+        let r = run_single_thread_opts(&g, &ops, &opts);
+        assert_eq!(r.stats.tasks_budget_exceeded, 2, "{:?}", r.stats);
+        assert_eq!(r.stats.tasks_run, 7); // src + six ops
+        assert!(r.stats.cache_evictions > 0, "{:?}", r.stats);
+        assert!(cache.total_bytes() <= 2000);
+        assert!(cache.len() < 6, "inserts must stop at the first denial");
+        assert_eq!(gauge.denials(), 2);
+        assert!(r.stats.mem_peak_bytes <= 5000);
+    }
+
+    #[test]
+    fn governed_defaults_match_ungoverned_stats() {
+        // Knobs at rest (no token, no gauge, zero retries) must be
+        // bit-identical to pre-governance behaviour.
+        let (g, out) = diamond();
+        let mut plain = run_single_thread(&g, &[out]).stats;
+        let (g2, out2) = diamond();
+        let mut governed = run_single_thread_opts(&g2, &[out2], &ExecOptions::default()).stats;
+        plain.elapsed = Duration::ZERO;
+        governed.elapsed = Duration::ZERO;
+        assert_eq!(plain, governed);
+        assert_eq!(plain.tasks_cancelled, 0);
+        assert_eq!(plain.tasks_retried, 0);
+        assert_eq!(plain.tasks_budget_exceeded, 0);
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub struct ExecStats {
     /// Estimated payload bytes served from the cache instead of being
     /// recomputed.
     pub cache_bytes_saved: usize,
+    /// Tasks recorded `Cancelled` because the run's
+    /// [`crate::govern::CancelToken`] fired (request or run deadline).
+    pub tasks_cancelled: usize,
+    /// Tasks that were re-executed at least once after a transient
+    /// failure ([`crate::govern::RetryPolicy`]).
+    pub tasks_retried: usize,
+    /// Tasks whose output charge was refused by the run's
+    /// [`crate::govern::MemoryGauge`]; their payloads were dropped.
+    pub tasks_budget_exceeded: usize,
+    /// High-water mark of payload bytes charged against the run's memory
+    /// gauge; zero when no budget was configured.
+    pub mem_peak_bytes: usize,
     /// Per-task spans, recorded only when the run was traced
     /// ([`crate::scheduler::ExecOptions::trace`]); `None` otherwise so
     /// untraced runs stay allocation-free.
@@ -59,7 +71,11 @@ impl ExecStats {
 
     /// Whether every live task produced a payload.
     pub fn fully_succeeded(&self) -> bool {
-        self.tasks_failed == 0 && self.tasks_skipped == 0 && self.tasks_timed_out == 0
+        self.tasks_failed == 0
+            && self.tasks_skipped == 0
+            && self.tasks_timed_out == 0
+            && self.tasks_cancelled == 0
+            && self.tasks_budget_exceeded == 0
     }
 }
 

@@ -45,6 +45,15 @@ pub enum SpanStatus {
     /// The task's payload came from the cross-call result cache; the
     /// task body never ran. Zero-width span.
     Cached,
+    /// The run's cancel token fired before the task dispatched (or while
+    /// it ran); zero-width span when short-circuited.
+    Cancelled,
+    /// The task ran but its output charge was refused by the run's
+    /// memory gauge; the payload was dropped.
+    BudgetExceeded,
+    /// The task produced a payload, but only after at least one
+    /// transient-failure retry.
+    Retried,
 }
 
 impl SpanStatus {
@@ -56,13 +65,18 @@ impl SpanStatus {
             SpanStatus::TimedOut => "timed_out",
             SpanStatus::Skipped => "skipped",
             SpanStatus::Cached => "cached",
+            SpanStatus::Cancelled => "cancelled",
+            SpanStatus::BudgetExceeded => "budget_exceeded",
+            SpanStatus::Retried => "retried",
         }
     }
 
-    /// Whether the task actually dispatched (ran on a worker). Skips and
-    /// cache hits are bookkeeping, not execution.
+    /// Whether the task actually dispatched (ran on a worker). Skips,
+    /// cache hits, and cancellation short-circuits are bookkeeping, not
+    /// execution (a budget-exceeded task *did* run — only its output was
+    /// refused).
     pub fn executed(&self) -> bool {
-        !matches!(self, SpanStatus::Skipped | SpanStatus::Cached)
+        !matches!(self, SpanStatus::Skipped | SpanStatus::Cached | SpanStatus::Cancelled)
     }
 
     /// Classify a task outcome.
@@ -73,6 +87,8 @@ impl SpanStatus {
                 TaskFailure::Panicked(_) | TaskFailure::Internal(_) => SpanStatus::Failed,
                 TaskFailure::TimedOut { .. } => SpanStatus::TimedOut,
                 TaskFailure::Skipped { .. } => SpanStatus::Skipped,
+                TaskFailure::Cancelled(_) => SpanStatus::Cancelled,
+                TaskFailure::BudgetExceeded { .. } => SpanStatus::BudgetExceeded,
             },
         }
     }
@@ -302,8 +318,10 @@ impl RunTrace {
     /// that ran, failed, or timed out — with worker as the thread id.
     /// Cache hits also export as `"ph":"X"` events, but zero-width and
     /// tagged `"status":"cached"`, so the viewer shows what the cache
-    /// short-circuited. Skipped tasks become instant (`"ph":"i"`) events
-    /// so the viewer still shows where the graph was cut.
+    /// short-circuited. Skipped and cancelled tasks become instant
+    /// (`"ph":"i"`) events tagged with their status, so the viewer still
+    /// shows where the graph was cut (or where a cancellation drained
+    /// it).
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
@@ -332,9 +350,10 @@ impl RunTrace {
                     out,
                     "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"i\",\"ts\":{ts},\
                      \"s\":\"t\",\"pid\":1,\"tid\":{tid},\"args\":{{\"node\":{node},\
-                     \"status\":\"skipped\"}}}}",
+                     \"status\":\"{status}\"}}}}",
                     tid = span.worker,
                     node = span.node,
+                    status = span.status.label(),
                 );
             }
         }
@@ -607,6 +626,31 @@ mod tests {
         // Cache hits are not "executed": they add no worker busy time.
         assert!(!SpanStatus::Cached.executed());
         assert_eq!(SpanStatus::Cached.label(), "cached");
+    }
+
+    #[test]
+    fn cancelled_spans_export_as_tagged_instants() {
+        let mut t = diamond_trace();
+        t.spans[2].status = SpanStatus::Cancelled;
+        t.spans[2].end = t.spans[2].start;
+        let json = t.to_chrome_trace();
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(json.contains("\"status\":\"cancelled\""), "{json}");
+        assert!(!SpanStatus::Cancelled.executed());
+    }
+
+    #[test]
+    fn budget_exceeded_and_retried_spans_export_as_complete_events() {
+        let mut t = diamond_trace();
+        t.spans[1].status = SpanStatus::BudgetExceeded;
+        t.spans[2].status = SpanStatus::Retried;
+        let json = t.to_chrome_trace();
+        // Both ran on a worker: timeline-visible complete events.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"status\":\"budget_exceeded\""), "{json}");
+        assert!(json.contains("\"status\":\"retried\""), "{json}");
+        assert!(SpanStatus::BudgetExceeded.executed());
+        assert!(SpanStatus::Retried.executed());
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Resource-governance integration tests through the public API.
+//!
+//! The acceptance bar of the governance layer: knobs at their defaults
+//! leave reports bit-identical to an ungoverned run; `AnalysisHandle`
+//! cancellation stops in-flight work promptly; a run deadline reclaims
+//! wedged workers; transient-failure retries un-skip the downstream
+//! cone; admission control serializes and sheds; and the memory-budget
+//! degradation ladder swaps an OOM-bound run for a flagged approximate
+//! one.
+
+use std::time::{Duration, Instant};
+
+use eda_core::{
+    create_report, create_report_handle, plot, plot_correlation, Config, EdaError, InsightKind,
+    SectionStatus,
+};
+use eda_dataframe::{Column, DataFrame};
+use eda_render::layout::{render_analysis_html, render_report_html};
+use eda_taskgraph::{inject, FaultInjector};
+
+fn frame(n: usize) -> DataFrame {
+    DataFrame::new(vec![
+        (
+            "price".into(),
+            Column::from_opt_f64(
+                (0..n)
+                    .map(|i| if i % 24 == 0 { None } else { Some(50.0 + ((i * 31) % 900) as f64) })
+                    .collect(),
+            ),
+        ),
+        ("size".into(), Column::from_f64((0..n).map(|i| 10.0 + ((i * 7) % 120) as f64).collect())),
+        ("city".into(), Column::from_string((0..n).map(|i| format!("c{}", i % 5)).collect())),
+    ])
+    .unwrap()
+}
+
+/// A config with the session cache off, so every task actually executes
+/// (cache-served payloads are neither charged nor counted) and no other
+/// test's warm cache changes this test's stats.
+fn cfg(pairs: &[(&str, &str)]) -> Config {
+    let mut all = vec![("engine.cache_budget_bytes", "0")];
+    all.extend_from_slice(pairs);
+    Config::from_pairs(all).unwrap()
+}
+
+// ---------------------------------------------------------------- golden
+
+/// Governance knobs at their defaults must be invisible: same stats,
+/// same bytes of HTML as a config that never mentions them.
+#[test]
+fn default_knobs_are_bit_identical_to_unset() {
+    let df = frame(300);
+    let baseline = cfg(&[]);
+    let explicit = cfg(&[
+        ("engine.memory_budget_bytes", "0"),
+        ("engine.run_deadline_ms", "0"),
+        ("engine.task_retries", "0"),
+        ("engine.max_concurrent_runs", "0"),
+    ]);
+
+    let mut a = create_report(&df, &baseline).unwrap();
+    let mut b = create_report(&df, &explicit).unwrap();
+    assert!(a.stats.fully_succeeded(), "{:?}", a.stats);
+
+    // Wall time is the one legitimately nondeterministic field; zero it
+    // on both sides so the comparison covers everything else (it also
+    // feeds the report footer, hence zeroing *before* rendering).
+    a.stats.elapsed = Duration::ZERO;
+    b.stats.elapsed = Duration::ZERO;
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.stats.tasks_cancelled, 0);
+    assert_eq!(a.stats.tasks_retried, 0);
+    assert_eq!(a.stats.tasks_budget_exceeded, 0);
+    assert_eq!(a.stats.mem_peak_bytes, 0);
+
+    let html_a = render_report_html(&a, &baseline.display);
+    let html_b = render_report_html(&b, &explicit.display);
+    assert_eq!(html_a, html_b, "explicit-default knobs changed the rendered bytes");
+    // (`eda-approx` alone also matches the stylesheet rule, hence the
+    // `class=` form.)
+    assert!(
+        !html_a.contains("class=\"eda-approx\""),
+        "ungoverned run must not carry the approx banner"
+    );
+}
+
+// ----------------------------------------------------------- cancellation
+
+/// `AnalysisHandle::cancel()` stops a large in-flight `create_report`
+/// promptly: kernels bail at morsel boundaries and the scheduler stops
+/// dispatching, so join returns far sooner than the full run would.
+#[test]
+fn handle_cancel_stops_inflight_report_promptly() {
+    let df = frame(200_000);
+    let config = cfg(&[("engine.workers", "4")]);
+
+    let handle = create_report_handle(&df, &config);
+    // Let the run get properly underway before pulling the cord.
+    std::thread::sleep(Duration::from_millis(30));
+    let cancelled_at = Instant::now();
+    handle.cancel();
+    let report = handle.join().expect("cancelled run degrades, not errors");
+    let reclaim = cancelled_at.elapsed();
+
+    // Target ~100ms; the bound is generous for loaded CI machines but
+    // still far below what the 200k-row report takes uncancelled.
+    assert!(reclaim < Duration::from_millis(1500), "join took {reclaim:?} after cancel");
+    let failed = report.failed_sections();
+    assert!(!failed.is_empty(), "a cancelled mid-flight report must have degraded sections");
+    for (name, status) in &failed {
+        match status {
+            SectionStatus::Failed { error, .. } => {
+                assert!(!error.is_empty(), "{name} lost its diagnostics")
+            }
+            SectionStatus::Ok => unreachable!(),
+        }
+    }
+    assert!(
+        failed.iter().any(|(_, s)| matches!(
+            s,
+            SectionStatus::Failed { error, .. } if error.contains("cancel")
+        )),
+        "no section names the cancellation: {failed:?}"
+    );
+}
+
+/// `engine.run_deadline_ms` reclaims every worker even when one is
+/// wedged in a kernel: the wedge observes the run token and the whole
+/// call returns around the deadline, not the wedge duration.
+#[test]
+fn run_deadline_reclaims_wedged_workers() {
+    let df = frame(240);
+    let config = cfg(&[("engine.workers", "4"), ("engine.run_deadline_ms", "150")]);
+    let _guard = inject::arm(FaultInjector::wedge_on("moments:price", Duration::from_secs(8)));
+
+    let started = Instant::now();
+    let report = create_report(&df, &config).expect("deadline degrades, not fails");
+    let elapsed = started.elapsed();
+
+    assert!(elapsed < Duration::from_secs(4), "workers not reclaimed: took {elapsed:?}");
+    assert!(report.stats.tasks_cancelled >= 1, "{:?}", report.stats);
+    let price = report.variables.iter().find(|v| v.name == "price").unwrap();
+    match &price.status {
+        SectionStatus::Failed { error, .. } => {
+            assert!(error.contains("deadline") || error.contains("cancel"), "{error}")
+        }
+        SectionStatus::Ok => panic!("wedged section should have been cancelled"),
+    }
+}
+
+// ----------------------------------------------------------------- retry
+
+/// A transiently-failing task that succeeds on retry un-skips its whole
+/// downstream cone: the analysis comes back healthy, with the retry
+/// counted — where zero retries would have degraded it.
+#[test]
+fn transient_failure_retries_and_unskips_downstream() {
+    let df = frame(240);
+
+    // Control: without retries the transient fault degrades the section.
+    {
+        let _guard = inject::arm(FaultInjector::transient_on("moments:price", 1));
+        let a = plot(&df, &["price"], &cfg(&[])).unwrap();
+        assert!(!a.status.is_ok(), "transient fault with no retry budget must degrade");
+    }
+
+    // With a retry budget the same fault heals and downstream computes.
+    let _guard = inject::arm(FaultInjector::transient_on("moments:price", 1));
+    let a = plot(&df, &["price"], &cfg(&[("engine.task_retries", "2")])).unwrap();
+    assert!(a.status.is_ok(), "{:?}", a.status);
+    assert!(a.stats.as_ref().unwrap().tasks_retried >= 1, "{:?}", a.stats);
+    assert!(a.get("histogram").is_some(), "downstream cone stayed skipped");
+    assert!(a.get("stats").is_some(), "moments consumer stayed skipped");
+}
+
+// ------------------------------------------------------------- admission
+
+/// `engine.max_concurrent_runs` both serializes (a queued run eventually
+/// completes) and sheds (past the bounded queue, callers get
+/// `EdaError::Overloaded` instead of piling up).
+#[test]
+fn admission_gate_serializes_and_sheds() {
+    let df = frame(240);
+    let threads = 6;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+    let results: Vec<Result<(), EdaError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let df = df.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                s.spawn(move || {
+                    // Each run stalls ~60ms so the six calls genuinely
+                    // overlap; armed per-thread (injection is
+                    // thread-local).
+                    let _guard = inject::arm(FaultInjector::stall_on(
+                        "moments:price",
+                        Duration::from_millis(60),
+                    ));
+                    let config = cfg(&[("engine.max_concurrent_runs", "1")]);
+                    barrier.wait();
+                    plot(&df, &["price"], &config).map(|_| ())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(EdaError::Overloaded { .. })))
+        .count();
+    assert_eq!(ok + shed, threads, "unexpected non-overload error: {results:?}");
+    assert!(ok >= 1, "at least the admitted run must complete");
+    assert!(shed >= 1, "six simultaneous runs against capacity 1 + queue 2 must shed");
+}
+
+// --------------------------------------------------------- budget ladder
+
+/// The degradation ladder end-to-end: discover the run's real footprint
+/// with an effectively-unbounded budget, then rerun under ~60% of it —
+/// the full-size run exceeds the budget and the engine falls back to a
+/// flagged systematic sample instead of failing.
+#[test]
+fn memory_budget_degrades_to_flagged_sample() {
+    let n = 40_000;
+    let df = DataFrame::new(vec![
+        ("a".into(), Column::from_f64((0..n).map(|i| (i % 977) as f64).collect())),
+        ("b".into(), Column::from_f64((0..n).map(|i| ((i * 31) % 613) as f64).collect())),
+        ("c".into(), Column::from_f64((0..n).map(|i| ((i * 7) % 389) as f64).collect())),
+    ])
+    .unwrap();
+
+    // Discovery run: budget far above any real footprint.
+    let roomy = cfg(&[("engine.memory_budget_bytes", &(1u64 << 40).to_string())]);
+    let full = plot_correlation(&df, &[], &roomy).unwrap();
+    assert!(full.status.is_ok(), "{:?}", full.status);
+    let peak = full.stats.as_ref().unwrap().mem_peak_bytes;
+    assert!(peak > 100_000, "domain sizer should price ColumnPrep by rows, got {peak}");
+
+    // Governed run: 60% of the discovered footprint. The full-size run
+    // cannot fit, the quarter-sample retry can.
+    let tight = cfg(&[("engine.memory_budget_bytes", &(peak * 3 / 5).to_string())]);
+    let degraded = plot_correlation(&df, &[], &tight).unwrap();
+    assert!(degraded.status.is_ok(), "ladder should have recovered: {:?}", degraded.status);
+    let note = degraded
+        .insights
+        .iter()
+        .find(|i| i.kind == InsightKind::Approximated)
+        .expect("budget-degraded output must be flagged approximate");
+    assert!(!note.message.is_empty());
+
+    // The rendered page carries the approximate banner.
+    let html = render_analysis_html(&degraded, &tight.display);
+    assert!(html.contains("class=\"eda-approx\""), "approx banner missing from HTML");
+    assert!(!render_analysis_html(&full, &roomy.display).contains("class=\"eda-approx\""));
+}
+
+/// A budget so tight even the sampled retry cannot fit leaves the
+/// original diagnostics in place: degraded sections with the budget
+/// failure named, never an `Err` or a silently-wrong report.
+#[test]
+fn hopeless_budget_keeps_diagnostics() {
+    let df = frame(2_000);
+    let config = cfg(&[("engine.memory_budget_bytes", "64")]);
+    let report = create_report(&df, &config).expect("budget exhaustion degrades, not fails");
+    assert!(report.stats.tasks_budget_exceeded >= 1, "{:?}", report.stats);
+    let failed = report.failed_sections();
+    assert!(!failed.is_empty());
+    assert!(
+        failed.iter().any(|(_, s)| matches!(
+            s,
+            SectionStatus::Failed { error, .. } if error.contains("memory budget")
+        )),
+        "no section names the budget: {failed:?}"
+    );
+    // The diagnostics panel renders; no approx banner (nothing succeeded).
+    let html = render_report_html(&report, &config.display);
+    assert!(html.contains("eda-error"));
+}

@@ -52,6 +52,37 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]. Unlike parking_lot's
+/// `wait(&mut guard)`, the guard moves through the call (std's shape) —
+/// the by-value form needs no unsafe guard juggling. Spurious wakeups
+/// are possible, so always wait in a predicate loop.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's lock, block until notified, then
+    /// re-acquire the lock and return the guard (poisoning recovered,
+    /// matching [`Mutex::lock`]).
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// A reader-writer lock that does not poison.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
