@@ -1,0 +1,79 @@
+//! Telemetry dump: run a workload with `engine.metrics` on and export
+//! the process-lifetime registry snapshot.
+//!
+//! Usage:
+//! `cargo run -p eda-bench --release --bin eda-metrics -- --smoke \
+//!    [--prom /tmp/metrics.prom] [--json /tmp/metrics.json] [--overhead]`
+//!
+//! * `--smoke` — shrink the dataset to the CI-friendly size (50k rows).
+//! * `--rows <n>` — explicit row count (default 200,000; `--smoke` wins).
+//! * `--prom <path>` — write Prometheus text exposition format here.
+//! * `--json <path>` — write the JSON export here.
+//! * `--overhead` — also measure metered vs unmetered wall time, backing
+//!   the "< 2% when on" acceptance bar.
+//!
+//! With no output path the Prometheus text goes to stdout — the same
+//! payload a `/metrics` endpoint would serve.
+
+use eda_bench::{arg_f64, arg_flag, arg_str, fmt_secs, machine_context, measure};
+use eda_core::{metrics_snapshot, plot, plot_correlation, Config};
+use eda_datagen::bitcoin::bitcoin_spec;
+use eda_datagen::generate;
+
+fn main() {
+    let rows = if arg_flag("--smoke") { 50_000 } else { arg_f64("--rows", 200_000.0) as usize };
+    eprintln!("eda-metrics: plot(df) + plot_correlation(df) on bitcoin[{rows} rows], engine.metrics=true");
+    eprintln!("{}", machine_context());
+
+    let df = generate(&bitcoin_spec(rows), 42);
+    let metered = Config::from_pairs(vec![("engine.metrics", "true")]).expect("knob exists");
+    let (_, metered_time) = measure(|| {
+        plot(&df, &[], &metered).expect("overview analysis");
+        plot_correlation(&df, &[], &metered).expect("correlation analysis");
+    });
+    eprintln!("workload complete in {}", fmt_secs(metered_time));
+
+    if arg_flag("--overhead") {
+        // Both overhead runs disable the result cache — otherwise the
+        // second run is warm and the comparison measures cache hits,
+        // not metrics overhead.
+        let plain = Config::from_pairs(vec![("engine.cache_budget_bytes", "0")])
+            .expect("knob exists");
+        let metered_nc = Config::from_pairs(vec![
+            ("engine.cache_budget_bytes", "0"),
+            ("engine.metrics", "true"),
+        ])
+        .expect("knobs exist");
+        let (_, plain_time) = measure(|| {
+            plot(&df, &[], &plain).expect("plain overview");
+            plot_correlation(&df, &[], &plain).expect("plain correlation");
+        });
+        let (_, metered_nc_time) = measure(|| {
+            plot(&df, &[], &metered_nc).expect("metered overview");
+            plot_correlation(&df, &[], &metered_nc).expect("metered correlation");
+        });
+        let overhead =
+            (metered_nc_time.as_secs_f64() / plain_time.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+        eprintln!(
+            "metered {} vs unmetered {} ({overhead:+.1}% metrics overhead on this run)",
+            fmt_secs(metered_nc_time),
+            fmt_secs(plain_time)
+        );
+    }
+
+    let snap = metrics_snapshot();
+    let mut dumped = false;
+    if let Some(path) = arg_str("--prom") {
+        std::fs::write(&path, snap.to_prometheus()).expect("write prometheus text");
+        eprintln!("prometheus text written to {path}");
+        dumped = true;
+    }
+    if let Some(path) = arg_str("--json") {
+        std::fs::write(&path, snap.to_json()).expect("write metrics json");
+        eprintln!("json written to {path}");
+        dumped = true;
+    }
+    if !dumped {
+        print!("{}", snap.to_prometheus());
+    }
+}

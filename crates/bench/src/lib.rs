@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod regress;
+
 use std::time::{Duration, Instant};
 
 /// Time one invocation.

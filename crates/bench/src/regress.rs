@@ -1,0 +1,488 @@
+//! The CI perf-regression gate behind the `bench-regress` binary.
+//!
+//! Benchmarks write flat JSON result files (`BENCH_partition.json`,
+//! `BENCH_cache.json`); a blessed copy of each is committed under
+//! `bench/baselines/`. The gate re-runs the benchmark in CI, parses both
+//! files, validates their schemas, and compares the *ratio* metrics
+//! (speedup, peak reduction, hit rate) within a tolerance band. Ratios
+//! compare a workload against itself on the same machine, so they are
+//! stable across runner hardware in a way absolute microseconds are not —
+//! the absolute columns are validated for presence but never gated.
+//!
+//! The workspace has no JSON dependency by design, so this module carries
+//! a parser for exactly the dialect the benchmarks emit: one flat object
+//! of string/number values, no nesting, no escapes beyond `\"`.
+
+use std::fmt::Write as _;
+
+/// One value in a flat benchmark result file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number (all benchmark metrics).
+    Num(f64),
+    /// A JSON string (the `experiment` tag).
+    Str(String),
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            JsonValue::Str(_) => None,
+        }
+    }
+}
+
+/// A parsed flat JSON object, in file order.
+pub type FlatJson = Vec<(String, JsonValue)>;
+
+/// Value of `key` in a parsed document.
+pub fn get<'a>(doc: &'a FlatJson, key: &str) -> Option<&'a JsonValue> {
+    doc.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parse one flat JSON object (`{"key": 1.5, "tag": "x", ...}`).
+///
+/// Supports exactly what the benchmark writers emit — string keys,
+/// number/string values, arbitrary whitespace — and rejects everything
+/// else (nesting, arrays, booleans) with a positioned error.
+pub fn parse_flat_json(text: &str) -> Result<FlatJson, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = FlatJson::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("byte {}: trailing content after object", p.pos));
+        }
+        return Ok(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = match p.peek() {
+            Some(b'"') => JsonValue::Str(p.string()?),
+            Some(c) if c == b'-' || c.is_ascii_digit() => JsonValue::Num(p.number()?),
+            other => return Err(format!("byte {}: expected value, found {:?}", p.pos, other.map(char::from))),
+        };
+        out.push((key, value));
+        p.skip_ws();
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => {
+                p.pos += 1;
+                break;
+            }
+            other => return Err(format!("byte {}: expected ',' or '}}', found {:?}", p.pos, other.map(char::from))),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("byte {}: trailing content after object", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "byte {}: expected {:?}, found {:?}",
+                self.pos,
+                char::from(c),
+                self.peek().map(char::from)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Only the escape the writers can emit.
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => {
+                            return Err(format!(
+                                "byte {}: unsupported escape {:?}",
+                                self.pos,
+                                other.map(char::from)
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(char::from(c));
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?;
+        text.parse()
+            .map_err(|e| format!("byte {start}: bad number {text:?}: {e}"))
+    }
+}
+
+/// One gated ratio metric of an experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// JSON key of the metric.
+    pub key: &'static str,
+    /// Whether larger values are better (all current gates) — a drop
+    /// below `baseline * (1 - tolerance)` regresses. `false` inverts
+    /// the band.
+    pub higher_is_better: bool,
+    /// Multiplier on the caller's tolerance for this metric. `1.0` for
+    /// deterministic ratios (hit rate, allocator-counted peak
+    /// reduction); wider for wall-clock ratios (speedup), which carry
+    /// scheduler noise across runs that would make a tight band flaky
+    /// without hiding real collapses.
+    pub tolerance_scale: f64,
+}
+
+/// Schema + gate description of one benchmark experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// The `experiment` tag the result file must carry.
+    pub name: &'static str,
+    /// Keys that must be present (schema validation).
+    pub required: &'static [&'static str],
+    /// The ratio metrics compared against the baseline.
+    pub gated: &'static [MetricSpec],
+}
+
+/// The experiments the gate knows about.
+pub const EXPERIMENTS: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        name: "partition",
+        required: &[
+            "experiment",
+            "rows",
+            "parts",
+            "baseline_us",
+            "zerocopy_us",
+            "baseline_peak_bytes",
+            "zerocopy_peak_bytes",
+            "speedup",
+            "peak_reduction",
+            "peak_rss_bytes",
+        ],
+        gated: &[
+            MetricSpec { key: "speedup", higher_is_better: true, tolerance_scale: 4.0 },
+            MetricSpec { key: "peak_reduction", higher_is_better: true, tolerance_scale: 1.0 },
+        ],
+    },
+    ExperimentSpec {
+        name: "cache",
+        required: &[
+            "experiment",
+            "rows",
+            "cold_us",
+            "warm_us",
+            "speedup",
+            "cache_hits",
+            "cache_misses",
+            "hit_rate",
+            "cache_evictions",
+            "cache_bytes_saved",
+            "cold_peak_bytes",
+            "warm_peak_bytes",
+            "peak_rss_bytes",
+        ],
+        gated: &[
+            MetricSpec { key: "speedup", higher_is_better: true, tolerance_scale: 4.0 },
+            MetricSpec { key: "hit_rate", higher_is_better: true, tolerance_scale: 1.0 },
+        ],
+    },
+];
+
+/// Look up an experiment spec by name.
+pub fn experiment(name: &str) -> Option<&'static ExperimentSpec> {
+    EXPERIMENTS.iter().find(|e| e.name == name)
+}
+
+/// Outcome of one gated metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// The metric key.
+    pub metric: &'static str,
+    /// The blessed value.
+    pub baseline: f64,
+    /// The freshly-measured value.
+    pub fresh: f64,
+    /// `fresh / baseline` (1.0 when the baseline is zero).
+    pub ratio: f64,
+    /// Whether the fresh value falls outside the tolerance band on the
+    /// bad side.
+    pub regressed: bool,
+}
+
+/// Validate `doc` against `spec`: every required key present, every
+/// non-tag key numeric, and the `experiment` tag matching.
+pub fn validate(spec: &ExperimentSpec, doc: &FlatJson, label: &str) -> Result<(), String> {
+    match get(doc, "experiment") {
+        Some(JsonValue::Str(tag)) if tag == spec.name => {}
+        Some(JsonValue::Str(tag)) => {
+            return Err(format!("{label}: experiment tag {tag:?}, expected {:?}", spec.name))
+        }
+        _ => return Err(format!("{label}: missing experiment tag")),
+    }
+    for &key in spec.required {
+        let Some(value) = get(doc, key) else {
+            return Err(format!("{label}: missing required key {key:?}"));
+        };
+        if key != "experiment" && value.as_num().is_none() {
+            return Err(format!("{label}: key {key:?} is not numeric"));
+        }
+    }
+    Ok(())
+}
+
+/// Compare a fresh result against the blessed baseline.
+///
+/// Both documents are schema-validated first. Each gated metric yields a
+/// [`Delta`]; a higher-is-better metric regresses when
+/// `fresh < baseline * (1 - tolerance)` (the inverse band when lower is
+/// better). Improvements never fail the gate — a lifted baseline is
+/// re-blessed by committing the new file, not by failing CI.
+pub fn compare(
+    spec: &ExperimentSpec,
+    baseline: &FlatJson,
+    fresh: &FlatJson,
+    tolerance: f64,
+) -> Result<Vec<Delta>, String> {
+    validate(spec, baseline, "baseline")?;
+    validate(spec, fresh, "fresh")?;
+    let mut out = Vec::new();
+    for m in spec.gated {
+        // validate() proved both keys exist and are numeric.
+        let base = get(baseline, m.key).and_then(JsonValue::as_num).unwrap_or(0.0);
+        let new = get(fresh, m.key).and_then(JsonValue::as_num).unwrap_or(0.0);
+        let band = (tolerance * m.tolerance_scale).min(0.95);
+        let regressed = if m.higher_is_better {
+            new < base * (1.0 - band)
+        } else {
+            new > base * (1.0 + band)
+        };
+        out.push(Delta {
+            metric: m.key,
+            baseline: base,
+            fresh: new,
+            ratio: if base == 0.0 { 1.0 } else { new / base },
+            regressed,
+        });
+    }
+    Ok(out)
+}
+
+/// Human-readable gate summary — one line per gated metric, suitable for
+/// the CI log and the delta artifact.
+pub fn summary(experiment: &str, deltas: &[Delta], tolerance: f64) -> String {
+    let mut out = format!(
+        "bench-regress: experiment={experiment} tolerance={:.0}%\n",
+        tolerance * 100.0
+    );
+    for d in deltas {
+        let _ = writeln!(
+            out,
+            "  {:<16} baseline {:>10.4}  fresh {:>10.4}  ({:+.1}%)  {}",
+            d.metric,
+            d.baseline,
+            d.fresh,
+            (d.ratio - 1.0) * 100.0,
+            if d.regressed { "REGRESSED" } else { "ok" },
+        );
+    }
+    let failed = deltas.iter().filter(|d| d.regressed).count();
+    let _ = writeln!(
+        out,
+        "  verdict: {}",
+        if failed == 0 {
+            "pass".to_string()
+        } else {
+            format!("FAIL ({failed} metric(s) regressed)")
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CACHE_DOC: &str = concat!(
+        "{\"experiment\":\"cache\",\"rows\":200000,\"cold_us\":2924652,",
+        "\"warm_us\":139400,\"speedup\":20.980,\"cache_hits\":43,",
+        "\"cache_misses\":0,\"hit_rate\":1.0000,\"cache_evictions\":0,",
+        "\"cache_bytes_saved\":14291184,\"cold_peak_bytes\":98343725,",
+        "\"warm_peak_bytes\":17734613,\"peak_rss_bytes\":197984256}"
+    );
+
+    fn cache_with(speedup: f64, hit_rate: f64) -> FlatJson {
+        let mut doc = parse_flat_json(CACHE_DOC).unwrap();
+        for (k, v) in &mut doc {
+            if k == "speedup" {
+                *v = JsonValue::Num(speedup);
+            } else if k == "hit_rate" {
+                *v = JsonValue::Num(hit_rate);
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn parses_real_result_file_shape() {
+        let doc = parse_flat_json(CACHE_DOC).unwrap();
+        assert_eq!(get(&doc, "experiment"), Some(&JsonValue::Str("cache".into())));
+        assert_eq!(get(&doc, "speedup").unwrap().as_num(), Some(20.98));
+        assert_eq!(get(&doc, "cache_misses").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.len(), 13);
+    }
+
+    #[test]
+    fn parses_whitespace_empty_and_negative() {
+        let doc = parse_flat_json(" { \"a\" : -1.5e2 ,\n\"b\" : \"x\\\"y\" } ").unwrap();
+        assert_eq!(get(&doc, "a").unwrap().as_num(), Some(-150.0));
+        assert_eq!(get(&doc, "b"), Some(&JsonValue::Str("x\"y".into())));
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "{\"a\":1,}", "{\"a\":[1]}", "{\"a\":1} extra", "\"a\""] {
+            assert!(parse_flat_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn schema_validation_catches_missing_and_mistagged() {
+        let spec = experiment("cache").unwrap();
+        let doc = parse_flat_json(CACHE_DOC).unwrap();
+        assert!(validate(spec, &doc, "t").is_ok());
+
+        let mut missing = doc.clone();
+        missing.retain(|(k, _)| k != "hit_rate");
+        let err = validate(spec, &missing, "t").unwrap_err();
+        assert!(err.contains("hit_rate"), "{err}");
+
+        let err = validate(experiment("partition").unwrap(), &doc, "t").unwrap_err();
+        assert!(err.contains("tag"), "{err}");
+    }
+
+    #[test]
+    fn identical_results_pass() {
+        let spec = experiment("cache").unwrap();
+        let doc = parse_flat_json(CACHE_DOC).unwrap();
+        let deltas = compare(spec, &doc, &doc, 0.15).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn improvement_and_in_band_noise_pass() {
+        let spec = experiment("cache").unwrap();
+        let base = parse_flat_json(CACHE_DOC).unwrap();
+        // +30% speedup and a hit-rate dip inside the ±15% band: fine.
+        let fresh = cache_with(27.3, 0.90);
+        assert!(compare(spec, &base, &fresh, 0.15).unwrap().iter().all(|d| !d.regressed));
+        // A 40% speedup drop is run-to-run scheduler noise territory —
+        // inside the widened (4× scale) timing band, so it passes too.
+        let noisy = cache_with(20.98 * 0.6, 1.0);
+        assert!(compare(spec, &base, &noisy, 0.15).unwrap().iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        let spec = experiment("cache").unwrap();
+        let base = parse_flat_json(CACHE_DOC).unwrap();
+        // The CI smoke injects exactly this: the cache stops hitting, so
+        // hit rate collapses and speedup falls to ~1×.
+        let fresh = cache_with(1.1, 0.5);
+        let deltas = compare(spec, &base, &fresh, 0.15).unwrap();
+        let bad: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(bad.len(), 2);
+        assert!(bad.iter().any(|d| d.metric == "speedup"));
+        assert!(bad.iter().any(|d| d.metric == "hit_rate"));
+        assert!(summary("cache", &deltas, 0.15).contains("FAIL"));
+    }
+
+    #[test]
+    fn summary_reports_percent_deltas() {
+        let spec = experiment("cache").unwrap();
+        let base = parse_flat_json(CACHE_DOC).unwrap();
+        let deltas = compare(spec, &base, &base, 0.15).unwrap();
+        let text = summary("cache", &deltas, 0.15);
+        assert!(text.contains("speedup"), "{text}");
+        assert!(text.contains("hit_rate"), "{text}");
+        assert!(text.contains("verdict: pass"), "{text}");
+        assert!(text.contains("+0.0%"), "{text}");
+    }
+
+    #[test]
+    fn lower_is_better_band_inverts() {
+        let spec = ExperimentSpec {
+            name: "cache",
+            required: &["experiment", "warm_us"],
+            gated: &[MetricSpec {
+                key: "warm_us",
+                higher_is_better: false,
+                tolerance_scale: 1.0,
+            }],
+        };
+        let base = parse_flat_json(CACHE_DOC).unwrap();
+        let mut slow = base.clone();
+        for (k, v) in &mut slow {
+            if k == "warm_us" {
+                *v = JsonValue::Num(139400.0 * 1.5);
+            }
+        }
+        assert!(compare(&spec, &base, &slow, 0.15).unwrap()[0].regressed);
+        assert!(!compare(&spec, &base, &base, 0.15).unwrap()[0].regressed);
+    }
+}

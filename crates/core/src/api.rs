@@ -5,7 +5,7 @@
 //! overview, one is detailed single-column analysis, two is pair analysis.
 
 use eda_dataframe::DataFrame;
-use eda_taskgraph::ExecStats;
+use eda_taskgraph::{ExecStats, MetricsSnapshot};
 
 use crate::compute::{
     bivariate, correlation, ctx::ComputeContext, missing, overview, timeseries, univariate,
@@ -157,10 +157,31 @@ fn admit(config: &Config) -> EdaResult<Option<eda_taskgraph::AdmissionPermit>> {
         Some(gate) => match gate.try_admit() {
             Ok(permit) => Ok(Some(permit)),
             Err(over) => {
+                if config.engine.metrics {
+                    let m = eda_taskgraph::metrics::global();
+                    m.set_enabled(true);
+                    m.admission_shed_total.incr();
+                }
                 Err(EdaError::Overloaded { running: over.running, queued: over.queued })
             }
         },
     }
+}
+
+/// Freeze the process-lifetime telemetry registry into a
+/// [`MetricsSnapshot`] (Prometheus text via
+/// [`MetricsSnapshot::to_prometheus`], JSON via
+/// [`MetricsSnapshot::to_json`]).
+///
+/// The registry only accumulates from runs configured with
+/// `engine.metrics`; before any such run every series reads zero.
+///
+/// ```
+/// let snap = eda_core::metrics_snapshot();
+/// assert!(snap.to_prometheus().contains("eda_runs_total"));
+/// ```
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    eda_taskgraph::metrics::global().snapshot()
 }
 
 /// Whether a section failure is a memory-budget refusal — the trigger of

@@ -124,6 +124,24 @@ impl<'a> ComputeContext<'a> {
         // answers false, so ungoverned runs are unaffected.
         static HOOK: std::sync::Once = std::sync::Once::new();
         HOOK.call_once(|| eda_stats::interrupt::register(govern::interrupted));
+        // Telemetry opt-in (`engine.metrics`): latch the process registry
+        // on and connect the kernels' morsel probe to it. The latch stays
+        // on for the process lifetime once any run opts in; runs without
+        // the knob still never record scheduler-side series because those
+        // paths are gated on `ExecOptions::metrics`, not the latch.
+        if config.engine.metrics {
+            eda_taskgraph::metrics::global().set_enabled(true);
+            static MORSEL_HOOK: std::sync::Once = std::sync::Once::new();
+            MORSEL_HOOK.call_once(|| {
+                eda_stats::telemetry::register(|rows| {
+                    let m = eda_taskgraph::metrics::global();
+                    if m.enabled() {
+                        m.morsels_total.incr();
+                        m.morsel_rows_total.add(rows);
+                    }
+                });
+            });
+        }
         // Stage 1 of Figure 4: precompute chunk-size information.
         // "Dask is slow on tiny data" (§5.2): scheduling many partitions
         // of a small frame is pure overhead, so the partition count is
@@ -231,6 +249,7 @@ impl<'a> ComputeContext<'a> {
             // when the result cache is off, so the domain sizer is always
             // passed alongside the gauge.
             sizer: self.gauge.is_some().then(payload_sizer),
+            metrics: self.config.engine.metrics,
         };
         // workers <= 1 means the in-place topological scheduler: no pool
         // to spin up, and fault-tolerance behaviour stays identical.

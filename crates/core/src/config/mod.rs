@@ -220,6 +220,13 @@ pub struct EngineConfig {
     /// value) and are admitted as slots free; past the queue bound,
     /// calls are shed immediately with `Overloaded`.
     pub max_concurrent_runs: usize,
+    /// Record this run into the process-lifetime telemetry registry
+    /// (counters, gauges, latency histograms; see
+    /// `eda_core::metrics_snapshot` and the Prometheus/JSON exporters)
+    /// and attach a registry snapshot to the run's stats. Off by
+    /// default: unmetered runs skip every recording site and output is
+    /// bit-identical. Purely observational — never part of task keys.
+    pub metrics: bool,
 }
 
 /// Figure-size parameters consumed by the render layer.
@@ -317,6 +324,7 @@ impl Default for Config {
                 run_deadline_ms: 0,
                 task_retries: 0,
                 max_concurrent_runs: 0,
+                metrics: false,
             },
             display: DisplayConfig { width: 450, height: 300 },
         }
@@ -427,6 +435,7 @@ impl Config {
             "engine.max_concurrent_runs" => {
                 self.engine.max_concurrent_runs = usize_of(key, value)?
             }
+            "engine.metrics" => self.engine.metrics = bool_of(key, value)?,
             "display.width" => self.display.width = usize_of(key, value)?.max(50),
             "display.height" => self.display.height = usize_of(key, value)?.max(50),
             _ => {

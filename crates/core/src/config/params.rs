@@ -62,6 +62,7 @@ pub const PARAMS: &[ParamSpec] = &[
     ParamSpec { key: "engine.run_deadline_ms", default: "0", description: "Whole-run wall-clock deadline in ms; cancels in-flight work cooperatively (0 = unlimited)" },
     ParamSpec { key: "engine.task_retries", default: "0", description: "Retries for transiently-failing tasks, with exponential backoff (0 = none)" },
     ParamSpec { key: "engine.max_concurrent_runs", default: "0", description: "Max analyses running at once; queued past that, shed past a bounded queue (0 = unlimited)" },
+    ParamSpec { key: "engine.metrics", default: "false", description: "Record runs into the process-lifetime telemetry registry (Prometheus/JSON exportable)" },
     ParamSpec { key: "display.width", default: "450", description: "Figure width in pixels" },
     ParamSpec { key: "display.height", default: "300", description: "Figure height in pixels" },
 ];
@@ -86,6 +87,7 @@ mod tests {
             } else if p.key.ends_with("share_computations")
                 || p.key.ends_with("eager_finish")
                 || p.key.ends_with("profile")
+                || p.key.ends_with("metrics")
                 || p.key.ends_with("violin.enabled")
                 || p.key == "violin.enabled"
             {

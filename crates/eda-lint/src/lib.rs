@@ -132,6 +132,7 @@ impl Default for Config {
                 "crates/taskgraph/src/govern.rs".into(),
                 "crates/taskgraph/src/graph.rs".into(),
                 "crates/taskgraph/src/key.rs".into(),
+                "crates/taskgraph/src/metrics.rs".into(),
                 "crates/stats/src/".into(),
             ],
         }

@@ -62,6 +62,8 @@ impl CorrMatrix {
                 cells[i * m + j] = r;
                 cells[j * m + i] = r;
             }
+            // One matrix row is the morsel here; report its row count.
+            crate::telemetry::record_morsel(columns[i].1.len());
         }
         CorrMatrix {
             labels: columns.iter().map(|(n, _)| n.clone()).collect(),

@@ -45,6 +45,7 @@ pub mod qq;
 pub mod quantile;
 pub mod rank;
 pub mod regression;
+pub mod telemetry;
 pub mod text;
 pub mod timeseries;
 

@@ -64,6 +64,7 @@ impl Moments {
             for &v in chunk {
                 self.push(v);
             }
+            crate::telemetry::record_morsel(chunk.len());
         }
     }
 

@@ -1,0 +1,60 @@
+//! Morsel-throughput telemetry hook for hot kernels.
+//!
+//! The same shape as [`crate::interrupt`]: `eda-stats` is dependency-
+//! free, so instead of depending on the runtime's metric registry it
+//! exposes a process-wide write-once sink slot. The runtime layer
+//! registers a sink function once ([`register`]); kernels report each
+//! processed morsel — [`crate::interrupt::CHECK_INTERVAL`]-sized batch
+//! of rows — at the same boundaries where they poll the interruption
+//! probe, so throughput telemetry piggybacks on cadence the kernels
+//! already have.
+//!
+//! With nothing registered, [`record_morsel`] is a single lock-free
+//! load returning immediately — standalone kernel use pays essentially
+//! nothing, and whether the registered sink actually records anywhere
+//! (e.g. only when `engine.metrics` is on) is the sink's business.
+
+use std::sync::OnceLock;
+
+/// The registered sink: write-once, then lock-free to read. Receives
+/// the number of rows the finished morsel processed.
+static SINK: OnceLock<fn(u64)> = OnceLock::new();
+
+/// Register the morsel sink. Only the first registration in a process
+/// takes effect (later ones are ignored), so a sink observed once stays
+/// valid forever — kernels never race a change.
+pub fn register(sink: fn(u64)) {
+    let _ = SINK.set(sink);
+}
+
+/// Report one processed morsel of `rows` rows. A no-op costing one
+/// lock-free load when no sink is registered.
+#[inline]
+pub fn record_morsel(rows: usize) {
+    if let Some(sink) = SINK.get() {
+        sink(rows as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEEN: AtomicU64 = AtomicU64::new(0);
+
+    fn test_sink(rows: u64) {
+        SEEN.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn sink_receives_morsel_rows() {
+        record_morsel(5); // pre-registration: dropped, not a crash
+        register(test_sink);
+        register(test_sink); // second registration is ignored
+        let before = SEEN.load(Ordering::Relaxed);
+        record_morsel(3);
+        record_morsel(4);
+        assert_eq!(SEEN.load(Ordering::Relaxed) - before, 7);
+    }
+}

@@ -113,6 +113,11 @@ impl Engine {
                     // Sub-runs share one gauge, so its peak is a running
                     // maximum, not a sum.
                     stats.mem_peak_bytes = stats.mem_peak_bytes.max(r.stats.mem_peak_bytes);
+                    // Process-lifetime snapshots are cumulative; the last
+                    // sub-run's already contains the earlier ones.
+                    if r.stats.metrics.is_some() {
+                        stats.metrics = r.stats.metrics.clone();
+                    }
                     if let Some(t) = &r.stats.trace {
                         sub_traces.push((sub_started, RunTrace::clone(t)));
                     }

@@ -51,6 +51,7 @@ pub mod govern;
 pub mod graph;
 pub mod inject;
 pub mod key;
+pub mod metrics;
 pub mod ops;
 pub mod outcome;
 pub mod partition;
@@ -67,6 +68,7 @@ pub use govern::{
 pub use graph::{NodeId, Payload, TaskGraph};
 pub use inject::{FaultInjector, FaultMode, FaultPlan, FaultTarget};
 pub use key::TaskKey;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use outcome::{TaskError, TaskFailure, TaskOutcome};
 pub use partition::{ChunkMeta, PartitionedFrame};
 pub use stats::ExecStats;

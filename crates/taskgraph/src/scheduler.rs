@@ -84,6 +84,13 @@ pub struct ExecOptions {
     /// estimator) so budgets see real payload sizes even when the result
     /// cache is disabled. `None` changes nothing.
     pub sizer: Option<PayloadSizer>,
+    /// Record this run into the process-lifetime
+    /// [`crate::metrics::MetricsRegistry`]: per-task durations at task
+    /// completion, the run's aggregate counters on finish, and a
+    /// [`crate::metrics::MetricsSnapshot`] attached to `ExecStats`. Off
+    /// by default: unmetered runs branch around every recording site and
+    /// stay bit-identical to pre-metrics behaviour.
+    pub metrics: bool,
 }
 
 /// Result of one execution: an outcome per requested output (same
@@ -239,6 +246,7 @@ pub fn run_single_thread_opts(
     opts: &ExecOptions,
 ) -> ExecResult {
     let started = Instant::now();
+    let run_id = trace::next_run_id();
     let plan = opts.cache.as_ref().map(|h| CachePlan::build(graph, outputs, h));
     let order: Vec<NodeId> = match &plan {
         Some(p) => (0..graph.len()).filter(|&i| p.live[i]).collect(),
@@ -271,7 +279,7 @@ pub fn run_single_thread_opts(
                 })
             })
             .collect();
-        let (outcome, timing, retries) = execute_node(graph, id, &inputs, opts, started);
+        let (outcome, timing, retries) = execute_node(graph, id, &inputs, opts, started, run_id);
         retried_tasks += usize::from(retries > 0);
         if let Some(timing) = timing {
             span_buf.push(make_span(graph, id, 0, timing, &outcome, retries));
@@ -301,10 +309,12 @@ pub fn run_single_thread_opts(
         1,
         elapsed,
         run_trace,
+        run_id,
     );
     stats.tasks_retried = retried_tasks;
     apply_cache_stats(&mut stats, plan.as_ref(), evictions);
     apply_gauge_stats(&mut stats, opts);
+    apply_metrics(&mut stats, opts);
     ExecResult { outcomes, stats }
 }
 
@@ -312,6 +322,21 @@ pub fn run_single_thread_opts(
 fn apply_gauge_stats(stats: &mut ExecStats, opts: &ExecOptions) {
     if let Some(gauge) = &opts.gauge {
         stats.mem_peak_bytes = gauge.peak();
+    }
+}
+
+/// Fold the finished run into the process-lifetime registry and attach
+/// a fresh snapshot, when the run opted in. Runs last so the snapshot
+/// already reflects this run's own counters.
+fn apply_metrics(stats: &mut ExecStats, opts: &ExecOptions) {
+    if opts.metrics {
+        let registry = crate::metrics::global();
+        registry.record_run(stats);
+        if let Some(handle) = &opts.cache {
+            registry.cache_resident_bytes.set(handle.cache.total_bytes() as u64);
+            registry.cache_budget_bytes.set(handle.cache.budget_bytes() as u64);
+        }
+        stats.metrics = Some(Arc::new(registry.snapshot()));
     }
 }
 
@@ -373,6 +398,7 @@ pub fn run_pool_opts(
 ) -> ExecResult {
     let workers = workers.max(1);
     let started = Instant::now();
+    let run_id = trace::next_run_id();
     let plan = opts.cache.as_ref().map(|h| CachePlan::build(graph, outputs, h));
     let live = match &plan {
         Some(p) => p.live.clone(),
@@ -383,10 +409,10 @@ pub fn run_pool_opts(
         let trace = opts
             .trace
             .then(|| Arc::new(RunTrace::from_buffers(Vec::new(), workers, started.elapsed())));
-        return ExecResult {
-            outcomes: Vec::new(),
-            stats: tally(std::iter::empty(), 0, graph, workers, started.elapsed(), trace),
-        };
+        let mut stats =
+            tally(std::iter::empty(), 0, graph, workers, started.elapsed(), trace, run_id);
+        apply_metrics(&mut stats, opts);
+        return ExecResult { outcomes: Vec::new(), stats };
     }
     let dependents = graph.live_dependents(&live);
     let mut indegrees = graph.live_indegrees(&live);
@@ -465,7 +491,8 @@ pub fn run_pool_opts(
                             })
                         })
                         .collect();
-                    let (outcome, timing, retries) = execute_node(graph, id, &inputs, opts, started);
+                    let (outcome, timing, retries) =
+                        execute_node(graph, id, &inputs, opts, started, run_id);
                     if retries > 0 {
                         retried_tasks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
@@ -540,7 +567,8 @@ pub fn run_pool_opts(
     let elapsed = started.elapsed();
     let run_trace =
         opts.trace.then(|| Arc::new(RunTrace::from_buffers(span_buffers, workers, elapsed)));
-    let mut stats = tally(live_outcomes.iter(), live_count, graph, workers, elapsed, run_trace);
+    let mut stats =
+        tally(live_outcomes.iter(), live_count, graph, workers, elapsed, run_trace, run_id);
     stats.tasks_retried = retried_tasks.load(std::sync::atomic::Ordering::Relaxed);
     apply_cache_stats(
         &mut stats,
@@ -548,6 +576,7 @@ pub fn run_pool_opts(
         evictions.load(std::sync::atomic::Ordering::Relaxed),
     );
     apply_gauge_stats(&mut stats, opts);
+    apply_metrics(&mut stats, opts);
     ExecResult { outcomes, stats }
 }
 
@@ -569,6 +598,7 @@ fn execute_node(
     inputs: &[TaskOutcome],
     opts: &ExecOptions,
     origin: Instant,
+    run_id: u64,
 ) -> (TaskOutcome, Option<SpanTiming>, usize) {
     let task = graph.task(id);
     let zero_width = || {
@@ -686,12 +716,16 @@ fn execute_node(
         }
         break (outcome, elapsed);
     };
+    if opts.metrics {
+        crate::metrics::global().task_duration_us.record_duration(elapsed);
+    }
     if trace::log_enabled(LogLevel::Debug) {
         trace::log(
             LogLevel::Debug,
             "eda::sched",
             format_args!(
-                "task={} node={} status={} retries={} dur_us={}",
+                "run_id={} task={} node={} status={} retries={} dur_us={}",
+                run_id,
                 task.name,
                 id,
                 SpanStatus::of(&outcome).label(),
@@ -840,6 +874,7 @@ fn tally<'a>(
     workers: usize,
     elapsed: Duration,
     trace: Option<Arc<RunTrace>>,
+    run_id: u64,
 ) -> ExecStats {
     let mut stats = ExecStats {
         live_nodes: live_count,
@@ -867,7 +902,8 @@ fn tally<'a>(
             LogLevel::Info,
             "eda::sched",
             format_args!(
-                "run workers={} live={} run={} failed={} skipped={} timed_out={} cancelled={} budget_exceeded={} cse_hits={} elapsed_us={}",
+                "run_id={} workers={} live={} run={} failed={} skipped={} timed_out={} cancelled={} budget_exceeded={} cse_hits={} elapsed_us={}",
+                run_id,
                 stats.workers,
                 stats.live_nodes,
                 stats.tasks_run,

@@ -58,6 +58,11 @@ pub struct ExecStats {
     /// ([`crate::scheduler::ExecOptions::trace`]); `None` otherwise so
     /// untraced runs stay allocation-free.
     pub trace: Option<Arc<RunTrace>>,
+    /// Process-lifetime telemetry snapshot, taken right after this run
+    /// was folded into the registry — present only when the run recorded
+    /// metrics ([`crate::scheduler::ExecOptions::metrics`]); `None`
+    /// otherwise so unmetered runs stay bit-identical.
+    pub metrics: Option<Arc<crate::metrics::MetricsSnapshot>>,
 }
 
 impl ExecStats {

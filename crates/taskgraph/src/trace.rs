@@ -374,12 +374,25 @@ impl RunTrace {
         lines.sort();
         let mut out = String::new();
         for (name, micros) in lines {
-            // Frame separators are `;`; scrub them from task names.
-            let frame = name.replace(';', ",");
-            let _ = writeln!(out, "run;{frame} {micros}");
+            let _ = writeln!(out, "run;{} {micros}", fold_escape(name));
         }
         out
     }
+}
+
+/// Make a task name safe as a collapsed-stack frame: `;` separates
+/// frames and whitespace separates the stack from its weight, so both
+/// (and control characters, which would break line-oriented consumers)
+/// are scrubbed to `_`/`,` rather than corrupting the whole line.
+fn fold_escape(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            ';' => ',',
+            c if c.is_whitespace() => '_',
+            c if (c as u32) < 0x20 => '_',
+            c => c,
+        })
+        .collect()
 }
 
 /// Estimate the in-memory size of a payload in bytes.
@@ -436,6 +449,14 @@ fn json_escape(s: &str) -> String {
 // ---------------------------------------------------------------------------
 // Structured logging with a RUST_LOG-style env filter.
 // ---------------------------------------------------------------------------
+
+/// Allocate a process-unique run id. The schedulers stamp one on every
+/// structured log line (`run_id=<n>`) so the interleaved stderr of
+/// concurrent runs can be correlated back into per-run streams.
+pub fn next_run_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+}
 
 /// Log verbosity, ordered. Controlled by the `EDA_LOG` environment
 /// variable (`error`..`trace`, or `target=level` items separated by
@@ -661,6 +682,30 @@ mod tests {
         let line = folded.lines().find(|l| l.starts_with("run;b ")).unwrap();
         assert_eq!(line, "run;b 290"); // 190 + 100
         assert!(folded.lines().all(|l| l.starts_with("run;")));
+    }
+
+    #[test]
+    fn collapsed_stacks_escape_hostile_names() {
+        let mut t = diamond_trace();
+        t.spans[0].name = "weird; name\twith spaces\n".into();
+        let folded = t.to_collapsed_stacks();
+        for line in folded.lines() {
+            // Exactly one space per line (stack/weight separator), a
+            // numeric weight, and no embedded separators in frames.
+            let (stack, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert!(weight.parse::<u128>().is_ok(), "bad weight in {line:?}");
+            assert!(!stack.contains(' '), "unescaped space in {stack:?}");
+            assert_eq!(stack.matches(';').count(), 1, "extra frame separator in {stack:?}");
+        }
+        assert!(folded.contains("run;weird,_name_with_spaces_ "), "{folded:?}");
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_nonzero() {
+        let a = next_run_id();
+        let b = next_run_id();
+        assert!(a > 0);
+        assert_ne!(a, b);
     }
 
     #[test]

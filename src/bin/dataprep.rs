@@ -1,7 +1,7 @@
 //! `dataprep` — a command-line front end for the task-centric EDA API.
 //!
 //! ```text
-//! dataprep report <data.csv> [-o report.html] [-c key=value]...
+//! dataprep report <data.csv> [-o report.html] [-c key=value]... [--metrics out.prom|out.json]
 //! dataprep plot <data.csv> [col] [col2] [-o out.html] [-c key=value]...
 //! dataprep corr <data.csv> [col] [col2] [-o out.html]
 //! dataprep missing <data.csv> [col] [col2] [-o out.html]
@@ -22,6 +22,7 @@ struct Args {
     positional: Vec<String>,
     output: Option<String>,
     config_pairs: Vec<(String, String)>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut output = None;
     let mut config_pairs = Vec::new();
+    let mut metrics = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" | "--output" => {
@@ -42,11 +44,14 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
                 config_pairs.push((k.to_string(), v.to_string()));
             }
+            "--metrics" => {
+                metrics = Some(argv.next().ok_or("missing value after --metrics")?);
+            }
             "-h" | "--help" => return Err(usage()),
             _ => positional.push(a),
         }
     }
-    Ok(Args { command, positional, output, config_pairs })
+    Ok(Args { command, positional, output, config_pairs, metrics })
 }
 
 fn usage() -> String {
@@ -55,7 +60,8 @@ fn usage() -> String {
      dataprep corr    <data.csv> [col] [col2] [-o out.html]\n  \
      dataprep missing <data.csv> [col] [col2] [-o out.html]\n  \
      dataprep ts      <data.csv> <time-col> <value-col> [-o out.html]\n\n\
-     config keys are the how-to-guide keys, e.g. -c hist.bins=200"
+     config keys are the how-to-guide keys, e.g. -c hist.bins=200\n\
+     --metrics <path> dumps process telemetry after the run (.json = JSON, else Prometheus text)"
         .to_string()
 }
 
@@ -71,6 +77,11 @@ fn run() -> Result<(), String> {
     let mut config = Config::default();
     for (k, v) in &args.config_pairs {
         config.set(k, v).map_err(|e| e.to_string())?;
+    }
+    // `--metrics <path>` implies the knob: dumping an all-zero registry
+    // because the run never opted in would only confuse.
+    if args.metrics.is_some() {
+        config.set("engine.metrics", "true").map_err(|e| e.to_string())?;
     }
     let columns: Vec<&str> = args.positional[1..].iter().map(String::as_str).collect();
 
@@ -122,6 +133,14 @@ fn run() -> Result<(), String> {
 
     if let Some(out) = &args.output {
         std::fs::write(out, html).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    if let Some(out) = &args.metrics {
+        // `.json` gets the JSON export; anything else the Prometheus
+        // text exposition format (the `/metrics` endpoint payload).
+        let snap = metrics_snapshot();
+        let body = if out.ends_with(".json") { snap.to_json() } else { snap.to_prometheus() };
+        std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
         eprintln!("wrote {out}");
     }
     Ok(())

@@ -41,9 +41,9 @@ pub use eda_taskgraph as taskgraph;
 /// The most common imports in one place.
 pub mod prelude {
     pub use eda_core::{
-        create_report, create_report_handle, plot, plot_correlation, plot_handle, plot_missing,
-        plot_timeseries, Analysis, AnalysisHandle, Config, Insight, Inter, Report, SemanticType,
-        TaskKind,
+        create_report, create_report_handle, metrics_snapshot, plot, plot_correlation,
+        plot_handle, plot_missing, plot_timeseries, Analysis, AnalysisHandle, Config, Insight,
+        Inter, MetricsSnapshot, Report, SemanticType, TaskKind,
     };
     pub use eda_dataframe::{csv::read_csv, Column, DataFrame};
     pub use eda_render::{render_analysis_html, render_report_html};

@@ -1,0 +1,144 @@
+//! Telemetry integration tests through the public API.
+//!
+//! The acceptance bar of the metrics layer: `engine.metrics` off (the
+//! default) leaves output bit-identical to a config that never mentions
+//! it; on, every run folds into the process-lifetime registry, attaches
+//! a snapshot to its stats, surfaces a "Process lifetime" row group in
+//! the Performance tab, and exports through the public
+//! [`eda_core::metrics_snapshot`] in both Prometheus and JSON forms.
+//!
+//! The registry is process-global and tests share one process, so
+//! metered-run assertions check *deltas* between consecutive snapshots,
+//! never absolute values.
+
+use std::time::Duration;
+
+use eda_core::{create_report, metrics_snapshot, plot, Config};
+use eda_dataframe::{Column, DataFrame};
+use eda_render::layout::{render_analysis_html, render_report_html};
+
+fn frame(n: usize) -> DataFrame {
+    DataFrame::new(vec![
+        (
+            "price".into(),
+            Column::from_opt_f64(
+                (0..n)
+                    .map(|i| if i % 24 == 0 { None } else { Some(50.0 + ((i * 31) % 900) as f64) })
+                    .collect(),
+            ),
+        ),
+        ("size".into(), Column::from_f64((0..n).map(|i| 10.0 + ((i * 7) % 120) as f64).collect())),
+        ("city".into(), Column::from_string((0..n).map(|i| format!("c{}", i % 5)).collect())),
+    ])
+    .unwrap()
+}
+
+/// Session cache off so runs are deterministic regardless of what other
+/// tests warmed, mirroring the governance golden test.
+fn cfg(pairs: &[(&str, &str)]) -> Config {
+    let mut all = vec![("engine.cache_budget_bytes", "0")];
+    all.extend_from_slice(pairs);
+    Config::from_pairs(all).unwrap()
+}
+
+// ---------------------------------------------------------------- golden
+
+/// `engine.metrics = false` (the default) must be invisible: same stats,
+/// same bytes of HTML as a config that never mentions the knob — even
+/// when other tests in this process have already latched the registry on.
+#[test]
+fn metrics_off_is_bit_identical_to_unset() {
+    let df = frame(300);
+    let baseline = cfg(&[]);
+    let explicit = cfg(&[("engine.metrics", "false")]);
+
+    let mut a = create_report(&df, &baseline).unwrap();
+    let mut b = create_report(&df, &explicit).unwrap();
+    assert!(a.stats.fully_succeeded(), "{:?}", a.stats);
+    assert!(a.stats.metrics.is_none(), "unmetered run must not carry a snapshot");
+    assert!(b.stats.metrics.is_none());
+
+    a.stats.elapsed = Duration::ZERO;
+    b.stats.elapsed = Duration::ZERO;
+    assert_eq!(a.stats, b.stats);
+
+    let html_a = render_report_html(&a, &baseline.display);
+    let html_b = render_report_html(&b, &explicit.display);
+    assert_eq!(html_a, html_b, "explicit-default metrics knob changed the rendered bytes");
+    assert!(!html_a.contains("Process lifetime"));
+}
+
+// ------------------------------------------------------------- recording
+
+/// Metered runs attach a snapshot and the registry's lifetime counters
+/// grow monotonically run over run.
+#[test]
+fn metered_runs_attach_monotone_snapshots() {
+    let df = frame(400);
+    let metered = cfg(&[("engine.metrics", "true")]);
+
+    let first = plot(&df, &[], &metered).unwrap();
+    let snap1 = first.stats.as_ref().unwrap().metrics.clone().expect("snapshot attached");
+    let second = plot(&df, &["price"], &metered).unwrap();
+    let snap2 = second.stats.as_ref().unwrap().metrics.clone().expect("snapshot attached");
+
+    let runs1 = snap1.counter("eda_runs_total").unwrap();
+    let runs2 = snap2.counter("eda_runs_total").unwrap();
+    assert!(runs2 > runs1, "runs_total stalled: {runs1} -> {runs2}");
+    let tasks1 = snap1.counter("eda_tasks_run_total").unwrap();
+    let tasks2 = snap2.counter("eda_tasks_run_total").unwrap();
+    assert!(
+        tasks2 >= tasks1 + second.stats.as_ref().unwrap().tasks_run as u64,
+        "tasks_run_total under-counted: {tasks1} -> {tasks2}"
+    );
+    // The second run's own tasks landed in the duration histogram.
+    let h1 = snap1.histogram("eda_task_duration_us").unwrap();
+    let h2 = snap2.histogram("eda_task_duration_us").unwrap();
+    assert!(h2.count > h1.count);
+
+    // The public snapshot is at least as far along as the run-attached
+    // one and exports through both formats.
+    let now = metrics_snapshot();
+    assert!(now.counter("eda_runs_total").unwrap() >= runs2);
+    let prom = now.to_prometheus();
+    assert!(prom.contains("# TYPE eda_runs_total counter"), "{prom}");
+    assert!(prom.contains("# TYPE eda_task_duration_us histogram"));
+    let json = now.to_json();
+    assert!(json.contains("\"eda_runs_total\":"), "{json}");
+}
+
+/// Kernel morsel telemetry flows through the `eda-stats` sink into the
+/// registry once a metered run has connected it. The "size" column is
+/// null-free, so its moments sketch takes the contiguous-slice path —
+/// one of the instrumented morsel boundaries.
+#[test]
+fn metered_runs_record_kernel_morsels() {
+    let df = frame(2_000);
+    let metered = cfg(&[("engine.metrics", "true")]);
+    let before = metrics_snapshot().counter("eda_morsel_rows_total").unwrap();
+    plot(&df, &["size"], &metered).unwrap();
+    let after = metrics_snapshot().counter("eda_morsel_rows_total").unwrap();
+    assert!(after > before, "no morsel rows recorded: {before} -> {after}");
+}
+
+// -------------------------------------------------------------- rendering
+
+/// Profile + metrics adds the lifetime row group to the Performance tab;
+/// profile alone renders the tab without it.
+#[test]
+fn performance_tab_gains_lifetime_rows_only_when_metered() {
+    let df = frame(300);
+
+    let profiled = cfg(&[("engine.profile", "true")]);
+    let plain = plot(&df, &[], &profiled).unwrap();
+    let html = render_analysis_html(&plain, &profiled.display);
+    assert!(html.contains("Run metrics"), "profiled run renders the Performance tab");
+    assert!(!html.contains("Process lifetime"), "unmetered run must not show lifetime rows");
+
+    let both = cfg(&[("engine.profile", "true"), ("engine.metrics", "true")]);
+    let metered = plot(&df, &[], &both).unwrap();
+    let html = render_analysis_html(&metered, &both.display);
+    assert!(html.contains("Process lifetime"), "metered+profiled run shows lifetime rows");
+    assert!(html.contains("runs recorded"));
+    assert!(html.contains("tasks run / pruned"));
+}
