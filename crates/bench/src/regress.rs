@@ -240,6 +240,47 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
             MetricSpec { key: "hit_rate", higher_is_better: true, tolerance_scale: 1.0 },
         ],
     },
+    ExperimentSpec {
+        name: "kernels",
+        required: &[
+            "experiment",
+            "rows",
+            "workers",
+            "moments_scalar_meps",
+            "moments_vector_meps",
+            "moments_speedup",
+            "histogram_scalar_meps",
+            "histogram_vector_meps",
+            "histogram_speedup",
+            "minmax_scalar_meps",
+            "minmax_vector_meps",
+            "minmax_speedup",
+            "pearson_scalar_meps",
+            "pearson_vector_meps",
+            "pearson_speedup",
+            "nullity_scalar_meps",
+            "nullity_vector_meps",
+            "nullity_speedup",
+            "skew_makespan_off_rows",
+            "skew_makespan_on_rows",
+            "skew_makespan_speedup",
+            "skew_wall_off_us",
+            "skew_wall_on_us",
+            "skew_stolen_morsels",
+        ],
+        gated: &[
+            // Vector-vs-scalar and morsels-on-vs-off ratios on the same
+            // machine; the wide scale absorbs shared-runner noise like
+            // the wall-clock speedups above.
+            MetricSpec { key: "moments_speedup", higher_is_better: true, tolerance_scale: 4.0 },
+            MetricSpec { key: "histogram_speedup", higher_is_better: true, tolerance_scale: 4.0 },
+            MetricSpec {
+                key: "skew_makespan_speedup",
+                higher_is_better: true,
+                tolerance_scale: 4.0,
+            },
+        ],
+    },
 ];
 
 /// Look up an experiment spec by name.

@@ -22,6 +22,7 @@ use eda_stats::histogram::Histogram;
 use eda_stats::moments::Moments;
 use eda_stats::text::TextStats;
 use eda_taskgraph::key::TaskKey;
+use eda_taskgraph::morsel;
 use eda_taskgraph::ops;
 use eda_taskgraph::partition::payload_frame;
 use eda_taskgraph::NodeId;
@@ -51,6 +52,20 @@ fn col<'d>(df: &'d DataFrame, name: &str) -> &'d Column {
 
 fn drop_tag(drop: Option<&str>) -> String {
     drop.map_or_else(String::new, |d| format!("|dropna:{d}"))
+}
+
+/// The column's float buffer when every windowed row is valid — either
+/// no bitmap at all, or a sliced window whose bitmap is all-set (slices
+/// keep their parent's bitmap, so `validity()` alone under-reports this
+/// case). This is the shape the vector kernels and the morsel engine
+/// consume as whole contiguous slices.
+fn all_valid_f64(c: &Column) -> Option<&[f64]> {
+    let vals = c.f64_values()?;
+    match c.validity() {
+        None => Some(vals),
+        Some(bm) if bm.all_set() => Some(vals),
+        Some(_) => None,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -96,11 +111,31 @@ pub fn moments(ctx: &mut ComputeContext<'_>, column: &str, drop: Option<&str>) -
             let frame = filtered.as_ref().unwrap_or(df);
             let c = col(frame, &name);
             let mut m = Moments::new();
-            match (c.f64_values(), c.validity()) {
+            match all_valid_f64(c) {
                 // Null-free float window: feed the buffer to the sketch
-                // as one contiguous slice.
-                (Some(vals), None) => m.push_slice(vals),
-                _ => c.for_each_numeric(|v| m.push(v)).expect("numeric"),
+                // as contiguous slices — split into stealable morsels
+                // when the scheduler has engaged a morsel context.
+                Some(vals) => {
+                    m = morsel::run_rows(
+                        vals.len(),
+                        std::mem::size_of::<f64>(),
+                        |r| {
+                            let mut part = Moments::new();
+                            part.push_slice(&vals[r]);
+                            part
+                        },
+                        |mut a, b| {
+                            a.merge(&b);
+                            a
+                        },
+                    )
+                    .unwrap_or_else(|| {
+                        let mut whole = Moments::new();
+                        whole.push_slice(vals);
+                        whole
+                    });
+                }
+                None => c.for_each_numeric(|v| m.push(v)).expect("numeric"),
             }
             pl(m)
         },
@@ -201,9 +236,28 @@ pub fn histogram_with_range(
                 let filtered = maybe_dropped(&frame_arc, dropped.as_deref());
                 let frame = filtered.as_ref().unwrap_or(&frame_arc);
                 let mut h = Histogram::new(mom.min, mom.max, bins);
-                col(frame, &name)
-                    .for_each_numeric(|v| h.push(v))
-                    .expect("numeric");
+                let c = col(frame, &name);
+                match all_valid_f64(c) {
+                    // Counts are integers, so the morsel merge is exact:
+                    // splitting cannot change the histogram.
+                    Some(vals) => match morsel::run_rows(
+                        vals.len(),
+                        std::mem::size_of::<f64>(),
+                        |r| {
+                            let mut part = Histogram::new(mom.min, mom.max, bins);
+                            part.fill_slice(&vals[r]);
+                            part
+                        },
+                        |mut a, b| {
+                            a.merge(&b);
+                            a
+                        },
+                    ) {
+                        Some(filled) => h = filled,
+                        None => h.fill_slice(vals),
+                    },
+                    None => c.for_each_numeric(|v| h.push(v)).expect("numeric"),
+                }
                 pl(h)
             })
         })
@@ -289,11 +343,36 @@ pub fn pearson_partial(ctx: &mut ComputeContext<'_>, x: &str, y: &str) -> NodeId
         &ctx.sources.clone(),
         move |df| {
             let mut p = PearsonPartial::new();
-            let xs = col(df, &xn).numeric_iter().expect("numeric");
-            let ys = col(df, &yn).numeric_iter().expect("numeric");
-            for (a, b) in xs.zip(ys) {
-                if let (Some(a), Some(b)) = (a, b) {
-                    p.push(a, b);
+            let (cx, cy) = (col(df, &xn), col(df, &yn));
+            match (all_valid_f64(cx), all_valid_f64(cy)) {
+                (Some(xs), Some(ys)) if xs.len() == ys.len() => {
+                    p = morsel::run_rows(
+                        xs.len(),
+                        2 * std::mem::size_of::<f64>(),
+                        |r| {
+                            let mut part = PearsonPartial::new();
+                            part.push_slices(&xs[r.clone()], &ys[r]);
+                            part
+                        },
+                        |mut a, b| {
+                            a.merge(&b);
+                            a
+                        },
+                    )
+                    .unwrap_or_else(|| {
+                        let mut whole = PearsonPartial::new();
+                        whole.push_slices(xs, ys);
+                        whole
+                    });
+                }
+                _ => {
+                    let xs = cx.numeric_iter().expect("numeric");
+                    let ys = cy.numeric_iter().expect("numeric");
+                    for (a, b) in xs.zip(ys) {
+                        if let (Some(a), Some(b)) = (a, b) {
+                            p.push(a, b);
+                        }
+                    }
                 }
             }
             pl(p)
@@ -376,9 +455,12 @@ pub fn null_indicator(ctx: &mut ComputeContext<'_>, column: &str) -> NodeId {
         move |df| {
             let c = col(df, &name);
             // Validity scans walk the bitmap's bytes, not per-row asserts;
-            // a column without a bitmap has no nulls at all.
+            // a column without a bitmap has no nulls at all, and an
+            // all-set bitmap short-circuits to the same bulk fill
+            // without visiting a single bit.
             let v: Vec<bool> = match c.validity() {
                 None => vec![false; c.len()],
+                Some(bm) if bm.all_set() => vec![false; c.len()],
                 Some(bm) => {
                     let mut v = vec![true; c.len()];
                     bm.for_each_set(|i| v[i] = false);

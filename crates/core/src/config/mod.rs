@@ -227,6 +227,21 @@ pub struct EngineConfig {
     /// default: unmetered runs skip every recording site and output is
     /// bit-identical. Purely observational — never part of task keys.
     pub metrics: bool,
+    /// Morsel size in bytes for intra-task work stealing. Kernels over
+    /// null-free float windows split their row ranges into morsels of
+    /// roughly this many bytes on a shared deque so idle workers can
+    /// steal from a straggling (skewed) partition mid-stage. `0`
+    /// disables splitting — kernels keep their whole-slice paths,
+    /// bit-identical to the pre-morsel engine. Purely a scheduling
+    /// knob — never part of task keys.
+    pub morsel_bytes: usize,
+    /// Route the slice kernels through the lane-parallel vector shapes
+    /// in `eda_stats::vector` (AVX2 when the build carries the `simd`
+    /// feature and the CPU has it; the autovectorized fallback
+    /// otherwise). Only meaningful in builds with the `simd` feature —
+    /// without it this flag is ignored and the scalar kernels run.
+    /// `false` forces the scalar kernels even in `simd` builds.
+    pub simd: bool,
 }
 
 /// Figure-size parameters consumed by the render layer.
@@ -325,6 +340,8 @@ impl Default for Config {
                 task_retries: 0,
                 max_concurrent_runs: 0,
                 metrics: false,
+                morsel_bytes: 256 << 10,
+                simd: true,
             },
             display: DisplayConfig { width: 450, height: 300 },
         }
@@ -436,6 +453,8 @@ impl Config {
                 self.engine.max_concurrent_runs = usize_of(key, value)?
             }
             "engine.metrics" => self.engine.metrics = bool_of(key, value)?,
+            "engine.morsel_bytes" => self.engine.morsel_bytes = usize_of(key, value)?,
+            "engine.simd" => self.engine.simd = bool_of(key, value)?,
             "display.width" => self.display.width = usize_of(key, value)?.max(50),
             "display.height" => self.display.height = usize_of(key, value)?.max(50),
             _ => {

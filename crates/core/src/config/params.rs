@@ -63,6 +63,8 @@ pub const PARAMS: &[ParamSpec] = &[
     ParamSpec { key: "engine.task_retries", default: "0", description: "Retries for transiently-failing tasks, with exponential backoff (0 = none)" },
     ParamSpec { key: "engine.max_concurrent_runs", default: "0", description: "Max analyses running at once; queued past that, shed past a bounded queue (0 = unlimited)" },
     ParamSpec { key: "engine.metrics", default: "false", description: "Record runs into the process-lifetime telemetry registry (Prometheus/JSON exportable)" },
+    ParamSpec { key: "engine.morsel_bytes", default: "262144", description: "Morsel size for intra-task work stealing; idle workers steal morsels from skewed partitions (0 = off, bit-identical whole-slice kernels)" },
+    ParamSpec { key: "engine.simd", default: "true", description: "Use the lane-parallel vector kernels (AVX2 in simd-feature builds; ignored without the feature)" },
     ParamSpec { key: "display.width", default: "450", description: "Figure width in pixels" },
     ParamSpec { key: "display.height", default: "300", description: "Figure height in pixels" },
 ];
@@ -88,6 +90,7 @@ mod tests {
                 || p.key.ends_with("eager_finish")
                 || p.key.ends_with("profile")
                 || p.key.ends_with("metrics")
+                || p.key.ends_with("simd")
                 || p.key.ends_with("violin.enabled")
                 || p.key == "violin.enabled"
             {

@@ -453,6 +453,10 @@ impl Column {
                 let vals = d.as_slice();
                 match &d.validity {
                     None => vals.iter().for_each(|&v| f(v)),
+                    // Sliced windows keep their bitmap even when every
+                    // surviving row is valid; one popcount pass beats a
+                    // per-row bit walk on every kernel call.
+                    Some(bm) if bm.all_set() => vals.iter().for_each(|&v| f(v)),
                     Some(bm) => bm.for_each_set(|i| f(vals[i])),
                 }
                 Ok(())
@@ -461,6 +465,7 @@ impl Column {
                 let vals = d.as_slice();
                 match &d.validity {
                     None => vals.iter().for_each(|&v| f(v as f64)),
+                    Some(bm) if bm.all_set() => vals.iter().for_each(|&v| f(v as f64)),
                     Some(bm) => bm.for_each_set(|i| f(vals[i] as f64)),
                 }
                 Ok(())

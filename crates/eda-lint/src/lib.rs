@@ -133,6 +133,7 @@ impl Default for Config {
                 "crates/taskgraph/src/graph.rs".into(),
                 "crates/taskgraph/src/key.rs".into(),
                 "crates/taskgraph/src/metrics.rs".into(),
+                "crates/taskgraph/src/morsel.rs".into(),
                 "crates/stats/src/".into(),
             ],
         }

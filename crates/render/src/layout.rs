@@ -245,10 +245,24 @@ fn lifetime_rows(snap: &eda_taskgraph::MetricsSnapshot) -> String {
         ));
     }
     if c("eda_morsels_total") > 0 {
+        // Rows per microsecond of run wall time is numerically million
+        // elements per second — the unit the kernel bench reports.
+        let throughput = snap
+            .histogram("eda_run_duration_us")
+            .filter(|h| h.sum > 0)
+            .map(|h| format!(", {:.0} Me/s", c("eda_morsel_rows_total") as f64 / h.sum as f64))
+            .unwrap_or_default();
         rows.push_str(&format!(
-            "<tr><td>kernel morsels</td><td>{} ({} rows)</td></tr>",
+            "<tr><td>kernel morsels</td><td>{} ({} rows{throughput})</td></tr>",
             c("eda_morsels_total"),
             c("eda_morsel_rows_total"),
+        ));
+    }
+    if c("eda_morsels_split_total") > 0 {
+        rows.push_str(&format!(
+            "<tr><td>work-stealing morsels</td><td>{} split, {} stolen by helpers</td></tr>",
+            c("eda_morsels_split_total"),
+            c("eda_morsels_stolen_total"),
         ));
     }
     if let Some(h) = snap.histogram("eda_task_duration_us") {

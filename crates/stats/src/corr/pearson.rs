@@ -36,6 +36,45 @@ impl PearsonPartial {
         Self::default()
     }
 
+    /// Build a partial directly from reduced sums — the bridge from the
+    /// lane-parallel chunk kernels in [`crate::vector`], which compute
+    /// the same centered moments from shifted power sums.
+    pub(crate) fn from_raw(
+        n: u64,
+        mean_x: f64,
+        mean_y: f64,
+        m2x: f64,
+        m2y: f64,
+        cxy: f64,
+    ) -> Self {
+        PearsonPartial { n, mean_x, mean_y, m2x, m2y, cxy }
+    }
+
+    /// Accumulate a pair of parallel slices (co-indexed columns),
+    /// polling the cooperative-interruption probe and reporting morsel
+    /// telemetry every [`crate::interrupt::CHECK_INTERVAL`] pairs.
+    /// Takes the vector shape when [`crate::vector::simd_enabled`].
+    pub fn push_slices(&mut self, x: &[f64], y: &[f64]) {
+        if crate::vector::simd_enabled() {
+            crate::vector::pearson_slices(self, x, y);
+            return;
+        }
+        let len = x.len().min(y.len());
+        let step = crate::interrupt::CHECK_INTERVAL;
+        let mut start = 0;
+        while start < len {
+            if crate::interrupt::interrupted() {
+                return;
+            }
+            let end = (start + step).min(len);
+            for (a, b) in x[start..end].iter().zip(&y[start..end]) {
+                self.push(*a, *b);
+            }
+            crate::telemetry::record_morsel(end - start);
+            start = end;
+        }
+    }
+
     /// Accumulate one pair; NaN on either side is skipped.
     #[inline]
     pub fn push(&mut self, x: f64, y: f64) {

@@ -35,17 +35,25 @@ impl Histogram {
     }
 
     /// Build over a slice using its own extrema for the range.
+    ///
+    /// The extrema scan and the fill take the lane-parallel vector shape
+    /// when [`crate::vector::simd_enabled`].
     pub fn from_values(values: &[f64], bins: usize) -> Histogram {
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for &v in values {
-            if v.is_finite() {
-                min = min.min(v);
-                max = max.max(v);
+        let (min, max) = if crate::vector::simd_enabled() {
+            crate::vector::minmax(values)
+        } else {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &v in values {
+                if v.is_finite() {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
             }
-        }
+            (min, max)
+        };
         let mut h = Histogram::new(min, max, bins);
-        h.extend(values.iter().copied());
+        h.fill_slice(values);
         h
     }
 
@@ -114,6 +122,22 @@ impl Histogram {
         if seen > 0 {
             let tail = seen % MORSEL;
             crate::telemetry::record_morsel(if tail == 0 { MORSEL } else { tail });
+        }
+    }
+
+    /// Accumulate a contiguous slice — the columnar-window entry point.
+    ///
+    /// Dispatches to the vector fill (hoisted reciprocal binning, striped
+    /// counts — see [`crate::vector::histogram_fill`]) when
+    /// [`crate::vector::simd_enabled`], else to the scalar per-value loop
+    /// bit-identically to [`Histogram::extend`]. Both poll the
+    /// interruption probe and report morsel telemetry per
+    /// [`crate::interrupt::CHECK_INTERVAL`] values.
+    pub fn fill_slice(&mut self, values: &[f64]) {
+        if crate::vector::simd_enabled() {
+            crate::vector::histogram_fill(self, values);
+        } else {
+            self.extend(values.iter().copied());
         }
     }
 

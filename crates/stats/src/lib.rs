@@ -48,6 +48,7 @@ pub mod regression;
 pub mod telemetry;
 pub mod text;
 pub mod timeseries;
+pub mod vector;
 
 pub use corr::{kendall_tau, pearson, spearman, CorrMatrix, CorrMethod};
 pub use freq::FreqTable;

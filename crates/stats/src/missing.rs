@@ -79,12 +79,25 @@ pub fn missing_spectrum(columns: &[(String, Vec<bool>)], bins: usize) -> Missing
 /// Columns with no nulls (or all nulls) have undefined correlation and
 /// yield `None` cells.
 pub fn nullity_correlation(columns: &[(String, Vec<bool>)]) -> Vec<Vec<Option<f64>>> {
+    let m = columns.len();
+    let mut out = vec![vec![None; m]; m];
+    if crate::vector::simd_enabled() {
+        // Vector shape: on 0/1 indicators Pearson collapses to three
+        // popcounts per pair — no float materialization at all.
+        for i in 0..m {
+            out[i][i] = Some(1.0);
+            for j in (i + 1)..m {
+                let r = crate::vector::bool_pearson(&columns[i].1, &columns[j].1);
+                out[i][j] = r;
+                out[j][i] = r;
+            }
+        }
+        return out;
+    }
     let indicators: Vec<Vec<f64>> = columns
         .iter()
         .map(|(_, nulls)| nulls.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
         .collect();
-    let m = columns.len();
-    let mut out = vec![vec![None; m]; m];
     for i in 0..m {
         out[i][i] = Some(1.0);
         for j in (i + 1)..m {

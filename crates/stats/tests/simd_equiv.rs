@@ -1,0 +1,164 @@
+//! Property tests pinning the SIMD/scalar kernel contract: the vector
+//! shape (with or without AVX2 underneath — the intrinsic/fallback pair
+//! is bit-identity-tested inside `eda_stats::vector`) and the scalar
+//! per-value loops agree on every integer-exact statistic for arbitrary
+//! data, including NaN, infinities, signed zeros, all-null slices, and
+//! single-distinct columns.
+
+// Test code asserts freely; the package-level unwrap/expect deny
+// targets shipped code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use eda_stats::corr::PearsonPartial;
+use eda_stats::histogram::Histogram;
+use eda_stats::moments::Moments;
+use eda_stats::vector::{count_joint, set_force_scalar};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-wide scalar override so
+/// parallel test threads never observe each other's toggles.
+static SCALAR_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// Re-enables the vector shape even when a failing case unwinds.
+struct Reset;
+
+impl Drop for Reset {
+    fn drop(&mut self) {
+        set_force_scalar(false);
+    }
+}
+
+/// Evaluate `f` once with the scalar shape forced and once with the
+/// compiled-in default, returning `(scalar, vector)`.
+fn both_shapes<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = SCALAR_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = Reset;
+    set_force_scalar(true);
+    let scalar = f();
+    set_force_scalar(false);
+    let vector = f();
+    (scalar, vector)
+}
+
+/// Finite values mixed with every special class the kernels classify.
+fn any_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1.0e6..1.0e6f64,
+        1 => Just(f64::NAN),
+        1 => prop_oneof![Just(f64::INFINITY), Just(f64::NEG_INFINITY), Just(0.0), Just(-0.0)],
+    ]
+}
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(any_value(), 0..300)
+}
+
+proptest! {
+    #[test]
+    fn moments_shapes_agree(vals in values()) {
+        let (s, v) = both_shapes(|| Moments::from_slice(&vals));
+        // Counters, extrema, and the valid count are exact integers /
+        // exact comparisons in both shapes — they must match bitwise.
+        prop_assert_eq!(s.count, v.count);
+        prop_assert_eq!(s.zeros, v.zeros);
+        prop_assert_eq!(s.negatives, v.negatives);
+        prop_assert_eq!(s.infinites, v.infinites);
+        prop_assert_eq!(s.nans, v.nans);
+        // Power sums differ only in association order; extrema are exact.
+        if s.count > 0 {
+            prop_assert_eq!(s.min.to_bits(), v.min.to_bits());
+            prop_assert_eq!(s.max.to_bits(), v.max.to_bits());
+            prop_assert!((s.mean - v.mean).abs() <= 1e-9 * (1.0 + s.mean.abs()));
+            prop_assert!((s.m2 - v.m2).abs() <= 1e-6 * (1.0 + s.m2.abs()));
+        }
+    }
+
+    #[test]
+    fn moments_all_null_and_single_distinct(x in -1.0e6..1.0e6f64, n in 1usize..200) {
+        let nulls = vec![f64::NAN; n];
+        let (s, v) = both_shapes(|| Moments::from_slice(&nulls));
+        prop_assert_eq!(s.count, 0);
+        prop_assert_eq!(v.count, 0);
+        prop_assert_eq!(s.nans, n as u64);
+        prop_assert_eq!(v.nans, n as u64);
+
+        let constant = vec![x; n];
+        let (s, v) = both_shapes(|| Moments::from_slice(&constant));
+        prop_assert_eq!(s.count, v.count);
+        prop_assert_eq!(s.min.to_bits(), v.min.to_bits());
+        prop_assert_eq!(s.max.to_bits(), v.max.to_bits());
+        prop_assert_eq!(s.mean.to_bits(), v.mean.to_bits());
+        prop_assert_eq!(s.m2.to_bits(), v.m2.to_bits());
+    }
+
+    #[test]
+    fn histogram_shapes_partition_identically(vals in values(), bins in 1usize..48) {
+        let (s, v) = both_shapes(|| Histogram::from_values(&vals, bins));
+        prop_assert_eq!(s.min.to_bits(), v.min.to_bits());
+        prop_assert_eq!(s.max.to_bits(), v.max.to_bits());
+        // Out-of-range and non-finite classification is exact in both
+        // shapes; only interior boundary attribution may differ (the
+        // vector shape multiplies by 1/width instead of dividing).
+        prop_assert_eq!(s.underflow, v.underflow);
+        prop_assert_eq!(s.overflow, v.overflow);
+        prop_assert_eq!(s.total(), v.total());
+        prop_assert_eq!(
+            s.counts.iter().sum::<u64>(),
+            v.counts.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn histogram_power_of_two_width_bitwise(
+        raw in prop::collection::vec(-512i32..512, 0..300),
+        bins_log2 in 0u32..5,
+    ) {
+        // On power-of-two bin widths `* (1/w)` and `/ w` are the same
+        // operation, so the shapes must agree bin-for-bin.
+        let vals: Vec<f64> = raw.iter().map(|&v| f64::from(v)).collect();
+        let bins = 1usize << bins_log2;
+        let (s, v) = both_shapes(|| {
+            let mut h = Histogram::new(-256.0, 256.0, bins);
+            h.fill_slice(&vals);
+            h
+        });
+        prop_assert_eq!(&s.counts, &v.counts);
+        prop_assert_eq!(s.underflow, v.underflow);
+        prop_assert_eq!(s.overflow, v.overflow);
+    }
+
+    #[test]
+    fn pearson_shapes_agree(
+        // Finite values plus NaN: the NaN pair-mask is exact in both
+        // shapes, but an infinity turns the second moments into NaN by
+        // different (shape-dependent) propagation paths.
+        x in prop::collection::vec(
+            prop_oneof![9 => -1.0e6..1.0e6f64, 1 => Just(f64::NAN)], 0..200),
+        y in prop::collection::vec(
+            prop_oneof![9 => -1.0e6..1.0e6f64, 1 => Just(f64::NAN)], 0..200),
+    ) {
+        let (s, v) = both_shapes(|| {
+            let mut p = PearsonPartial::new();
+            p.push_slices(&x, &y);
+            p
+        });
+        prop_assert_eq!(s.n, v.n);
+        let (sc, vc) = (s.finish(), v.finish());
+        prop_assert_eq!(sc.is_some(), vc.is_some());
+        if let (Some(a), Some(b)) = (sc, vc) {
+            prop_assert!((a - b).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn count_joint_matches_naive_zip(
+        a in prop::collection::vec(any::<bool>(), 0..4000),
+        b in prop::collection::vec(any::<bool>(), 0..4000),
+    ) {
+        let naive = a.iter().zip(&b).fold((0u64, 0u64, 0u64), |(na, nb, nab), (&x, &y)| {
+            (na + u64::from(x), nb + u64::from(y), nab + u64::from(x && y))
+        });
+        prop_assert_eq!(count_joint(&a, &b), naive);
+    }
+}

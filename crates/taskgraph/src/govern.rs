@@ -142,6 +142,13 @@ impl Drop for CurrentGuard {
     }
 }
 
+/// The token currently installed on this thread, if any. Morsel helper
+/// threads ([`crate::morsel`]) clone it through this accessor so stolen
+/// morsels observe the owning task's cancellation.
+pub fn current_token() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
 /// Whether the current task's token (if any) has fired. This is the
 /// morsel-boundary probe: kernels call it every few thousand elements
 /// and bail early; the scheduler then discards the partial result.

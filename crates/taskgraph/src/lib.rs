@@ -52,6 +52,7 @@ pub mod graph;
 pub mod inject;
 pub mod key;
 pub mod metrics;
+pub mod morsel;
 pub mod ops;
 pub mod outcome;
 pub mod partition;

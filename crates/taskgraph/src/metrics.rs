@@ -416,6 +416,12 @@ pub struct MetricsRegistry {
     pub morsels_total: Counter,
     /// Rows processed across kernel morsels.
     pub morsel_rows_total: Counter,
+    /// Morsels produced by splitting task row ranges for the
+    /// work-stealing engine ([`crate::morsel`]).
+    pub morsels_split_total: Counter,
+    /// Split morsels executed by helper threads (stolen from the back
+    /// of the deque) rather than the owning worker.
+    pub morsels_stolen_total: Counter,
 
     /// Process high-water mark of gauge-charged payload bytes.
     pub mem_peak_bytes: Gauge,
@@ -456,6 +462,8 @@ impl MetricsRegistry {
             budget_trip_runs_total: Counter::new(),
             morsels_total: Counter::new(),
             morsel_rows_total: Counter::new(),
+            morsels_split_total: Counter::new(),
+            morsels_stolen_total: Counter::new(),
             mem_peak_bytes: Gauge::new(),
             cache_resident_bytes: Gauge::new(),
             cache_budget_bytes: Gauge::new(),
@@ -532,6 +540,8 @@ impl MetricsRegistry {
             ("eda_budget_trip_runs_total", "Runs in which the memory budget refused a charge.", &self.budget_trip_runs_total),
             ("eda_morsels_total", "Kernel morsels processed.", &self.morsels_total),
             ("eda_morsel_rows_total", "Rows processed across kernel morsels.", &self.morsel_rows_total),
+            ("eda_morsels_split_total", "Morsels produced for the work-stealing engine.", &self.morsels_split_total),
+            ("eda_morsels_stolen_total", "Split morsels executed by helper threads.", &self.morsels_stolen_total),
         ];
         let gauges: &[(&'static str, &'static str, &Gauge)] = &[
             ("eda_mem_peak_bytes", "Process high-water mark of gauge-charged payload bytes.", &self.mem_peak_bytes),

@@ -91,6 +91,14 @@ pub struct ExecOptions {
     /// by default: unmetered runs branch around every recording site and
     /// stay bit-identical to pre-metrics behaviour.
     pub metrics: bool,
+    /// Morsel size for intra-task work stealing ([`crate::morsel`]),
+    /// in payload bytes (`engine.morsel_bytes`). Kernels that opt in
+    /// split their row ranges into morsels of roughly this many bytes
+    /// and let idle pool workers steal them, levelling skewed
+    /// partitionings. `0` (the default) disables splitting entirely —
+    /// kernels keep their whole-slice paths, bit-identical to
+    /// pre-morsel behaviour.
+    pub morsel_bytes: usize,
 }
 
 /// Result of one execution: an outcome per requested output (same
@@ -247,6 +255,9 @@ pub fn run_single_thread_opts(
 ) -> ExecResult {
     let started = Instant::now();
     let run_id = trace::next_run_id();
+    // Morsel context without a helper budget: kernels still split (for
+    // bounded-latency cancellation probes) but no helpers ever spawn.
+    let _morsel = crate::morsel::engage(opts.morsel_bytes, None);
     let plan = opts.cache.as_ref().map(|h| CachePlan::build(graph, outputs, h));
     let order: Vec<NodeId> = match &plan {
         Some(p) => (0..graph.len()).filter(|&i| p.live[i]).collect(),
@@ -462,6 +473,9 @@ pub fn run_pool_opts(
     // Each worker owns its span buffer (no lock on the recording path);
     // buffers come back through the join handles and merge afterwards.
     let mut span_buffers: Vec<Vec<TaskSpan>> = vec![hit_spans];
+    // Shared idle-capacity tracker: workers parked on the empty ready
+    // queue are capacity a running kernel may donate to morsel helpers.
+    let helper_budget = Arc::new(crate::morsel::HelperBudget::new());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for worker_id in 0..workers {
@@ -470,9 +484,18 @@ pub fn run_pool_opts(
             let results = Arc::clone(&results);
             let evictions = &evictions;
             let retried_tasks = &retried_tasks;
+            let budget = Arc::clone(&helper_budget);
             handles.push(scope.spawn(move || {
+                let _morsel =
+                    crate::morsel::engage(opts.morsel_bytes, Some(Arc::clone(&budget)));
                 let mut span_buf: Vec<TaskSpan> = Vec::new();
-                while let Ok(id) = ready_rx.recv() {
+                loop {
+                    // The park window around the blocking receive is
+                    // exactly when this worker's capacity is stealable.
+                    budget.enter_idle();
+                    let received = ready_rx.recv();
+                    budget.exit_idle();
+                    let Ok(id) = received else { break };
                     // Dependencies completed (with whatever outcome)
                     // before this node became ready. A missing result is
                     // a readiness-invariant violation; it flows into the
@@ -533,7 +556,12 @@ pub fn run_pool_opts(
             }
             for &dep in &dependents[id] {
                 indegrees[dep] -= 1;
-                if indegrees[dep] == 0 && ready_tx.send(dep).is_err() {
+                // A cache hit with live dependencies (its payload can be
+                // served while an upstream cone is still live through a
+                // sibling path) was pre-completed above — its dependents
+                // were already released there, so re-dispatching it here
+                // would double-count and underflow their indegrees.
+                if indegrees[dep] == 0 && !is_hit(dep) && ready_tx.send(dep).is_err() {
                     // Workers already gone; the recv above disconnects
                     // on the next iteration and ends the run.
                     *results[dep].lock() =

@@ -209,3 +209,73 @@ fn pool_panic_isolation_holds_under_stress() {
         assert_eq!(r.stats.tasks_skipped, 1);
     });
 }
+
+/// A cache hit whose dependency is still live through a sibling path
+/// (here: `inc` is warm, but its input `a` stays live because `dbl` is
+/// cold) must not be re-dispatched when that dependency completes — the
+/// hit's dependents were already released at pre-completion, so a second
+/// release double-decrements indegrees. Deterministic regression for the
+/// partially-warm-cache topology the racing model below can produce.
+#[test]
+fn pool_hit_with_live_dependency_is_not_redispatched() {
+    let cache = Arc::new(ResultCache::new(1 << 16));
+    let opts = ExecOptions {
+        cache: Some(CacheHandle::new(Arc::clone(&cache), 0xF00D)),
+        ..Default::default()
+    };
+    // Warm only the `inc` branch.
+    let mut g = TaskGraph::new();
+    let a = g.source("a", TaskKey::leaf("a", 0), || int(10));
+    let b = g.op("inc", 0, vec![a], |d| int(get(&d[0]) + 1));
+    run_pool_opts(&g, &[b], 2, &opts);
+    // The full diamond now sees `inc` as a hit while `a` is live via `dbl`.
+    let (g, out) = diamond();
+    let r = run_pool_opts(&g, &[out], 2, &opts);
+    assert_eq!(get(r.outcomes[0].payload().expect("sum ok")), 31);
+    assert_eq!(r.stats.cache_hits, 1, "inc served from cache");
+    assert_eq!(r.stats.cache_hits + r.stats.tasks_run, r.stats.live_nodes);
+}
+
+/// The morsel deque's exactly-once claim invariant: an owner draining
+/// the front races thieves stealing from the back, and every slot is
+/// claimed exactly once in every interleaving (the advisory cursors may
+/// pass each other; the per-slot CAS must still arbitrate).
+#[test]
+fn steal_deque_claims_every_slot_exactly_once() {
+    use eda_taskgraph::morsel::StealDeque;
+    loom::model(|| {
+        const SLOTS: usize = 24;
+        let deque = Arc::new(StealDeque::new(SLOTS));
+        let claims: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..SLOTS).map(|_| AtomicUsize::new(0)).collect());
+        let mut handles = Vec::new();
+        {
+            // Owner: drains from the front until exhaustion.
+            let deque = Arc::clone(&deque);
+            let claims = Arc::clone(&claims);
+            handles.push(loom::thread::spawn(move || {
+                while let Some(i) = deque.claim_front() {
+                    claims[i].fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for _ in 0..2 {
+            // Thieves: steal from the back.
+            let deque = Arc::clone(&deque);
+            let claims = Arc::clone(&claims);
+            handles.push(loom::thread::spawn(move || {
+                while let Some(i) = deque.claim_back() {
+                    claims[i].fetch_add(1, Ordering::SeqCst);
+                    loom::thread::yield_now();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "slot {i} claimed {} times", c.load(Ordering::SeqCst));
+        }
+        assert_eq!(deque.remaining(), 0);
+    });
+}
