@@ -1,0 +1,341 @@
+//! `eda-ingest` — the ingestion benchmark behind `BENCH_ingest.json`.
+//!
+//! Measures the chunked-parallel CSV pipeline against the sequential
+//! single-pass reader on the same synthetic file, plus the two claims
+//! the `.edaf` columnar format makes:
+//!
+//!   1. **Throughput** — rows/sec sequential vs parallel (8 workers,
+//!      chunk budget = file/8 so the file is well beyond 4× one chunk).
+//!   2. **Bounded staging** — allocator-counted peak of the streaming
+//!      fold ([`eda_io::fold_csv`], chunks dropped per wave) vs the
+//!      full-frame sequential load.
+//!   3. **O(1) projection** — reading one column out of `.edaf` via the
+//!      footer vs re-parsing the whole CSV.
+//!
+//! ```text
+//! eda-ingest [--smoke] [--rows N] [--workers N] [--json out.json]
+//! ```
+//!
+//! The JSON keys are gated by `bench-regress --experiment ingest` on the
+//! ratio metrics only (`parallel_speedup`, `staging_reduction`,
+//! `projection_speedup`); absolute times vary with runner hardware.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use eda_bench::{arg_f64, arg_flag, arg_str, machine_context, measure, peak_rss_bytes, print_table};
+use eda_io::{fold_csv, read_csv_chunked, read_edaf_columns, write_edaf, IngestOptions};
+
+/// Counting allocator: tracks the live set and a resettable high-water
+/// mark so each pipeline stage reports its own staging peak.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: defers all allocation to `System`; the atomic bookkeeping
+// around it performs no allocation and cannot panic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwards the caller's (ptr, layout) contract to System
+        // unchanged.
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwards the caller's (ptr, layout, new_size) contract
+        // to System unchanged.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            let live = if new_size >= layout.size() {
+                LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size()
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed)
+                    - (layout.size() - new_size)
+            };
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Reset the stage peak to the current live set and return the live
+/// bytes at the reset point.
+fn reset_peak() -> usize {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
+
+/// Bytes the current stage allocated above its starting live set.
+fn stage_peak(live_at_start: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(live_at_start)
+}
+
+/// Deterministic xorshift so the file is identical across runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+const CITIES: &[&str] =
+    &["Vancouver", "Burnaby", "Surrey", "Richmond", "\"North, Van\"", "Coquitlam"];
+
+/// Synthesize a hostile-but-realistic CSV: floats, ints, a quoted
+/// categorical with embedded commas, bools, and ~2% NA nulls.
+fn write_csv(path: &std::path::Path, rows: usize) -> u64 {
+    let file = std::fs::File::create(path).expect("create bench csv");
+    let mut w = std::io::BufWriter::new(file);
+    w.write_all(b"id,price,qty,city,active\n").expect("write header");
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    for i in 0..rows {
+        let r = rng.next();
+        let price = (r % 900_000) as f64 / 100.0 + 100.0;
+        let qty = (r >> 32) % 500;
+        let city = CITIES[(r % CITIES.len() as u64) as usize];
+        let active = if r & 1 == 0 { "true" } else { "false" };
+        if r.is_multiple_of(50) {
+            writeln!(w, "{i},NA,{qty},{city},{active}").expect("write row");
+        } else {
+            writeln!(w, "{i},{price:.2},{qty},{city},{active}").expect("write row");
+        }
+    }
+    w.flush().expect("flush bench csv");
+    std::fs::metadata(path).expect("stat bench csv").len()
+}
+
+fn rows_per_s(rows: usize, d: Duration) -> f64 {
+    rows as f64 / d.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let rows =
+        if arg_flag("--smoke") { 100_000 } else { arg_f64("--rows", 500_000.0) as usize };
+    let workers = arg_f64("--workers", 8.0) as usize;
+    const ITERS: usize = 3;
+
+    let dir = std::env::temp_dir().join(format!("eda_ingest_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let csv_path = dir.join("ingest.csv");
+    let edaf_path = dir.join("ingest.edaf");
+    let file_bytes = write_csv(&csv_path, rows);
+
+    // Chunk budget = file/8: at least 8 chunks, so the file is ≥ 4× one
+    // chunk and the out-of-core claim is actually exercised.
+    let chunk_bytes = (file_bytes as usize / 8).max(4096);
+
+    println!(
+        "ingest bench: {rows} rows ({file_bytes} bytes), chunk {chunk_bytes} bytes, \
+         {workers} workers, min of {ITERS} runs"
+    );
+    println!("{}", machine_context());
+    println!();
+
+    let seq_opts = IngestOptions { chunk_bytes: 0, workers: 1, ..IngestOptions::default() };
+    let par_opts = IngestOptions { chunk_bytes, workers, ..IngestOptions::default() };
+
+    // Correctness gate before timing anything: chunked-parallel must be
+    // bit-identical (logical content fingerprint) to sequential.
+    let seq_frame = read_csv_chunked(&csv_path, &seq_opts).expect("sequential read");
+    let par_frame = read_csv_chunked(&csv_path, &par_opts).expect("parallel read");
+    assert_eq!(seq_frame, par_frame, "parallel ingest must equal sequential");
+    assert_eq!(
+        seq_frame.content_fingerprint(),
+        par_frame.content_fingerprint(),
+        "parallel ingest must be bit-identical to sequential"
+    );
+    drop(par_frame);
+
+    // Stage 1: sequential single-pass load.
+    let live = reset_peak();
+    let mut seq_time = Duration::MAX;
+    let mut seq_peak = 0usize;
+    for i in 0..ITERS {
+        let (out, t) = measure(|| read_csv_chunked(&csv_path, &seq_opts).expect("seq read"));
+        if i == 0 {
+            seq_peak = stage_peak(live);
+        }
+        seq_time = seq_time.min(t);
+        drop(out);
+    }
+
+    // Stage 2: chunked-parallel load.
+    let live = reset_peak();
+    let mut par_time = Duration::MAX;
+    let mut par_peak = 0usize;
+    for i in 0..ITERS {
+        let (out, t) = measure(|| read_csv_chunked(&csv_path, &par_opts).expect("par read"));
+        if i == 0 {
+            par_peak = stage_peak(live);
+        }
+        par_time = par_time.min(t);
+        drop(out);
+    }
+
+    // Stage 3: streaming fold — chunks dropped per wave, so the peak
+    // must stay O(chunk × workers × wave_factor), not O(file). A tight
+    // budget (file/32, 2 workers → 4-chunk waves) keeps at most ~1/8 of
+    // the file staged at once; the sequential load above stages all of
+    // it.
+    let stream_opts = IngestOptions {
+        chunk_bytes: (file_bytes as usize / 32).max(4096),
+        workers: 2,
+        ..IngestOptions::default()
+    };
+    let live = reset_peak();
+    let mut fold_rows = 0u64;
+    let outcome = fold_csv(&csv_path, &stream_opts, |chunk| {
+        fold_rows += chunk.nrows() as u64;
+        Ok(())
+    })
+    .expect("fold run");
+    let stream_peak = stage_peak(live);
+    assert_eq!(fold_rows, rows as u64, "fold must see every row exactly once");
+    assert_eq!(outcome.rows, rows as u64);
+
+    // Stage 4: .edaf write, then single-column projection vs a full CSV
+    // re-parse — the O(1)-projection claim.
+    let info = write_edaf(&edaf_path, &seq_frame).expect("write edaf");
+    assert_eq!(info.content_fingerprint, seq_frame.content_fingerprint());
+    let mut col_time = Duration::MAX;
+    for _ in 0..ITERS {
+        let (out, t) =
+            measure(|| read_edaf_columns(&edaf_path, &["price"]).expect("projected read"));
+        col_time = col_time.min(t);
+        assert_eq!(out.ncols(), 1);
+        assert_eq!(out.column("price").expect("price column"), seq_frame.column("price").expect("price column"));
+        drop(out);
+    }
+    drop(seq_frame);
+
+    let parallel_speedup = seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9);
+    let staging_reduction = seq_peak as f64 / stream_peak.max(1) as f64;
+    let projection_speedup = seq_time.as_secs_f64() / col_time.as_secs_f64().max(1e-9);
+
+    print_table(
+        &["Stage", "Time", "Rows/s", "Stage peak heap"],
+        &[
+            vec![
+                "sequential parse".into(),
+                fmt_us(seq_time),
+                fmt_meps(rows_per_s(rows, seq_time)),
+                fmt_bytes(seq_peak),
+            ],
+            vec![
+                format!("parallel parse ({workers}w)"),
+                fmt_us(par_time),
+                fmt_meps(rows_per_s(rows, par_time)),
+                fmt_bytes(par_peak),
+            ],
+            vec![
+                "streaming fold".into(),
+                "-".into(),
+                "-".into(),
+                fmt_bytes(stream_peak),
+            ],
+            vec![
+                "edaf 1-col projection".into(),
+                fmt_us(col_time),
+                "-".into(),
+                fmt_bytes(info.file_bytes as usize),
+            ],
+        ],
+    );
+    println!();
+    println!(
+        "parallel speedup: {parallel_speedup:.2}x   staging reduction (seq peak / fold peak): \
+         {staging_reduction:.1}x   projection speedup: {projection_speedup:.1}x"
+    );
+    println!(
+        "edaf: {} -> {} bytes   waves: {}   process peak RSS: {}",
+        file_bytes,
+        info.file_bytes,
+        outcome.waves.waves,
+        fmt_bytes(peak_rss_bytes() as usize)
+    );
+
+    if let Some(path) = arg_str("--json") {
+        let json = format!(
+            concat!(
+                "{{\"experiment\":\"ingest\",\"rows\":{},\"workers\":{},",
+                "\"file_bytes\":{},\"chunk_bytes\":{},",
+                "\"seq_us\":{},\"par_us\":{},",
+                "\"seq_rows_per_s\":{:.0},\"par_rows_per_s\":{:.0},",
+                "\"parallel_speedup\":{:.3},",
+                "\"seq_staging_peak_bytes\":{},\"par_staging_peak_bytes\":{},",
+                "\"stream_peak_bytes\":{},\"staging_reduction\":{:.3},",
+                "\"edaf_bytes\":{},\"csv_parse_us\":{},\"edaf_col_us\":{},",
+                "\"projection_speedup\":{:.3},\"peak_rss_bytes\":{}}}"
+            ),
+            rows,
+            workers,
+            file_bytes,
+            chunk_bytes,
+            seq_time.as_micros(),
+            par_time.as_micros(),
+            rows_per_s(rows, seq_time),
+            rows_per_s(rows, par_time),
+            parallel_speedup,
+            seq_peak,
+            par_peak,
+            stream_peak,
+            staging_reduction,
+            info.file_bytes,
+            seq_time.as_micros(),
+            col_time.as_micros(),
+            projection_speedup,
+            peak_rss_bytes(),
+        );
+        std::fs::write(&path, json).expect("write ingest json");
+        println!("results written to {path}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn fmt_us(d: Duration) -> String {
+    let us = d.as_micros();
+    if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn fmt_meps(rps: f64) -> String {
+    format!("{:.2}M/s", rps / 1e6)
+}
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}

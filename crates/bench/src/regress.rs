@@ -281,6 +281,43 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
             },
         ],
     },
+    ExperimentSpec {
+        name: "ingest",
+        required: &[
+            "experiment",
+            "rows",
+            "workers",
+            "file_bytes",
+            "chunk_bytes",
+            "seq_us",
+            "par_us",
+            "seq_rows_per_s",
+            "par_rows_per_s",
+            "parallel_speedup",
+            "seq_staging_peak_bytes",
+            "par_staging_peak_bytes",
+            "stream_peak_bytes",
+            "staging_reduction",
+            "edaf_bytes",
+            "csv_parse_us",
+            "edaf_col_us",
+            "projection_speedup",
+            "peak_rss_bytes",
+        ],
+        gated: &[
+            // Wall-clock ratios: wide band for scheduler noise, like the
+            // other speedups above.
+            MetricSpec { key: "parallel_speedup", higher_is_better: true, tolerance_scale: 4.0 },
+            MetricSpec {
+                key: "projection_speedup",
+                higher_is_better: true,
+                tolerance_scale: 4.0,
+            },
+            // Allocator-counted peaks are deterministic for a fixed chunk
+            // plan; the base tolerance suffices.
+            MetricSpec { key: "staging_reduction", higher_is_better: true, tolerance_scale: 1.0 },
+        ],
+    },
 ];
 
 /// Look up an experiment spec by name.

@@ -242,6 +242,20 @@ pub struct EngineConfig {
     /// without it this flag is ignored and the scalar kernels run.
     /// `false` forces the scalar kernels even in `simd` builds.
     pub simd: bool,
+    /// Target chunk size in bytes for parallel CSV ingestion. The
+    /// reader scans record boundaries once, splits the file into
+    /// chunks of roughly this size, and parses them concurrently on
+    /// the worker pool; peak staging memory is O(chunk × workers)
+    /// instead of O(file). `0` disables chunking — loads then run the
+    /// sequential single-pass reader, bit-identical to the pre-chunk
+    /// engine. Purely an ingestion knob — never part of task keys.
+    pub ingest_chunk_bytes: usize,
+    /// Memory-map input files during ingestion instead of buffered
+    /// positional reads (zero-copy chunk access on platforms that
+    /// support it; silently falls back to buffered reads elsewhere).
+    /// Results are identical either way — this only changes the I/O
+    /// path. Never part of task keys.
+    pub mmap: bool,
 }
 
 /// Figure-size parameters consumed by the render layer.
@@ -342,6 +356,8 @@ impl Default for Config {
                 metrics: false,
                 morsel_bytes: 256 << 10,
                 simd: true,
+                ingest_chunk_bytes: 8 << 20,
+                mmap: false,
             },
             display: DisplayConfig { width: 450, height: 300 },
         }
@@ -455,6 +471,10 @@ impl Config {
             "engine.metrics" => self.engine.metrics = bool_of(key, value)?,
             "engine.morsel_bytes" => self.engine.morsel_bytes = usize_of(key, value)?,
             "engine.simd" => self.engine.simd = bool_of(key, value)?,
+            "engine.ingest_chunk_bytes" => {
+                self.engine.ingest_chunk_bytes = usize_of(key, value)?
+            }
+            "engine.mmap" => self.engine.mmap = bool_of(key, value)?,
             "display.width" => self.display.width = usize_of(key, value)?.max(50),
             "display.height" => self.display.height = usize_of(key, value)?.max(50),
             _ => {

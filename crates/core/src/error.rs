@@ -271,6 +271,7 @@ mod tests {
     fn malformed_csv_surfaces_as_frame_error() {
         let fe = eda_dataframe::Error::Malformed {
             line: 3,
+            offset: Some(8),
             column: Some("price".into()),
             message: "expected 2 fields, found 1".into(),
         };

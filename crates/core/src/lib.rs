@@ -48,6 +48,7 @@ pub mod handle;
 pub mod insights;
 pub mod intermediate;
 pub mod json;
+pub mod load;
 pub mod report;
 
 pub use api::{
@@ -60,5 +61,6 @@ pub use handle::{create_report_handle, plot_handle, AnalysisHandle};
 pub use dtype::SemanticType;
 pub use error::{EdaError, EdaResult};
 pub use insights::{Insight, InsightKind};
+pub use load::{convert_to_edaf, load_csv, load_data};
 pub use intermediate::{Inter, Intermediates};
 pub use report::{Report, VariableSection};

@@ -10,8 +10,10 @@ use crate::dtype::DataType;
 /// Default spellings treated as null (after trimming).
 pub(crate) const NULL_LEXICON: &[&str] = &["", "NA", "N/A", "na", "null", "NULL", "None", "nan", "NaN"];
 
-/// Whether a raw field should be read as null.
-pub(crate) fn is_null_field(field: &str, extra: &[String]) -> bool {
+/// Whether a field (after trim) spells null: the built-in lexicon plus
+/// caller-supplied extras. Public so the chunked reader in `eda-io`
+/// shares the exact null semantics.
+pub fn is_null_field(field: &str, extra: &[String]) -> bool {
     let t = field.trim();
     NULL_LEXICON.contains(&t) || extra.iter().any(|n| n == t)
 }
@@ -33,8 +35,9 @@ pub fn infer_dtype(field: &str) -> Option<DataType> {
     }
 }
 
-/// Widen `a` to also accommodate `b` along the bool → i64 → f64 → str chain.
-pub(crate) fn widen(a: DataType, b: DataType) -> DataType {
+/// Join of the widening chain bool → i64 → f64 → str. Public so chunked
+/// ingestion can fold per-chunk schemas with the same lattice.
+pub fn widen(a: DataType, b: DataType) -> DataType {
     use DataType::*;
     match (a, b) {
         (x, y) if x == y => x,

@@ -11,7 +11,9 @@ mod parser;
 mod reader;
 mod writer;
 
-pub use infer::{infer_dtype, infer_schema};
-pub use parser::{parse_line, split_records};
+pub mod chunk;
+
+pub use infer::{infer_dtype, infer_schema, is_null_field, widen};
+pub use parser::{parse_line, split_records, split_records_offsets};
 pub use reader::{read_csv, read_csv_str, CsvOptions};
 pub use writer::{write_csv, write_csv_string};

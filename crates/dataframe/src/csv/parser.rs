@@ -11,6 +11,13 @@ use crate::error::{Error, Result};
 /// terminator. Both `\n` and `\r\n` are accepted. A trailing newline does
 /// not produce an empty final record.
 pub fn split_records(text: &str) -> Vec<&str> {
+    split_records_offsets(text).into_iter().map(|(_, r)| r).collect()
+}
+
+/// Like [`split_records`], but each record carries the byte offset of its
+/// first byte within `text`, so callers (notably the chunked reader) can
+/// report absolute file positions in errors.
+pub fn split_records_offsets(text: &str) -> Vec<(u64, &str)> {
     let bytes = text.as_bytes();
     let mut records = Vec::new();
     let mut start = 0;
@@ -24,7 +31,7 @@ pub fn split_records(text: &str) -> Vec<&str> {
                 if end > start && bytes[end - 1] == b'\r' {
                     end -= 1;
                 }
-                records.push(&text[start..end]);
+                records.push((start as u64, &text[start..end]));
                 start = i + 1;
             }
             _ => {}
@@ -36,7 +43,7 @@ pub fn split_records(text: &str) -> Vec<&str> {
         if end > start && bytes[end - 1] == b'\r' {
             end -= 1;
         }
-        records.push(&text[start..end]);
+        records.push((start as u64, &text[start..end]));
     }
     records
 }
@@ -121,6 +128,16 @@ mod tests {
     fn split_respects_quoted_newlines() {
         let recs = split_records("a,\"x\ny\"\nb,c\n");
         assert_eq!(recs, vec!["a,\"x\ny\"", "b,c"]);
+    }
+
+    #[test]
+    fn split_offsets_are_record_starts() {
+        let text = "a,b\nc,\"x\ny\"\r\nd,e";
+        let recs = split_records_offsets(text);
+        assert_eq!(recs, vec![(0, "a,b"), (4, "c,\"x\ny\""), (13, "d,e")]);
+        for (off, rec) in recs {
+            assert!(text[off as usize..].starts_with(rec));
+        }
     }
 
     #[test]

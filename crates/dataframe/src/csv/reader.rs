@@ -8,7 +8,7 @@ use crate::error::{Error, Result};
 use crate::frame::DataFrame;
 
 use super::infer::{infer_schema, is_null_field, widen};
-use super::parser::{parse_line, split_records};
+use super::parser::{parse_line, split_records_offsets};
 
 /// Options controlling CSV ingestion.
 #[derive(Debug, Clone)]
@@ -40,20 +40,26 @@ impl Default for CsvOptions {
 /// offset, not a bare I/O failure.
 pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<DataFrame> {
     let bytes = fs::read(path)?;
-    let text = String::from_utf8(bytes).map_err(|e| Error::Malformed {
-        line: 0,
-        column: None,
-        message: format!(
-            "file is not valid UTF-8 (first bad byte at offset {})",
-            e.utf8_error().valid_up_to()
-        ),
-    })?;
+    let text = String::from_utf8(bytes).map_err(|e| utf8_error(&e.utf8_error(), 0))?;
     read_csv_str(&text, &CsvOptions::default())
 }
 
-fn ragged_row(line: usize, expected: usize, found: usize) -> Error {
+/// Build the canonical invalid-UTF-8 error for a failed validation whose
+/// input started at absolute byte `base` of the source.
+pub(crate) fn utf8_error(e: &std::str::Utf8Error, base: u64) -> Error {
+    let offset = base + e.valid_up_to() as u64;
+    Error::Malformed {
+        line: 0,
+        offset: Some(offset),
+        column: None,
+        message: format!("file is not valid UTF-8 (first bad byte at offset {offset})"),
+    }
+}
+
+pub(crate) fn ragged_row(line: usize, offset: u64, expected: usize, found: usize) -> Error {
     Error::Malformed {
         line,
+        offset: Some(offset),
         column: None,
         message: format!("expected {expected} fields, found {found}"),
     }
@@ -61,16 +67,16 @@ fn ragged_row(line: usize, expected: usize, found: usize) -> Error {
 
 /// Parse CSV text into a frame.
 pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
-    let records = split_records(text);
+    let records = split_records_offsets(text);
     if records.is_empty() {
         return Ok(DataFrame::empty());
     }
 
     let (header, data_records, first_data_line) = if options.has_header {
-        let header = parse_line(records[0], options.separator, 1)?;
+        let header = parse_line(records[0].1, options.separator, 1)?;
         (header, &records[1..], 2usize)
     } else {
-        let ncols = parse_line(records[0], options.separator, 1)?.len();
+        let ncols = parse_line(records[0].1, options.separator, 1)?.len();
         let header = (0..ncols).map(|i| format!("column_{i}")).collect();
         (header, &records[..], 1usize)
     };
@@ -81,12 +87,12 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
         .iter()
         .take(options.infer_rows)
         .enumerate()
-        .map(|(i, rec)| parse_line(rec, options.separator, first_data_line + i))
+        .map(|(i, (_, rec))| parse_line(rec, options.separator, first_data_line + i))
         .collect();
     let sample = sample?;
     for (i, row) in sample.iter().enumerate() {
         if row.len() != ncols {
-            return Err(ragged_row(first_data_line + i, ncols, row.len()));
+            return Err(ragged_row(first_data_line + i, data_records[i].0, ncols, row.len()));
         }
     }
     let mut schema = infer_schema(sample.iter(), ncols);
@@ -95,14 +101,14 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
     // sampled type. Widening restarts the affected column from raw fields,
     // so all raw fields are retained until the end.
     let mut raw_columns: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
-    for (i, rec) in data_records.iter().enumerate() {
+    for (i, (rec_offset, rec)) in data_records.iter().enumerate() {
         let row = if i < sample.len() {
             sample[i].clone()
         } else {
             parse_line(rec, options.separator, first_data_line + i)?
         };
         if row.len() != ncols {
-            return Err(ragged_row(first_data_line + i, ncols, row.len()));
+            return Err(ragged_row(first_data_line + i, *rec_offset, ncols, row.len()));
         }
         for (c, field) in row.into_iter().enumerate() {
             if is_null_field(&field, &options.extra_nulls) {
@@ -129,6 +135,7 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame> {
                         // as a recoverable error rather than a panic.
                         return Err(Error::Malformed {
                             line: 0,
+                            offset: None,
                             column: Some(name),
                             message: format!(
                                 "field {f:?} does not parse as inferred type {}",
@@ -215,8 +222,9 @@ mod tests {
         let csv = "a,b\n1,2\n3\n";
         let err = read_csv_str(csv, &CsvOptions::default()).unwrap_err();
         match err {
-            Error::Malformed { line, message, .. } => {
+            Error::Malformed { line, offset, message, .. } => {
                 assert_eq!(line, 3);
+                assert_eq!(offset, Some(8), "byte offset of the record \"3\"");
                 assert!(message.contains("expected 2 fields"), "{message}");
             }
             other => panic!("expected malformed error, got {other:?}"),
@@ -256,7 +264,8 @@ mod tests {
         std::fs::write(&path, b"a,b\n1,\xFF\xFE\n").unwrap();
         let err = read_csv(&path).unwrap_err();
         match err {
-            Error::Malformed { column: None, message, .. } => {
+            Error::Malformed { column: None, offset, message, .. } => {
+                assert_eq!(offset, Some(6));
                 assert!(message.contains("UTF-8"), "{message}");
                 assert!(message.contains("offset 6"), "{message}");
             }

@@ -51,6 +51,11 @@ pub enum Error {
         /// 1-based line number where the problem occurred (0 when the
         /// problem is not tied to a line, e.g. bad encoding).
         line: usize,
+        /// Absolute byte offset into the source where the offending
+        /// record (or first bad byte) starts, when known. Survives
+        /// chunked ingestion: chunk-local offsets are rebased onto the
+        /// whole file before the error escapes.
+        offset: Option<u64>,
         /// The offending column's name, when known.
         column: Option<String>,
         /// Human-readable description.
@@ -76,10 +81,13 @@ impl fmt::Display for Error {
                 write!(f, "index {index} out of bounds for length {len}")
             }
             Error::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
-            Error::Malformed { line, column, message } => {
+            Error::Malformed { line, offset, column, message } => {
                 write!(f, "malformed input")?;
                 if *line > 0 {
                     write!(f, " at line {line}")?;
+                }
+                if let Some(o) = offset {
+                    write!(f, " (byte {o})")?;
                 }
                 if let Some(c) = column {
                     write!(f, " (column {c:?})")?;
@@ -128,14 +136,16 @@ mod tests {
     fn display_malformed_variants() {
         let full = Error::Malformed {
             line: 4,
+            offset: Some(31),
             column: Some("price".into()),
             message: "field \"x\" does not parse as float64".into(),
         };
         assert_eq!(
             full.to_string(),
-            "malformed input at line 4 (column \"price\"): field \"x\" does not parse as float64"
+            "malformed input at line 4 (byte 31) (column \"price\"): field \"x\" does not parse as float64"
         );
-        let bare = Error::Malformed { line: 0, column: None, message: "not valid UTF-8".into() };
+        let bare =
+            Error::Malformed { line: 0, offset: None, column: None, message: "not valid UTF-8".into() };
         assert_eq!(bare.to_string(), "malformed input: not valid UTF-8");
     }
 

@@ -117,6 +117,24 @@ impl DataFrame {
         h.finish()
     }
 
+    /// O(rows) content fingerprint: column names plus every value and the
+    /// full validity of each column, ignoring buffer identity. Two
+    /// logically equal frames fingerprint identically even when built in
+    /// different processes — this is what the `.edaf` on-disk format
+    /// stores in its footer so a converted file can be matched back to
+    /// the frame it came from.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv::new();
+        h.write_u64(self.nrows as u64);
+        h.write_u64(self.columns.len() as u64);
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            h.write_u64(name.len() as u64);
+            h.write(name.as_bytes());
+            col.fingerprint_into(&mut h, true);
+        }
+        h.finish()
+    }
+
     /// Copy-on-write detach of one column: re-packs its window into fresh
     /// uniquely owned buffers (see [`Column::make_unique`]), which changes
     /// the frame's [`DataFrame::fingerprint`]. The step before mutating a

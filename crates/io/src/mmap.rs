@@ -1,0 +1,184 @@
+//! Read-only file memory mapping behind the `engine.mmap` knob.
+//!
+//! The workspace vendors no libc, so the mapping is made with raw Linux
+//! x86_64 syscalls (`mmap`/`munmap` via the `syscall` instruction),
+//! compiled only on that platform and excluded under Miri (Miri cannot
+//! model foreign memory). Everywhere else [`MmapRegion::map`] reports
+//! unsupported and the byte source falls back to buffered positional
+//! reads — same results, different I/O path.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+mod sys {
+    use super::*;
+    use std::os::unix::io::AsRawFd;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Whether this build can map files at all.
+    pub const SUPPORTED: bool = true;
+
+    /// A read-only private mapping of the first `len` bytes of `file`.
+    pub struct MmapRegion {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the region is immutable for its whole lifetime (PROT_READ,
+    // MAP_PRIVATE — writes by other processes are not reflected), so
+    // sharing the pointer across threads is sound; the kernel keeps the
+    // mapping alive until munmap in Drop.
+    unsafe impl Send for MmapRegion {}
+    // SAFETY: see Send above — &MmapRegion only exposes &[u8] reads of
+    // immutable pages.
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Map `len` bytes of `file` read-only. Fails with
+        /// `InvalidInput` for empty files (the kernel rejects
+        /// zero-length mappings) and surfaces the raw errno otherwise.
+        pub fn map(file: &File, len: usize) -> io::Result<MmapRegion> {
+            if len == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cannot mmap an empty file",
+                ));
+            }
+            let fd = file.as_raw_fd();
+            let ret: isize;
+            // SAFETY: a well-formed mmap(NULL, len, PROT_READ,
+            // MAP_PRIVATE, fd, 0) syscall: len > 0 is checked above, fd
+            // is a live descriptor borrowed from `file` for the duration
+            // of the call, and the kernel picks the address. rcx/r11 are
+            // declared clobbered (the syscall instruction overwrites
+            // them); no Rust memory is touched.
+            unsafe {
+                std::arch::asm!(
+                    "syscall",
+                    inlateout("rax") SYS_MMAP as isize => ret,
+                    in("rdi") 0usize,
+                    in("rsi") len,
+                    in("rdx") PROT_READ,
+                    in("r10") MAP_PRIVATE,
+                    in("r8") fd as isize,
+                    in("r9") 0usize,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack),
+                );
+            }
+            if (-4095..0).contains(&ret) {
+                return Err(io::Error::from_raw_os_error(-ret as i32));
+            }
+            Ok(MmapRegion { ptr: ret as *const u8, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr..ptr+len is exactly the region the kernel
+            // returned from mmap and stays mapped until Drop; u8 has no
+            // alignment or validity requirements.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            let ret: isize;
+            // SAFETY: munmap of the exact (ptr, len) pair returned by
+            // the successful mmap in `map`; the region is never touched
+            // after this call (Drop consumes the only owner).
+            unsafe {
+                std::arch::asm!(
+                    "syscall",
+                    inlateout("rax") SYS_MUNMAP as isize => ret,
+                    in("rdi") self.ptr,
+                    in("rsi") self.len,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack),
+                );
+            }
+            // Failure leaks the mapping; nothing sound to do in Drop.
+            let _ = ret;
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+mod sys {
+    use super::*;
+
+    /// Whether this build can map files at all.
+    pub const SUPPORTED: bool = false;
+
+    /// Stub: mapping is unsupported on this platform/interpreter.
+    pub struct MmapRegion {
+        never: std::convert::Infallible,
+    }
+
+    impl MmapRegion {
+        /// Always fails; callers fall back to buffered reads.
+        pub fn map(_file: &File, _len: usize) -> io::Result<MmapRegion> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap is not supported on this platform",
+            ))
+        }
+
+        /// Unreachable: no value of this type can exist.
+        pub fn as_slice(&self) -> &[u8] {
+            match self.never {}
+        }
+    }
+}
+
+pub use sys::{MmapRegion, SUPPORTED};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_a_real_file_or_reports_unsupported() {
+        let dir = std::env::temp_dir().join("eda_io_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        let payload = b"hello mapped world";
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(payload).unwrap();
+        }
+        let f = File::open(&path).unwrap();
+        let mapped = MmapRegion::map(&f, payload.len());
+        assert_eq!(
+            mapped.is_ok(),
+            SUPPORTED,
+            "map outcome must match platform support: {:?}",
+            mapped.as_ref().err()
+        );
+        if let Ok(region) = mapped {
+            assert_eq!(region.as_slice(), payload);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let dir = std::env::temp_dir().join("eda_io_mmap_test_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.bin");
+        File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        assert!(MmapRegion::map(&f, 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,145 @@
+//! `.edaf` format integration tests: round-trips across every dtype
+//! (nulls included), O(1) column projection, footer metadata, and
+//! corruption handling.
+
+// Test code asserts freely; the package-level unwrap/expect deny
+// targets shipped code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use eda_dataframe::csv::{read_csv_str, CsvOptions};
+use eda_dataframe::{Column, DataFrame, DataType, Error};
+use eda_io::edaf::{edaf_info, read_edaf, read_edaf_columns, write_edaf};
+use std::io::Write;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("eda_io_edaf_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A frame with all four dtypes and nulls in each.
+fn all_types_frame() -> DataFrame {
+    DataFrame::new(vec![
+        (
+            "f".into(),
+            Column::from_opt_f64(vec![Some(1.5), None, Some(-0.0), Some(f64::MAX), None]),
+        ),
+        ("i".into(), Column::from_opt_i64(vec![Some(i64::MIN), Some(0), None, Some(42), Some(42)])),
+        (
+            "s".into(),
+            Column::from_opt_string(vec![
+                Some("alpha".into()),
+                Some("".into()),
+                Some("naïve \"q\"\nline".into()),
+                None,
+                Some("alpha".into()),
+            ]),
+        ),
+        ("b".into(), Column::from_opt_bool(vec![Some(true), None, Some(false), Some(true), None])),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn round_trip_preserves_every_dtype_and_null() {
+    let df = all_types_frame();
+    let path = temp_path("roundtrip.edaf");
+    let info = write_edaf(&path, &df).unwrap();
+    let back = read_edaf(&path).unwrap();
+    assert_eq!(back, df);
+    assert_eq!(back.content_fingerprint(), df.content_fingerprint());
+    assert_eq!(info.content_fingerprint, back.content_fingerprint());
+    assert_eq!(info.nrows, 5);
+    assert_eq!(info.ncols(), 4);
+    assert_eq!(info.file_bytes, std::fs::metadata(&path).unwrap().len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn csv_to_edaf_round_trip_is_bit_identical() {
+    let csv = "a,b,c\n1,x,2.5\n2,NA,NA\n3,\"y,z\",0.25\n";
+    let df = read_csv_str(csv, &CsvOptions::default()).unwrap();
+    let path = temp_path("from_csv.edaf");
+    write_edaf(&path, &df).unwrap();
+    let back = read_edaf(&path).unwrap();
+    assert_eq!(back, df);
+    assert_eq!(back.content_fingerprint(), df.content_fingerprint());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn projection_reads_only_requested_columns() {
+    let df = all_types_frame();
+    let path = temp_path("project.edaf");
+    write_edaf(&path, &df).unwrap();
+
+    let projected = read_edaf_columns(&path, &["s", "f"]).unwrap();
+    assert_eq!(projected.names(), ["s", "f"]);
+    assert_eq!(projected.nrows(), df.nrows());
+    assert_eq!(projected.column("s").unwrap(), df.column("s").unwrap());
+    assert_eq!(projected.column("f").unwrap(), df.column("f").unwrap());
+
+    let missing = read_edaf_columns(&path, &["nope"]).unwrap_err();
+    assert_eq!(missing, Error::ColumnNotFound("nope".into()));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn info_reports_encodings_without_reading_data() {
+    // A long constant int column must pick RLE; a two-category string
+    // column must pick the dictionary.
+    let df = DataFrame::new(vec![
+        ("k".into(), Column::from_i64(vec![7; 10_000])),
+        (
+            "cat".into(),
+            Column::from_string((0..10_000).map(|i| if i % 2 == 0 { "yes" } else { "no" }.into()).collect()),
+        ),
+    ])
+    .unwrap();
+    let path = temp_path("encodings.edaf");
+    let written = write_edaf(&path, &df).unwrap();
+    let info = edaf_info(&path).unwrap();
+    assert_eq!(info, written);
+    let k = &info.columns[0];
+    assert_eq!(k.dtype, DataType::Int64);
+    assert!(k.byte_len < 100, "RLE page for a constant column must be tiny, got {}", k.byte_len);
+    let cat = &info.columns[1];
+    assert_eq!(cat.dtype, DataType::Str);
+    assert!(
+        cat.byte_len < 2 * 10_000,
+        "dict page must beat plain strings, got {}",
+        cat.byte_len
+    );
+    // The whole file is far smaller than the naive 8B-per-int layout.
+    assert!(info.file_bytes < 40_000, "file_bytes = {}", info.file_bytes);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_frame_round_trips() {
+    let df = DataFrame::empty();
+    let path = temp_path("empty.edaf");
+    write_edaf(&path, &df).unwrap();
+    let back = read_edaf(&path).unwrap();
+    assert_eq!(back.ncols(), 0);
+    assert_eq!(back.nrows(), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_and_foreign_files_error_cleanly() {
+    let not_edaf = temp_path("not.edaf");
+    std::fs::File::create(&not_edaf).unwrap().write_all(b"a,b\n1,2\n").unwrap();
+    assert!(matches!(read_edaf(&not_edaf).unwrap_err(), Error::Malformed { .. }));
+
+    // Truncating a valid file must be detected by the trailer check.
+    let valid = temp_path("truncate.edaf");
+    write_edaf(&valid, &all_types_frame()).unwrap();
+    let bytes = std::fs::read(&valid).unwrap();
+    let cut = temp_path("cut.edaf");
+    std::fs::File::create(&cut).unwrap().write_all(&bytes[..bytes.len() - 5]).unwrap();
+    assert!(matches!(read_edaf(&cut).unwrap_err(), Error::Malformed { .. }));
+
+    for p in [not_edaf, valid, cut] {
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -45,6 +45,7 @@ pub mod qq;
 pub mod quantile;
 pub mod rank;
 pub mod regression;
+pub mod stream;
 pub mod telemetry;
 pub mod text;
 pub mod timeseries;
@@ -58,3 +59,4 @@ pub use moments::Moments;
 pub use qq::{normal_qq_points, normal_quantile};
 pub use quantile::{quantile_sorted, quantiles_nth, BoxPlot};
 pub use regression::LinearFit;
+pub use stream::{ColumnSketch, FrameSketch};

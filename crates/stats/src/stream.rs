@@ -1,0 +1,196 @@
+//! Mergeable per-column sketches for streaming (out-of-core) folds.
+//!
+//! A [`FrameSketch`] summarises a table — or one chunk of a larger
+//! stream — with mergeable per-column accumulators: [`Moments`] for
+//! numeric columns and a [`FreqTable`] for categoricals/booleans, plus
+//! null counts everywhere. Every piece merges associatively, so folding
+//! chunk sketches in any grouping yields the sketch of the whole
+//! stream; the chunked reader in `eda-io` exploits this to compute
+//! overview statistics over files that never fit in memory.
+//!
+//! This crate stays dependency-free, so sketches are fed from value
+//! iterators, not frames — `eda-io` adapts columns to these entry
+//! points.
+
+use std::collections::BTreeMap;
+
+use crate::freq::FreqTable;
+use crate::moments::Moments;
+
+/// Mergeable summary of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSketch {
+    /// Numeric column (`f64` or `i64` source): streaming moments.
+    Numeric {
+        /// Moments over the valid, finite values.
+        moments: Moments,
+        /// Number of null slots.
+        nulls: u64,
+    },
+    /// Categorical or boolean column: value frequencies.
+    Categorical {
+        /// Category counts (`FreqTable::nulls` tracks the null slots).
+        freq: FreqTable,
+    },
+}
+
+impl ColumnSketch {
+    /// Sketch numeric values; `None` items are nulls.
+    pub fn from_numeric<I: IntoIterator<Item = Option<f64>>>(values: I) -> ColumnSketch {
+        let mut moments = Moments::new();
+        let mut nulls = 0u64;
+        for v in values {
+            match v {
+                Some(v) => moments.push(v),
+                None => nulls += 1,
+            }
+        }
+        ColumnSketch::Numeric { moments, nulls }
+    }
+
+    /// Sketch categorical values; `None` items are nulls.
+    pub fn from_categorical<'a, I: IntoIterator<Item = Option<&'a str>>>(values: I) -> ColumnSketch {
+        let mut freq = FreqTable::new();
+        for v in values {
+            freq.push(v);
+        }
+        ColumnSketch::Categorical { freq }
+    }
+
+    /// Merge `other` into `self`. Numeric merges numeric, categorical
+    /// merges categorical. A mixed pair means two chunks disagreed on a
+    /// column's type (one saw ints where another saw text); the
+    /// categorical side wins, mirroring the CSV widening lattice where
+    /// `Str` is the top element.
+    pub fn merge(&mut self, other: &ColumnSketch) {
+        match (self, other) {
+            (
+                ColumnSketch::Numeric { moments, nulls },
+                ColumnSketch::Numeric { moments: om, nulls: on },
+            ) => {
+                moments.merge(om);
+                *nulls += on;
+            }
+            (ColumnSketch::Categorical { freq }, ColumnSketch::Categorical { freq: of }) => {
+                freq.merge(of)
+            }
+            (this, other) => {
+                if matches!(other, ColumnSketch::Categorical { .. }) {
+                    *this = other.clone();
+                }
+            }
+        }
+    }
+
+    /// Rows summarised, nulls included.
+    pub fn rows(&self) -> u64 {
+        match self {
+            ColumnSketch::Numeric { moments, nulls } => {
+                moments.count + moments.nans + moments.infinites + nulls
+            }
+            ColumnSketch::Categorical { freq } => freq.total() + freq.nulls,
+        }
+    }
+
+    /// Null slots summarised.
+    pub fn nulls(&self) -> u64 {
+        match self {
+            ColumnSketch::Numeric { nulls, .. } => *nulls,
+            ColumnSketch::Categorical { freq } => freq.nulls,
+        }
+    }
+}
+
+/// Mergeable summary of a whole table (or one chunk of a stream).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameSketch {
+    /// Rows folded in so far.
+    pub nrows: u64,
+    /// Per-column sketches keyed by column name (ordered for stable
+    /// reporting).
+    pub columns: BTreeMap<String, ColumnSketch>,
+}
+
+impl FrameSketch {
+    /// An empty sketch (identity for [`FrameSketch::merge`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another chunk's sketch into this one. Columns are matched
+    /// by name; columns only one side knows about are kept as-is.
+    pub fn merge(&mut self, other: &FrameSketch) {
+        self.nrows += other.nrows;
+        for (name, theirs) in &other.columns {
+            match self.columns.get_mut(name) {
+                Some(mine) => mine.merge(theirs),
+                None => {
+                    self.columns.insert(name.clone(), theirs.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_numeric_merge_equals_single_pass() {
+        let values: Vec<Option<f64>> =
+            (0..100).map(|i| if i % 9 == 0 { None } else { Some(i as f64 * 0.5) }).collect();
+        let whole = ColumnSketch::from_numeric(values.iter().copied());
+        let mut folded = ColumnSketch::from_numeric(std::iter::empty());
+        for part in values.chunks(7) {
+            folded.merge(&ColumnSketch::from_numeric(part.iter().copied()));
+        }
+        let (
+            ColumnSketch::Numeric { moments: a, nulls: na },
+            ColumnSketch::Numeric { moments: b, nulls: nb },
+        ) = (&folded, &whole)
+        else {
+            panic!("numeric sketches expected");
+        };
+        assert_eq!(na, nb);
+        assert_eq!(a.count, b.count);
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.m2 - b.m2).abs() < 1e-9 * b.m2.abs().max(1.0));
+    }
+
+    #[test]
+    fn chunked_categorical_merge_equals_single_pass() {
+        let values: Vec<Option<&str>> =
+            (0..60).map(|i| [Some("a"), Some("b"), None][i % 3]).collect();
+        let whole = ColumnSketch::from_categorical(values.iter().copied());
+        let mut folded = ColumnSketch::from_categorical(std::iter::empty());
+        for part in values.chunks(11) {
+            folded.merge(&ColumnSketch::from_categorical(part.iter().copied()));
+        }
+        assert_eq!(folded, whole);
+        assert_eq!(folded.nulls(), 20);
+        assert_eq!(folded.rows(), 60);
+    }
+
+    #[test]
+    fn frame_merge_is_columnwise_and_name_keyed() {
+        let mut a = FrameSketch::new();
+        a.nrows = 2;
+        a.columns.insert("x".into(), ColumnSketch::from_numeric([Some(1.0), Some(2.0)]));
+        let mut b = FrameSketch::new();
+        b.nrows = 1;
+        b.columns.insert("x".into(), ColumnSketch::from_numeric([Some(3.0)]));
+        b.columns.insert("y".into(), ColumnSketch::from_categorical([Some("k")]));
+        a.merge(&b);
+        assert_eq!(a.nrows, 3);
+        assert_eq!(a.columns["x"].rows(), 3);
+        assert_eq!(a.columns["y"].rows(), 1);
+    }
+
+    #[test]
+    fn type_disagreement_widens_to_categorical() {
+        let mut s = ColumnSketch::from_numeric([Some(1.0)]);
+        s.merge(&ColumnSketch::from_categorical([Some("x")]));
+        assert!(matches!(s, ColumnSketch::Categorical { .. }));
+    }
+}

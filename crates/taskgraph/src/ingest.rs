@@ -1,0 +1,194 @@
+//! Ingestion fan-out: independent chunk jobs on the worker pool.
+//!
+//! Chunked readers (the `eda-io` CSV pipeline) need a narrower contract
+//! than a full task graph: N index-addressed jobs with no edges between
+//! them, executed on the shared pool with the usual governance
+//! (cancellation checked at every dispatch — i.e. at chunk boundaries —
+//! memory budgets, retries, tracing), results handed back in index order
+//! regardless of completion interleaving.
+//!
+//! Two shapes:
+//!
+//! * [`run_chunk_tasks`] — one pool run over all `count` jobs. Payloads
+//!   for every chunk are live at once; right when the caller folds them
+//!   all into one output (building a frame is O(file) anyway).
+//! * [`run_chunk_waves`] — jobs executed in bounded waves of
+//!   `workers × wave_factor`, with a fold callback between waves and
+//!   payloads dropped as each wave retires. This is the out-of-core
+//!   shape: peak memory is O(chunk × wave) however long the stream is,
+//!   which is what lets streaming statistics run over data larger than
+//!   RAM.
+
+use std::sync::Arc;
+
+use crate::graph::{Payload, TaskGraph};
+use crate::key::TaskKey;
+use crate::outcome::TaskOutcome;
+use crate::scheduler::{run_pool_opts, ExecOptions, ExecResult};
+
+/// Run `count` independent chunk jobs on the pool; `job(i)` produces
+/// chunk `i`'s payload. Outcomes come back in index order. Jobs run under
+/// the full [`ExecOptions`] contract: a fired cancel token stops
+/// dispatching at the next chunk boundary, panics isolate to their chunk,
+/// and the memory gauge prices every payload.
+pub fn run_chunk_tasks<F>(
+    label: &str,
+    count: usize,
+    job: F,
+    workers: usize,
+    opts: &ExecOptions,
+) -> ExecResult
+where
+    F: Fn(usize) -> Payload + Send + Sync + 'static,
+{
+    run_range(label, 0, count, &Arc::new(job), workers, opts)
+}
+
+/// Summary of a wave-bounded ingest run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Waves dispatched (including a final short wave).
+    pub waves: usize,
+    /// Chunk jobs whose outcomes were delivered to the fold callback.
+    pub tasks_delivered: usize,
+    /// True when the fold callback stopped the run early.
+    pub stopped_early: bool,
+}
+
+/// Run `count` chunk jobs in waves of `workers × wave_factor`, calling
+/// `fold(first_index, outcomes)` after each wave. Returning `false` from
+/// the fold stops the run (error found, token fired, enough data).
+/// Payloads never outlive their wave, so peak memory is bounded by the
+/// wave size — the executor for folds over streams larger than RAM.
+pub fn run_chunk_waves<F>(
+    label: &str,
+    count: usize,
+    job: F,
+    workers: usize,
+    wave_factor: usize,
+    opts: &ExecOptions,
+    mut fold: impl FnMut(usize, Vec<TaskOutcome>) -> bool,
+) -> WaveStats
+where
+    F: Fn(usize) -> Payload + Send + Sync + 'static,
+{
+    let job = Arc::new(job);
+    let wave = workers.max(1) * wave_factor.max(1);
+    let mut stats = WaveStats::default();
+    let mut base = 0;
+    while base < count {
+        let n = wave.min(count - base);
+        let result = run_range(label, base, n, &job, workers, opts);
+        stats.waves += 1;
+        stats.tasks_delivered += result.outcomes.len();
+        if !fold(base, result.outcomes) {
+            stats.stopped_early = true;
+            break;
+        }
+        base += n;
+    }
+    stats
+}
+
+fn run_range<F>(
+    label: &str,
+    base: usize,
+    count: usize,
+    job: &Arc<F>,
+    workers: usize,
+    opts: &ExecOptions,
+) -> ExecResult
+where
+    F: Fn(usize) -> Payload + Send + Sync + 'static,
+{
+    // Chunk payloads are positional per run, not content-addressed:
+    // dedup off so the result cache can never alias two runs' chunks.
+    let mut graph = TaskGraph::without_dedup();
+    let name = format!("ingest:{label}");
+    let outputs: Vec<_> = (0..count)
+        .map(|i| {
+            let job = Arc::clone(job);
+            let index = base + i;
+            graph.source(&name, TaskKey::leaf(&name, index as u64), move || job(index))
+        })
+        .collect();
+    run_pool_opts(&graph, &outputs, workers, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::govern::CancelToken;
+
+    fn payload(v: usize) -> Payload {
+        Arc::new(v)
+    }
+
+    fn as_usize(o: &TaskOutcome) -> Option<usize> {
+        o.payload().and_then(|p| p.downcast_ref::<usize>()).copied()
+    }
+
+    #[test]
+    fn outcomes_in_index_order() {
+        let r = run_chunk_tasks("t", 16, |i| payload(i * 10), 4, &ExecOptions::default());
+        let got: Vec<_> = r.outcomes.iter().map(|o| as_usize(o).unwrap()).collect();
+        assert_eq!(got, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_chunk_isolates() {
+        let r = run_chunk_tasks(
+            "t",
+            8,
+            |i| {
+                assert!(i != 3, "injected chunk failure");
+                payload(i)
+            },
+            4,
+            &ExecOptions::default(),
+        );
+        assert!(r.outcomes[3].is_failed());
+        for (i, o) in r.outcomes.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(as_usize(o), Some(i), "chunk {i} must survive chunk 3's panic");
+            }
+        }
+    }
+
+    #[test]
+    fn fired_token_stops_at_chunk_boundary() {
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = ExecOptions { cancel: Some(token), ..ExecOptions::default() };
+        let r = run_chunk_tasks("t", 8, payload, 4, &opts);
+        assert!(r.outcomes.iter().all(|o| o.is_failed()), "no chunk may run after cancel");
+    }
+
+    #[test]
+    fn waves_deliver_contiguous_bases() {
+        let mut bases = Vec::new();
+        let stats = run_chunk_waves(
+            "t",
+            10,
+            payload,
+            2,
+            2,
+            &ExecOptions::default(),
+            |base, outcomes| {
+                bases.push((base, outcomes.len()));
+                true
+            },
+        );
+        assert_eq!(bases, vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(stats, WaveStats { waves: 3, tasks_delivered: 10, stopped_early: false });
+    }
+
+    #[test]
+    fn wave_fold_can_stop_early() {
+        let stats =
+            run_chunk_waves("t", 100, payload, 2, 1, &ExecOptions::default(), |_, _| false);
+        assert!(stats.stopped_early);
+        assert_eq!(stats.waves, 1);
+        assert_eq!(stats.tasks_delivered, 2);
+    }
+}

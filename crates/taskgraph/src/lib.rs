@@ -49,6 +49,7 @@ pub mod cluster;
 pub mod engine;
 pub mod govern;
 pub mod graph;
+pub mod ingest;
 pub mod inject;
 pub mod key;
 pub mod metrics;
@@ -67,6 +68,7 @@ pub use govern::{
     RetryPolicy,
 };
 pub use graph::{NodeId, Payload, TaskGraph};
+pub use ingest::{run_chunk_tasks, run_chunk_waves, WaveStats};
 pub use inject::{FaultInjector, FaultMode, FaultPlan, FaultTarget};
 pub use key::TaskKey;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};

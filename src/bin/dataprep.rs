@@ -1,12 +1,18 @@
 //! `dataprep` — a command-line front end for the task-centric EDA API.
 //!
 //! ```text
-//! dataprep report <data.csv> [-o report.html] [-c key=value]... [--metrics out.prom|out.json]
-//! dataprep plot <data.csv> [col] [col2] [-o out.html] [-c key=value]...
-//! dataprep corr <data.csv> [col] [col2] [-o out.html]
-//! dataprep missing <data.csv> [col] [col2] [-o out.html]
-//! dataprep ts <data.csv> <time-col> <value-col> [-o out.html]
+//! dataprep report <data> [-o report.html] [-c key=value]... [--metrics out.prom|out.json]
+//! dataprep plot <data> [col] [col2] [-o out.html] [-c key=value]...
+//! dataprep corr <data> [col] [col2] [-o out.html]
+//! dataprep missing <data> [col] [col2] [-o out.html]
+//! dataprep ts <data> <time-col> <value-col> [-o out.html]
+//! dataprep convert <in.csv> <out.edaf> [-c key=value]...
 //! ```
+//!
+//! `<data>` is a CSV file, or an `.edaf` binary columnar file (written
+//! by `convert`) whose columns load without re-parsing. CSV ingestion
+//! honours `engine.ingest_chunk_bytes` / `engine.workers` /
+//! `engine.mmap` for chunked parallel loads.
 //!
 //! Single-column tasks also print their stats tables and charts to the
 //! terminal (ASCII), mirroring the notebook experience of the paper's
@@ -55,29 +61,47 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage:\n  dataprep report  <data.csv> [-o report.html] [-c key=value]...\n  \
-     dataprep plot    <data.csv> [col] [col2] [-o out.html] [-c key=value]...\n  \
-     dataprep corr    <data.csv> [col] [col2] [-o out.html]\n  \
-     dataprep missing <data.csv> [col] [col2] [-o out.html]\n  \
-     dataprep ts      <data.csv> <time-col> <value-col> [-o out.html]\n\n\
-     config keys are the how-to-guide keys, e.g. -c hist.bins=200\n\
+    "usage:\n  dataprep report  <data> [-o report.html] [-c key=value]...\n  \
+     dataprep plot    <data> [col] [col2] [-o out.html] [-c key=value]...\n  \
+     dataprep corr    <data> [col] [col2] [-o out.html]\n  \
+     dataprep missing <data> [col] [col2] [-o out.html]\n  \
+     dataprep ts      <data> <time-col> <value-col> [-o out.html]\n  \
+     dataprep convert <in.csv> <out.edaf> [-c key=value]...\n\n\
+     <data> is a CSV file or an .edaf columnar file written by convert\n\
+     config keys are the how-to-guide keys, e.g. -c hist.bins=200 or -c engine.ingest_chunk_bytes=4194304\n\
      --metrics <path> dumps process telemetry after the run (.json = JSON, else Prometheus text)"
         .to_string()
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let path = args
-        .positional
-        .first()
-        .ok_or("missing <data.csv> argument")?;
-    let df = read_csv(path).map_err(|e| format!("reading {path}: {e}"))?;
-    eprintln!("loaded {path}: {} rows x {} columns", df.nrows(), df.ncols());
+    let path = args.positional.first().ok_or("missing <data> argument")?;
 
     let mut config = Config::default();
     for (k, v) in &args.config_pairs {
         config.set(k, v).map_err(|e| e.to_string())?;
     }
+
+    if args.command == "convert" {
+        let [input, output] = args.positional.as_slice() else {
+            return Err("convert needs <in.csv> <out.edaf>".into());
+        };
+        let info =
+            convert_to_edaf(input, output, &config).map_err(|e| format!("converting {input}: {e}"))?;
+        let in_bytes = std::fs::metadata(input).map_or(0, |m| m.len());
+        eprintln!(
+            "wrote {output}: {} rows x {} columns, {} -> {} bytes",
+            info.nrows,
+            info.ncols(),
+            in_bytes,
+            info.file_bytes
+        );
+        return Ok(());
+    }
+
+    let df = load_data(path, &config).map_err(|e| format!("reading {path}: {e}"))?;
+    eprintln!("loaded {path}: {} rows x {} columns", df.nrows(), df.ncols());
+
     // `--metrics <path>` implies the knob: dumping an all-zero registry
     // because the run never opted in would only confuse.
     if args.metrics.is_some() {

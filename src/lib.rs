@@ -33,6 +33,7 @@ pub use eda_baseline as baseline;
 pub use eda_core as core;
 pub use eda_dataframe as dataframe;
 pub use eda_datagen as datagen;
+pub use eda_io as io;
 pub use eda_render as render;
 pub use eda_stats as stats;
 pub use eda_studysim as studysim;
@@ -41,9 +42,10 @@ pub use eda_taskgraph as taskgraph;
 /// The most common imports in one place.
 pub mod prelude {
     pub use eda_core::{
-        create_report, create_report_handle, metrics_snapshot, plot, plot_correlation,
-        plot_handle, plot_missing, plot_timeseries, Analysis, AnalysisHandle, Config, Insight,
-        Inter, MetricsSnapshot, Report, SemanticType, TaskKind,
+        convert_to_edaf, create_report, create_report_handle, load_csv, load_data,
+        metrics_snapshot, plot, plot_correlation, plot_handle, plot_missing, plot_timeseries,
+        Analysis, AnalysisHandle, Config, Insight, Inter, MetricsSnapshot, Report, SemanticType,
+        TaskKind,
     };
     pub use eda_dataframe::{csv::read_csv, Column, DataFrame};
     pub use eda_render::{render_analysis_html, render_report_html};
