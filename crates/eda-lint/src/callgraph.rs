@@ -1,0 +1,490 @@
+//! A conservative workspace call graph over [`crate::parse`] output.
+//!
+//! Resolution strategy (documented per rule in DESIGN.md §17):
+//!
+//! * **Free calls** `f(...)` resolve through the file's `use` map, then
+//!   against the per-crate free-function table. Free functions are
+//!   keyed by *crate*, not module — same-name functions in different
+//!   modules of one crate merge into one node set (over-approximation:
+//!   more edges, never fewer).
+//! * **Path calls** `a::b::f(...)` normalize `crate`/`self`/`super` to
+//!   the current crate and `eda_x`/`dataprep_eda` to workspace member
+//!   names. A capitalized penultimate segment is an associated call
+//!   `Type::method`, resolved against the workspace method table.
+//! * **Method calls** `.m(...)` type the receiver chain from parameter
+//!   and `let` annotations plus struct field types, unwrapping
+//!   transparent containers (`Arc<T>` → `T`). A typed receiver resolves
+//!   against the method table; a typed receiver with *no* workspace
+//!   method of that name is external (std/derive) — not ⊤.
+//! * **⊤ edges**: calls we cannot resolve at all — unknown-receiver
+//!   methods (iterator chains, closures) and unresolved bare names.
+//!   Every rule on this graph treats ⊤ as *benign* (non-panicking,
+//!   non-polling, non-tainting); the roots in `lint-roots.toml` are
+//!   placed at every dispatch layer precisely so that closure-opaque
+//!   hops cannot hide a kernel from its own root.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parse::{normalize_crate, BodyEvent, CallTarget, ParsedFile};
+
+/// How one call site resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// One or more workspace functions (over-approximate on name
+    /// collisions).
+    Fns(Vec<usize>),
+    /// Known-external (std path, foreign type, constructor): the callee
+    /// is outside the workspace and assumed benign.
+    External,
+    /// Unresolvable (⊤): unknown receiver or unresolved name. Assumed
+    /// benign; counted so CI can watch the approximation's size.
+    Top,
+}
+
+/// One function node.
+#[derive(Debug)]
+pub struct FnNode {
+    /// `crate::module::Owner::name` — the display / root-spec name.
+    pub qname: String,
+    pub krate: String,
+    /// Index into the `&[ParsedFile]` slice the graph was built from.
+    pub file_idx: usize,
+    /// Index into that file's `fns`.
+    pub fn_idx: usize,
+    pub masked: bool,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+    /// Caller → sorted, deduped callee fn ids (empty for masked fns).
+    pub edges: Vec<Vec<usize>>,
+    /// Number of ⊤ call sites encountered while building edges.
+    pub top_edges: usize,
+    /// (crate, fn name) → unmasked free-fn ids.
+    free: BTreeMap<(String, String), Vec<usize>>,
+    /// (owner type, method name) → unmasked method ids (workspace-wide).
+    methods: BTreeMap<(String, String), Vec<usize>>,
+    /// Struct name → field → type name (workspace-wide).
+    fields: BTreeMap<String, BTreeMap<String, String>>,
+    /// Workspace crate names (canonical).
+    crates: BTreeSet<String>,
+}
+
+impl CallGraph {
+    pub fn build(parsed: &[ParsedFile]) -> CallGraph {
+        let mut g = CallGraph {
+            fns: Vec::new(),
+            edges: Vec::new(),
+            top_edges: 0,
+            free: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            fields: BTreeMap::new(),
+            crates: BTreeSet::new(),
+        };
+        // Pass 1: nodes + symbol tables.
+        for (file_idx, pf) in parsed.iter().enumerate() {
+            g.crates.insert(pf.krate.clone());
+            for (name, flds) in &pf.structs {
+                let entry = g.fields.entry(name.clone()).or_default();
+                for (f, ty) in flds {
+                    entry.insert(f.clone(), ty.clone());
+                }
+            }
+            for (fn_idx, f) in pf.fns.iter().enumerate() {
+                let id = g.fns.len();
+                let mut qname = pf.krate.clone();
+                for m in &f.module {
+                    qname.push_str("::");
+                    qname.push_str(m);
+                }
+                if let Some(owner) = &f.owner {
+                    qname.push_str("::");
+                    qname.push_str(owner);
+                }
+                qname.push_str("::");
+                qname.push_str(&f.name);
+                g.fns.push(FnNode {
+                    qname,
+                    krate: pf.krate.clone(),
+                    file_idx,
+                    fn_idx,
+                    masked: f.masked,
+                });
+                if f.masked {
+                    continue;
+                }
+                match &f.owner {
+                    Some(owner) => g
+                        .methods
+                        .entry((owner.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id),
+                    None => g
+                        .free
+                        .entry((pf.krate.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id),
+                }
+            }
+        }
+        // Pass 2: edges.
+        for id in 0..g.fns.len() {
+            let node = &g.fns[id];
+            if node.masked {
+                g.edges.push(Vec::new());
+                continue;
+            }
+            let pf = &parsed[node.file_idx];
+            let f = &pf.fns[node.fn_idx];
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            let mut tops = 0usize;
+            for ev in &f.events {
+                if let BodyEvent::Call { target, .. } = ev {
+                    match g.resolve(parsed, node.file_idx, node.fn_idx, target) {
+                        Resolution::Fns(ids) => out.extend(ids),
+                        Resolution::External => {}
+                        Resolution::Top => tops += 1,
+                    }
+                }
+            }
+            g.top_edges += tops;
+            g.edges.push(out.into_iter().collect());
+        }
+        g
+    }
+
+    /// Resolve one call site of `parsed[file_idx].fns[fn_idx]`.
+    pub fn resolve(
+        &self,
+        parsed: &[ParsedFile],
+        file_idx: usize,
+        fn_idx: usize,
+        target: &CallTarget,
+    ) -> Resolution {
+        let pf = &parsed[file_idx];
+        match target {
+            CallTarget::Name(name) => {
+                // `use` alias?
+                if let Some(u) = pf.uses.iter().find(|u| &u.alias == name) {
+                    return self.resolve_path(&u.path, pf);
+                }
+                if let Some(ids) = self.free.get(&(pf.krate.clone(), name.clone())) {
+                    return Resolution::Fns(ids.clone());
+                }
+                // Capitalized bare names are tuple-struct / enum-variant
+                // constructors, not calls.
+                if name.chars().next().is_some_and(char::is_uppercase) {
+                    return Resolution::External;
+                }
+                Resolution::Top
+            }
+            CallTarget::Path(segs) => {
+                // Expand a leading `use` alias (`kde::grid()` where
+                // `use eda_stats::kde;`).
+                if let Some(u) = pf.uses.iter().find(|u| Some(&u.alias) == segs.first()) {
+                    let mut full = u.path.clone();
+                    full.extend(segs[1..].iter().cloned());
+                    return self.resolve_path(&full, pf);
+                }
+                self.resolve_path(segs, pf)
+            }
+            CallTarget::Method { name, recv } => {
+                let f = &pf.fns[fn_idx];
+                let Some(ty) = self.receiver_type(pf, &f.var_types, recv) else {
+                    return Resolution::Top;
+                };
+                match self.methods.get(&(ty, name.clone())) {
+                    Some(ids) => Resolution::Fns(ids.clone()),
+                    // Known type, no workspace method: a std/derive
+                    // trait method — external.
+                    None => Resolution::External,
+                }
+            }
+        }
+    }
+
+    /// Resolve a `::`-path call.
+    fn resolve_path(&self, segs: &[String], pf: &ParsedFile) -> Resolution {
+        let mut segs: Vec<String> = segs.to_vec();
+        // Strip leading relative qualifiers.
+        while matches!(segs.first().map(String::as_str), Some("crate" | "self" | "super")) {
+            segs.remove(0);
+        }
+        if segs.is_empty() {
+            return Resolution::Top;
+        }
+        if matches!(segs[0].as_str(), "std" | "core" | "alloc" | "libc") {
+            return Resolution::External;
+        }
+        let first_crate = normalize_crate(&segs[0]);
+        let (krate, rest) = if self.crates.contains(&first_crate) {
+            (first_crate, &segs[1..])
+        } else {
+            (pf.krate.clone(), &segs[..])
+        };
+        if rest.is_empty() {
+            return Resolution::Top;
+        }
+        let name = rest.last().expect("nonempty").clone();
+        // `Type::method` — penultimate capitalized segment.
+        if rest.len() >= 2 {
+            let owner = &rest[rest.len() - 2];
+            if owner.chars().next().is_some_and(char::is_uppercase) {
+                return match self.methods.get(&(owner.clone(), name.clone())) {
+                    Some(ids) => Resolution::Fns(ids.clone()),
+                    // A type we can name but whose method is not in the
+                    // workspace: std/foreign — external, not ⊤.
+                    None => Resolution::External,
+                };
+            }
+        }
+        match self.free.get(&(krate, name.clone())) {
+            Some(ids) => Resolution::Fns(ids.clone()),
+            None => {
+                if name.chars().next().is_some_and(char::is_uppercase) {
+                    Resolution::External // constructor
+                } else {
+                    Resolution::Top
+                }
+            }
+        }
+    }
+
+    /// Type a receiver ident chain: locals/params from `var_types`,
+    /// then field hops through the workspace struct table.
+    fn receiver_type(
+        &self,
+        _pf: &ParsedFile,
+        var_types: &BTreeMap<String, String>,
+        recv: &[String],
+    ) -> Option<String> {
+        let first = recv.first()?;
+        let mut ty = var_types.get(first)?.clone();
+        for field in &recv[1..] {
+            ty = self.fields.get(&ty)?.get(field)?.clone();
+        }
+        Some(ty)
+    }
+
+    /// Resolve one root spec from `lint-roots.toml`.
+    ///
+    /// Grammar: `crate::mod::path::name`, `crate::mod::Owner::name`, or
+    /// `crate::mod::path::*` (every fn whose module is exactly that
+    /// path). Returns unmasked fn ids; empty means the spec is stale.
+    pub fn resolve_root(&self, parsed: &[ParsedFile], spec: &str) -> Vec<usize> {
+        let segs: Vec<&str> = spec.split("::").collect();
+        if segs.len() < 2 {
+            return Vec::new();
+        }
+        let krate = normalize_crate(segs[0]);
+        let last = segs[segs.len() - 1];
+        let mut out = Vec::new();
+        for (id, node) in self.fns.iter().enumerate() {
+            if node.masked || node.krate != krate {
+                continue;
+            }
+            let f = &parsed[node.file_idx].fns[node.fn_idx];
+            if last == "*" {
+                let module: Vec<&str> = segs[1..segs.len() - 1].to_vec();
+                if f.module.iter().map(String::as_str).collect::<Vec<_>>() == module {
+                    out.push(id);
+                }
+            } else if f.name == last {
+                let mid = &segs[1..segs.len() - 1];
+                let plain_match = f.owner.is_none()
+                    && f.module.iter().map(String::as_str).collect::<Vec<_>>() == *mid;
+                let method_match = !mid.is_empty()
+                    && f.owner.as_deref() == Some(mid[mid.len() - 1])
+                    && f.module.iter().map(String::as_str).collect::<Vec<_>>()
+                        == mid[..mid.len() - 1];
+                if plain_match || method_match {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS over the edge relation from each root group in order.
+    ///
+    /// Returns, per fn id, the index (into `roots`) of the *first* root
+    /// group that reaches it — deterministic attribution for messages.
+    pub fn reachable(&self, roots: &[Vec<usize>]) -> Vec<Option<usize>> {
+        let mut from: Vec<Option<usize>> = vec![None; self.fns.len()];
+        for (ri, group) in roots.iter().enumerate() {
+            let mut queue: VecDeque<usize> = VecDeque::new();
+            for &id in group {
+                if from[id].is_none() {
+                    from[id] = Some(ri);
+                    queue.push_back(id);
+                }
+            }
+            while let Some(id) = queue.pop_front() {
+                for &next in &self.edges[id] {
+                    if from[next].is_none() {
+                        from[next] = Some(ri);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        from
+    }
+
+    /// Fn ids of every unmasked function, for rules that iterate all.
+    pub fn unmasked(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fns.iter().enumerate().filter(|(_, n)| !n.masked).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::workspace::FileLex;
+    use crate::SourceFile;
+
+    fn build(files: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(rel, content)| {
+                parse_file(&FileLex::build(&SourceFile {
+                    rel: rel.to_string(),
+                    content: content.to_string(),
+                }))
+            })
+            .collect();
+        let graph = CallGraph::build(&parsed);
+        (parsed, graph)
+    }
+
+    fn id_of(g: &CallGraph, qname: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|n| n.qname == qname)
+            .unwrap_or_else(|| panic!("no fn {qname}; have {:?}", g.fns.iter().map(|n| &n.qname).collect::<Vec<_>>()))
+    }
+
+    #[test]
+    fn free_call_resolves_within_crate() {
+        let (_, g) = build(&[(
+            "crates/stats/src/lib.rs",
+            "pub fn entry() { helper(); }\nfn helper() {}\n",
+        )]);
+        let entry = id_of(&g, "stats::entry");
+        let helper = id_of(&g, "stats::helper");
+        assert_eq!(g.edges[entry], vec![helper]);
+    }
+
+    #[test]
+    fn use_alias_resolves_across_crates() {
+        let (_, g) = build(&[
+            (
+                "crates/taskgraph/src/scheduler.rs",
+                "use eda_stats::moments::fold;\npub fn run() { fold(); }\n",
+            ),
+            ("crates/stats/src/moments.rs", "pub fn fold() {}\n"),
+        ]);
+        let run = id_of(&g, "taskgraph::scheduler::run");
+        let fold = id_of(&g, "stats::moments::fold");
+        assert_eq!(g.edges[run], vec![fold]);
+    }
+
+    #[test]
+    fn method_resolves_through_typed_receiver_and_fields() {
+        let (_, g) = build(&[(
+            "crates/taskgraph/src/scheduler.rs",
+            "pub struct Sched { cache: Arc<ResultCache> }\n\
+             impl Sched {\n    pub fn run(&self) { self.cache.get(); self.step(); }\n    \
+             fn step(&self) {}\n}\n\
+             pub struct ResultCache;\nimpl ResultCache {\n    pub fn get(&self) {}\n}\n",
+        )]);
+        let run = id_of(&g, "taskgraph::scheduler::Sched::run");
+        let get = id_of(&g, "taskgraph::scheduler::ResultCache::get");
+        let step = id_of(&g, "taskgraph::scheduler::Sched::step");
+        assert_eq!(g.edges[run], vec![step, get].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unknown_receiver_is_top_not_linked() {
+        let (parsed, g) = build(&[(
+            "crates/x/src/a.rs",
+            "pub struct C;\nimpl C {\n    pub fn get(&self) {}\n}\n\
+             pub fn f(xs: Vec<u8>) { xs.get(); }\n",
+        )]);
+        let f = id_of(&g, "x::a::f");
+        assert!(g.edges[f].is_empty(), "{:?}", g.edges[f]);
+        assert!(g.top_edges >= 1);
+        // And a typed receiver with a std method is External, not Top.
+        let node = &g.fns[f];
+        let target = CallTarget::Method { name: "len".into(), recv: vec!["xs".into()] };
+        assert_eq!(g.resolve(&parsed, node.file_idx, node.fn_idx, &target), Resolution::Top);
+    }
+
+    #[test]
+    fn std_paths_and_ctors_are_external() {
+        let (parsed, g) = build(&[(
+            "crates/x/src/a.rs",
+            "pub fn f() { std::mem::take(&mut 0); Some(1); Instant::now(); }\n",
+        )]);
+        let f = id_of(&g, "x::a::f");
+        assert!(g.edges[f].is_empty());
+        let node = &g.fns[f];
+        let t = CallTarget::Path(vec!["std".into(), "mem".into(), "take".into()]);
+        assert_eq!(g.resolve(&parsed, node.file_idx, node.fn_idx, &t), Resolution::External);
+        let t = CallTarget::Name("Some".into());
+        assert_eq!(g.resolve(&parsed, node.file_idx, node.fn_idx, &t), Resolution::External);
+    }
+
+    #[test]
+    fn reachability_crosses_two_crates() {
+        let (parsed, g) = build(&[
+            (
+                "crates/taskgraph/src/scheduler.rs",
+                "use eda_core::compute::prepare;\npub fn run_pool() { prepare(); }\n",
+            ),
+            (
+                "crates/core/src/compute.rs",
+                "use eda_stats::moments::push_all;\npub fn prepare() { push_all(); }\n",
+            ),
+            ("crates/stats/src/moments.rs", "pub fn push_all() { helper(); }\nfn helper() {}\n"),
+        ]);
+        let roots = vec![g.resolve_root(&parsed, "taskgraph::scheduler::run_pool")];
+        assert_eq!(roots[0].len(), 1);
+        let reach = g.reachable(&roots);
+        let helper = id_of(&g, "stats::moments::helper");
+        assert_eq!(reach[helper], Some(0), "panic two crates away must be reachable");
+    }
+
+    #[test]
+    fn root_specs_resolve_methods_and_globs() {
+        let (parsed, g) = build(&[(
+            "crates/taskgraph/src/cache.rs",
+            "pub struct ResultCache;\nimpl ResultCache {\n    pub fn insert(&self) {}\n}\n\
+             pub fn evict() {}\n",
+        )]);
+        assert_eq!(
+            g.resolve_root(&parsed, "taskgraph::cache::ResultCache::insert").len(),
+            1
+        );
+        assert_eq!(g.resolve_root(&parsed, "taskgraph::cache::*").len(), 2);
+        assert!(g.resolve_root(&parsed, "taskgraph::cache::nonexistent").is_empty());
+    }
+
+    #[test]
+    fn masked_fns_neither_resolve_nor_emit_edges() {
+        let (parsed, g) = build(&[(
+            "crates/x/src/a.rs",
+            "pub fn live() { gated(); }\n#[cfg(test)]\npub fn gated() { live(); }\n",
+        )]);
+        let live = id_of(&g, "x::a::live");
+        let gated = id_of(&g, "x::a::gated");
+        assert!(g.fns[gated].masked);
+        assert!(g.edges[gated].is_empty());
+        // The call to the masked fn is ⊤ (it is not in the symbol
+        // table for this configuration).
+        assert!(g.edges[live].is_empty());
+        assert!(g.resolve_root(&parsed, "x::a::gated").is_empty());
+    }
+}

@@ -21,7 +21,9 @@ pub enum TokKind {
     Ident,
     /// One punctuation character (`.`, `(`, `{`, `#`, ...).
     Punct(char),
-    /// String / char / byte literal (content dropped).
+    /// String / char / byte literal. String contents are kept in `text`
+    /// (the cfg evaluator needs `feature = "simd"` values); char/byte
+    /// contents are dropped.
     Literal,
     /// Numeric literal (content dropped).
     Number,
@@ -147,6 +149,7 @@ pub fn lex(src: &str) -> Lexed {
                 hashes += 1;
                 i += 1;
             }
+            let mut text = String::new();
             if i < n && bytes[i] == '"' {
                 i += 1; // opening quote
                 loop {
@@ -160,10 +163,11 @@ pub fn lex(src: &str) -> Lexed {
                     if bytes[i] == '\n' {
                         line += 1;
                     }
+                    text.push(bytes[i]);
                     i += 1;
                 }
             }
-            out.tokens.push(Tok { kind: TokKind::Literal, text: String::new(), line: tok_line });
+            out.tokens.push(Tok { kind: TokKind::Literal, text, line: tok_line });
             continue;
         }
         // Identifier / keyword (covers `b` / `r` not starting raw strings,
@@ -208,12 +212,15 @@ pub fn lex(src: &str) -> Lexed {
             out.tokens.push(Tok { kind: TokKind::Number, text: String::new(), line: tok_line });
             continue;
         }
-        // String literal.
+        // String literal (content kept: cfg evaluation reads it).
         if c == '"' {
             let tok_line = line;
             i += 1;
+            let start = i;
             skip_quoted(&bytes, &mut i, &mut line, '"');
-            out.tokens.push(Tok { kind: TokKind::Literal, text: String::new(), line: tok_line });
+            let end = i.saturating_sub(1).max(start);
+            let text: String = bytes[start..end.min(n)].iter().collect();
+            out.tokens.push(Tok { kind: TokKind::Literal, text, line: tok_line });
             continue;
         }
         // Lifetime or char literal.
@@ -365,6 +372,15 @@ mod tests {
             lexed.tokens.iter().filter(|t| t.kind == TokKind::Number).count(),
             3
         );
+    }
+
+    #[test]
+    fn string_literal_text_is_kept_for_cfg_values() {
+        let lexed = lex("#[cfg(feature = \"simd\")]");
+        let lits: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Literal).collect();
+        assert_eq!(lits.len(), 1);
+        assert_eq!(lits[0].text, "simd");
     }
 
     #[test]

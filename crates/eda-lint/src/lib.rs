@@ -2,46 +2,68 @@
 //!
 //! The task-graph core makes promises the compiler cannot check: cache
 //! keys must hash identically in every process ([`crate::rules::l1`]),
-//! scheduler dispatch and stats kernels must not panic because panics
-//! there become silent partial reports ([`crate::rules::l2`]), the
-//! scheduler and result cache must acquire their mutexes in a consistent
-//! global order ([`crate::rules::l3`]), and `unsafe` must explain itself
-//! ([`crate::rules::l4`]). Each rule walks the lexed token stream of
-//! every workspace source file and emits `file:line` diagnostics with a
-//! stable rule ID; the binary exits nonzero when any rule fires.
+//! the scheduler and result cache must acquire their mutexes in a
+//! consistent global order ([`crate::rules::l3`]), `unsafe` must explain
+//! itself ([`crate::rules::l4`]), nothing reachable from a dispatch /
+//! kernel / cache / ingestion root may panic ([`crate::rules::l5`]),
+//! row-iterating loops on kernel paths must poll the cancellation probe
+//! ([`crate::rules::l6`]), and nothing may block on I/O or channels
+//! while holding a scheduler lock ([`crate::rules::l7`]).
+//!
+//! Unlike the first-generation linter, which scoped rules with
+//! hand-maintained per-file path lists, the reachability rules (L1, L5,
+//! L6) run over a conservative **workspace call graph**
+//! ([`crate::callgraph`]) built from a lightweight item/expression
+//! parser ([`crate::parse`]) on the existing token stream — no `syn`,
+//! no dependencies. Entry points live in a checked-in `lint-roots.toml`
+//! ([`Config::from_toml`]); a root spec that stops resolving to a real
+//! function is an error, not a silent coverage loss.
 //!
 //! Rules are suppressed site-by-site with a marker comment on the same
 //! line or the line above:
 //!
 //! ```text
-//! // eda-lint: allow(EDA-L2) — documented infallible-caller convenience
-//! pub fn outputs(&self) -> Vec<Payload> { ... }
+//! // eda-lint: allow(EDA-L5) — len checked two lines up
+//! pub fn head(&self) -> &Payload { &self.items[0] }
 //! ```
 //!
-//! The analysis is token-level, not AST-level (the offline build
-//! environment has no `syn`): rules match token patterns and use brace
-//! matching for scope, which covers every invariant here without a full
-//! parser. Known approximations are documented per rule.
+//! Findings can also be blessed wholesale via a baseline file
+//! ([`crate::output::Baseline`]): CI fails on *new* findings only, so
+//! conservative over-approximation (⊤ edges, indexing sites) does not
+//! block adoption.
 
+pub mod callgraph;
+pub mod config;
 pub mod lexer;
+pub mod output;
+pub mod parse;
 pub mod rules;
 pub mod workspace;
 
 use std::fmt;
 
+pub use config::Config;
+
 /// Stable identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
-    /// Hash containers with nondeterministic iteration/seeding in cache
-    /// key and fingerprint construction paths.
+    /// Nondeterminism sources (seeded hashers, hash-order iteration,
+    /// wall-clock, thread identity) in functions reachable from a
+    /// cache-key / fingerprint sink.
     L1Determinism,
-    /// `unwrap()` / `expect()` / `panic!`-family in scheduler, cache, and
-    /// stats hot paths.
-    L2NoPanic,
     /// Inconsistent lock acquisition order (potential deadlock cycle).
     L3LockOrder,
     /// `unsafe` without a `// SAFETY:` comment.
     L4SafetyComment,
+    /// `unwrap()` / `expect()` / `panic!`-family / indexing reachable
+    /// from a configured dispatch/kernel/cache/ingestion root.
+    L5PanicReach,
+    /// A loop reachable from a kernel root that iterates without
+    /// polling the cancellation probe.
+    L6CancelCoverage,
+    /// Blocking operation (file I/O, channel recv, sleep, join) or
+    /// same-lock re-acquisition while a lock guard is live.
+    L7BlockingLock,
 }
 
 impl RuleId {
@@ -49,19 +71,23 @@ impl RuleId {
     pub fn code(self) -> &'static str {
         match self {
             RuleId::L1Determinism => "EDA-L1",
-            RuleId::L2NoPanic => "EDA-L2",
             RuleId::L3LockOrder => "EDA-L3",
             RuleId::L4SafetyComment => "EDA-L4",
+            RuleId::L5PanicReach => "EDA-L5",
+            RuleId::L6CancelCoverage => "EDA-L6",
+            RuleId::L7BlockingLock => "EDA-L7",
         }
     }
 
-    /// Parse `EDA-L2` / `L2` (as written in allow-markers).
+    /// Parse `EDA-L5` / `L5` (as written in allow-markers and baselines).
     pub fn parse(s: &str) -> Option<RuleId> {
         match s.trim().trim_start_matches("EDA-") {
             "L1" => Some(RuleId::L1Determinism),
-            "L2" => Some(RuleId::L2NoPanic),
             "L3" => Some(RuleId::L3LockOrder),
             "L4" => Some(RuleId::L4SafetyComment),
+            "L5" => Some(RuleId::L5PanicReach),
+            "L6" => Some(RuleId::L6CancelCoverage),
+            "L7" => Some(RuleId::L7BlockingLock),
             _ => None,
         }
     }
@@ -74,6 +100,10 @@ impl fmt::Display for RuleId {
 }
 
 /// One finding: rule, location, and a human explanation.
+///
+/// Messages deliberately contain no line numbers — baseline entries key
+/// on `(rule, file, message)`, and a message that embeds its own line
+/// would invalidate the whole baseline on every unrelated edit above it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub rule: RuleId,
@@ -99,62 +129,71 @@ pub struct SourceFile {
     pub content: String,
 }
 
-/// Which paths each rule covers. [`Config::default`] encodes this
-/// workspace's invariant map; fixture tests build their own.
-#[derive(Debug, Clone)]
-pub struct Config {
-    /// Files whose hashing must be deterministic across processes
-    /// (cache-key / fingerprint construction). Prefix match.
-    pub determinism_paths: Vec<String>,
-    /// Crates where nondeterministically-seeded hashers are banned
-    /// everywhere, not just in key files. Prefix match.
-    pub determinism_crates: Vec<String>,
-    /// Hot paths that must not contain `unwrap`/`expect`/`panic!`.
-    /// Prefix match.
-    pub panic_free_paths: Vec<String>,
+/// The result of one analyzer run: surviving diagnostics plus the
+/// approximation counters CI asserts on.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Sorted by `(file, line, rule)`, allow-markers applied.
+    pub diagnostics: Vec<Diagnostic>,
+    pub files: usize,
+    /// Functions in the call graph (unmasked under the active cfg set).
+    pub functions: usize,
+    /// Unresolvable (⊤) call sites — the size of the approximation.
+    pub top_edges: usize,
 }
 
-impl Default for Config {
-    fn default() -> Config {
-        Config {
-            determinism_paths: vec![
-                "crates/taskgraph/src/key.rs".into(),
-                "crates/dataframe/src/fingerprint.rs".into(),
-            ],
-            determinism_crates: vec![
-                "crates/taskgraph/src/".into(),
-                "crates/dataframe/src/".into(),
-            ],
-            panic_free_paths: vec![
-                "crates/taskgraph/src/scheduler.rs".into(),
-                "crates/taskgraph/src/cache.rs".into(),
-                "crates/taskgraph/src/engine.rs".into(),
-                "crates/taskgraph/src/govern.rs".into(),
-                "crates/taskgraph/src/graph.rs".into(),
-                "crates/taskgraph/src/key.rs".into(),
-                "crates/taskgraph/src/metrics.rs".into(),
-                "crates/taskgraph/src/morsel.rs".into(),
-                "crates/stats/src/".into(),
-                // Ingestion runs inside the same worker pool: a panic in
-                // a chunk parser degrades the whole load, so the io
-                // crate's non-test code is held to the same bar.
-                "crates/io/src/".into(),
-            ],
+/// Resolve every root spec in `specs`, or report the stale ones.
+fn resolve_specs(
+    graph: &callgraph::CallGraph,
+    parsed: &[parse::ParsedFile],
+    specs: &[String],
+    rule: &str,
+    errors: &mut Vec<String>,
+) -> Vec<(String, Vec<usize>)> {
+    let mut out = Vec::new();
+    for spec in specs {
+        let ids = graph.resolve_root(parsed, spec);
+        if ids.is_empty() {
+            errors.push(format!(
+                "{rule} root `{spec}` does not resolve to any function in the analyzed tree \
+                 (stale lint-roots.toml entry?)"
+            ));
+        } else {
+            out.push((spec.clone(), ids));
         }
     }
+    out
 }
 
 /// Run every rule over `files` and return the surviving diagnostics,
 /// sorted by `(file, line, rule)`. Allow-markers are already applied.
-pub fn analyze(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
-    let lexed: Vec<workspace::FileLex> = files.iter().map(workspace::FileLex::build).collect();
+///
+/// Errors when a configured root spec no longer resolves — a stale root
+/// is silent coverage loss, so it fails loudly (exit 2 in the binary).
+pub fn analyze(files: &[SourceFile], config: &Config) -> Result<Analysis, Vec<String>> {
+    let lexed: Vec<workspace::FileLex> =
+        files.iter().map(|f| workspace::FileLex::build_cfg(f, &config.features)).collect();
+    let parsed: Vec<parse::ParsedFile> = lexed.iter().map(parse::parse_file).collect();
+    let graph = callgraph::CallGraph::build(&parsed);
+
+    let mut errors = Vec::new();
+    let l5_roots = resolve_specs(&graph, &parsed, &config.l5_roots, "EDA-L5", &mut errors);
+    let l6_roots = resolve_specs(&graph, &parsed, &config.l6_roots, "EDA-L6", &mut errors);
+    let l1_sinks = resolve_specs(&graph, &parsed, &config.l1_sinks, "EDA-L1", &mut errors);
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
     let mut diags = Vec::new();
+    diags.extend(rules::l1::check(&lexed, &parsed, &graph, &l1_sinks));
+    diags.extend(rules::l3::check(&lexed));
     for file in &lexed {
-        diags.extend(rules::l1::check(file, config));
-        diags.extend(rules::l2::check(file, config));
         diags.extend(rules::l4::check(file));
     }
-    diags.extend(rules::l3::check(&lexed));
+    diags.extend(rules::l5::check(&lexed, &parsed, &graph, &l5_roots));
+    diags.extend(rules::l6::check(&lexed, &parsed, &graph, &l6_roots, &config.l6_probes));
+    diags.extend(rules::l7::check(&lexed, &parsed, &graph, &config.l7_crates));
+
     // Apply allow-markers: a marker on line N suppresses findings on N
     // and N+1 (i.e. markers sit on the offending line or just above it).
     diags.retain(|d| {
@@ -164,6 +203,12 @@ pub fn analyze(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
             .is_some_and(|f| f.is_allowed(d.rule, d.line));
         !allowed
     });
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    diags
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message)));
+    diags.dedup();
+    Ok(Analysis {
+        diagnostics: diags,
+        files: files.len(),
+        functions: graph.unmasked().count(),
+        top_edges: graph.top_edges,
+    })
 }

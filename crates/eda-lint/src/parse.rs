@@ -1,0 +1,1266 @@
+//! A lightweight item/expression parser over the lexed token stream.
+//!
+//! The call-graph rules (EDA-L1/L5/L6/L7) need more structure than the
+//! per-file token patterns of the original linter: which functions exist
+//! (free functions, inherent and trait methods), what each body *does*
+//! (calls, method calls, loops, panic sites, lock acquisitions), and
+//! enough naming context (`use` maps, impl owners, struct field types)
+//! to resolve calls across crates. This module extracts exactly that via
+//! a single recursive-descent pass — no `syn`, consistent with the
+//! workspace's no-external-deps stance.
+//!
+//! Known approximations (shared by every rule built on this; per-rule
+//! consequences are documented in DESIGN.md §17):
+//!
+//! * Closure bodies are attributed to the enclosing function — a panic
+//!   inside a closure is treated as a panic of the function that wrote
+//!   it, which is where `catch_unwind` would see it anyway.
+//! * Nested `fn` items are both parsed as their own definitions *and*
+//!   left inside the parent's body walk (the parent conservatively
+//!   "does" whatever its nested helpers do).
+//! * Types are names, not resolved paths: two structs with the same
+//!   name alias (the workspace has none today; a collision makes the
+//!   analysis more conservative, never less).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::workspace::FileLex;
+
+/// Keywords that can directly precede `(` or `[` without forming a call
+/// or an index expression.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "let",
+    "mut", "ref", "move", "as", "fn", "impl", "struct", "enum", "trait", "use", "mod", "pub",
+    "where", "unsafe", "async", "await", "dyn", "static", "const", "type", "extern", "crate",
+    "super", "yield", "box", "union",
+];
+
+/// Smart-pointer wrappers that transparently deref to their parameter:
+/// `Arc<ResultCache>` receives `ResultCache` methods.
+const DEREF_CONTAINERS: &[&str] = &["Arc", "Box", "Rc", "RefCell", "Cell", "Pin", "ManuallyDrop"];
+
+/// Std collections/primitives whose element type does *not* receive the
+/// method calls made on the container itself.
+const OPAQUE_CONTAINERS: &[&str] = &[
+    "Vec", "VecDeque", "Option", "Result", "HashMap", "BTreeMap", "HashSet", "BTreeSet",
+    "Mutex", "RwLock", "OnceLock", "AtomicUsize", "AtomicU64", "AtomicBool", "AtomicIsize",
+    "PhantomData", "String", "PathBuf", "Path", "Instant", "Duration",
+];
+
+/// Methods that acquire a lock when called with no arguments (same set
+/// as EDA-L3's).
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// What a call site looks like syntactically, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `f(...)` — a bare name.
+    Name(String),
+    /// `a::b::f(...)` — a path; the last segment is the callee name.
+    Path(Vec<String>),
+    /// `.m(...)` — a method, with the receiver ident chain when it is a
+    /// plain `a.b.c` chain (`["self", "cache"]`); empty when the
+    /// receiver is a compound expression (call result, index, ...).
+    Method { name: String, recv: Vec<String> },
+}
+
+impl CallTarget {
+    /// The callee's final name segment.
+    pub fn name(&self) -> &str {
+        match self {
+            CallTarget::Name(n) => n,
+            CallTarget::Path(p) => p.last().map_or("", String::as_str),
+            CallTarget::Method { name, .. } => name,
+        }
+    }
+}
+
+/// Which kind of panic a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` / `.expect(...)`.
+    UnwrapExpect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `expr[...]` indexing (slice/Vec/map indexing panics out of
+    /// bounds / on absent keys).
+    Index,
+}
+
+/// Everything one function body does, in source order.
+#[derive(Debug, Clone)]
+pub enum BodyEvent {
+    /// A call site. `loop_idx` is the innermost enclosing loop in
+    /// [`FnDef::loops`], if any. `argless` is true for `f()`.
+    Call { target: CallTarget, line: u32, loop_idx: Option<usize>, argless: bool },
+    /// Entering a `for`/`while`/`loop` body.
+    LoopEnter { idx: usize },
+    /// Leaving that loop body.
+    LoopExit { idx: usize },
+    /// A potentially panicking site. `what` names the method/macro/
+    /// indexed receiver for diagnostics.
+    Panic { kind: PanicKind, what: String, line: u32 },
+    /// An argument-less `.lock()`/`.read()`/`.write()` acquisition.
+    /// `indexed` marks receivers reached through `[...]` (instance
+    /// aliasing — exempt from the re-entrancy check).
+    Acquire { lock: String, guard: Option<String>, indexed: bool, line: u32 },
+    /// `drop(guard)`.
+    DropGuard { var: String },
+    /// `;` — temporaries (unbound guards) die here.
+    StmtEnd,
+}
+
+/// One loop in a body.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Index of the enclosing loop in the same body, if nested.
+    pub parent: Option<usize>,
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+}
+
+/// One parsed function (free fn, inherent/trait method, or default
+/// trait method).
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Inherent-impl / trait owner type, if any.
+    pub owner: Option<String>,
+    /// Module path within the crate (file path + inline `mod`s).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Excluded from the analyzed configuration (`#[cfg(test)]`,
+    /// disabled feature, ...)?
+    pub masked: bool,
+    /// Ordered body events.
+    pub events: Vec<BodyEvent>,
+    /// Loops referenced by `LoopEnter`/`LoopExit`.
+    pub loops: Vec<LoopInfo>,
+    /// Local/parameter name → type name, from signatures and `let`s.
+    pub var_types: BTreeMap<String, String>,
+    /// Token range of the whole item (from the `fn` keyword to the
+    /// closing brace) in the file's token stream, for rules that need a
+    /// custom scan — e.g. L1 taint sources, which must see parameter
+    /// types as well as the body.
+    pub tok_range: (usize, usize),
+}
+
+/// A `use` declaration leaf: `alias` names `path` in this file.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    pub alias: String,
+    pub path: Vec<String>,
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub rel: String,
+    /// Canonical crate name: directory name under `crates/`, or
+    /// `dataprep` for the root package's `src/`.
+    pub krate: String,
+    pub uses: Vec<UseDecl>,
+    /// Struct name → (field, type-name) pairs.
+    pub structs: BTreeMap<String, Vec<(String, String)>>,
+    pub fns: Vec<FnDef>,
+}
+
+/// Canonicalize a crate reference: `eda_stats`, `eda-stats`, and
+/// `stats` all name the `crates/stats` member; `dataprep_eda` is the
+/// root package.
+pub fn normalize_crate(name: &str) -> String {
+    let name = name.replace('-', "_");
+    let name = name.strip_prefix("eda_").unwrap_or(&name).to_string();
+    if name == "dataprep_eda" { "dataprep".into() } else { name }
+}
+
+/// The crate a workspace-relative path belongs to, plus the module path
+/// its file position implies.
+fn crate_and_module(rel: &str) -> (String, Vec<String>) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, rest) = if parts.first() == Some(&"crates") && parts.len() > 3 {
+        (normalize_crate(parts[1]), &parts[3..])
+    } else if parts.first() == Some(&"src") {
+        ("dataprep".to_string(), &parts[1..])
+    } else {
+        (String::new(), &parts[..])
+    };
+    let mut module: Vec<String> = rest.iter().map(|s| s.to_string()).collect();
+    if let Some(last) = module.last_mut() {
+        *last = last.trim_end_matches(".rs").to_string();
+    }
+    match module.last().map(String::as_str) {
+        Some("lib") | Some("main") | Some("mod") => {
+            module.pop();
+        }
+        _ => {}
+    }
+    (krate, module)
+}
+
+/// Parse one lexed file into items.
+pub fn parse_file(file: &FileLex) -> ParsedFile {
+    let (krate, module) = crate_and_module(&file.rel);
+    let mut out = ParsedFile {
+        rel: file.rel.clone(),
+        krate,
+        uses: Vec::new(),
+        structs: BTreeMap::new(),
+        fns: Vec::new(),
+    };
+    let toks = &file.lexed.tokens;
+    let mut ctx = Ctx { file, toks, out: &mut out };
+    ctx.items(0, toks.len(), &module, None);
+    out
+}
+
+struct Ctx<'a> {
+    file: &'a FileLex,
+    toks: &'a [Tok],
+    out: &'a mut ParsedFile,
+}
+
+impl<'a> Ctx<'a> {
+    /// Scan `[i, end)` for items, recursing into `mod`/`impl`/`trait`
+    /// bodies with the owner/module context updated.
+    fn items(&mut self, mut i: usize, end: usize, module: &[String], owner: Option<&str>) {
+        while i < end {
+            let tok = &self.toks[i];
+            if tok.kind != TokKind::Ident {
+                // Skip attribute contents so `#[derive(Debug)]` never
+                // reads as items.
+                if tok.is_punct('#')
+                    && self.toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    i = skip_balanced(self.toks, i + 1, '[', ']').min(end);
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            match tok.text.as_str() {
+                "use" => {
+                    i = self.use_decl(i + 1, end);
+                }
+                "fn" => {
+                    i = self.fn_item(i, end, module, owner);
+                }
+                "struct" => {
+                    i = self.struct_item(i + 1, end);
+                }
+                "mod" => {
+                    // `mod name { ... }` — recurse with the segment
+                    // appended; `mod name;` — nothing to do.
+                    if let Some(name) = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident)
+                    {
+                        let name = name.text.clone();
+                        if self.toks.get(i + 2).is_some_and(|t| t.is_punct('{')) {
+                            let body_end = skip_balanced(self.toks, i + 2, '{', '}');
+                            let mut inner = module.to_vec();
+                            inner.push(name);
+                            self.items(i + 3, body_end.saturating_sub(1), &inner, owner);
+                            i = body_end;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                "impl" | "trait" => {
+                    let is_trait = tok.text == "trait";
+                    let (new_owner, body) = self.impl_header(i + 1, end, is_trait);
+                    match body {
+                        Some((body_start, body_end)) => {
+                            let owner_ref = new_owner.as_deref().or(owner);
+                            self.items(body_start, body_end, module, owner_ref);
+                            i = body_end + 1;
+                        }
+                        None => i += 1,
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parse a `use` declaration starting after the `use` keyword;
+    /// returns the index after its `;`. Handles `a::b::c`,
+    /// `a::b::{c, d as e}`, and `as` renames; glob imports are ignored.
+    fn use_decl(&mut self, mut i: usize, end: usize) -> usize {
+        let mut prefix: Vec<String> = Vec::new();
+        while i < end {
+            let tok = &self.toks[i];
+            match tok.kind {
+                TokKind::Ident if tok.text == "as" => {
+                    // Rename: alias is the next ident, path is what we
+                    // accumulated.
+                    if let Some(alias) = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident)
+                    {
+                        self.out
+                            .uses
+                            .push(UseDecl { alias: alias.text.clone(), path: prefix.clone() });
+                    }
+                    i += 2;
+                }
+                TokKind::Ident => {
+                    prefix.push(tok.text.clone());
+                    i += 1;
+                }
+                TokKind::Punct(':') => i += 1,
+                TokKind::Punct('{') => {
+                    // One-level group: emit each leaf with the shared
+                    // prefix. Nested groups extend the prefix lexically
+                    // (rare; conservative).
+                    let group_end = skip_balanced(self.toks, i, '{', '}');
+                    let mut seg: Vec<String> = Vec::new();
+                    let mut j = i + 1;
+                    while j < group_end.saturating_sub(1) {
+                        let t = &self.toks[j];
+                        match t.kind {
+                            TokKind::Ident if t.text == "as" => {
+                                if let Some(alias) =
+                                    self.toks.get(j + 1).filter(|t| t.kind == TokKind::Ident)
+                                {
+                                    let mut path = prefix.clone();
+                                    path.append(&mut seg);
+                                    self.out
+                                        .uses
+                                        .push(UseDecl { alias: alias.text.clone(), path });
+                                }
+                                j += 2;
+                                // Consume up to the next `,`.
+                                while j < group_end && !self.toks[j].is_punct(',') {
+                                    j += 1;
+                                }
+                            }
+                            TokKind::Ident if t.text == "self" => {
+                                if let Some(alias) = prefix.last() {
+                                    self.out.uses.push(UseDecl {
+                                        alias: alias.clone(),
+                                        path: prefix.clone(),
+                                    });
+                                }
+                                j += 1;
+                            }
+                            TokKind::Ident => {
+                                seg.push(t.text.clone());
+                                j += 1;
+                            }
+                            TokKind::Punct(',') => {
+                                if let Some(leaf) = seg.last() {
+                                    let mut path = prefix.clone();
+                                    let alias = leaf.clone();
+                                    path.append(&mut seg);
+                                    self.out.uses.push(UseDecl { alias, path });
+                                }
+                                seg.clear();
+                                j += 1;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    if let Some(leaf) = seg.last() {
+                        let mut path = prefix.clone();
+                        let alias = leaf.clone();
+                        path.append(&mut seg);
+                        self.out.uses.push(UseDecl { alias, path });
+                    }
+                    i = group_end;
+                }
+                TokKind::Punct(';') => {
+                    if let Some(leaf) = prefix.last() {
+                        self.out.uses.push(UseDecl { alias: leaf.clone(), path: prefix.clone() });
+                    }
+                    return i + 1;
+                }
+                TokKind::Punct('*') => i += 1, // glob: ignored
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Parse `struct Name { fields }`; returns the index after the item.
+    fn struct_item(&mut self, i: usize, end: usize) -> usize {
+        let Some(name) = self.toks.get(i).filter(|t| t.kind == TokKind::Ident) else {
+            return i + 1;
+        };
+        let name = name.text.clone();
+        // Find `{` (named fields), `(` (tuple struct — skipped), or `;`.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        while j < end {
+            match self.toks[j].kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') if !prev_is(self.toks, j, '-') => angle -= 1,
+                TokKind::Punct('{') if angle <= 0 => break,
+                TokKind::Punct('(') | TokKind::Punct(';') if angle <= 0 => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let body_end = skip_balanced(self.toks, j, '{', '}');
+        let mut fields: Vec<(String, String)> = Vec::new();
+        let mut k = j + 1;
+        let inner_end = body_end.saturating_sub(1);
+        while k < inner_end {
+            let t = &self.toks[k];
+            // Field pattern at depth 0 of the struct body: `name :`.
+            if t.kind == TokKind::Ident
+                && !KEYWORDS.contains(&t.text.as_str())
+                && self.toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                && !self.toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                let fname = t.text.clone();
+                // Type tokens run to the next `,` at depth 0.
+                let mut depth = 0i32;
+                let mut m = k + 2;
+                let ty_start = m;
+                while m < inner_end {
+                    match self.toks[m].kind {
+                        TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => {
+                            depth += 1
+                        }
+                        TokKind::Punct('>') if !prev_is(self.toks, m, '-') => depth -= 1,
+                        TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                        TokKind::Punct(',') if depth <= 0 => break,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                if let Some(ty) = type_name(&self.toks[ty_start..m]) {
+                    fields.push((fname, ty));
+                }
+                k = m + 1;
+                continue;
+            }
+            // Skip nested groups (e.g. `pub(crate)`).
+            if t.is_punct('(') {
+                k = skip_balanced(self.toks, k, '(', ')');
+                continue;
+            }
+            k += 1;
+        }
+        self.out.structs.entry(name).or_default().extend(fields);
+        body_end
+    }
+
+    /// Parse `impl [<G>] Path [for Path] [where ...] { ... }` (or
+    /// `trait Name { ... }`); returns the owner type name and the body
+    /// token range (exclusive of braces).
+    fn impl_header(
+        &mut self,
+        mut i: usize,
+        end: usize,
+        is_trait: bool,
+    ) -> (Option<String>, Option<(usize, usize)>) {
+        // Skip generics.
+        if self.toks.get(i).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while i < end {
+                match self.toks[i].kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') if !prev_is(self.toks, i, '-') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        let mut first_path: Vec<String> = Vec::new();
+        let mut second_path: Vec<String> = Vec::new();
+        let mut in_second = false;
+        let mut angle = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            match t.kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') if !prev_is(self.toks, i, '-') => angle -= 1,
+                TokKind::Ident if t.text == "for" && angle <= 0 => in_second = true,
+                TokKind::Ident if t.text == "where" && angle <= 0 => {
+                    // Skip the where clause up to the body brace.
+                    while i < end && !self.toks[i].is_punct('{') {
+                        i += 1;
+                    }
+                    continue;
+                }
+                TokKind::Ident if angle <= 0 => {
+                    if in_second {
+                        second_path.push(t.text.clone());
+                    } else {
+                        first_path.push(t.text.clone());
+                    }
+                }
+                TokKind::Punct('{') if angle <= 0 => {
+                    let body_end = skip_balanced(self.toks, i, '{', '}');
+                    let path = if in_second { &second_path } else { &first_path };
+                    let owner = path
+                        .iter()
+                        .rev()
+                        .find(|s| s.chars().next().is_some_and(char::is_uppercase))
+                        .cloned();
+                    let owner = if is_trait { first_path.first().cloned() } else { owner };
+                    return (owner, Some((i + 1, body_end.saturating_sub(1))));
+                }
+                TokKind::Punct(';') if angle <= 0 => return (None, None),
+                _ => {}
+            }
+            i += 1;
+        }
+        (None, None)
+    }
+
+    /// Parse one `fn` item starting at the `fn` keyword; returns the
+    /// index after the body (or after `;` for bodyless declarations).
+    fn fn_item(&mut self, i: usize, end: usize, module: &[String], owner: Option<&str>) -> usize {
+        let Some(name_tok) = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return i + 1; // `fn(...)` pointer type, not an item
+        };
+        let name = name_tok.text.clone();
+        let fn_line = self.toks[i].line;
+        // Skip generics to the parameter list.
+        let mut j = i + 2;
+        if self.toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while j < end {
+                match self.toks[j].kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') if !prev_is(self.toks, j, '-') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !self.toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            return i + 2;
+        }
+        let params_end = skip_balanced(self.toks, j, '(', ')');
+        let mut var_types = BTreeMap::new();
+        self.params(&self.toks[j + 1..params_end.saturating_sub(1)], owner, &mut var_types);
+        // Find the body `{` (skipping the return type / where clause) or
+        // a `;` for bodyless trait-method declarations. Array types in
+        // the return position (`-> [u8; 2]`) contain `;` — track
+        // bracket depth so it doesn't read as "no body".
+        let mut k = params_end;
+        let mut angle = 0i32;
+        let mut depth = 0i32;
+        while k < end {
+            match self.toks[k].kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') if !prev_is(self.toks, k, '-') => angle -= 1,
+                TokKind::Punct('[') | TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(']') | TokKind::Punct(')') => depth -= 1,
+                TokKind::Punct('{') if angle <= 0 && depth <= 0 => break,
+                TokKind::Punct(';') if angle <= 0 && depth <= 0 => return k + 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= end {
+            return end;
+        }
+        let body_end = skip_balanced(self.toks, k, '{', '}');
+        let body_range = (k + 1, body_end.saturating_sub(1));
+        let (events, loops) =
+            walk_body(&self.toks[body_range.0..body_range.1], &mut var_types);
+        self.out.fns.push(FnDef {
+            name,
+            owner: owner.map(str::to_string),
+            module: module.to_vec(),
+            line: fn_line,
+            masked: self.file.is_masked(fn_line),
+            events,
+            loops,
+            var_types,
+            tok_range: (i, body_end.saturating_sub(1)),
+        });
+        body_end
+    }
+
+    /// Record parameter types: `x: &Type` → `x` has type `Type`; `self`
+    /// gets the impl owner's type.
+    fn params(&self, toks: &[Tok], owner: Option<&str>, out: &mut BTreeMap<String, String>) {
+        let mut depth = 0i32;
+        let mut start = 0usize;
+        let mut i = 0usize;
+        loop {
+            let at_end = i >= toks.len();
+            if at_end || (depth == 0 && toks[i].is_punct(',')) {
+                let param = &toks[start..i];
+                // First non-`mut` ident is the binding name.
+                let mut name: Option<&str> = None;
+                let mut colon = None;
+                for (pi, t) in param.iter().enumerate() {
+                    match t.kind {
+                        TokKind::Ident if t.text != "mut" && name.is_none() => {
+                            name = Some(&t.text)
+                        }
+                        TokKind::Punct(':')
+                            if colon.is_none()
+                                && name.is_some()
+                                && !param.get(pi + 1).is_some_and(|n| n.is_punct(':')) =>
+                        {
+                            colon = Some(pi)
+                        }
+                        _ => {}
+                    }
+                    if colon.is_some() {
+                        break;
+                    }
+                }
+                match (name, colon) {
+                    (Some("self"), _) => {
+                        if let Some(owner) = owner {
+                            out.insert("self".into(), owner.to_string());
+                        }
+                    }
+                    (Some(n), Some(c)) => {
+                        if let Some(ty) = type_name(&param[c + 1..]) {
+                            out.insert(n.to_string(), ty);
+                        }
+                    }
+                    _ => {}
+                }
+                if at_end {
+                    break;
+                }
+                start = i + 1;
+            } else if !at_end {
+                match toks[i].kind {
+                    TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct('>') if !prev_is(toks, i, '-') => depth -= 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Is the token before `i` the punctuation `c`? (Used to tell `->`'s
+/// `>` from a closing angle bracket.)
+fn prev_is(toks: &[Tok], i: usize, c: char) -> bool {
+    i > 0 && toks[i - 1].is_punct(c)
+}
+
+/// Index just past the group that opens at `toks[open]` (which must be
+/// `open_c`). Returns `toks.len()` on unbalanced input.
+fn skip_balanced(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(open_c) {
+            depth += 1;
+        } else if toks[i].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// The resolvable type name of a type token sequence: strips `&`/`mut`/
+/// lifetimes/`dyn`/`impl`, takes the last segment of the leading path,
+/// descends through transparent wrappers (`Arc<T>` → `T`), and gives up
+/// (returns `None`) on opaque containers, tuples, generics-as-types,
+/// and fn pointers.
+fn type_name(toks: &[Tok]) -> Option<String> {
+    let mut i = 0usize;
+    // Strip reference/mutability/qualifier prefixes.
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('&') | TokKind::Punct('*') => i += 1,
+            TokKind::Lifetime => i += 1,
+            TokKind::Ident if matches!(toks[i].text.as_str(), "mut" | "dyn" | "impl" | "const") => {
+                i += 1
+            }
+            _ => break,
+        }
+    }
+    // Leading path: ident(::ident)*.
+    let mut last: Option<&str> = None;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Ident => {
+                last = Some(&toks[i].text);
+                i += 1;
+                if i + 1 < toks.len() && toks[i].is_punct(':') && toks[i + 1].is_punct(':') {
+                    i += 2;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    let head = last?;
+    if head == "fn" || head == "Fn" || head == "FnMut" || head == "FnOnce" {
+        return None;
+    }
+    if DEREF_CONTAINERS.contains(&head) {
+        // Descend into the generic argument.
+        if i < toks.len() && toks[i].is_punct('<') {
+            let mut depth = 0i32;
+            let start = i + 1;
+            let mut j = i;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') if !prev_is(toks, j, '-') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return type_name(&toks[start..j]);
+        }
+        return None;
+    }
+    if OPAQUE_CONTAINERS.contains(&head) {
+        return None;
+    }
+    if head.chars().next().is_some_and(char::is_uppercase) {
+        Some(head.to_string())
+    } else {
+        None
+    }
+}
+
+/// Walk one body's tokens, producing the ordered event stream, the loop
+/// tree, and any additional `let`-derived local types.
+fn walk_body(
+    toks: &[Tok],
+    var_types: &mut BTreeMap<String, String>,
+) -> (Vec<BodyEvent>, Vec<LoopInfo>) {
+    let mut events: Vec<BodyEvent> = Vec::new();
+    let mut loops: Vec<LoopInfo> = Vec::new();
+    // Stack of (brace_depth_at_entry, loop_idx).
+    let mut loop_stack: Vec<(i32, usize)> = Vec::new();
+    let mut pending_loop: Option<u32> = None;
+    let mut pending_let: Option<String> = None;
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let tok = &toks[i];
+        match tok.kind {
+            // Attributes inside bodies (e.g. `#[allow]`, `#[cfg]` on
+            // statements): skip their contents.
+            TokKind::Punct('#')
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+                    || (toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct('['))) =>
+            {
+                let open = if toks[i + 1].is_punct('[') { i + 1 } else { i + 2 };
+                i = skip_balanced(toks, open, '[', ']');
+                continue;
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+                if pending_loop.take().is_some() {
+                    let idx = loops.len();
+                    let parent = loop_stack.last().map(|&(_, l)| l);
+                    loops.push(LoopInfo { parent, line: tok.line });
+                    loop_stack.push((depth, idx));
+                    events.push(BodyEvent::LoopEnter { idx });
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Punct('}') => {
+                if let Some(&(d, idx)) = loop_stack.last() {
+                    if d == depth {
+                        loop_stack.pop();
+                        events.push(BodyEvent::LoopExit { idx });
+                    }
+                }
+                depth -= 1;
+                i += 1;
+                continue;
+            }
+            TokKind::Punct(';') => {
+                events.push(BodyEvent::StmtEnd);
+                pending_let = None;
+                i += 1;
+                continue;
+            }
+            TokKind::Punct('[') => {
+                // Indexing when the previous token ends an expression.
+                let is_index = i > 0
+                    && match &toks[i - 1].kind {
+                        TokKind::Ident => !KEYWORDS.contains(&toks[i - 1].text.as_str()),
+                        TokKind::Punct(']') | TokKind::Punct(')') => true,
+                        _ => false,
+                    };
+                if is_index {
+                    let what = if toks[i - 1].kind == TokKind::Ident {
+                        toks[i - 1].text.clone()
+                    } else {
+                        "<expr>".to_string()
+                    };
+                    events.push(BodyEvent::Panic {
+                        kind: PanicKind::Index,
+                        what,
+                        line: tok.line,
+                    });
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Ident => {}
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        let name = tok.text.as_str();
+        // Loop keywords. (`while let` works naturally: the body `{` is
+        // the first brace after the keyword.)
+        if matches!(name, "for" | "while" | "loop") {
+            pending_loop = Some(tok.line);
+            i += 1;
+            continue;
+        }
+        // `let` bindings: record the name, and the type when stated or
+        // constructed (`let x: T`, `let x = T::new(...)`, `let x = T {`).
+        if name == "let" {
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if let Some(bind) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                if !bind.text.chars().next().is_some_and(char::is_uppercase) {
+                    pending_let = Some(bind.text.clone());
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && !toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                    {
+                        // Explicit type up to `=` or `;` at depth 0.
+                        let mut d = 0i32;
+                        let mut m = j + 2;
+                        while m < toks.len() {
+                            match toks[m].kind {
+                                TokKind::Punct('<') | TokKind::Punct('(')
+                                | TokKind::Punct('[') => d += 1,
+                                TokKind::Punct('>') if !prev_is(toks, m, '-') => d -= 1,
+                                TokKind::Punct(')') | TokKind::Punct(']') => d -= 1,
+                                TokKind::Punct('=') | TokKind::Punct(';') if d <= 0 => break,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        if let Some(ty) = type_name(&toks[j + 2..m]) {
+                            var_types.insert(bind.text.clone(), ty);
+                        }
+                    } else if toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                        if let Some(ctor) = toks.get(j + 2).filter(|t| {
+                            t.kind == TokKind::Ident
+                                && t.text.chars().next().is_some_and(char::is_uppercase)
+                        }) {
+                            let follows_path = toks.get(j + 3).is_some_and(|t| t.is_punct(':'));
+                            let follows_brace = toks.get(j + 3).is_some_and(|t| t.is_punct('{'));
+                            if follows_path || follows_brace {
+                                var_types.insert(bind.text.clone(), ctor.text.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `drop(guard)`.
+        if name == "drop"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            events.push(BodyEvent::DropGuard { var: toks[i + 2].text.clone() });
+            i += 4;
+            continue;
+        }
+        // Panic macros.
+        if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && !prev_is(toks, i, '.')
+        {
+            events.push(BodyEvent::Panic {
+                kind: PanicKind::Macro,
+                what: format!("{name}!"),
+                line: tok.line,
+            });
+            i += 2;
+            continue;
+        }
+        // Method calls: `.name(`.
+        if prev_is(toks, i, '.') && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            let argless = toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+            let loop_idx = loop_stack.last().map(|&(_, l)| l);
+            if matches!(name, "unwrap" | "expect") {
+                events.push(BodyEvent::Panic {
+                    kind: PanicKind::UnwrapExpect,
+                    what: format!(".{name}()"),
+                    line: tok.line,
+                });
+            }
+            let (recv, indexed) = receiver_chain(toks, i - 1);
+            if argless && LOCK_METHODS.contains(&name) {
+                let lock =
+                    recv.last().cloned().unwrap_or_else(|| "<expr>".to_string());
+                // `let x = m.lock().clone()` binds the *clone*: a chained
+                // call past the guard makes it a temporary that dies at
+                // the end of the statement, not a named guard.
+                let chained = toks.get(i + 3).is_some_and(|t| t.is_punct('.'));
+                events.push(BodyEvent::Acquire {
+                    lock,
+                    guard: if chained { None } else { pending_let.clone() },
+                    indexed,
+                    line: tok.line,
+                });
+            }
+            events.push(BodyEvent::Call {
+                target: CallTarget::Method { name: name.to_string(), recv },
+                line: tok.line,
+                loop_idx,
+                argless,
+            });
+            i += 2;
+            continue;
+        }
+        // Free / path calls: `name(` not preceded by `.`, not a macro,
+        // not a keyword.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !prev_is(toks, i, '.')
+            && !KEYWORDS.contains(&name)
+            && name != "self"
+            && name != "Self"
+        {
+            let argless = toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+            let loop_idx = loop_stack.last().map(|&(_, l)| l);
+            // Collect the `a::b::` prefix to the left.
+            let mut segs: Vec<String> = vec![name.to_string()];
+            let mut j = i;
+            while j >= 2
+                && toks[j - 1].is_punct(':')
+                && toks[j - 2].is_punct(':')
+                && j >= 3
+                && toks[j - 3].kind == TokKind::Ident
+            {
+                segs.insert(0, toks[j - 3].text.clone());
+                j -= 3;
+            }
+            let target = if segs.len() > 1 {
+                CallTarget::Path(segs)
+            } else {
+                CallTarget::Name(name.to_string())
+            };
+            events.push(BodyEvent::Call { target, line: tok.line, loop_idx, argless });
+            i += 2;
+            continue;
+        }
+        // Macro invocations other than the panic family: skip the `!`
+        // so the following delimiter is not misread.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    (events, loops)
+}
+
+/// The receiver ident chain of a method call whose `.` sits at `dot`:
+/// `s.cache.get(...)` yields `["s", "cache"]`. Returns the chain plus
+/// whether any `[...]` indexing was crossed; compound receivers (call
+/// results, parenthesized expressions) yield an empty chain.
+fn receiver_chain(toks: &[Tok], dot: usize) -> (Vec<String>, bool) {
+    let mut chain: Vec<String> = Vec::new();
+    let mut indexed = false;
+    let mut i = dot; // points at the `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        // What precedes this `.`?
+        let mut j = i - 1;
+        // Skip one index suffix: `name[...]` — remember we crossed it.
+        if toks[j].is_punct(']') {
+            indexed = true;
+            let mut depth = 1usize;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                match toks[j].kind {
+                    TokKind::Punct(']') => depth += 1,
+                    TokKind::Punct('[') => depth -= 1,
+                    _ => {}
+                }
+            }
+            if j == 0 {
+                return (Vec::new(), indexed);
+            }
+            j -= 1;
+        }
+        match toks[j].kind {
+            TokKind::Ident => {
+                let text = &toks[j].text;
+                // A call suffix like `f().m()` makes the receiver
+                // compound: bail out with an empty chain.
+                chain.insert(0, text.clone());
+                if j >= 1 && toks[j - 1].is_punct('.') {
+                    i = j - 1;
+                    continue;
+                }
+                // Method on a call result: `)` handled above via ident?
+                // `f(` precedes this ident? then the ident IS the fn
+                // name of an enclosing call — fine, chain ends here.
+                break;
+            }
+            TokKind::Punct(')') => return (Vec::new(), indexed),
+            _ => return (chain, indexed),
+        }
+    }
+    (chain, indexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn parse(rel: &str, content: &str) -> ParsedFile {
+        parse_file(&FileLex::build(&SourceFile { rel: rel.into(), content: content.into() }))
+    }
+
+    fn fn_named<'a>(pf: &'a ParsedFile, name: &str) -> &'a FnDef {
+        pf.fns.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn crate_and_module_from_paths() {
+        assert_eq!(crate_and_module("crates/stats/src/corr/matrix.rs").0, "stats");
+        assert_eq!(
+            crate_and_module("crates/stats/src/corr/matrix.rs").1,
+            vec!["corr".to_string(), "matrix".to_string()]
+        );
+        assert_eq!(crate_and_module("crates/taskgraph/src/lib.rs").1, Vec::<String>::new());
+        assert_eq!(crate_and_module("src/lib.rs").0, "dataprep");
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_collected() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "pub fn free() {}\nimpl Widget {\n    pub fn method(&self) {}\n}\n\
+             impl Drop for Widget {\n    fn drop(&mut self) {}\n}\n",
+        );
+        assert_eq!(pf.fns.len(), 3);
+        assert_eq!(fn_named(&pf, "free").owner, None);
+        assert_eq!(fn_named(&pf, "method").owner.as_deref(), Some("Widget"));
+        assert_eq!(fn_named(&pf, "drop").owner.as_deref(), Some("Widget"));
+    }
+
+    #[test]
+    fn calls_are_classified() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "fn f(s: &Sched) {\n    helper();\n    a::b::leaf(1);\n    s.cache.get(k);\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let calls: Vec<&CallTarget> = f
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                BodyEvent::Call { target, .. } => Some(target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls.len(), 3, "{calls:?}");
+        assert_eq!(calls[0], &CallTarget::Name("helper".into()));
+        assert_eq!(
+            calls[1],
+            &CallTarget::Path(vec!["a".into(), "b".into(), "leaf".into()])
+        );
+        assert_eq!(
+            calls[2],
+            &CallTarget::Method { name: "get".into(), recv: vec!["s".into(), "cache".into()] }
+        );
+    }
+
+    #[test]
+    fn loops_nest_and_calls_know_their_loop() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "fn f(v: &[f64]) {\n    setup();\n    for chunk in v.chunks(8) {\n        \
+             probe();\n        for x in chunk {\n            inner(x);\n        }\n    }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        assert_eq!(f.loops.len(), 2);
+        assert_eq!(f.loops[0].parent, None);
+        assert_eq!(f.loops[1].parent, Some(0));
+        let in_loops: Vec<Option<usize>> = f
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                BodyEvent::Call { target, loop_idx, .. } if target.name() != "chunks" => {
+                    Some(*loop_idx)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(in_loops, vec![None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn panic_sites_cover_unwrap_macros_and_indexing() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "fn f(v: &[f64], m: Option<u8>) -> f64 {\n    let x = m.unwrap();\n    \
+             if v.is_empty() { panic!(\"empty\") }\n    v[0]\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let panics: Vec<(PanicKind, u32)> = f
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                BodyEvent::Panic { kind, line, .. } => Some((*kind, *line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            panics,
+            vec![
+                (PanicKind::UnwrapExpect, 2),
+                (PanicKind::Macro, 3),
+                (PanicKind::Index, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn array_literals_and_attributes_are_not_indexing() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "fn f() -> [u8; 2] {\n    #[allow(dead_code)]\n    let a = [1, 2];\n    \
+             let b = vec![3];\n    return [0, 1];\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        assert!(
+            !f.events.iter().any(|e| matches!(
+                e,
+                BodyEvent::Panic { kind: PanicKind::Index, .. }
+            )),
+            "{:?}",
+            f.events
+        );
+    }
+
+    #[test]
+    fn var_types_from_params_lets_and_self() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "impl Widget {\n    fn f(&self, opts: &ExecOptions, shared: Arc<ResultCache>) {\n        \
+             let m = Moments::new();\n        let g: TaskGraph = make();\n    }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        assert_eq!(f.var_types.get("self").map(String::as_str), Some("Widget"));
+        assert_eq!(f.var_types.get("opts").map(String::as_str), Some("ExecOptions"));
+        assert_eq!(f.var_types.get("shared").map(String::as_str), Some("ResultCache"));
+        assert_eq!(f.var_types.get("m").map(String::as_str), Some("Moments"));
+        assert_eq!(f.var_types.get("g").map(String::as_str), Some("TaskGraph"));
+    }
+
+    #[test]
+    fn use_decls_map_aliases() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "use eda_stats::moments::Moments;\nuse eda_stats::kde::{kde_grid, silverman as bw};\n",
+        );
+        let find = |alias: &str| {
+            pf.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .map(|u| u.path.join("::"))
+                .unwrap_or_default()
+        };
+        assert_eq!(find("Moments"), "eda_stats::moments::Moments");
+        assert_eq!(find("kde_grid"), "eda_stats::kde::kde_grid");
+        assert_eq!(find("bw"), "eda_stats::kde::silverman");
+    }
+
+    #[test]
+    fn struct_fields_resolve_types() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "pub struct Sched {\n    pub cache: Arc<ResultCache>,\n    name: String,\n    \
+             graph: TaskGraph,\n}\n",
+        );
+        let fields = pf.structs.get("Sched").unwrap();
+        assert!(fields.contains(&("cache".to_string(), "ResultCache".to_string())));
+        assert!(fields.contains(&("graph".to_string(), "TaskGraph".to_string())));
+        assert!(!fields.iter().any(|(f, _)| f == "name"), "String is opaque: {fields:?}");
+    }
+
+    #[test]
+    fn acquisitions_track_guards_and_indexing() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "fn f(s: &S) {\n    let g = s.inner.lock();\n    *s.cells[0].lock() = 1;\n    \
+             drop(g);\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let acquires: Vec<(String, Option<String>, bool)> = f
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                BodyEvent::Acquire { lock, guard, indexed, .. } => {
+                    Some((lock.clone(), guard.clone(), *indexed))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acquires.len(), 2, "{acquires:?}");
+        assert_eq!(acquires[0], ("inner".to_string(), Some("g".to_string()), false));
+        assert!(acquires[1].2, "indexed receiver: {acquires:?}");
+        assert!(f.events.iter().any(|e| matches!(e, BodyEvent::DropGuard { var } if var == "g")));
+    }
+
+    #[test]
+    fn masked_fns_are_marked() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        );
+        assert!(!fn_named(&pf, "live").masked);
+        assert!(fn_named(&pf, "helper").masked);
+    }
+
+    #[test]
+    fn trait_default_methods_get_trait_owner() {
+        let pf = parse(
+            "crates/x/src/a.rs",
+            "trait Fold {\n    fn combine(&self, other: &Self) { merge(other); }\n}\n",
+        );
+        assert_eq!(fn_named(&pf, "combine").owner.as_deref(), Some("Fold"));
+    }
+}

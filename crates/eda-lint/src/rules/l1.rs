@@ -1,63 +1,146 @@
-//! EDA-L1 — cache-key determinism.
+//! EDA-L1 — cache-key determinism as taint reachability.
 //!
 //! Invariant: `TaskKey` and frame-fingerprint construction must produce
 //! the same `u64` in every process, or a cache that outlives one run
 //! (today the session [`ResultCache`], tomorrow an on-disk cache) goes
-//! silently cold — or worse, collides. Two things break this quietly:
+//! silently cold — or worse, collides. The first-generation rule banned
+//! hash types per *file list*; this version instead computes the **sink
+//! cone**: every function transitively called from a `[l1] sinks` entry
+//! (the key/fingerprint constructors in `lint-roots.toml`). Any
+//! nondeterminism *source* inside that cone can leak into key bytes:
 //!
-//! * `std::collections::HashMap` / `HashSet` have unspecified iteration
-//!   order, so folding their contents into a hash is run-dependent.
-//! * `DefaultHasher` / `RandomState` are seeded per-process by design.
+//! * `DefaultHasher` / `RandomState` — seeded per process by design.
+//! * `HashMap`/`HashSet` iteration (`iter`/`keys`/`values`/`drain`/
+//!   `into_iter`/`retain` in the same body) — unspecified order, so
+//!   anything folded from it is run-dependent. Lookup-only use is fine
+//!   and no longer flagged.
+//! * `SystemTime` — wall clock differs across processes. (`Instant` is
+//!   deliberately *not* a source: monotonic timing pervades metrics and
+//!   tracing and never feeds keys byte-wise.)
+//! * `ThreadId` / `thread::current` — thread identity is scheduling-
+//!   dependent.
 //!
-//! In the configured determinism paths (key/fingerprint construction),
-//! all four identifiers are banned: keys must be built from fixed-seed
-//! FNV-1a over explicitly-ordered inputs. In the wider determinism
-//! crates, only the randomly-seeded hashers are banned (a `HashMap` used
-//! purely for lookup is fine there).
+//! Approximation: ⊤ calls are non-tainting — a source behind a closure
+//! or unresolved callee is invisible, which is why the sinks are globs
+//! over the whole `key`/`fingerprint` modules rather than single fns.
+//! Sources are detected per function body token-wise (the parser keeps
+//! each body's token range), so a source in cone-reachable code fires
+//! even when the value's dataflow into the hash is indirect.
 
+use crate::callgraph::CallGraph;
+use crate::lexer::TokKind;
+use crate::parse::{BodyEvent, CallTarget, ParsedFile};
 use crate::workspace::FileLex;
-use crate::{Config, Diagnostic, RuleId};
+use crate::{Diagnostic, RuleId};
 
-/// Identifiers with nondeterministic iteration order.
-const ORDER_DEPENDENT: &[&str] = &["HashMap", "HashSet"];
 /// Identifiers with per-process random seeding.
 const RANDOM_SEEDED: &[&str] = &["DefaultHasher", "RandomState"];
+/// Hash containers with unspecified iteration order.
+const ORDER_DEPENDENT: &[&str] = &["HashMap", "HashSet"];
+/// Methods that observe container iteration order.
+const ITERATION_METHODS: &[&str] = &["iter", "keys", "values", "into_iter", "drain", "retain"];
 
-/// Run EDA-L1 over one file.
-pub fn check(file: &FileLex, config: &Config) -> Vec<Diagnostic> {
-    let in_key_path = file.in_paths(&config.determinism_paths);
-    let in_crate = file.in_paths(&config.determinism_crates);
-    if !in_key_path && !in_crate {
-        return Vec::new();
-    }
+/// Run EDA-L1 over the sink cone.
+pub fn check(
+    lexed: &[FileLex],
+    parsed: &[ParsedFile],
+    graph: &CallGraph,
+    sinks: &[(String, Vec<usize>)],
+) -> Vec<Diagnostic> {
+    let groups: Vec<Vec<usize>> = sinks.iter().map(|(_, ids)| ids.clone()).collect();
+    let reach = graph.reachable(&groups);
     let mut diags = Vec::new();
-    for tok in &file.lexed.tokens {
-        if tok.kind != crate::lexer::TokKind::Ident || file.is_masked(tok.line) {
+    for id in graph.unmasked() {
+        let Some(ri) = reach[id] else { continue };
+        let node = &graph.fns[id];
+        let file = &lexed[node.file_idx];
+        if file.is_test_or_bench() {
             continue;
         }
-        let name = tok.text.as_str();
-        if in_key_path && ORDER_DEPENDENT.contains(&name) {
+        let f = &parsed[node.file_idx].fns[node.fn_idx];
+        let sink = &sinks[ri].0;
+        let toks = &file.lexed.tokens;
+        let (start, end) = f.tok_range;
+        let body = &toks[start.min(toks.len())..end.min(toks.len())];
+
+        let mut push = |line: u32, message: String| {
             diags.push(Diagnostic {
                 rule: RuleId::L1Determinism,
                 file: file.rel.clone(),
-                line: tok.line,
-                message: format!(
-                    "`{name}` in a cache-key construction path: iteration order is \
-                     unspecified, so anything folded out of it is run-dependent; use a \
-                     `BTreeMap`/sorted `Vec` or hash explicitly-ordered inputs"
-                ),
-            });
-        } else if RANDOM_SEEDED.contains(&name) {
-            diags.push(Diagnostic {
-                rule: RuleId::L1Determinism,
-                file: file.rel.clone(),
-                line: tok.line,
-                message: format!(
-                    "`{name}` is seeded per-process: hashes built from it differ across \
-                     runs, which breaks cross-process cache keys; use the fixed-seed \
-                     FNV-1a hasher (`taskgraph::key::Fnv1a` / `dataframe` `Fnv`)"
-                ),
-            });
+                line,
+                message,
+            })
+        };
+
+        // Seeded hashers and wall-clock/thread-identity types: any
+        // mention in the body.
+        for tok in body {
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            let name = tok.text.as_str();
+            if RANDOM_SEEDED.contains(&name) {
+                push(tok.line, format!(
+                    "`{name}` in `{qname}`, which is reachable from determinism sink \
+                     `{sink}`: it is seeded per-process, so hashes built from it differ \
+                     across runs and break cross-process cache keys; use the fixed-seed \
+                     FNV-1a hasher (`taskgraph::key::Fnv1a` / `dataframe` `Fnv`)",
+                    qname = node.qname
+                ));
+            } else if name == "SystemTime" {
+                push(tok.line, format!(
+                    "`SystemTime` in `{qname}`, which is reachable from determinism sink \
+                     `{sink}`: wall-clock values differ across processes and must not \
+                     feed key/fingerprint bytes",
+                    qname = node.qname
+                ));
+            } else if name == "ThreadId" {
+                push(tok.line, format!(
+                    "`ThreadId` in `{qname}`, which is reachable from determinism sink \
+                     `{sink}`: thread identity is scheduling-dependent and must not feed \
+                     key/fingerprint bytes",
+                    qname = node.qname
+                ));
+            }
+        }
+        // `thread::current()` via the call stream (token scan can't see
+        // path structure cheaply).
+        for ev in &f.events {
+            if let BodyEvent::Call { target: CallTarget::Path(segs), line, .. } = ev {
+                if segs.len() >= 2
+                    && segs[segs.len() - 2] == "thread"
+                    && segs[segs.len() - 1] == "current"
+                {
+                    push(*line, format!(
+                        "`thread::current()` in `{qname}`, which is reachable from \
+                         determinism sink `{sink}`: thread identity is \
+                         scheduling-dependent and must not feed key/fingerprint bytes",
+                        qname = node.qname
+                    ));
+                }
+            }
+        }
+        // Hash-order iteration: container ident + iteration method in
+        // the same body. One finding per container mention line.
+        let iterates = body.iter().enumerate().any(|(i, t)| {
+            t.kind == TokKind::Ident
+                && ITERATION_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && body[i - 1].is_punct('.')
+        }) || body.iter().any(|t| t.kind == TokKind::Ident && t.text == "for");
+        if iterates {
+            for tok in body {
+                if tok.kind == TokKind::Ident && ORDER_DEPENDENT.contains(&tok.text.as_str()) {
+                    push(tok.line, format!(
+                        "`{name}` iterated in `{qname}`, which is reachable from \
+                         determinism sink `{sink}`: iteration order is unspecified, so \
+                         anything folded out of it is run-dependent; use a `BTreeMap`/\
+                         sorted `Vec` or hash explicitly-ordered inputs",
+                        name = tok.text,
+                        qname = node.qname
+                    ));
+                }
+            }
         }
     }
     diags
@@ -66,44 +149,107 @@ pub fn check(file: &FileLex, config: &Config) -> Vec<Diagnostic> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse::parse_file;
     use crate::SourceFile;
 
-    fn run(rel: &str, content: &str) -> Vec<Diagnostic> {
-        let file = FileLex::build(&SourceFile { rel: rel.into(), content: content.into() });
-        check(&file, &Config::default())
+    fn run(files: &[(&str, &str)], sink_specs: &[&str]) -> Vec<Diagnostic> {
+        let lexed: Vec<FileLex> = files
+            .iter()
+            .map(|(rel, content)| {
+                FileLex::build(&SourceFile { rel: rel.to_string(), content: content.to_string() })
+            })
+            .collect();
+        let parsed: Vec<ParsedFile> = lexed.iter().map(parse_file).collect();
+        let graph = CallGraph::build(&parsed);
+        let sinks: Vec<(String, Vec<usize>)> = sink_specs
+            .iter()
+            .map(|s| {
+                let ids = graph.resolve_root(&parsed, s);
+                assert!(!ids.is_empty(), "sink {s} must resolve");
+                (s.to_string(), ids)
+            })
+            .collect();
+        check(&lexed, &parsed, &graph, &sinks)
     }
 
     #[test]
-    fn hashmap_in_key_path_fires() {
-        let d = run("crates/taskgraph/src/key.rs", "use std::collections::HashMap;\n");
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, RuleId::L1Determinism);
-        assert_eq!(d[0].line, 1);
-    }
-
-    #[test]
-    fn hashmap_outside_key_path_is_fine() {
-        assert!(run("crates/taskgraph/src/cache.rs", "use std::collections::HashMap;\n")
-            .is_empty());
-    }
-
-    #[test]
-    fn default_hasher_fires_crate_wide() {
+    fn seeded_hasher_in_sink_cone_fires() {
         let d = run(
-            "crates/dataframe/src/frame.rs",
-            "use std::collections::hash_map::DefaultHasher;\n",
+            &[(
+                "crates/taskgraph/src/key.rs",
+                "pub fn unique() -> u64 {\n    let h = DefaultHasher::new();\n    0\n}\n",
+            )],
+            &["taskgraph::key::unique"],
         );
-        assert_eq!(d.len(), 1);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::L1Determinism);
+        assert_eq!(d[0].line, 2);
     }
 
     #[test]
-    fn unrelated_crates_unscoped() {
-        assert!(run("crates/render/src/svg.rs", "let h = DefaultHasher::new();\n").is_empty());
+    fn seeded_hasher_outside_cone_is_fine() {
+        let d = run(
+            &[(
+                "crates/taskgraph/src/key.rs",
+                "pub fn unique() -> u64 { 0 }\n\
+                 pub fn diag_only() {\n    let h = DefaultHasher::new();\n}\n",
+            )],
+            &["taskgraph::key::unique"],
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
-    fn mentions_in_comments_do_not_fire() {
-        assert!(run("crates/taskgraph/src/key.rs", "// unlike HashMap or DefaultHasher\n")
-            .is_empty());
+    fn hash_iteration_fires_but_lookup_does_not() {
+        let iterating = run(
+            &[(
+                "crates/taskgraph/src/key.rs",
+                "pub fn derived(m: &HashMap<String, u64>) -> u64 {\n    \
+                 let mut acc = 0;\n    for (k, v) in m.iter() { acc += v; }\n    acc\n}\n",
+            )],
+            &["taskgraph::key::derived"],
+        );
+        assert_eq!(iterating.len(), 1, "{iterating:?}");
+        let lookup = run(
+            &[(
+                "crates/taskgraph/src/key.rs",
+                "pub fn derived(m: &HashMap<String, u64>) -> u64 {\n    \
+                 m.get(\"x\").copied().unwrap_or(0)\n}\n",
+            )],
+            &["taskgraph::key::derived"],
+        );
+        assert!(lookup.is_empty(), "lookup-only HashMap must pass: {lookup:?}");
+    }
+
+    #[test]
+    fn taint_crosses_crates_into_helpers() {
+        let d = run(
+            &[
+                (
+                    "crates/dataframe/src/fingerprint.rs",
+                    "use eda_core::ids::salt;\npub fn fingerprint() -> u64 { salt() }\n",
+                ),
+                (
+                    "crates/core/src/ids.rs",
+                    "pub fn salt() -> u64 {\n    let t = SystemTime::now();\n    0\n}\n",
+                ),
+            ],
+            &["dataframe::fingerprint::fingerprint"],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/core/src/ids.rs");
+        assert!(d[0].message.contains("SystemTime"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn instant_is_not_a_source() {
+        let d = run(
+            &[(
+                "crates/taskgraph/src/key.rs",
+                "pub fn unique() -> u64 {\n    let t = Instant::now();\n    0\n}\n",
+            )],
+            &["taskgraph::key::unique"],
+        );
+        assert!(d.is_empty(), "Instant is monotonic-timing, not a key source: {d:?}");
     }
 }

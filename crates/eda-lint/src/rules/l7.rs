@@ -1,0 +1,327 @@
+//! EDA-L7 — blocking operations while holding a lock.
+//!
+//! Invariant: the scheduler, cache, and governance locks are contended
+//! by every worker; a thread that blocks on file I/O, a channel recv,
+//! a sleep, or a thread join *while holding one* stalls the whole pool
+//! (and under the admission gate, the whole process). EDA-L3 proves
+//! lock *order* is consistent; this rule generalizes it to "don't sit
+//! on a lock": within the `[l7] crates` scope, no blocking operation
+//! may execute while a `MutexGuard`/`RwLock` guard binding is live.
+//! Re-acquiring the *same* lock name while its guard is live is also
+//! reported (self-deadlock — a cycle of length one, invisible to L3).
+//!
+//! Blocking operations: the std blocking catalogue by method name
+//! (`recv`, `recv_timeout`, `read_to_string`, `read_to_end`,
+//! `read_exact`, `read_line`, `write_all`, `sync_all`, `sync_data`,
+//! `wait`, `wait_timeout`, `sleep`, argument-less `join`), `std::fs`
+//! paths, and `File`/`OpenOptions` associated calls. A call to a
+//! workspace function that *transitively* performs one of these is
+//! reported too (may-block fixpoint over the call graph).
+//!
+//! Approximations: guard liveness is linear within a body — a bound
+//! guard lives until `drop(guard)`, the end of the loop it was acquired
+//! in, or the end of the function; unbound (temporary) guards die at
+//! the next `;`. ⊤ calls are non-blocking. Lock receivers reached
+//! through indexing (`shards[i].lock()`) are exempt from the
+//! same-name re-acquisition check (distinct instances).
+
+use crate::callgraph::{CallGraph, Resolution};
+use crate::parse::{normalize_crate, BodyEvent, CallTarget, ParsedFile};
+use crate::workspace::FileLex;
+use crate::{Diagnostic, RuleId};
+
+/// Method/function names that block the calling thread.
+const BLOCKING_NAMES: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "read_line",
+    "write_all",
+    "sync_all",
+    "sync_data",
+    "wait",
+    "wait_timeout",
+    "sleep",
+];
+
+/// Does this call site directly block? Returns a short description.
+fn direct_block(target: &CallTarget, argless: bool) -> Option<String> {
+    let name = target.name();
+    if BLOCKING_NAMES.contains(&name) {
+        return Some(format!("`{name}()`"));
+    }
+    // Thread join is argument-less; `Path::join(..)` takes one.
+    if name == "join" && argless {
+        return Some("`join()`".to_string());
+    }
+    if let CallTarget::Path(segs) = target {
+        if segs.iter().any(|s| s == "fs") {
+            return Some(format!("`{}()`", segs.join("::")));
+        }
+        if segs.len() >= 2 {
+            let owner = &segs[segs.len() - 2];
+            if (owner == "File" || owner == "OpenOptions")
+                && matches!(name, "open" | "create" | "create_new" | "options")
+            {
+                return Some(format!("`{owner}::{name}()`"));
+            }
+        }
+    }
+    None
+}
+
+/// One live guard.
+struct LiveGuard {
+    lock: String,
+    /// `None` for a temporary (unbound) guard.
+    binding: Option<String>,
+    indexed: bool,
+    /// Loop nesting depth at acquisition; guards die when their loop
+    /// exits (approximating lexical scope).
+    loop_depth: usize,
+}
+
+/// Run EDA-L7 over every unmasked function in the configured crates.
+pub fn check(
+    lexed: &[FileLex],
+    parsed: &[ParsedFile],
+    graph: &CallGraph,
+    crates: &[String],
+) -> Vec<Diagnostic> {
+    if crates.is_empty() {
+        return Vec::new();
+    }
+    let crates: Vec<String> = crates.iter().map(|c| normalize_crate(c)).collect();
+
+    // May-block fixpoint: seeded by direct blocking ops, propagated to
+    // callers.
+    let mut may_block = vec![false; graph.fns.len()];
+    for id in graph.unmasked() {
+        let node = &graph.fns[id];
+        let f = &parsed[node.file_idx].fns[node.fn_idx];
+        if f.events.iter().any(|ev| {
+            matches!(ev, BodyEvent::Call { target, argless, .. }
+                if direct_block(target, *argless).is_some())
+        }) {
+            may_block[id] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for id in 0..graph.fns.len() {
+            if !may_block[id] && graph.edges[id].iter().any(|&c| may_block[c]) {
+                may_block[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut diags = Vec::new();
+    for id in graph.unmasked() {
+        let node = &graph.fns[id];
+        if !crates.contains(&node.krate) {
+            continue;
+        }
+        let file = &lexed[node.file_idx];
+        if file.is_test_or_bench() {
+            continue;
+        }
+        let f = &parsed[node.file_idx].fns[node.fn_idx];
+        let mut live: Vec<LiveGuard> = Vec::new();
+        let mut loop_depth = 0usize;
+        for ev in &f.events {
+            match ev {
+                BodyEvent::LoopEnter { .. } => loop_depth += 1,
+                BodyEvent::LoopExit { .. } => {
+                    loop_depth = loop_depth.saturating_sub(1);
+                    live.retain(|g| g.loop_depth <= loop_depth);
+                }
+                BodyEvent::StmtEnd => live.retain(|g| g.binding.is_some()),
+                BodyEvent::DropGuard { var } => {
+                    live.retain(|g| g.binding.as_deref() != Some(var.as_str()))
+                }
+                BodyEvent::Acquire { lock, guard, indexed, line } => {
+                    if !indexed {
+                        if let Some(held) =
+                            live.iter().find(|g| !g.indexed && &g.lock == lock)
+                        {
+                            diags.push(Diagnostic {
+                                rule: RuleId::L7BlockingLock,
+                                file: file.rel.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{lock}` is locked again in `{qname}` while guard \
+                                     {binding} on the same lock is still live: \
+                                     self-deadlock on a non-reentrant mutex; drop the \
+                                     first guard, or mark \
+                                     `// eda-lint: allow(EDA-L7) <why>`",
+                                    qname = node.qname,
+                                    binding = match &held.binding {
+                                        Some(b) => format!("`{b}`"),
+                                        None => "<temporary>".to_string(),
+                                    },
+                                ),
+                            });
+                        }
+                    }
+                    live.push(LiveGuard {
+                        lock: lock.clone(),
+                        binding: guard.clone(),
+                        indexed: *indexed,
+                        loop_depth,
+                    });
+                }
+                BodyEvent::Call { target, line, argless, .. } => {
+                    // The acquisition methods themselves are handled by
+                    // Acquire (and lock *order* is L3's job).
+                    if matches!(target.name(), "lock" | "read" | "write") {
+                        continue;
+                    }
+                    let Some(held) = live.first() else { continue };
+                    let what = direct_block(target, *argless).or_else(|| {
+                        match graph.resolve(parsed, node.file_idx, node.fn_idx, target) {
+                            Resolution::Fns(ids) => {
+                                ids.iter().find(|&&c| may_block[c]).map(|&c| {
+                                    format!(
+                                        "call to `{}` (which may block on I/O, channels, \
+                                         or sleeps)",
+                                        graph.fns[c].qname
+                                    )
+                                })
+                            }
+                            _ => None,
+                        }
+                    });
+                    if let Some(what) = what {
+                        diags.push(Diagnostic {
+                            rule: RuleId::L7BlockingLock,
+                            file: file.rel.clone(),
+                            line: *line,
+                            message: format!(
+                                "{what} in `{qname}` while a guard on `{lock}` is live: \
+                                 blocking under a contended lock stalls every worker; \
+                                 drop the guard first, or mark \
+                                 `// eda-lint: allow(EDA-L7) <why>`",
+                                qname = node.qname,
+                                lock = held.lock,
+                            ),
+                        });
+                    }
+                }
+                BodyEvent::Panic { .. } => {}
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let lexed: Vec<FileLex> = files
+            .iter()
+            .map(|(rel, content)| {
+                FileLex::build(&SourceFile { rel: rel.to_string(), content: content.to_string() })
+            })
+            .collect();
+        let parsed: Vec<ParsedFile> = lexed.iter().map(parse_file).collect();
+        let graph = CallGraph::build(&parsed);
+        check(&lexed, &parsed, &graph, &["taskgraph".to_string(), "io".to_string()])
+    }
+
+    #[test]
+    fn channel_recv_under_live_guard_fires() {
+        let d = run(&[(
+            "crates/taskgraph/src/scheduler.rs",
+            "pub fn drain(s: &S) {\n    let g = s.state.lock();\n    let msg = rx.recv();\n    \
+             drop(g);\n}\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::L7BlockingLock);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("state"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn recv_after_drop_is_fine() {
+        let d = run(&[(
+            "crates/taskgraph/src/scheduler.rs",
+            "pub fn drain(s: &S) {\n    let g = s.state.lock();\n    drop(g);\n    \
+             let msg = rx.recv();\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let d = run(&[(
+            "crates/taskgraph/src/cache.rs",
+            "pub fn f(s: &S) {\n    s.state.lock().len();\n    let msg = rx.recv();\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn same_lock_reacquisition_fires_but_indexed_shards_do_not() {
+        let d = run(&[(
+            "crates/taskgraph/src/metrics.rs",
+            "pub fn f(s: &S) {\n    let a = s.state.lock();\n    let b = s.state.lock();\n}\n\
+             pub fn shards(s: &S) {\n    let a = s.cells[0].lock();\n    \
+             let b = s.cells[1].lock();\n}\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("self-deadlock"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn transitive_blocking_through_callee_fires() {
+        let d = run(&[(
+            "crates/io/src/reader.rs",
+            "pub fn f(s: &S) {\n    let g = s.state.lock();\n    load_all();\n}\n\
+             fn load_all() {\n    let text = std::fs::read_to_string(\"x\");\n}\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("may block"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_silent() {
+        let d = run(&[(
+            "crates/render/src/svg.rs",
+            "pub fn f(s: &S) {\n    let g = s.state.lock();\n    let m = rx.recv();\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn guard_bound_in_loop_dies_at_loop_exit() {
+        let d = run(&[(
+            "crates/taskgraph/src/scheduler.rs",
+            "pub fn f(s: &S, items: &[u8]) {\n    for it in items {\n        \
+             let g = s.state.lock();\n        use_it(it, g);\n    }\n    \
+             let late = rx.recv();\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn path_join_with_arg_is_not_thread_join() {
+        let d = run(&[(
+            "crates/io/src/reader.rs",
+            "pub fn f(s: &S, p: &Path) {\n    let g = s.state.lock();\n    \
+             let full = p.join(\"x\");\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

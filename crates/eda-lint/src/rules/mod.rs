@@ -1,9 +1,13 @@
 //! The rule passes. Each module exposes `check(...) -> Vec<Diagnostic>`;
-//! scoping (which paths a rule covers) comes from [`crate::Config`], and
-//! test-item masking / allow-markers are applied by the caller
-//! ([`crate::analyze`]) and [`crate::workspace::FileLex`].
+//! the per-file rules (L3, L4) take lexed files, the call-graph rules
+//! (L1, L5, L6, L7) additionally take the parsed items, the workspace
+//! [`crate::callgraph::CallGraph`], and their resolved roots/sinks from
+//! `lint-roots.toml`. Test-item masking and allow-markers are applied
+//! by the caller ([`crate::analyze`]) and [`crate::workspace::FileLex`].
 
 pub mod l1;
-pub mod l2;
 pub mod l3;
 pub mod l4;
+pub mod l5;
+pub mod l6;
+pub mod l7;

@@ -1,18 +1,20 @@
 //! File discovery and per-file pre-analysis shared by every rule:
-//! lexing, `#[cfg(test)]` masking, and allow-marker extraction.
+//! lexing, `#[cfg(...)]` masking, and allow-marker extraction.
 
 use std::collections::HashMap;
 use std::path::Path;
 
-use crate::lexer::{lex, Lexed, TokKind};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
 use crate::{RuleId, SourceFile};
 
 /// A lexed file plus the derived facts rules scope on.
 pub struct FileLex {
     pub rel: String,
     pub lexed: Lexed,
-    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` /
-    /// `#[cfg(loom)]` items — exempt from every rule (tests may unwrap).
+    /// Inclusive line ranges covered by items whose `#[cfg(...)]` /
+    /// `#[test]` attributes evaluate false under the active cfg set —
+    /// exempt from every rule (tests may unwrap; disabled features are
+    /// not compiled).
     masked: Vec<(u32, u32)>,
     /// `eda-lint: allow(...)` markers: line → rules allowed there.
     /// A marker suppresses findings on its own line and the next.
@@ -20,10 +22,19 @@ pub struct FileLex {
 }
 
 impl FileLex {
-    /// Lex and pre-analyze one source file.
+    /// Lex and pre-analyze one source file with no cargo features
+    /// enabled (the default build's view of the tree).
     pub fn build(src: &SourceFile) -> FileLex {
+        FileLex::build_cfg(src, &[])
+    }
+
+    /// Lex and pre-analyze one source file, treating `features` as the
+    /// enabled cargo feature set when evaluating `#[cfg(...)]` gates
+    /// (so a `--cfg simd` run analyzes the AVX2 modules the default run
+    /// masks, and masks the scalar-only fallbacks).
+    pub fn build_cfg(src: &SourceFile, features: &[String]) -> FileLex {
         let lexed = lex(&src.content);
-        let masked = test_masks(&lexed);
+        let masked = cfg_masks(&lexed, features);
         let mut allows: HashMap<u32, Vec<RuleId>> = HashMap::new();
         for comment in &lexed.comments {
             if let Some(pos) = comment.text.find("eda-lint: allow(") {
@@ -65,33 +76,102 @@ impl FileLex {
     }
 }
 
-/// Line ranges of items annotated `#[cfg(test)]`, `#[test]`, or
-/// `#[cfg(loom)]`: from the attribute to the closing brace of the item
-/// that follows (or its terminating `;` for `mod tests;` forms).
-fn test_masks(lexed: &Lexed) -> Vec<(u32, u32)> {
+/// Evaluate one cfg predicate expression starting at `pos` (just after
+/// `cfg(` or inside `any(...)`/`all(...)`/`not(...)`), leaving `pos`
+/// after the predicate. Unknown predicates evaluate `true` (analyze the
+/// code rather than silently skipping it); the build target is assumed
+/// to be the CI/SIMD target (`x86_64-unknown-linux-gnu`), which is where
+/// the feature-gated intrinsics live.
+fn eval_cfg_pred(toks: &[Tok], pos: &mut usize, features: &[String]) -> bool {
+    let Some(head) = toks.get(*pos) else { return true };
+    if head.kind != TokKind::Ident {
+        *pos += 1;
+        return true;
+    }
+    let name = head.text.clone();
+    *pos += 1;
+    // Combinators: any(...) / all(...) / not(...).
+    if toks.get(*pos).is_some_and(|t| t.is_punct('(')) {
+        *pos += 1; // consume `(`
+        let mut vals: Vec<bool> = Vec::new();
+        while *pos < toks.len() && !toks[*pos].is_punct(')') {
+            if toks[*pos].is_punct(',') {
+                *pos += 1;
+                continue;
+            }
+            vals.push(eval_cfg_pred(toks, pos, features));
+        }
+        *pos += 1; // consume `)`
+        return match name.as_str() {
+            "any" => vals.iter().any(|&v| v),
+            "all" => vals.iter().all(|&v| v),
+            "not" => !vals.first().copied().unwrap_or(false),
+            _ => true, // unknown combinator: analyze
+        };
+    }
+    // Key-value predicates: feature = "x", target_arch = "x86_64", ...
+    if toks.get(*pos).is_some_and(|t| t.is_punct('=')) {
+        *pos += 1;
+        let value = toks
+            .get(*pos)
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        *pos += 1;
+        return match name.as_str() {
+            "feature" => features.iter().any(|f| f == &value),
+            "target_arch" => value == "x86_64",
+            "target_os" => value == "linux",
+            "target_family" => value == "unix",
+            "target_endian" => value == "little",
+            "target_pointer_width" => value == "64",
+            _ => true, // unknown key: analyze
+        };
+    }
+    // Bare predicates.
+    match name.as_str() {
+        "test" | "loom" | "miri" | "fuzzing" | "doc" | "doctest" | "windows" => false,
+        "unix" => true,
+        _ => true, // unknown flag: analyze
+    }
+}
+
+/// Line ranges of items whose attributes exclude them from the analyzed
+/// configuration: `#[test]` / `#[tokio::test]` items, and `#[cfg(...)]`
+/// items whose predicate evaluates false under `features` (so
+/// `#[cfg(test)]` and `#[cfg(loom)]` are masked always, and
+/// `#[cfg(feature = "simd")]` only when `simd` is not in the active
+/// set). The range runs from the attribute to the closing brace of the
+/// item that follows (or its terminating `;` for `mod x;` forms).
+fn cfg_masks(lexed: &Lexed, features: &[String]) -> Vec<(u32, u32)> {
     let toks = &lexed.tokens;
     let mut masks = Vec::new();
     let mut i = 0;
     while i < toks.len() {
         if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
-            // Collect the attribute's identifiers up to the closing `]`.
-            let mut j = i + 2;
+            // Find the attribute's closing `]` and collect its tokens.
+            let attr_start = i + 2;
+            let mut j = attr_start;
             let mut depth = 1usize;
-            let mut idents: Vec<&str> = Vec::new();
             while j < toks.len() && depth > 0 {
                 match toks[j].kind {
                     TokKind::Punct('[') => depth += 1,
                     TokKind::Punct(']') => depth -= 1,
-                    TokKind::Ident => idents.push(&toks[j].text),
                     _ => {}
                 }
                 j += 1;
             }
-            let is_test_attr = matches!(
-                idents.as_slice(),
-                ["test"] | ["cfg", "test"] | ["cfg", "loom"] | ["tokio", "test"]
-            );
-            if is_test_attr {
+            let attr = &toks[attr_start..j.saturating_sub(1)];
+            let is_test_attr = matches!(attr.first(), Some(t) if t.is_ident("test"))
+                || (attr.first().is_some_and(|t| t.is_ident("tokio"))
+                    && attr.iter().any(|t| t.is_ident("test")));
+            let cfg_excluded = attr.first().is_some_and(|t| t.is_ident("cfg"))
+                && attr.get(1).is_some_and(|t| t.is_punct('('))
+                && {
+                    let mut pos = 2usize;
+                    !eval_cfg_pred(attr, &mut pos, features)
+                };
+            if is_test_attr || cfg_excluded {
                 let start_line = toks[i].line;
                 // The annotated item ends at the matching `}` of its first
                 // brace, or at a `;` that arrives before any brace.
@@ -219,10 +299,10 @@ mod tests {
 
     #[test]
     fn allow_markers_cover_their_line_and_the_next() {
-        let f = file("// eda-lint: allow(EDA-L2) reason\nx.unwrap();\ny.unwrap();\n");
-        assert!(f.is_allowed(RuleId::L2NoPanic, 1));
-        assert!(f.is_allowed(RuleId::L2NoPanic, 2));
-        assert!(!f.is_allowed(RuleId::L2NoPanic, 3));
+        let f = file("// eda-lint: allow(EDA-L5) reason\nx.unwrap();\ny.unwrap();\n");
+        assert!(f.is_allowed(RuleId::L5PanicReach, 1));
+        assert!(f.is_allowed(RuleId::L5PanicReach, 2));
+        assert!(!f.is_allowed(RuleId::L5PanicReach, 3));
         assert!(!f.is_allowed(RuleId::L4SafetyComment, 2));
     }
 
@@ -231,6 +311,6 @@ mod tests {
         let f = file("// eda-lint: allow(EDA-L1, L4)\nlet m: HashMap<u8, u8>;\n");
         assert!(f.is_allowed(RuleId::L1Determinism, 2));
         assert!(f.is_allowed(RuleId::L4SafetyComment, 2));
-        assert!(!f.is_allowed(RuleId::L2NoPanic, 2));
+        assert!(!f.is_allowed(RuleId::L5PanicReach, 2));
     }
 }

@@ -1,7 +1,8 @@
 //! EDA-L1 fixture: order- and seed-dependent hashing in a cache-key
 //! construction path. Analyzed under the rel path
-//! `crates/taskgraph/src/key.rs`, where every container below is banned.
-//! Not compiled — lexed by the fixture test.
+//! `crates/taskgraph/src/key.rs` with `taskgraph::key::*` as the
+//! determinism sink, putting `key_of` inside the sink cone. Not
+//! compiled — lexed by the fixture test.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};

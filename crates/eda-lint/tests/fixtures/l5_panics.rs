@@ -1,6 +1,8 @@
-//! EDA-L2 fixture: panic-family calls in a scheduler hot path. Analyzed
-//! under the rel path `crates/taskgraph/src/scheduler.rs`. Not compiled
-//! — lexed by the fixture test.
+//! EDA-L5 fixture: panic-family calls and unchecked indexing in a
+//! scheduler hot path. Analyzed under the rel path
+//! `crates/taskgraph/src/scheduler.rs` with the module rooted, so every
+//! function here is panic-reachable. Not compiled — lexed by the
+//! fixture test.
 
 pub fn dispatch(results: &[Option<u64>], id: usize) -> u64 {
     let value = results[id].unwrap();

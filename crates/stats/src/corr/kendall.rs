@@ -33,7 +33,14 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
     let mut n3 = 0u64;
     {
         let mut i = 0;
+        let mut next_poll = 0;
         while i < n {
+            if i >= next_poll {
+                if crate::interrupt::interrupted() {
+                    return None;
+                }
+                next_poll = i + crate::interrupt::CHECK_INTERVAL;
+            }
             let mut j = i;
             while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
                 j += 1;
@@ -59,7 +66,14 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
     let mut n2 = 0u64;
     {
         let mut i = 0;
+        let mut next_poll = 0;
         while i < n {
+            if i >= next_poll {
+                if crate::interrupt::interrupted() {
+                    return None;
+                }
+                next_poll = i + crate::interrupt::CHECK_INTERVAL;
+            }
             let mut j = i;
             while j + 1 < n && sorted_y[j + 1] == sorted_y[i] {
                 j += 1;
@@ -72,7 +86,7 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
     // Discordant pairs = inversions of the y sequence ordered by (x, y).
     let mut seq: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
     let mut buf = vec![0.0; n];
-    let discordant = count_inversions(&mut seq, &mut buf);
+    let discordant = count_inversions(&mut seq, &mut buf)?;
 
     let denom = ((n0 - n1) as f64) * ((n0 - n2) as f64);
     if denom <= 0.0 {
@@ -88,11 +102,17 @@ fn pairs(k: u64) -> u64 {
 }
 
 /// Count inversions (strictly decreasing pairs) with bottom-up merge sort.
-fn count_inversions(seq: &mut [f64], buf: &mut [f64]) -> u64 {
+///
+/// Returns `None` when the run is interrupted mid-count (polled once per
+/// O(n) merge pass, so cancellation latency is one pass).
+fn count_inversions(seq: &mut [f64], buf: &mut [f64]) -> Option<u64> {
     let n = seq.len();
     let mut inversions = 0u64;
     let mut width = 1;
     while width < n {
+        if crate::interrupt::interrupted() {
+            return None;
+        }
         let mut lo = 0;
         while lo + width < n {
             let mid = lo + width;
@@ -103,7 +123,7 @@ fn count_inversions(seq: &mut [f64], buf: &mut [f64]) -> u64 {
         }
         width *= 2;
     }
-    inversions
+    Some(inversions)
 }
 
 /// Merge two sorted halves of `slice` (split at `mid`) into `out`,
@@ -112,6 +132,7 @@ fn merge_count(slice: &[f64], mid: usize, out: &mut [f64]) -> u64 {
     let (left, right) = slice.split_at(mid);
     let mut inversions = 0u64;
     let (mut i, mut j, mut k) = (0, 0, 0);
+    // eda-lint: allow(EDA-L6) bounded to one merge window; count_inversions polls between passes
     while i < left.len() && j < right.len() {
         if left[i] <= right[j] {
             out[k] = left[i];
@@ -218,7 +239,7 @@ pub fn kendall_tau_prepped(
     }
 
     let mut buf = vec![0.0; n];
-    let discordant = count_inversions(&mut seq, &mut buf);
+    let discordant = count_inversions(&mut seq, &mut buf)?;
     let denom = ((n0 - n1) as f64) * ((n0 - n2) as f64);
     if denom <= 0.0 {
         return None;
@@ -524,15 +545,15 @@ mod tests {
     fn inversion_counter_basics() {
         let mut seq = vec![3.0, 1.0, 2.0];
         let mut buf = vec![0.0; 3];
-        assert_eq!(count_inversions(&mut seq, &mut buf), 2);
+        assert_eq!(count_inversions(&mut seq, &mut buf), Some(2));
         assert_eq!(seq, vec![1.0, 2.0, 3.0]);
 
         let mut sorted = vec![1.0, 2.0, 3.0, 4.0];
         let mut buf = vec![0.0; 4];
-        assert_eq!(count_inversions(&mut sorted, &mut buf), 0);
+        assert_eq!(count_inversions(&mut sorted, &mut buf), Some(0));
 
         let mut rev = vec![4.0, 3.0, 2.0, 1.0];
         let mut buf = vec![0.0; 4];
-        assert_eq!(count_inversions(&mut rev, &mut buf), 6);
+        assert_eq!(count_inversions(&mut rev, &mut buf), Some(6));
     }
 }

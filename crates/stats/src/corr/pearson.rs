@@ -9,9 +9,9 @@ use super::complete_pairs;
 pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
     let (xs, ys) = complete_pairs(x, y);
     let mut p = PearsonPartial::new();
-    for (a, b) in xs.iter().zip(&ys) {
-        p.push(*a, *b);
-    }
+    // Chunked accumulation: polls the interrupt probe per CHECK_INTERVAL
+    // pairs and takes the vector shape when available.
+    p.push_slices(&xs, &ys);
     p.finish()
 }
 

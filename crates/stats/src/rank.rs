@@ -10,6 +10,7 @@ pub fn ranks(values: &[f64]) -> Vec<f64> {
     idx.sort_unstable_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![f64::NAN; n];
     let mut i = 0;
+    // eda-lint: allow(EDA-L6) linear tie pass; the dominant comparison sort above cannot poll
     while i < idx.len() {
         let mut j = i;
         while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {

@@ -168,6 +168,7 @@ fn lane_counters(l: &mut MomentLanes, j: usize, v: f64) {
 
 /// Fallback (autovectorized) lane passes over the full-block region.
 fn moment_blocks_fallback(blocks: &[f64], shift: f64, l: &mut MomentLanes) {
+    // eda-lint: allow(EDA-L6) processes one CHECK_INTERVAL chunk; moments_slice polls between chunks
     for sub in blocks.chunks(SUB_BLOCK) {
         for ch in sub.chunks_exact(LANES) {
             for (j, &v) in ch.iter().enumerate() {
@@ -211,6 +212,7 @@ fn reduce_sum(l: &[f64; LANES]) -> f64 {
 #[inline]
 fn reduce_min(l: &[f64; LANES]) -> f64 {
     let mut m = l[0];
+    // eda-lint: allow(EDA-L6) fixed 8-lane reduction
     for &v in &l[1..] {
         m = if v < m { v } else { m };
     }
@@ -220,6 +222,7 @@ fn reduce_min(l: &[f64; LANES]) -> f64 {
 #[inline]
 fn reduce_max(l: &[f64; LANES]) -> f64 {
     let mut m = l[0];
+    // eda-lint: allow(EDA-L6) fixed 8-lane reduction
     for &v in &l[1..] {
         m = if v > m { v } else { m };
     }
@@ -289,6 +292,7 @@ pub fn moments_chunk(values: &[f64]) -> Moments {
     let full = values.len() - values.len() % LANES;
     moment_blocks(&values[..full], shift, &mut l);
     // Shared scalar tail: identical code on both dispatch paths.
+    // eda-lint: allow(EDA-L6) tail shorter than LANES elements
     for (j, &v) in values[full..].iter().enumerate() {
         lane_sums(&mut l, j, v, shift);
         lane_extrema(&mut l, j, v);
@@ -417,6 +421,7 @@ pub fn histogram_fill(h: &mut Histogram, values: &[f64]) {
         hist_chunk(chunk, min, max, inv_width, nbins, &mut stripes);
         crate::telemetry::record_morsel(chunk.len());
     }
+    // eda-lint: allow(EDA-L6) folds HIST_STRIPES x nbins counters, independent of row count
     for s in 0..HIST_STRIPES {
         let base = s * stride;
         for b in 0..nbins {
@@ -464,6 +469,7 @@ fn hist_chunk_fallback(
     let (s1, rest) = rest.split_at_mut(stride);
     let (s2, s3) = rest.split_at_mut(stride);
     let mut idx = [0u32; HIST_BLOCK];
+    // eda-lint: allow(EDA-L6) processes one CHECK_INTERVAL chunk; histogram_fill polls between chunks
     for block in chunk.chunks(HIST_BLOCK) {
         classify_fallback(block, min, max, inv_width, nbins, &mut idx[..block.len()]);
         let mut quads = idx[..block.len()].chunks_exact(HIST_STRIPES);
@@ -493,6 +499,7 @@ fn hist_chunk_fallback(
 fn classify_fallback(block: &[f64], min: f64, max: f64, inv_width: f64, nbins: usize, idx: &mut [u32]) {
     let cap = (nbins - 1) as f64;
     let of = nbins as u32;
+    // eda-lint: allow(EDA-L6) classifies one HIST_BLOCK block
     for (dst, &v) in idx.iter_mut().zip(block) {
         let t = (v - min) * inv_width;
         let t = if t > cap { cap } else { t };
@@ -527,6 +534,7 @@ pub fn pearson_chunk(x: &[f64], y: &[f64]) -> PearsonPartial {
     let mut syy = [0.0f64; LANES];
     let mut sxy = [0.0f64; LANES];
     let full = len - len % LANES;
+    // eda-lint: allow(EDA-L6) processes one CHECK_INTERVAL chunk; pearson_slices polls between chunks
     for (cx, cy) in x[..full].chunks_exact(LANES).zip(y[..full].chunks_exact(LANES)) {
         for (j, (&a, &b)) in cx.iter().zip(cy).enumerate() {
             let valid = !a.is_nan() && !b.is_nan();
@@ -540,6 +548,7 @@ pub fn pearson_chunk(x: &[f64], y: &[f64]) -> PearsonPartial {
             sxy[j] += dx * dy;
         }
     }
+    // eda-lint: allow(EDA-L6) tail shorter than LANES elements
     for j in full..len {
         let (a, b) = (x[j], y[j]);
         let valid = !a.is_nan() && !b.is_nan();

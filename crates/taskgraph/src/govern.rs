@@ -392,6 +392,7 @@ impl AdmissionGate {
             }
             state.waiting += 1;
             while state.running >= self.capacity {
+                // eda-lint: allow(EDA-L7) Condvar::wait releases the mutex atomically while parked
                 state = self.slot_freed.wait(state);
             }
             state.waiting -= 1;

@@ -123,6 +123,7 @@ impl StealDeque {
 
     /// Claim the next morsel from the front (owner side).
     pub fn claim_front(&self) -> Option<usize> {
+        // eda-lint: allow(EDA-L6) each iteration consumes one morsel index; bounded by deque length
         loop {
             let i = self.front.fetch_add(1, Ordering::Relaxed);
             if i >= self.len {
@@ -136,6 +137,7 @@ impl StealDeque {
 
     /// Steal the next morsel from the back (helper side).
     pub fn claim_back(&self) -> Option<usize> {
+        // eda-lint: allow(EDA-L6) each iteration consumes one morsel index; bounded by deque length
         loop {
             let i = self.back.fetch_sub(1, Ordering::Relaxed);
             if i < 0 {
@@ -357,6 +359,7 @@ where
     // be empty; the partial fold is discarded upstream, so skipping the
     // holes (rather than erroring) keeps this path panic-free.
     let mut acc: Option<T> = None;
+    // eda-lint: allow(EDA-L6) folds one already-computed partial per morsel
     for cell in results {
         if let Some(part) = cell.into_inner() {
             acc = Some(match acc {

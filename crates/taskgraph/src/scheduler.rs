@@ -115,7 +115,7 @@ impl ExecResult {
     /// error if any requested output failed — the infallible-caller
     /// convenience; fault-aware callers should inspect `outcomes`.
     pub fn outputs(&self) -> Vec<Payload> {
-        // eda-lint: allow(EDA-L2) documented infallible-caller convenience; fault-aware callers use `outcomes`
+        // eda-lint: allow(EDA-L5) documented infallible-caller convenience; fault-aware callers use `outcomes`
         self.outcomes.iter().map(|o| o.clone().unwrap()).collect() // TaskOutcome::unwrap, documented panic
     }
 
@@ -709,10 +709,10 @@ fn execute_node(
         let result = {
             let _current = attempt_token.map(govern::set_current);
             catch_task_panic(|| match &fault {
-                // eda-lint: allow(EDA-L2) deliberate injected fault, caught by catch_unwind above
+                // eda-lint: allow(EDA-L5) deliberate injected fault, caught by catch_unwind above
                 Some(FaultMode::Panic) => panic!("injected fault: panic"),
                 Some(FaultMode::TransientPanic { .. }) => {
-                    // eda-lint: allow(EDA-L2) deliberate injected fault, caught by catch_unwind above
+                    // eda-lint: allow(EDA-L5) deliberate injected fault, caught by catch_unwind above
                     panic!("injected fault: transient kernel failure")
                 }
                 Some(FaultMode::Stall(d)) => {
